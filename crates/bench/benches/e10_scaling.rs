@@ -1,0 +1,78 @@
+//! E10 (§2/§5): scaling across the Virtex family.
+//!
+//! The paper supports devices from 16x24 to 64x96 CLBs through one
+//! architecture class; the router must stay usable across that 16x range
+//! of fabric size. We route the same *relative* workload (nets scaled to
+//! device area, same seed) on every family member and report per-net
+//! routing effort.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::Router;
+use jroute_bench::SEED;
+use jroute_workloads::{random_netlist, NetlistParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{Device, Family};
+
+fn workload(dev: &Device) -> Vec<jroute::pathfinder::NetSpec> {
+    // 1 net per 24 CLBs keeps relative density constant.
+    let nets = dev.dims().tiles() / 24;
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    random_netlist(
+        dev,
+        &NetlistParams { nets, max_fanout: 2, max_span: Some(10) },
+        &mut rng,
+    )
+}
+
+fn route_all(dev: &Device) -> (usize, usize, usize) {
+    let specs = workload(dev);
+    let mut r = Router::new(dev);
+    let mut ok = 0usize;
+    for s in &specs {
+        let sinks: Vec<jroute::EndPoint> = s.sinks.iter().map(|&p| p.into()).collect();
+        if r.route_fanout(&s.source.into(), &sinks).is_ok() {
+            ok += 1;
+        }
+    }
+    (specs.len(), ok, r.stats().maze_nodes_expanded)
+}
+
+fn table() {
+    eprintln!("\n=== E10: scaling across the family (paper §2) ===");
+    eprintln!(
+        "{:<10} {:>8} {:>8} {:>8} {:>14}",
+        "family", "tiles", "nets", "routed", "nodes/net"
+    );
+    for f in Family::ALL {
+        let dev = Device::new(f);
+        let (nets, ok, nodes) = route_all(&dev);
+        eprintln!(
+            "{:<10} {:>8} {:>8} {:>8} {:>14}",
+            f.name(),
+            dev.dims().tiles(),
+            nets,
+            ok,
+            if ok > 0 { nodes / ok } else { 0 }
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e10");
+    for f in [Family::Xcv50, Family::Xcv300, Family::Xcv1000] {
+        let dev = Device::new(f);
+        g.bench_function(format!("route_workload_{}", f.name()), |b| {
+            b.iter_batched(|| (), |_| route_all(&dev), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E11 (§4): port-based core composition.
+//!
+//! Paper: *"a counter can be made from a constant adder with the output
+//! fed back to one input ports and the other input set to a value of
+//! one"* — composition through ports, no architecture knowledge needed.
+//! We build the composed counter (register + adder, bus-connected by
+//! ports) and the monolithic [`Counter`] core, and compare construction
+//! cost and resources.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::{EndPoint, Router};
+use jroute_cores::{ConstAdder, Counter, Register, RtpCore};
+use virtex::{Device, Family, RowCol};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv300)
+}
+
+fn composed(dev: &Device, width: usize) -> Router {
+    let mut r = Router::new(dev);
+    let mut reg = Register::new(width, 0, RowCol::new(4, 4));
+    let mut add = ConstAdder::new(width, 1, RowCol::new(4, 12));
+    reg.implement(&mut r).unwrap();
+    add.implement(&mut r).unwrap();
+    let q: Vec<EndPoint> = reg.q_ports().iter().map(|&p| p.into()).collect();
+    let a: Vec<EndPoint> = add.a_ports().iter().map(|&p| p.into()).collect();
+    let sum: Vec<EndPoint> = add.sum_ports().iter().map(|&p| p.into()).collect();
+    let d: Vec<EndPoint> = reg.d_ports().iter().map(|&p| p.into()).collect();
+    r.route_bus(&q, &a).unwrap();
+    r.route_bus(&sum, &d).unwrap();
+    r
+}
+
+fn monolithic(dev: &Device, width: usize) -> Router {
+    let mut r = Router::new(dev);
+    let mut ctr = Counter::new(width, 0, RowCol::new(4, 4));
+    ctr.implement(&mut r).unwrap();
+    r
+}
+
+fn table() {
+    eprintln!("\n=== E11: composed counter (reg+adder via ports) vs monolithic (paper §4) ===");
+    eprintln!("{:<8} | {:>10} {:>10} | {:>10} {:>10}", "width", "comp-pips", "comp-segs", "mono-pips", "mono-segs");
+    let dev = dev();
+    for width in [4usize, 8, 16] {
+        let rc = composed(&dev, width);
+        let rm = monolithic(&dev, width);
+        eprintln!(
+            "{:<8} | {:>10} {:>10} | {:>10} {:>10}",
+            width,
+            rc.stats().pips_set,
+            rc.resource_usage().total(),
+            rm.stats().pips_set,
+            rm.resource_usage().total()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let mut g = c.benchmark_group("e11");
+    for width in [4usize, 16] {
+        g.bench_function(format!("composed_counter_{width}"), |b| {
+            b.iter_batched(|| (), |_| composed(&dev, width), BatchSize::PerIteration)
+        });
+        g.bench_function(format!("monolithic_counter_{width}"), |b| {
+            b.iter_batched(|| (), |_| monolithic(&dev, width), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

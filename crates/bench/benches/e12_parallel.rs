@@ -1,0 +1,77 @@
+//! E12 (§6 extension): parallel independent-net routing.
+//!
+//! Router latency is application latency in RTR systems; the paper lists
+//! faster algorithms as future work. We measure the optimistic parallel
+//! router's speedup over its own single-thread configuration on a large
+//! netlist, and verify thread count does not change what gets routed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::parallel::{route_parallel, ParallelConfig};
+use jroute_bench::SEED;
+use jroute_workloads::{random_netlist, NetlistParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+use virtex::{Device, Family};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv1000)
+}
+
+fn workload(dev: &Device, nets: usize) -> Vec<jroute::pathfinder::NetSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    random_netlist(
+        dev,
+        &NetlistParams { nets, max_fanout: 2, max_span: Some(12) },
+        &mut rng,
+    )
+}
+
+fn table() {
+    eprintln!("\n=== E12: parallel independent-net routing (extension of §6) ===");
+    eprintln!(
+        "{:<8} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "threads", "routed", "rounds", "conflicts", "time", "speedup"
+    );
+    let dev = dev();
+    let specs = workload(&dev, 120);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ParallelConfig { threads, ..Default::default() };
+        let t0 = Instant::now();
+        let r = route_parallel(&dev, &specs, &cfg);
+        let dt = t0.elapsed().as_secs_f64();
+        let base_dt = *base.get_or_insert(dt);
+        eprintln!(
+            "{:<8} {:>5}/{:<3} {:>8} {:>10} {:>8.0}ms {:>8.2}x",
+            threads,
+            r.nets.len(),
+            specs.len(),
+            r.rounds,
+            r.conflicts,
+            dt * 1e3,
+            base_dt / dt
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let specs = workload(&dev, 60);
+    let mut g = c.benchmark_group("e12");
+    for threads in [1usize, 4, 8] {
+        let cfg = ParallelConfig { threads, ..Default::default() };
+        g.bench_function(format!("route_parallel_{threads}t"), |b| {
+            b.iter_batched(|| (), |_| route_parallel(&dev, &specs, &cfg), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E2 (§3.1): cost of the four levels of control.
+//!
+//! The paper's claim: manual PIP calls are the cheapest (for real-time
+//! configuration constraints); templates trade execution time for
+//! abstraction ("The cost is longer execution time"); full auto-routing
+//! costs the most. All four levels configure the same physical
+//! connection, the paper's worked example: S1_YQ@(5,7) -> S0F3@(6,8).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::{EndPoint, Path, Pin, Router, Template};
+use virtex::{wire, Device, Dir, Family, TemplateValue as T};
+
+fn fresh() -> Router {
+    Router::new(&Device::new(Family::Xcv50))
+}
+
+fn level1(r: &mut Router) {
+    r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
+    r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+    r.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0)).unwrap();
+    r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+}
+
+fn level2(r: &mut Router) {
+    r.route_path(&Path::new(
+        5,
+        7,
+        vec![
+            wire::S1_YQ,
+            wire::out(1),
+            wire::single(Dir::East, 5),
+            wire::single(Dir::North, 0),
+            wire::S0_F3,
+        ],
+    ))
+    .unwrap();
+}
+
+fn level3(r: &mut Router) {
+    r.route_template(
+        Pin::new(5, 7, wire::S1_YQ),
+        wire::S0_F3,
+        &Template::new(vec![T::OutMux, T::East1, T::North1, T::ClbIn]),
+    )
+    .unwrap();
+}
+
+fn level4(r: &mut Router, templates: bool) {
+    r.options_mut().use_templates_first = templates;
+    let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+    let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+    r.route(&src, &sink).unwrap();
+}
+
+fn table() {
+    eprintln!("\n=== E2: API levels, same connection (paper §3.1 example) ===");
+    eprintln!("{:<28} {:>6} {:>10}", "level", "pips", "segments");
+    let runs: Vec<(&str, Box<dyn Fn(&mut Router)>)> = vec![
+        ("1 manual route(r,c,f,t)", Box::new(level1)),
+        ("2 route(Path)", Box::new(level2)),
+        ("3 route(Template)", Box::new(level3)),
+        ("4 auto (templates)", Box::new(|r: &mut Router| level4(r, true))),
+        ("4 auto (maze only)", Box::new(|r: &mut Router| level4(r, false))),
+    ];
+    for (name, f) in runs {
+        let mut r = fresh();
+        f(&mut r);
+        eprintln!(
+            "{:<28} {:>6} {:>10}",
+            name,
+            r.stats().pips_set,
+            r.resource_usage().total()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let mut g = c.benchmark_group("e2");
+    g.bench_function("level1_manual", |b| {
+        b.iter_batched(fresh, |mut r| level1(&mut r), BatchSize::SmallInput)
+    });
+    g.bench_function("level2_path", |b| {
+        b.iter_batched(fresh, |mut r| level2(&mut r), BatchSize::SmallInput)
+    });
+    g.bench_function("level3_template", |b| {
+        b.iter_batched(fresh, |mut r| level3(&mut r), BatchSize::SmallInput)
+    });
+    g.bench_function("level4_auto_templates", |b| {
+        b.iter_batched(fresh, |mut r| level4(&mut r, true), BatchSize::SmallInput)
+    });
+    g.bench_function("level4_auto_maze", |b| {
+        b.iter_batched(fresh, |mut r| level4(&mut r, false), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

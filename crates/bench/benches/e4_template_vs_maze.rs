@@ -1,0 +1,100 @@
+//! E4 (§3.1): predefined templates vs maze for point-to-point routing.
+//!
+//! Paper: templates are *"potentially faster ... The benefit of defining
+//! the template would be to reduce the search space"*, but *"there is no
+//! guarantee that an unused path even exists"*. We measure both
+//! strategies as fabric occupancy rises: template hit rate falls with
+//! congestion and the router falls back to the maze.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::{Pin, Router};
+use jroute_bench::SEED;
+use jroute_workloads::window_netlist;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{Device, Family, RowCol};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv300)
+}
+
+/// Prefill the window with `n` routed nets, then return the router.
+fn prefilled(dev: &Device, n: usize) -> Router {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut r = Router::new(dev);
+    let nets = window_netlist(dev, n, 8, RowCol::new(10, 16), &mut rng);
+    for net in nets {
+        // Some prefill nets may fail at extreme density; that's fine —
+        // the survivors set the occupancy level.
+        let _ = r.route(&net.source.into(), &net.sinks[0].into());
+    }
+    r
+}
+
+/// Probe pairs inside the window.
+fn probes(dev: &Device) -> Vec<(Pin, Pin)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED + 1);
+    window_netlist(dev, 10, 8, RowCol::new(10, 16), &mut rng)
+        .into_iter()
+        .map(|s| (s.source, s.sinks[0]))
+        .collect()
+}
+
+fn run_probes(mut r: Router, templates: bool) -> (usize, usize, usize) {
+    r.options_mut().use_templates_first = templates;
+    let dev = *r.device();
+    let mut ok = 0usize;
+    for (s, k) in probes(&dev) {
+        if r.route(&s.into(), &k.into()).is_ok() {
+            ok += 1;
+        }
+    }
+    (ok, r.stats().template_successes, r.stats().maze_fallbacks)
+}
+
+fn table() {
+    eprintln!("\n=== E4: templates vs maze under occupancy (paper §3.1) ===");
+    eprintln!(
+        "{:<10} {:>8} {:>14} {:>10} {:>12}",
+        "prefill", "routed", "template-hits", "fallbacks", "maze-routed"
+    );
+    let dev = dev();
+    for prefill in [0usize, 20, 40, 80, 120] {
+        let (ok_t, hits, fallbacks) = run_probes(prefilled(&dev, prefill), true);
+        let (ok_m, _, _) = run_probes(prefilled(&dev, prefill), false);
+        eprintln!(
+            "{:<10} {:>4}/{:<3} {:>14} {:>10} {:>8}/10",
+            prefill, ok_t, 10, hits, fallbacks, ok_m
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let mut g = c.benchmark_group("e4");
+    for prefill in [0usize, 40, 120] {
+        g.bench_function(format!("templates_prefill_{prefill}"), |b| {
+            b.iter_batched(
+                || prefilled(&dev, prefill),
+                |r| run_probes(r, true),
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_function(format!("maze_prefill_{prefill}"), |b| {
+            b.iter_batched(
+                || prefilled(&dev, prefill),
+                |r| run_probes(r, false),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

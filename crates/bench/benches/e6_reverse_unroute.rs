@@ -1,0 +1,87 @@
+//! E6 (§3.3): reverse unrouting frees only the branch to the sink.
+//!
+//! Paper: *"The entire net, starting from the source, is not removed.
+//! Only the branch that leads to the specified pin is turned off, and
+//! freed up for reuse."* We route fan-out nets, remove one sink, and
+//! measure PIPs freed vs the net's total, verifying the remaining sinks
+//! stay connected.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::{EndPoint, Router};
+use jroute_bench::SEED;
+use jroute_workloads::fanout_spec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{Device, Family, RowCol};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv300)
+}
+
+fn routed_fanout(dev: &Device, fanout: usize) -> (Router, jroute::pathfinder::NetSpec) {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let spec = fanout_spec(dev, RowCol::new(16, 24), fanout, 8, &mut rng);
+    let mut r = Router::new(dev);
+    let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
+    r.route_fanout(&spec.source.into(), &sinks).unwrap();
+    (r, spec)
+}
+
+fn table() {
+    eprintln!("\n=== E6: reverse unroute — branch-only removal (paper §3.3) ===");
+    eprintln!(
+        "{:<8} {:>10} {:>14} {:>16}",
+        "fanout", "net pips", "branch freed", "sinks intact"
+    );
+    let dev = dev();
+    for fanout in [2usize, 4, 8, 16] {
+        let (mut r, spec) = routed_fanout(&dev, fanout);
+        let total = r.bits().on_pip_count();
+        let victim: EndPoint = spec.sinks[fanout / 2].into();
+        let freed = r.reverse_unroute(&victim).unwrap();
+        let traced = r.trace(&spec.source.into()).unwrap();
+        let intact = traced.sinks.len();
+        eprintln!("{:<8} {:>10} {:>14} {:>13}/{:<2}", fanout, total, freed, intact, fanout - 1);
+        assert_eq!(intact, fanout - 1, "other branches must survive");
+        assert!(freed < total, "branch removal must not clear the whole net");
+        // The freed resources are reusable: route the sink again.
+        r.route(&spec.source.into(), &victim).unwrap();
+        assert_eq!(r.trace(&spec.source.into()).unwrap().sinks.len(), fanout);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let mut g = c.benchmark_group("e6");
+    for fanout in [4usize, 16] {
+        g.bench_function(format!("reverse_unroute_fanout_{fanout}"), |b| {
+            b.iter_batched(
+                || routed_fanout(&dev, fanout),
+                |(mut r, spec)| {
+                    r.reverse_unroute(&spec.sinks[fanout / 2].into()).unwrap();
+                    r
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        g.bench_function(format!("forward_unroute_fanout_{fanout}"), |b| {
+            b.iter_batched(
+                || routed_fanout(&dev, fanout),
+                |(mut r, spec)| {
+                    r.unroute(&spec.source.into()).unwrap();
+                    r
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

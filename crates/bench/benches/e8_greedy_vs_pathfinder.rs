@@ -1,0 +1,84 @@
+//! E8 (§3.1): the greedy RTR router vs a traditional negotiated router.
+//!
+//! Paper: *"Each of the auto-routing calls described above use greedy
+//! routing algorithms. ... In an RTR environment traditional routing
+//! algorithms require too much time."* The expected shape: greedy is
+//! much faster and fine at low congestion; PathFinder costs more effort
+//! (iterations, node expansions) but keeps routing where greedy starts
+//! failing.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::pathfinder::{self, NetSpec, PathFinderConfig};
+use jroute::Router;
+use jroute_bench::SEED;
+use jroute_workloads::window_netlist;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{Device, Family, RowCol};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv300)
+}
+
+fn workload(dev: &Device, nets: usize) -> Vec<NetSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    window_netlist(dev, nets, 6, RowCol::new(12, 18), &mut rng)
+}
+
+/// First-come-first-served greedy routing (the JRoute auto-router).
+fn greedy(dev: &Device, specs: &[NetSpec]) -> (usize, usize) {
+    let mut r = Router::new(dev);
+    let mut ok = 0usize;
+    for s in specs {
+        if r.route(&s.source.into(), &s.sinks[0].into()).is_ok() {
+            ok += 1;
+        }
+    }
+    (ok, r.stats().maze_nodes_expanded)
+}
+
+fn negotiated(dev: &Device, specs: &[NetSpec]) -> (usize, usize, usize, bool) {
+    let r = pathfinder::route_all(dev, specs, &PathFinderConfig::default()).unwrap();
+    (r.nets.len(), r.nodes_expanded, r.iterations, r.legal)
+}
+
+fn table() {
+    eprintln!("\n=== E8: greedy (JRoute) vs negotiated congestion (PathFinder) ===");
+    eprintln!(
+        "{:<6} | {:>10} {:>12} | {:>10} {:>12} {:>6} {:>6}",
+        "nets", "greedy-ok", "g-nodes", "pf-ok", "pf-nodes", "iters", "legal"
+    );
+    let dev = dev();
+    for nets in [10usize, 40, 80, 140] {
+        let specs = workload(&dev, nets);
+        let (g_ok, g_nodes) = greedy(&dev, &specs);
+        let (p_ok, p_nodes, iters, legal) = negotiated(&dev, &specs);
+        eprintln!(
+            "{:<6} | {:>7}/{:<3} {:>12} | {:>7}/{:<3} {:>12} {:>6} {:>6}",
+            nets, g_ok, nets, g_nodes, p_ok, nets, p_nodes, iters, legal
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let mut g = c.benchmark_group("e8");
+    for nets in [40usize, 140] {
+        let specs = workload(&dev, nets);
+        g.bench_function(format!("greedy_{nets}"), |b| {
+            b.iter_batched(|| (), |_| greedy(&dev, &specs), BatchSize::PerIteration)
+        });
+        g.bench_function(format!("pathfinder_{nets}"), |b| {
+            b.iter_batched(|| (), |_| negotiated(&dev, &specs), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E9 (§3.1/§6): the long-line ablation.
+//!
+//! Paper: *"Currently long lines are not supported; only hexes and
+//! singles are used. Using long lines would improve the routing of nets
+//! with large bounding boxes."* — listed again as future work (§6). Both
+//! configurations exist in this implementation, so we measure the claim:
+//! segments used and search effort for fan-out nets of growing span,
+//! with long lines off (the paper's initial implementation) and on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jroute::{EndPoint, Router, RouterOptions};
+use jroute_bench::SEED;
+use jroute_workloads::fanout_spec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{Device, Family, RowCol};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv1000)
+}
+
+fn route_spanning(dev: &Device, span: u16, use_longs: bool) -> (usize, usize, usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let spec = fanout_spec(dev, RowCol::new(32, 48), 8, span, &mut rng);
+    let mut r = Router::with_options(
+        dev,
+        RouterOptions { use_long_lines: use_longs, ..Default::default() },
+    );
+    let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
+    r.route_fanout(&spec.source.into(), &sinks).unwrap();
+    let u = r.resource_usage();
+    (u.total(), u.longs, r.stats().maze_nodes_expanded)
+}
+
+fn table() {
+    eprintln!("\n=== E9: long-line ablation (paper §3.1 / §6) ===");
+    eprintln!(
+        "{:<6} | {:>10} {:>8} | {:>10} {:>8} {:>8}",
+        "span", "segs(off)", "nodes", "segs(on)", "longs", "nodes"
+    );
+    let dev = dev();
+    for span in [4u16, 8, 16, 24, 31] {
+        let (segs_off, _, nodes_off) = route_spanning(&dev, span, false);
+        let (segs_on, longs_on, nodes_on) = route_spanning(&dev, span, true);
+        eprintln!(
+            "{:<6} | {:>10} {:>8} | {:>10} {:>8} {:>8}",
+            span, segs_off, nodes_off, segs_on, longs_on, nodes_on
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    table();
+    let dev = dev();
+    let mut g = c.benchmark_group("e9");
+    for span in [8u16, 24] {
+        g.bench_function(format!("longs_off_span_{span}"), |b| {
+            b.iter_batched(|| (), |_| route_spanning(&dev, span, false), BatchSize::PerIteration)
+        });
+        g.bench_function(format!("longs_on_span_{span}"), |b| {
+            b.iter_batched(|| (), |_| route_spanning(&dev, span, true), BatchSize::PerIteration)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # jroute-bench — shared helpers for the experiment harness
+//!
+//! The Criterion bench targets (`benches/e*.rs`) regenerate every
+//! experiment in DESIGN.md §4; this small library holds the helpers they
+//! share. Each bench prints the experiment's table rows (via
+//! `eprintln!`) in addition to Criterion's timing output, so
+//! EXPERIMENTS.md can be refreshed by running `cargo bench`.
+
+/// Standard seed for all experiment RNGs (reproducibility).
+pub const SEED: u64 = 0x4A52_4F55_5445; // "JROUTE"
+
+/// Format a ratio as `x.yz×`.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "∞".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}

@@ -1,0 +1,100 @@
+//! Endpoints: physical pins and logical ports.
+//!
+//! Paper §3.1: *"An EndPoint is either a Pin, defined by a row, column,
+//! and wire, or a Port."* §3.2: *"To the user there is no distinction
+//! between a physical pin ... and a logical port as they are both derived
+//! from the EndPoint class."*
+
+use virtex::{RowCol, Wire};
+
+/// A physical pin: a wire at a specific tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pin {
+    /// Tile the pin lives at.
+    pub rc: RowCol,
+    /// Local wire name of the pin.
+    pub wire: Wire,
+}
+
+impl Pin {
+    /// Pin at `(row, col)` on local wire `wire` — the paper's
+    /// `new Pin(row, col, wire)`.
+    #[inline]
+    pub const fn new(row: u16, col: u16, wire: Wire) -> Self {
+        Pin { rc: RowCol::new(row, col), wire }
+    }
+
+    /// Pin from an existing coordinate.
+    #[inline]
+    pub const fn at(rc: RowCol, wire: Wire) -> Self {
+        Pin { rc, wire }
+    }
+}
+
+impl std::fmt::Display for Pin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.wire.name(), self.rc)
+    }
+}
+
+/// Handle to a logical port registered with a router (see
+/// [`crate::ports`]). Ports are *virtual pins* giving cores
+/// architecture-independent connection points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u32);
+
+/// Either end of a connection: a physical pin or a logical port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndPoint {
+    /// A physical pin.
+    Pin(Pin),
+    /// A logical port (resolved through the router's port registry).
+    Port(PortId),
+}
+
+impl From<Pin> for EndPoint {
+    #[inline]
+    fn from(p: Pin) -> Self {
+        EndPoint::Pin(p)
+    }
+}
+
+impl From<PortId> for EndPoint {
+    #[inline]
+    fn from(p: PortId) -> Self {
+        EndPoint::Port(p)
+    }
+}
+
+impl std::fmt::Display for EndPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndPoint::Pin(p) => write!(f, "{p}"),
+            EndPoint::Port(id) => write!(f, "port#{}", id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::wire;
+
+    #[test]
+    fn paper_constructor_signature() {
+        // Paper: `Pin src = new Pin(5, 7, S1_YQ);`
+        let src = Pin::new(5, 7, wire::S1_YQ);
+        assert_eq!(src.rc, RowCol::new(5, 7));
+        assert_eq!(src.wire, wire::S1_YQ);
+        assert_eq!(src.to_string(), "S1_YQ@(5,7)");
+    }
+
+    #[test]
+    fn pins_and_ports_unify_as_endpoints() {
+        let e1: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+        let e2: EndPoint = PortId(3).into();
+        assert!(matches!(e1, EndPoint::Pin(_)));
+        assert!(matches!(e2, EndPoint::Port(PortId(3))));
+        assert_eq!(e2.to_string(), "port#3");
+    }
+}

@@ -1,0 +1,515 @@
+//! Maze routing over the segment graph.
+//!
+//! The paper's auto-routing calls (§3.1) name the classic maze router
+//! [4][5] as the fallback when templates fail, and as one possible
+//! implementation of point-to-point routing. This module implements an
+//! A*-guided variant of Lee's algorithm over *canonical segments*: nodes
+//! are wire segments, edges are GRM PIPs queried from the architecture
+//! class (so the router itself carries no architecture knowledge — paper
+//! §5).
+//!
+//! The search supports multiple start segments with per-start initial
+//! costs, which is how fan-out routing reuses an existing tree (*"For
+//! each sink, the router attempts to reuse the previous paths as much as
+//! possible"*, §3.1): every segment already on the net is offered as a
+//! zero-cost start.
+//!
+//! Scratch state (visited/cost/parent arrays over the dense segment index
+//! space) is epoch-stamped and reused across searches, so a search
+//! allocates nothing after warm-up.
+
+use jbits::Pip;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use virtex::segment::Tap;
+use virtex::{Device, RowCol, Segment, Wire, WireKind};
+
+/// Tuning knobs for a maze search.
+#[derive(Debug, Clone)]
+pub struct MazeConfig {
+    /// Allow long lines. Default `false`: the paper's initial fan-out
+    /// implementation notes *"Currently long lines are not supported;
+    /// only hexes and singles are used"*. Experiment E9 flips this.
+    pub use_long_lines: bool,
+    /// Abort after expanding this many nodes (safety valve on congested
+    /// fabrics).
+    pub max_nodes: usize,
+}
+
+impl Default for MazeConfig {
+    fn default() -> Self {
+        MazeConfig { use_long_lines: false, max_nodes: 2_000_000 }
+    }
+}
+
+/// Cost of *entering* a segment, by resource class. Hexes cost 1 per CLB
+/// travelled; singles are relatively more expensive per CLB, which steers
+/// long connections onto hexes exactly as on the real fabric.
+fn wire_cost(dev: &Device, w: Wire) -> u32 {
+    match w.kind() {
+        WireKind::SliceIn { .. } => 1,
+        WireKind::Out(_) => 2,
+        WireKind::DirectE(_) | WireKind::Feedback(_) => 2,
+        WireKind::Single { .. } => 4,
+        WireKind::Hex { .. } => 6,
+        WireKind::LongH(_) => 6 + dev.dims().cols as u32 / 4,
+        WireKind::LongV(_) => 6 + dev.dims().rows as u32 / 4,
+        // Never entered via PIPs (sources / aliases are canonicalized).
+        _ => 4,
+    }
+}
+
+/// Heuristic weight: the search runs *weighted* A* (`f = g + W·h`),
+/// trading bounded path-cost inflation for a large reduction in nodes
+/// expanded — the right trade for a run-time router (the paper picks
+/// greedy algorithms for exactly this reason, §3.1).
+const HEURISTIC_WEIGHT: u32 = 2;
+
+/// Admissible-ish A* heuristic: Manhattan distance from the segment's
+/// nearest tap to the goal tile (long lines report 0 — they span their
+/// row/column).
+fn heuristic(dev: &Device, seg: Segment, goal: RowCol) -> u32 {
+    match seg.wire.kind() {
+        WireKind::Single { dir, .. } => {
+            let far = seg.rc.step(dir, 1, dev.dims()).unwrap_or(seg.rc);
+            seg.rc.manhattan(goal).min(far.manhattan(goal))
+        }
+        WireKind::Hex { dir, .. } => {
+            let mid = seg.rc.step(dir, 3, dev.dims()).unwrap_or(seg.rc);
+            let end = seg.rc.step(dir, 6, dev.dims()).unwrap_or(seg.rc);
+            seg.rc.manhattan(goal).min(mid.manhattan(goal)).min(end.manhattan(goal))
+        }
+        WireKind::LongH(_) => {
+            // Reachable every 6 columns along its row.
+            let dr = seg.rc.row.abs_diff(goal.row) as u32;
+            dr + (goal.col % virtex::wire::LONG_ACCESS).min(
+                virtex::wire::LONG_ACCESS - goal.col % virtex::wire::LONG_ACCESS,
+            ) as u32
+        }
+        WireKind::LongV(_) => {
+            let dc = seg.rc.col.abs_diff(goal.col) as u32;
+            dc + (goal.row % virtex::wire::LONG_ACCESS).min(
+                virtex::wire::LONG_ACCESS - goal.row % virtex::wire::LONG_ACCESS,
+            ) as u32
+        }
+        _ => seg.rc.manhattan(goal),
+    }
+}
+
+/// Reusable search state sized for one device.
+#[derive(Debug)]
+pub struct MazeScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    cost: Vec<u32>,
+    prev: Vec<PrevEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PrevEntry {
+    prev: u32,
+    rc: RowCol,
+    from: Wire,
+    to: Wire,
+}
+
+const NO_PREV: u32 = u32::MAX;
+
+impl MazeScratch {
+    /// Scratch sized for `dev`'s segment space.
+    pub fn new(dev: &Device) -> Self {
+        let n = dev.segment_space();
+        MazeScratch {
+            epoch: 0,
+            stamp: vec![0; n],
+            cost: vec![0; n],
+            prev: vec![
+                PrevEntry { prev: NO_PREV, rc: RowCol::new(0, 0), from: Wire(0), to: Wire(0) };
+                n
+            ],
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn seen(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+
+    #[inline]
+    fn record(&mut self, i: usize, cost: u32, prev: PrevEntry) {
+        self.stamp[i] = self.epoch;
+        self.cost[i] = cost;
+        self.prev[i] = prev;
+    }
+}
+
+/// Result of a successful maze search.
+#[derive(Debug, Clone)]
+pub struct MazeResult {
+    /// PIPs to configure, in source-to-sink order. PIPs whose source
+    /// segment was an existing-net start (reuse) are only the new suffix.
+    pub pips: Vec<(RowCol, Pip)>,
+    /// New segments entered by the path, in source-to-sink order
+    /// (excludes the start segment).
+    pub segments: Vec<Segment>,
+    /// Total path cost.
+    pub cost: u32,
+    /// Nodes expanded during the search (E8 metric).
+    pub nodes_expanded: usize,
+}
+
+/// A* search from any of `starts` to `goal`.
+///
+/// * `blocked(seg)` — segments the path may not enter (typically: used by
+///   another net). The goal is never blocked-checked: callers decide
+///   whether the sink itself is free.
+/// * `extra_cost(seg)` — additive congestion cost (PathFinder's present +
+///   history terms); zero for plain routing.
+pub fn search(
+    dev: &Device,
+    starts: &[(Segment, u32)],
+    goal: Segment,
+    cfg: &MazeConfig,
+    mut blocked: impl FnMut(Segment) -> bool,
+    mut extra_cost: impl FnMut(Segment) -> u32,
+    scratch: &mut MazeScratch,
+) -> Option<MazeResult> {
+    let dims = dev.dims();
+    let arch = dev.arch();
+    scratch.begin();
+    let goal_idx = goal.index(dims);
+
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    for &(seg, c0) in starts {
+        let i = seg.index(dims);
+        if !scratch.seen(i) || scratch.cost[i] > c0 {
+            scratch.record(
+                i,
+                c0,
+                PrevEntry { prev: NO_PREV, rc: seg.rc, from: seg.wire, to: seg.wire },
+            );
+            heap.push(Reverse((c0 + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc), i as u32)));
+        }
+    }
+
+    let mut taps: Vec<Tap> = Vec::with_capacity(4);
+    let mut fanout: Vec<Wire> = Vec::with_capacity(40);
+    let mut expanded = 0usize;
+
+    while let Some(Reverse((f, idx))) = heap.pop() {
+        let idx = idx as usize;
+        if idx == goal_idx {
+            return Some(reconstruct(dims, scratch, idx, expanded));
+        }
+        let seg = Segment::from_index(idx, dims);
+        let g = scratch.cost[idx];
+        // Stale heap entry check: f may exceed the recorded best.
+        if f > g + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc) {
+            continue;
+        }
+        expanded += 1;
+        if expanded > cfg.max_nodes {
+            return None;
+        }
+
+        taps.clear();
+        virtex::segment::taps(dims, seg, &mut taps);
+        for t in 0..taps.len() {
+            let tap = taps[t];
+            fanout.clear();
+            arch.pips_from(tap.rc, tap.wire, &mut fanout);
+            for &to in &fanout {
+                // Only the goal pin may be a CLB input.
+                let Some(next) = dev.canonicalize(tap.rc, to) else { continue };
+                let ni = next.index(dims);
+                if ni == idx {
+                    continue;
+                }
+                if to.is_clb_input() && ni != goal_idx {
+                    continue;
+                }
+                if !cfg.use_long_lines
+                    && matches!(next.wire.kind(), WireKind::LongH(_) | WireKind::LongV(_))
+                {
+                    continue;
+                }
+                if ni != goal_idx && blocked(next) {
+                    continue;
+                }
+                let ng = g + wire_cost(dev, next.wire) + extra_cost(next);
+                if !scratch.seen(ni) || scratch.cost[ni] > ng {
+                    scratch.record(
+                        ni,
+                        ng,
+                        PrevEntry { prev: idx as u32, rc: tap.rc, from: tap.wire, to },
+                    );
+                    heap.push(Reverse((ng + HEURISTIC_WEIGHT * heuristic(dev, next, goal.rc), ni as u32)));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(
+    dims: virtex::Dims,
+    scratch: &MazeScratch,
+    goal_idx: usize,
+    expanded: usize,
+) -> MazeResult {
+    let mut pips = Vec::new();
+    let mut segments = Vec::new();
+    let mut idx = goal_idx;
+    let cost = scratch.cost[goal_idx];
+    loop {
+        let e = scratch.prev[idx];
+        if e.prev == NO_PREV {
+            break;
+        }
+        segments.push(Segment::from_index(idx, dims));
+        pips.push((e.rc, Pip::new(e.from, e.to)));
+        idx = e.prev as usize;
+    }
+    pips.reverse();
+    segments.reverse();
+    MazeResult { pips, segments, cost, nodes_expanded: expanded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Pin;
+    use virtex::{wire, Device, Family};
+
+    fn dev() -> Device {
+        Device::new(Family::Xcv50)
+    }
+
+    fn seg_of(dev: &Device, pin: Pin) -> Segment {
+        dev.canonicalize(pin.rc, pin.wire).unwrap()
+    }
+
+    #[test]
+    fn routes_the_paper_example_pair() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(5, 7, wire::S1_YQ));
+        let sink = seg_of(&dev, Pin::new(6, 8, wire::S0_F3));
+        let r = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .expect("route exists");
+        assert!(!r.pips.is_empty());
+        // Path ends by driving the sink pin.
+        let (last_rc, last_pip) = *r.pips.last().unwrap();
+        assert_eq!(last_rc, RowCol::new(6, 8));
+        assert_eq!(last_pip.to, wire::S0_F3);
+        // First pip leaves the source.
+        assert_eq!(r.pips[0].1.from, wire::S1_YQ);
+        // Every consecutive pip pair is connected.
+        for w in r.segments.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn long_distance_routes_prefer_hexes() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(1, 1, wire::S0_YQ));
+        let sink = seg_of(&dev, Pin::new(14, 20, wire::S1_F1));
+        let r = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .expect("route exists");
+        let hexes = r
+            .segments
+            .iter()
+            .filter(|s| matches!(s.wire.kind(), WireKind::Hex { .. }))
+            .count();
+        let singles = r
+            .segments
+            .iter()
+            .filter(|s| matches!(s.wire.kind(), WireKind::Single { .. }))
+            .count();
+        assert!(hexes >= 3, "expected hex usage on a 32-CLB route, got {hexes}");
+        assert!(hexes >= singles, "hexes should dominate: {hexes} vs {singles}");
+    }
+
+    #[test]
+    fn no_long_lines_unless_enabled() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(0, 0, wire::S0_YQ));
+        let sink = seg_of(&dev, Pin::new(0, 23, wire::S0_F3));
+        let r = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(r
+            .segments
+            .iter()
+            .all(|s| !matches!(s.wire.kind(), WireKind::LongH(_) | WireKind::LongV(_))));
+    }
+
+    #[test]
+    fn blocked_segments_are_avoided() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(5, 7, wire::S1_YQ));
+        let sink = seg_of(&dev, Pin::new(6, 8, wire::S0_F3));
+        // First find the unconstrained route, then ban one of its middle
+        // segments and require a different route.
+        let r1 = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        let banned = r1.segments[r1.segments.len() / 2];
+        let r2 = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |s| s == banned,
+            |_| 0,
+            &mut scratch,
+        )
+        .expect("alternate route exists");
+        assert!(!r2.segments.contains(&banned));
+        assert!(r2.cost >= r1.cost, "detour cannot be cheaper");
+    }
+
+    #[test]
+    fn impossible_routes_return_none() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(5, 7, wire::S1_YQ));
+        let sink = seg_of(&dev, Pin::new(6, 8, wire::S0_F3));
+        // Block everything: no path can leave the source.
+        let r = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| true,
+            |_| 0,
+            &mut scratch,
+        );
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn reuse_starts_give_zero_cost_branching() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(2, 2, wire::S0_YQ));
+        let far_sink = seg_of(&dev, Pin::new(2, 12, wire::S0_F3));
+        let r1 = search(
+            &dev,
+            &[(src, 0)],
+            far_sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        // Second sink near the far end of the first route: with the whole
+        // tree offered as zero-cost starts the incremental cost must be
+        // well under routing from scratch.
+        let near_sink = seg_of(&dev, Pin::new(3, 12, wire::S1_F1));
+        let mut starts = vec![(src, 0)];
+        starts.extend(r1.segments.iter().map(|&s| (s, 0)));
+        let r2 = search(
+            &dev,
+            &starts,
+            near_sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        let r2_scratch = search(
+            &dev,
+            &[(src, 0)],
+            near_sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(
+            r2.cost < r2_scratch.cost,
+            "reuse ({}) should beat from-scratch ({})",
+            r2.cost,
+            r2_scratch.cost
+        );
+    }
+
+    #[test]
+    fn extra_cost_steers_the_route() {
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(5, 7, wire::S1_YQ));
+        let sink = seg_of(&dev, Pin::new(6, 8, wire::S0_F3));
+        let r1 = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .unwrap();
+        let hot = r1.segments[0];
+        // A large congestion cost on the first-choice segment must push
+        // the router elsewhere.
+        let r2 = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &MazeConfig::default(),
+            |_| false,
+            |s| if s == hot { 10_000 } else { 0 },
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(!r2.segments.contains(&hot));
+    }
+}

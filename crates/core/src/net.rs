@@ -1,0 +1,286 @@
+//! Net bookkeeping: which segments belong to which net.
+//!
+//! The router records every net it creates so that it can avoid
+//! contention (§3.4), unroute (§3.3) and answer `is_on` queries without
+//! rescanning the bitstream. The invariant maintained throughout is
+//! **single-driver**: every canonical segment has at most one on-PIP
+//! driving it, and belongs to at most one net.
+
+use crate::endpoint::Pin;
+use crate::error::{NetId, Result, RouteError};
+use jbits::Pip;
+use std::collections::HashMap;
+use virtex::{RowCol, Segment};
+
+/// One routed net: a source, the PIPs configured for it, and its sinks.
+#[derive(Debug, Clone)]
+pub struct Net {
+    /// Identifier within the owning router.
+    pub id: NetId,
+    /// Canonical segment of the net's source.
+    pub source: Segment,
+    /// The source as the user named it.
+    pub source_pin: Pin,
+    /// Every PIP configured for this net, in configuration order.
+    pub pips: Vec<(RowCol, Pip)>,
+    /// Sink pins the router was asked to reach (auto-routing calls record
+    /// these; manual PIP calls do not know the intent).
+    pub sinks: Vec<Pin>,
+    /// Endpoint-level connection intents (`route(src, sink)` calls) that
+    /// produced this net. Kept so port connections can be *"removed, but
+    /// remembered"* across an unroute (paper §3.3).
+    pub intents: Vec<(crate::endpoint::EndPoint, crate::endpoint::EndPoint)>,
+}
+
+impl Net {
+    /// Number of routing-resource segments the net occupies (source plus
+    /// one per driving PIP).
+    pub fn segment_count(&self) -> usize {
+        1 + self.pips.len()
+    }
+}
+
+/// The net database: nets, their resources, and global segment ownership.
+#[derive(Debug, Default)]
+pub struct NetDb {
+    nets: HashMap<NetId, Net>,
+    by_source: HashMap<Segment, NetId>,
+    /// Segment -> owning net. Present for the source segment and for the
+    /// target segment of every net PIP.
+    occ: HashMap<Segment, NetId>,
+    next: u32,
+}
+
+impl NetDb {
+    /// Empty net database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Net that owns `seg`, if any.
+    #[inline]
+    pub fn owner(&self, seg: Segment) -> Option<NetId> {
+        self.occ.get(&seg).copied()
+    }
+
+    /// Whether `seg` is currently used by any net.
+    #[inline]
+    pub fn is_used(&self, seg: Segment) -> bool {
+        self.occ.contains_key(&seg)
+    }
+
+    /// Net rooted at source segment `seg`.
+    #[inline]
+    pub fn net_at_source(&self, seg: Segment) -> Option<NetId> {
+        self.by_source.get(&seg).copied()
+    }
+
+    /// Look up a net.
+    #[inline]
+    pub fn net(&self, id: NetId) -> Option<&Net> {
+        self.nets.get(&id)
+    }
+
+    /// Iterate all nets.
+    pub fn iter(&self) -> impl Iterator<Item = &Net> {
+        self.nets.values()
+    }
+
+    /// Number of live nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether no nets exist.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// Create a net rooted at `source` (canonical `seg`). Fails with
+    /// [`RouteError::ResourceInUse`] if the source segment belongs to
+    /// another net — use [`NetDb::net_at_source`] to extend instead.
+    pub fn create(&mut self, source_pin: Pin, seg: Segment) -> Result<NetId> {
+        if let Some(owner) = self.occ.get(&seg) {
+            // Rooting a second net at the same source is a user error;
+            // extending the existing net is the supported operation.
+            return Err(RouteError::ResourceInUse { segment: seg, owner: Some(*owner) });
+        }
+        let id = NetId(self.next);
+        self.next += 1;
+        self.nets.insert(
+            id,
+            Net {
+                id,
+                source: seg,
+                source_pin,
+                pips: Vec::new(),
+                sinks: Vec::new(),
+                intents: Vec::new(),
+            },
+        );
+        self.by_source.insert(seg, id);
+        self.occ.insert(seg, id);
+        Ok(id)
+    }
+
+    /// Record a PIP configured for net `id`, claiming the PIP's target
+    /// segment. Fails if the target belongs to a different net.
+    pub fn add_pip(&mut self, id: NetId, rc: RowCol, pip: Pip, target: Segment) -> Result<()> {
+        match self.occ.get(&target) {
+            Some(&owner) if owner != id => {
+                return Err(RouteError::Contention { segment: target, owner: Some(owner) })
+            }
+            _ => {}
+        }
+        let net = self.nets.get_mut(&id).expect("add_pip on dead net");
+        // Re-claiming an existing PIP of the same net (e.g. a template
+        // walk sharing a prefix with an earlier branch) must not create a
+        // duplicate record, or unroute accounting would double-count.
+        if !net.pips.iter().any(|&(r, p)| r == rc && p == pip) {
+            net.pips.push((rc, pip));
+        }
+        self.occ.insert(target, id);
+        Ok(())
+    }
+
+    /// Record an endpoint-level connection intent on net `id` (port
+    /// memory, §3.3).
+    pub fn add_intent(
+        &mut self,
+        id: NetId,
+        src: crate::endpoint::EndPoint,
+        sink: crate::endpoint::EndPoint,
+    ) {
+        if let Some(net) = self.nets.get_mut(&id) {
+            if !net.intents.contains(&(src, sink)) {
+                net.intents.push((src, sink));
+            }
+        }
+    }
+
+    /// Record an intended sink of net `id`.
+    pub fn add_sink(&mut self, id: NetId, sink: Pin) {
+        if let Some(net) = self.nets.get_mut(&id) {
+            if !net.sinks.contains(&sink) {
+                net.sinks.push(sink);
+            }
+        }
+    }
+
+    /// Remove one PIP from net `id`, releasing its target segment.
+    /// Returns `true` if the PIP was recorded for the net.
+    pub fn remove_pip(&mut self, id: NetId, rc: RowCol, pip: Pip, target: Segment) -> bool {
+        let Some(net) = self.nets.get_mut(&id) else { return false };
+        let Some(pos) = net.pips.iter().position(|&(r, p)| r == rc && p == pip) else {
+            return false;
+        };
+        net.pips.remove(pos);
+        self.occ.remove(&target);
+        true
+    }
+
+    /// Remove a recorded sink from net `id` (used by branch unrouting).
+    pub fn remove_sink(&mut self, id: NetId, sink: Pin) {
+        if let Some(net) = self.nets.get_mut(&id) {
+            net.sinks.retain(|s| *s != sink);
+        }
+    }
+
+    /// Delete an entire net, releasing every segment it owned. Returns the
+    /// net's PIPs so the caller can clear them from the bitstream.
+    pub fn remove_net(&mut self, id: NetId) -> Option<Net> {
+        let net = self.nets.remove(&id)?;
+        self.by_source.remove(&net.source);
+        self.occ.retain(|_, owner| *owner != id);
+        Some(net)
+    }
+
+    /// Total segments currently owned across all nets (the paper's
+    /// "routing resources used" metric for E3).
+    pub fn used_segments(&self) -> usize {
+        self.occ.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Dir};
+
+    fn seg(r: u16, c: u16, w: virtex::Wire) -> Segment {
+        Segment { rc: RowCol::new(r, c), wire: w }
+    }
+
+    #[test]
+    fn create_claims_source_segment() {
+        let mut db = NetDb::new();
+        let src = Pin::new(5, 7, wire::S1_YQ);
+        let s = seg(5, 7, wire::S1_YQ);
+        let id = db.create(src, s).unwrap();
+        assert_eq!(db.owner(s), Some(id));
+        assert_eq!(db.net_at_source(s), Some(id));
+        assert!(db.is_used(s));
+        // A second net at the same source is refused.
+        let err = db.create(src, s).unwrap_err();
+        assert!(matches!(err, RouteError::ResourceInUse { .. }));
+    }
+
+    #[test]
+    fn add_pip_claims_target_and_conflicts_are_contention() {
+        let mut db = NetDb::new();
+        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
+        let b = db.create(Pin::new(1, 0, wire::S1_YQ), seg(1, 0, wire::S1_YQ)).unwrap();
+        let shared = seg(0, 0, wire::single(Dir::East, 3));
+        let pip = Pip::new(wire::out(0), wire::single(Dir::East, 3));
+        db.add_pip(a, RowCol::new(0, 0), pip, shared).unwrap();
+        let err = db.add_pip(b, RowCol::new(0, 0), pip, shared).unwrap_err();
+        assert!(matches!(err, RouteError::Contention { owner: Some(o), .. } if o == a));
+        // Re-claiming by the same net is allowed (branch reuse).
+        db.add_pip(a, RowCol::new(0, 0), pip, shared).unwrap();
+    }
+
+    #[test]
+    fn remove_pip_releases_segment() {
+        let mut db = NetDb::new();
+        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
+        let target = seg(0, 0, wire::out(3));
+        let pip = Pip::new(wire::S0_YQ, wire::out(3));
+        db.add_pip(a, RowCol::new(0, 0), pip, target).unwrap();
+        assert!(db.is_used(target));
+        assert!(db.remove_pip(a, RowCol::new(0, 0), pip, target));
+        assert!(!db.is_used(target));
+        assert!(!db.remove_pip(a, RowCol::new(0, 0), pip, target), "double remove");
+    }
+
+    #[test]
+    fn remove_net_releases_everything() {
+        let mut db = NetDb::new();
+        let src = seg(0, 0, wire::S0_YQ);
+        let a = db.create(Pin::new(0, 0, wire::S0_YQ), src).unwrap();
+        let t1 = seg(0, 0, wire::out(3));
+        let t2 = seg(0, 0, wire::single(Dir::East, 1));
+        db.add_pip(a, RowCol::new(0, 0), Pip::new(wire::S0_YQ, wire::out(3)), t1).unwrap();
+        db.add_pip(a, RowCol::new(0, 0), Pip::new(wire::out(3), wire::single(Dir::East, 1)), t2)
+            .unwrap();
+        db.add_sink(a, Pin::new(0, 1, wire::S0_F3));
+        assert_eq!(db.used_segments(), 3);
+        let net = db.remove_net(a).unwrap();
+        assert_eq!(net.pips.len(), 2);
+        assert_eq!(net.sinks.len(), 1);
+        assert_eq!(db.used_segments(), 0);
+        assert!(db.is_empty());
+        assert!(db.remove_net(a).is_none());
+    }
+
+    #[test]
+    fn sinks_are_deduplicated() {
+        let mut db = NetDb::new();
+        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
+        let sink = Pin::new(3, 3, wire::S0_F3);
+        db.add_sink(a, sink);
+        db.add_sink(a, sink);
+        assert_eq!(db.net(a).unwrap().sinks.len(), 1);
+        db.remove_sink(a, sink);
+        assert!(db.net(a).unwrap().sinks.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Parallel routing of independent nets.
+//!
+//! Paper §6 lists faster routing algorithms as future work; run-time
+//! reconfiguration makes router latency part of application latency, so
+//! this module implements the natural HPC extension: route many nets
+//! concurrently (experiment E12).
+//!
+//! The scheme is *optimistic parallel routing with sequential commit*:
+//!
+//! 1. each round, worker threads route their share of the pending nets
+//!    against an immutable snapshot of the committed occupancy (maze
+//!    search is read-only and dominates runtime);
+//! 2. the main thread commits candidate paths in net order; a path that
+//!    touches a segment committed earlier in the same round is discarded
+//!    and its net deferred to the next round.
+//!
+//! The committed configuration is therefore always contention-free — the
+//! JRoute §3.4 invariant — and the result is equivalent to some
+//! sequential routing order.
+
+use crate::error::{Result, RouteError};
+use crate::maze::{self, MazeConfig, MazeScratch};
+use crate::pathfinder::NetSpec;
+use jbits::Pip;
+use virtex::{Device, RowCol, Segment};
+
+/// Options for the parallel router.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Maze options shared by all workers.
+    pub maze: MazeConfig,
+    /// Give up after this many rounds without progress.
+    pub max_stalled_rounds: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            maze: MazeConfig::default(),
+            max_stalled_rounds: 3,
+        }
+    }
+}
+
+/// A net routed by the parallel router.
+#[derive(Debug, Clone)]
+pub struct ParallelNet {
+    /// The net as requested.
+    pub spec: NetSpec,
+    /// PIPs in configuration order.
+    pub pips: Vec<(RowCol, Pip)>,
+    /// Segments the net occupies.
+    pub segments: Vec<Segment>,
+}
+
+/// Outcome of a parallel routing run.
+#[derive(Debug)]
+pub struct ParallelResult {
+    /// Routed nets, in input order (failures omitted).
+    pub nets: Vec<ParallelNet>,
+    /// Indices of nets that could not be routed.
+    pub failed: Vec<usize>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Candidate paths discarded due to same-round conflicts.
+    pub conflicts: usize,
+}
+
+/// Dense occupancy bitmap over the segment space.
+#[derive(Clone)]
+struct Occupancy {
+    words: Vec<u64>,
+}
+
+impl Occupancy {
+    fn new(space: usize) -> Self {
+        Occupancy { words: vec![0; space.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+}
+
+/// Route one net against a fixed occupancy snapshot.
+fn route_one(
+    dev: &Device,
+    spec: &NetSpec,
+    snapshot: &Occupancy,
+    cfg: &MazeConfig,
+    scratch: &mut MazeScratch,
+) -> Result<ParallelNet> {
+    let dims = dev.dims();
+    let src_seg = dev
+        .canonicalize(spec.source.rc, spec.source.wire)
+        .ok_or(RouteError::NoSuchWire { rc: spec.source.rc, wire: spec.source.wire })?;
+    let mut net = ParallelNet { spec: spec.clone(), pips: Vec::new(), segments: Vec::new() };
+    let mut starts = vec![(src_seg, 0u32)];
+    // Segments claimed by this net within this search (self-reuse is fine).
+    let mut own: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for sink in &spec.sinks {
+        let goal = dev
+            .canonicalize(sink.rc, sink.wire)
+            .ok_or(RouteError::NoSuchWire { rc: sink.rc, wire: sink.wire })?;
+        if snapshot.get(goal.index(dims)) {
+            return Err(RouteError::ResourceInUse { segment: goal, owner: None });
+        }
+        let r = maze::search(
+            dev,
+            &starts,
+            goal,
+            cfg,
+            |seg| {
+                let idx = seg.index(dims);
+                snapshot.get(idx) && !own.contains(&idx)
+            },
+            |_| 0,
+            scratch,
+        )
+        .ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
+        for seg in &r.segments {
+            starts.push((*seg, 0));
+            own.insert(seg.index(dims));
+            net.segments.push(*seg);
+        }
+        net.pips.extend_from_slice(&r.pips);
+    }
+    Ok(net)
+}
+
+/// Route `specs` using `cfg.threads` workers.
+///
+/// The returned nets are mutually contention-free; `failed` lists nets
+/// for which no route existed under the final committed state.
+pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> ParallelResult {
+    let dims = dev.dims();
+    let space = dev.segment_space();
+    let mut committed = Occupancy::new(space);
+    let mut done: Vec<Option<ParallelNet>> = vec![None; specs.len()];
+    let mut pending: Vec<usize> = (0..specs.len()).collect();
+    let mut failed: Vec<usize> = Vec::new();
+    let mut rounds = 0usize;
+    let mut conflicts = 0usize;
+    let mut stalled = 0usize;
+    let threads = cfg.threads.max(1);
+
+    while !pending.is_empty() && stalled < cfg.max_stalled_rounds {
+        rounds += 1;
+        let snapshot = &committed;
+        // Fan the pending nets out over the workers.
+        let chunk = pending.len().div_ceil(threads);
+        let mut results: Vec<(usize, Result<ParallelNet>)> = Vec::with_capacity(pending.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in pending.chunks(chunk) {
+                let part: Vec<usize> = part.to_vec();
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = MazeScratch::new(dev);
+                    part.into_iter()
+                        .map(|i| (i, route_one(dev, &specs[i], snapshot, &cfg.maze, &mut scratch)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("router worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.sort_by_key(|(i, _)| *i);
+
+        // Sequential commit with conflict detection.
+        let mut next_pending = Vec::new();
+        let mut progressed = false;
+        for (i, res) in results {
+            match res {
+                Ok(net) => {
+                    let clash = net
+                        .segments
+                        .iter()
+                        .any(|seg| committed.get(seg.index(dims)));
+                    if clash {
+                        conflicts += 1;
+                        next_pending.push(i);
+                    } else {
+                        for seg in &net.segments {
+                            committed.set(seg.index(dims));
+                        }
+                        if let Some(src) =
+                            dev.canonicalize(net.spec.source.rc, net.spec.source.wire)
+                        {
+                            committed.set(src.index(dims));
+                        }
+                        done[i] = Some(net);
+                        progressed = true;
+                    }
+                }
+                Err(_) => {
+                    failed.push(i);
+                    progressed = true;
+                }
+            }
+        }
+        stalled = if progressed { 0 } else { stalled + 1 };
+        pending = next_pending;
+    }
+    failed.extend(pending);
+    failed.sort_unstable();
+    ParallelResult { nets: done.into_iter().flatten().collect(), failed, rounds, conflicts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Pin;
+    use virtex::{wire, Device, Family};
+
+    fn dev() -> Device {
+        Device::new(Family::Xcv50)
+    }
+
+    fn grid_specs(n: usize) -> Vec<NetSpec> {
+        (0..n)
+            .map(|i| {
+                let r = (2 + (i * 3) % 12) as u16;
+                let c = (2 + (i * 5) % 16) as u16;
+                NetSpec::new(
+                    Pin::new(r, c, wire::S0_YQ),
+                    vec![Pin::new(r + 2, c + 4, wire::S0_F3)],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_routes_everything_sequential_can() {
+        let dev = dev();
+        let specs = grid_specs(10);
+        let cfg = ParallelConfig { threads: 4, ..Default::default() };
+        let r = route_parallel(&dev, &specs, &cfg);
+        assert!(r.failed.is_empty(), "failed: {:?}", r.failed);
+        assert_eq!(r.nets.len(), 10);
+    }
+
+    #[test]
+    fn committed_nets_are_mutually_disjoint() {
+        let dev = dev();
+        let specs = grid_specs(12);
+        let cfg = ParallelConfig { threads: 3, ..Default::default() };
+        let r = route_parallel(&dev, &specs, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for net in &r.nets {
+            for seg in &net.segments {
+                assert!(seen.insert(*seg), "segment {seg} used twice");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_coverage() {
+        let dev = dev();
+        let specs = grid_specs(8);
+        let seq = route_parallel(&dev, &specs, &ParallelConfig { threads: 1, ..Default::default() });
+        let par = route_parallel(&dev, &specs, &ParallelConfig { threads: 4, ..Default::default() });
+        assert_eq!(seq.nets.len(), par.nets.len());
+        assert_eq!(seq.failed, par.failed);
+    }
+
+    #[test]
+    fn result_applies_cleanly_to_a_bitstream() {
+        let dev = dev();
+        let specs = grid_specs(6);
+        let r = route_parallel(&dev, &specs, &ParallelConfig { threads: 2, ..Default::default() });
+        let mut bits = jbits::Bitstream::new(&dev);
+        for net in &r.nets {
+            for &(rc, pip) in &net.pips {
+                bits.set_pip(rc, pip.from, pip.to).unwrap();
+            }
+        }
+        for net in &r.nets {
+            for seg in &net.segments {
+                assert!(bits.segment_drivers(*seg).len() <= 1);
+            }
+        }
+    }
+}

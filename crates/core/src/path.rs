@@ -1,0 +1,85 @@
+//! Explicit paths: the second level of control.
+//!
+//! Paper §3.1: *"A path is an array of specific resources ... that are to
+//! be connected. The path also requires a starting location, defined by a
+//! row and column."*
+
+use virtex::{RowCol, Wire};
+
+/// An explicit sequence of wires to connect, starting at a given tile.
+///
+/// Mirrors the paper's
+/// `Path path = new Path(5, 7, new int[]{S1_YQ, Out[1], ...})`.
+/// The router walks the wires in order; each consecutive pair must be
+/// connectable by a PIP at some tap of the previous wire's segment, so the
+/// user does not spell out the intermediate tile hops (exactly as in the
+/// paper's example, where `SingleEast[5]` is named once even though it is
+/// configured from tile `(5,8)` onward).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    start: RowCol,
+    wires: Vec<Wire>,
+}
+
+impl Path {
+    /// Path starting at `(row, col)` through `wires`, in order.
+    pub fn new(row: u16, col: u16, wires: impl Into<Vec<Wire>>) -> Self {
+        Path { start: RowCol::new(row, col), wires: wires.into() }
+    }
+
+    /// Path starting at an existing coordinate.
+    pub fn from_rc(start: RowCol, wires: impl Into<Vec<Wire>>) -> Self {
+        Path { start, wires: wires.into() }
+    }
+
+    /// The starting tile.
+    #[inline]
+    pub fn start(&self) -> RowCol {
+        self.start
+    }
+
+    /// The wire sequence.
+    #[inline]
+    pub fn wires(&self) -> &[Wire] {
+        &self.wires
+    }
+
+    /// Number of wires in the path.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Whether the path has no wires.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.wires.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Dir};
+
+    #[test]
+    fn paper_example_path_builds() {
+        // §3.1: int[] p = {S1_YQ, Out[1], SingleEast[5], SingleNorth[0], S0F3};
+        //       Path path = new Path(5,7,p);
+        let p = Path::new(
+            5,
+            7,
+            vec![
+                wire::S1_YQ,
+                wire::out(1),
+                wire::single(Dir::East, 5),
+                wire::single(Dir::North, 0),
+                wire::S0_F3,
+            ],
+        );
+        assert_eq!(p.start(), RowCol::new(5, 7));
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.wires()[0], wire::S1_YQ);
+    }
+}

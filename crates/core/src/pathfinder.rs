@@ -1,0 +1,297 @@
+//! PathFinder-style negotiated-congestion router: the "traditional"
+//! baseline.
+//!
+//! The paper contrasts its greedy auto-router with conventional CAD
+//! routers: *"In an RTR environment traditional routing algorithms
+//! require too much time"* (§3.1), and cites the routability-driven
+//! router of Swartz/Betz/Rose [6] as future work (§6). Experiment E8
+//! measures that trade-off: this module implements the classic
+//! negotiated-congestion scheme (PathFinder, as used by [6] and VPR) over
+//! our segment graph.
+//!
+//! The algorithm routes every net allowing resource overuse, then
+//! iterates: shared segments become increasingly expensive (present
+//! congestion × a growing factor, plus an accumulated history term) until
+//! every segment has at most one net, or the iteration budget runs out.
+
+use crate::endpoint::Pin;
+use crate::error::{Result, RouteError};
+use crate::maze::{self, MazeConfig, MazeScratch};
+use jbits::{Bitstream, Pip};
+use virtex::{Device, RowCol, Segment};
+
+/// One net to route: a source pin and its sinks.
+#[derive(Debug, Clone)]
+pub struct NetSpec {
+    /// Driving pin.
+    pub source: Pin,
+    /// Pins to reach.
+    pub sinks: Vec<Pin>,
+}
+
+impl NetSpec {
+    /// Net from `source` to `sinks`.
+    pub fn new(source: Pin, sinks: impl Into<Vec<Pin>>) -> Self {
+        NetSpec { source, sinks: sinks.into() }
+    }
+}
+
+/// PathFinder tuning parameters.
+#[derive(Debug, Clone)]
+pub struct PathFinderConfig {
+    /// Maximum rip-up/re-route iterations before giving up.
+    pub max_iterations: usize,
+    /// Initial present-congestion factor.
+    pub pres_fac: u32,
+    /// Multiplier applied to `pres_fac` each iteration.
+    pub pres_growth: u32,
+    /// History cost added per iteration a segment stays overused.
+    pub hist_cost: u32,
+    /// Maze options (long lines, node budget).
+    pub maze: MazeConfig,
+}
+
+impl Default for PathFinderConfig {
+    fn default() -> Self {
+        PathFinderConfig {
+            max_iterations: 30,
+            pres_fac: 4,
+            pres_growth: 2,
+            hist_cost: 2,
+            maze: MazeConfig::default(),
+        }
+    }
+}
+
+/// A routed net produced by the negotiated router.
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// The net as requested.
+    pub spec: NetSpec,
+    /// PIPs in configuration order.
+    pub pips: Vec<(RowCol, Pip)>,
+    /// Segments used (for occupancy accounting).
+    pub segments: Vec<Segment>,
+}
+
+/// Outcome of a negotiated-congestion routing run.
+#[derive(Debug)]
+pub struct PathFinderResult {
+    /// Successfully routed nets (all of them, when `legal`).
+    pub nets: Vec<RoutedNet>,
+    /// Whether the final state is overuse-free.
+    pub legal: bool,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Total maze nodes expanded (effort metric for E8).
+    pub nodes_expanded: usize,
+    /// Segments still overused when the budget ran out.
+    pub overused: usize,
+}
+
+/// Route `specs` with negotiated congestion.
+pub fn route_all(
+    dev: &Device,
+    specs: &[NetSpec],
+    cfg: &PathFinderConfig,
+) -> Result<PathFinderResult> {
+    let space = dev.segment_space();
+    let mut occ: Vec<u16> = vec![0; space];
+    let mut hist: Vec<u32> = vec![0; space];
+    let mut scratch = MazeScratch::new(dev);
+    let mut routes: Vec<Option<RoutedNet>> = vec![None; specs.len()];
+    let mut pres_fac = cfg.pres_fac;
+    let mut nodes_expanded = 0usize;
+
+    let mut iterations = 0usize;
+    for iter in 0..cfg.max_iterations {
+        iterations = iter + 1;
+        let mut any_failure = false;
+        for (i, spec) in specs.iter().enumerate() {
+            // Rip up the previous route of this net.
+            if let Some(old) = routes[i].take() {
+                for seg in &old.segments {
+                    occ[seg.index(dev.dims())] -= 1;
+                }
+            }
+            // Re-route, sink by sink, reusing the tree.
+            let src_seg = dev
+                .canonicalize(spec.source.rc, spec.source.wire)
+                .ok_or(RouteError::NoSuchWire { rc: spec.source.rc, wire: spec.source.wire })?;
+            let mut net =
+                RoutedNet { spec: spec.clone(), pips: Vec::new(), segments: Vec::new() };
+            let mut starts = vec![(src_seg, 0u32)];
+            let mut failed = false;
+            for sink in &spec.sinks {
+                let goal = dev
+                    .canonicalize(sink.rc, sink.wire)
+                    .ok_or(RouteError::NoSuchWire { rc: sink.rc, wire: sink.wire })?;
+                let result = maze::search(
+                    dev,
+                    &starts,
+                    goal,
+                    &cfg.maze,
+                    |_| false, // overuse allowed; congestion is priced
+                    |seg| {
+                        let idx = seg.index(dev.dims());
+                        hist[idx] + occ[idx] as u32 * pres_fac
+                    },
+                    &mut scratch,
+                );
+                let Some(r) = result else {
+                    failed = true;
+                    break;
+                };
+                nodes_expanded += r.nodes_expanded;
+                for seg in &r.segments {
+                    starts.push((*seg, 0));
+                    net.segments.push(*seg);
+                }
+                net.pips.extend_from_slice(&r.pips);
+            }
+            if failed {
+                // Node budget exhausted — leave unrouted this iteration;
+                // congestion relief may fix it next round.
+                any_failure = true;
+                continue;
+            }
+            for seg in &net.segments {
+                occ[seg.index(dev.dims())] += 1;
+            }
+            routes[i] = Some(net);
+        }
+
+        // Congestion accounting.
+        let mut overused = 0usize;
+        for idx in 0..space {
+            if occ[idx] > 1 {
+                overused += 1;
+                hist[idx] += cfg.hist_cost;
+            }
+        }
+        if overused == 0 && !any_failure && routes.iter().all(|r| r.is_some()) {
+            let nets = routes.into_iter().map(|r| r.expect("all routed")).collect();
+            return Ok(PathFinderResult {
+                nets,
+                legal: true,
+                iterations,
+                nodes_expanded,
+                overused: 0,
+            });
+        }
+        pres_fac = pres_fac.saturating_mul(cfg.pres_growth);
+    }
+
+    let overused = occ.iter().filter(|&&o| o > 1).count();
+    let nets = routes.into_iter().flatten().collect();
+    Ok(PathFinderResult { nets, legal: false, iterations, nodes_expanded, overused })
+}
+
+/// Program a legal PathFinder result into a bitstream.
+///
+/// Returns an error if the result is not legal (overuse would configure
+/// contention).
+pub fn apply(result: &PathFinderResult, bits: &mut Bitstream) -> Result<()> {
+    if !result.legal {
+        return Err(RouteError::Contention {
+            segment: Segment { rc: RowCol::new(0, 0), wire: virtex::Wire(0) },
+            owner: None,
+        });
+    }
+    for net in &result.nets {
+        for &(rc, pip) in &net.pips {
+            bits.set_pip(rc, pip.from, pip.to)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Device, Family};
+
+    fn dev() -> Device {
+        Device::new(Family::Xcv50)
+    }
+
+    #[test]
+    fn routes_disjoint_nets_in_one_iteration() {
+        let dev = dev();
+        let specs: Vec<NetSpec> = (0..4)
+            .map(|i| {
+                NetSpec::new(
+                    Pin::new(2 + 3 * i, 2, wire::S0_YQ),
+                    vec![Pin::new(2 + 3 * i, 8, wire::S0_F3)],
+                )
+            })
+            .collect();
+        let r = route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
+        assert!(r.legal);
+        assert_eq!(r.nets.len(), 4);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn negotiates_contending_nets_apart() {
+        let dev = dev();
+        // Several nets squeezed through the same neighbourhood: they must
+        // negotiate distinct resources.
+        let specs: Vec<NetSpec> = (0..6)
+            .map(|i| {
+                NetSpec::new(
+                    Pin::new(8, 8, wire::slice_out(i % 2, (i / 2 % 4) as u8)),
+                    vec![Pin::new(10, 10, wire::slice_in(i % 2, (i % 13) as u8))],
+                )
+            })
+            .collect();
+        let r = route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
+        assert!(r.legal, "negotiation should resolve local congestion");
+        // No segment shared between different nets.
+        let mut seen = std::collections::HashMap::new();
+        for (i, net) in r.nets.iter().enumerate() {
+            for seg in &net.segments {
+                if let Some(prev) = seen.insert(*seg, i) {
+                    panic!("segment {seg} shared by nets {prev} and {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legal_result_applies_to_bitstream_without_contention() {
+        let dev = dev();
+        let specs: Vec<NetSpec> = (0..3)
+            .map(|i| {
+                NetSpec::new(
+                    Pin::new(4, 4 + i, wire::S1_YQ),
+                    vec![Pin::new(6, 6 + i, wire::S0_F3), Pin::new(7, 4 + i, wire::S1_F1)],
+                )
+            })
+            .collect();
+        let r = route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
+        assert!(r.legal);
+        let mut bits = Bitstream::new(&dev);
+        apply(&r, &mut bits).unwrap();
+        // Every segment has at most one driver.
+        for net in &r.nets {
+            for seg in &net.segments {
+                assert!(bits.segment_drivers(*seg).len() <= 1, "contention on {seg}");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_results_refuse_to_apply() {
+        let dev = dev();
+        let r = PathFinderResult {
+            nets: vec![],
+            legal: false,
+            iterations: 0,
+            nodes_expanded: 0,
+            overused: 1,
+        };
+        let mut bits = Bitstream::new(&dev);
+        assert!(apply(&r, &mut bits).is_err());
+    }
+}

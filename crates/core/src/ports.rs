@@ -1,0 +1,219 @@
+//! Ports: virtual pins for core-based design (paper §3.2).
+//!
+//! *"With JRoute, a core can define ports. Ports are virtual pins that
+//! provide input or output points to the core. ... The core can define a
+//! connection from internal pins to ports. It can also specify
+//! connections from ports of internal cores to its own ports."*
+//!
+//! A port therefore binds to a list of *targets*, each either a physical
+//! pin or another port (hierarchy); resolution flattens the chain to
+//! physical pins. The paper's routing guidelines are enforced here:
+//! every port belongs to a named *group* (*"each port needs to be in a
+//! group ... The group can be of any size greater than zero"*), and
+//! [`PortDb::get_ports`] is the paper's per-group `getPorts()`.
+
+use crate::endpoint::{EndPoint, Pin, PortId};
+use crate::error::{Result, RouteError};
+
+/// Direction of a port relative to its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// The core drives this port.
+    Output,
+    /// The core consumes this port.
+    Input,
+}
+
+/// A registered port.
+#[derive(Debug, Clone)]
+pub struct Port {
+    /// Human-readable name (unique within its group by convention).
+    pub name: String,
+    /// Group name; `getPorts(group)` returns all ports of a group.
+    pub group: String,
+    /// Direction relative to the defining core.
+    pub dir: PortDir,
+    /// Bound targets: physical pins and/or inner ports.
+    pub targets: Vec<EndPoint>,
+}
+
+/// Registry of ports known to a router.
+#[derive(Debug, Default)]
+pub struct PortDb {
+    ports: Vec<Port>,
+}
+
+impl PortDb {
+    /// Empty port registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a port. Targets may be added/changed later via
+    /// [`PortDb::rebind`] (core replacement, §3.3).
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        group: impl Into<String>,
+        dir: PortDir,
+        targets: Vec<EndPoint>,
+    ) -> PortId {
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port { name: name.into(), group: group.into(), dir, targets });
+        id
+    }
+
+    /// Look up a port.
+    pub fn port(&self, id: PortId) -> Option<&Port> {
+        self.ports.get(id.0 as usize)
+    }
+
+    /// The paper's `getPorts()`: every port of a group, in definition
+    /// order (bit order for buses).
+    pub fn get_ports(&self, group: &str) -> Vec<PortId> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.group == group)
+            .map(|(i, _)| PortId(i as u32))
+            .collect()
+    }
+
+    /// Rebind a port to new targets (e.g. after replacing the core it
+    /// belongs to). Returns the old targets.
+    pub fn rebind(&mut self, id: PortId, targets: Vec<EndPoint>) -> Result<Vec<EndPoint>> {
+        let port =
+            self.ports.get_mut(id.0 as usize).ok_or(RouteError::UnboundPort { port: id.0 })?;
+        Ok(std::mem::replace(&mut port.targets, targets))
+    }
+
+    /// Detach a port from its targets (core removed). Returns the old
+    /// targets.
+    pub fn unbind(&mut self, id: PortId) -> Result<Vec<EndPoint>> {
+        self.rebind(id, Vec::new())
+    }
+
+    /// Flatten an endpoint to physical pins. *"The router knows about
+    /// ports and when one is encountered, it translates it to the
+    /// corresponding list of pins."* (§3.2)
+    ///
+    /// Fails on unbound ports, unknown port ids, or port cycles.
+    pub fn resolve(&self, ep: &EndPoint, out: &mut Vec<Pin>) -> Result<()> {
+        let mut visiting = Vec::new();
+        self.resolve_inner(ep, out, &mut visiting)
+    }
+
+    fn resolve_inner(
+        &self,
+        ep: &EndPoint,
+        out: &mut Vec<Pin>,
+        visiting: &mut Vec<PortId>,
+    ) -> Result<()> {
+        match ep {
+            EndPoint::Pin(p) => {
+                out.push(*p);
+                Ok(())
+            }
+            EndPoint::Port(id) => {
+                if visiting.contains(id) {
+                    // A port bound (transitively) to itself can never
+                    // resolve to hardware.
+                    return Err(RouteError::UnboundPort { port: id.0 });
+                }
+                let port = self.port(*id).ok_or(RouteError::UnboundPort { port: id.0 })?;
+                if port.targets.is_empty() {
+                    return Err(RouteError::UnboundPort { port: id.0 });
+                }
+                visiting.push(*id);
+                for t in &port.targets {
+                    self.resolve_inner(t, out, visiting)?;
+                }
+                visiting.pop();
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of registered ports.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether no ports are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::wire;
+
+    #[test]
+    fn groups_collect_ports_in_bit_order() {
+        let mut db = PortDb::new();
+        let mut ids = Vec::new();
+        for bit in 0..4 {
+            ids.push(db.define(
+                format!("sum[{bit}]"),
+                "sum",
+                PortDir::Output,
+                vec![Pin::new(0, bit, wire::S0_YQ).into()],
+            ));
+        }
+        db.define("cin", "carry", PortDir::Input, vec![Pin::new(0, 0, wire::S0_F3).into()]);
+        assert_eq!(db.get_ports("sum"), ids);
+        assert_eq!(db.get_ports("carry").len(), 1);
+        assert!(db.get_ports("nope").is_empty());
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn resolve_flattens_port_hierarchies() {
+        // Inner core port -> outer core port, as §3.2 describes.
+        let mut db = PortDb::new();
+        let inner =
+            db.define("q", "inner", PortDir::Output, vec![Pin::new(2, 3, wire::S1_YQ).into()]);
+        let outer = db.define("out", "outer", PortDir::Output, vec![inner.into()]);
+        let mut pins = Vec::new();
+        db.resolve(&outer.into(), &mut pins).unwrap();
+        assert_eq!(pins, vec![Pin::new(2, 3, wire::S1_YQ)]);
+    }
+
+    #[test]
+    fn unbound_and_cyclic_ports_fail() {
+        let mut db = PortDb::new();
+        let a = db.define("a", "g", PortDir::Input, vec![]);
+        let mut pins = Vec::new();
+        assert!(matches!(
+            db.resolve(&a.into(), &mut pins),
+            Err(RouteError::UnboundPort { .. })
+        ));
+        // Bind a to b and b to a: cycle.
+        let b = db.define("b", "g", PortDir::Input, vec![a.into()]);
+        db.rebind(a, vec![b.into()]).unwrap();
+        assert!(db.resolve(&a.into(), &mut pins).is_err());
+        // Unknown id.
+        assert!(db.resolve(&PortId(99).into(), &mut pins).is_err());
+    }
+
+    #[test]
+    fn rebind_swaps_targets_for_core_replacement() {
+        let mut db = PortDb::new();
+        let p = db.define(
+            "d",
+            "g",
+            PortDir::Input,
+            vec![Pin::new(0, 0, wire::S0_F3).into()],
+        );
+        let old = db.rebind(p, vec![Pin::new(9, 9, wire::S0_F3).into()]).unwrap();
+        assert_eq!(old, vec![EndPoint::Pin(Pin::new(0, 0, wire::S0_F3))]);
+        let mut pins = Vec::new();
+        db.resolve(&p.into(), &mut pins).unwrap();
+        assert_eq!(pins, vec![Pin::new(9, 9, wire::S0_F3)]);
+        let old = db.unbind(p).unwrap();
+        assert_eq!(old.len(), 1);
+        assert!(db.resolve(&p.into(), &mut pins).is_err());
+    }
+}

@@ -1,0 +1,937 @@
+//! The `Router`: the JRoute API surface.
+//!
+//! Implements every call of paper §3 over the simulated device:
+//!
+//! | paper call                                   | method                  |
+//! |----------------------------------------------|-------------------------|
+//! | `route(row, col, from, to)`                  | [`Router::route_pip`]   |
+//! | `route(Path)`                                | [`Router::route_path`]  |
+//! | `route(Pin, wire, Template)`                 | [`Router::route_template`] |
+//! | `route(EndPoint, EndPoint)`                  | [`Router::route`]       |
+//! | `route(EndPoint, EndPoint[])`                | [`Router::route_fanout`]|
+//! | `route(EndPoint[], EndPoint[])`              | [`Router::route_bus`]   |
+//! | `unroute(EndPoint)`                          | [`Router::unroute`]     |
+//! | `reverseUnroute(EndPoint)`                   | [`Router::reverse_unroute`] |
+//! | `trace(EndPoint)`                            | [`Router::trace`]       |
+//! | `reverseTrace(EndPoint)`                     | [`Router::reverse_trace`] |
+//! | `isOn(row, col, wire)`                       | [`Router::is_on`]       |
+//!
+//! The router owns the [`Bitstream`] but deliberately exposes it
+//! ([`Router::bits`], [`Router::bits_mut`]): *"The JRoute API extensions
+//! provide automated routing support, while not prohibiting JBits
+//! calls."* (§4). State configured behind the router's back is still
+//! protected against contention because every router mutation re-checks
+//! the bitstream, not just its own net database.
+
+use crate::endpoint::{EndPoint, Pin, PortId};
+use crate::error::{NetId, Result, RouteError};
+use crate::maze::{self, MazeConfig, MazeScratch};
+use crate::net::{Net, NetDb};
+use crate::path::Path;
+use crate::ports::{PortDb, PortDir};
+use crate::stats::{ResourceUsage, RouterStats};
+use crate::template::Template;
+use crate::templates_db;
+use crate::trace::{self, Hop, TracedNet};
+use crate::unroute;
+use jbits::{Bitstream, Pip};
+use virtex::segment::Tap;
+use virtex::{template_value, Device, RowCol, Segment, Wire};
+
+/// Router behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct RouterOptions {
+    /// Let auto-routing use long lines (default off, matching the paper's
+    /// initial implementation; experiment E9 measures the difference).
+    pub use_long_lines: bool,
+    /// Try predefined templates before falling back to the maze router in
+    /// point-to-point auto-routing (§3.1's suggested fast path).
+    pub use_templates_first: bool,
+    /// Node-expansion budget per maze search.
+    pub max_maze_nodes: usize,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions { use_long_lines: false, use_templates_first: true, max_maze_nodes: 2_000_000 }
+    }
+}
+
+/// A remembered endpoint-level connection whose resources were unrouted
+/// (paper §3.3: *"The port connections are removed, but are
+/// remembered."*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remembered {
+    /// Source endpoint of the unrouted connection.
+    pub source: EndPoint,
+    /// Sink endpoint of the unrouted connection.
+    pub sink: EndPoint,
+}
+
+/// The JRoute router for one device.
+pub struct Router {
+    device: Device,
+    bits: Bitstream,
+    nets: NetDb,
+    ports: PortDb,
+    scratch: MazeScratch,
+    opts: RouterOptions,
+    stats: RouterStats,
+    remembered: Vec<Remembered>,
+}
+
+impl Router {
+    /// Router over a blank configuration of `device`.
+    pub fn new(device: &Device) -> Self {
+        Self::with_options(device, RouterOptions::default())
+    }
+
+    /// Router with explicit options.
+    pub fn with_options(device: &Device, opts: RouterOptions) -> Self {
+        Router {
+            device: *device,
+            bits: Bitstream::new(device),
+            nets: NetDb::new(),
+            ports: PortDb::new(),
+            scratch: MazeScratch::new(device),
+            opts,
+            stats: RouterStats::default(),
+            remembered: Vec::new(),
+        }
+    }
+
+    /// The device being routed.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Read access to the configuration (JBits level).
+    pub fn bits(&self) -> &Bitstream {
+        &self.bits
+    }
+
+    /// Raw JBits access. Router-level contention protection still applies
+    /// to subsequent router calls (they consult the bitstream), but raw
+    /// writes themselves are unchecked — exactly the JBits contract.
+    pub fn bits_mut(&mut self) -> &mut Bitstream {
+        &mut self.bits
+    }
+
+    /// The net database.
+    pub fn nets(&self) -> &NetDb {
+        &self.nets
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Current options.
+    pub fn options(&self) -> &RouterOptions {
+        &self.opts
+    }
+
+    /// Mutable options (e.g. toggling long lines between routes).
+    pub fn options_mut(&mut self) -> &mut RouterOptions {
+        &mut self.opts
+    }
+
+    /// Per-class census of segments used by live nets.
+    pub fn resource_usage(&self) -> ResourceUsage {
+        ResourceUsage::from_netdb(&self.nets)
+    }
+
+    /// Remembered (unrouted) port connections awaiting reconnection.
+    pub fn remembered(&self) -> &[Remembered] {
+        &self.remembered
+    }
+
+    fn seg(&self, rc: RowCol, wire: Wire) -> Result<Segment> {
+        self.device.canonicalize(rc, wire).ok_or(RouteError::NoSuchWire { rc, wire })
+    }
+
+    fn maze_config(&self) -> MazeConfig {
+        MazeConfig { use_long_lines: self.opts.use_long_lines, max_nodes: self.opts.max_maze_nodes }
+    }
+
+    // ----------------------------------------------------------------
+    // Ports (§3.2)
+    // ----------------------------------------------------------------
+
+    /// Define a port bound to `targets` (pins or inner ports).
+    pub fn define_port(
+        &mut self,
+        name: impl Into<String>,
+        group: impl Into<String>,
+        dir: PortDir,
+        targets: Vec<EndPoint>,
+    ) -> PortId {
+        self.ports.define(name, group, dir, targets)
+    }
+
+    /// The paper's `getPorts()`: all ports of a group, in bit order.
+    pub fn get_ports(&self, group: &str) -> Vec<PortId> {
+        self.ports.get_ports(group)
+    }
+
+    /// Port registry (read access).
+    pub fn ports(&self) -> &PortDb {
+        &self.ports
+    }
+
+    /// Rebind a port to new targets (core replaced or relocated, §3.3)
+    /// and automatically re-route any remembered connections that involve
+    /// it: *"If the ports are reused, then they will be automatically
+    /// connected to the new core."*
+    pub fn rebind_port(&mut self, id: PortId, targets: Vec<EndPoint>) -> Result<usize> {
+        self.ports.rebind(id, targets)?;
+        self.reconnect_involving(Some(id))
+    }
+
+    /// Attempt to re-route every remembered connection (returns how many
+    /// succeeded). Failures stay remembered.
+    pub fn reconnect_ports(&mut self) -> Result<usize> {
+        self.reconnect_involving(None)
+    }
+
+    fn reconnect_involving(&mut self, filter: Option<PortId>) -> Result<usize> {
+        let mentions = |r: &Remembered, id: PortId| {
+            r.source == EndPoint::Port(id) || r.sink == EndPoint::Port(id)
+        };
+        let pending: Vec<Remembered> = match filter {
+            Some(id) => {
+                let (take, keep) =
+                    self.remembered.drain(..).partition(|r| mentions(r, id));
+                self.remembered = keep;
+                take
+            }
+            None => self.remembered.drain(..).collect(),
+        };
+        let mut ok = 0usize;
+        for r in pending {
+            match self.route(&r.source, &r.sink) {
+                Ok(()) => ok += 1,
+                Err(_) => self.remembered.push(r),
+            }
+        }
+        Ok(ok)
+    }
+
+    // ----------------------------------------------------------------
+    // Level 1: single connections (§3.1 route(row, col, from, to))
+    // ----------------------------------------------------------------
+
+    /// Turn on the single connection `from -> to` in CLB `(row, col)`.
+    ///
+    /// *"This call allows the user to make a single connection (i.e. the
+    /// user decides the path). This can be useful in cases where there is
+    /// a real time constraint..."*
+    pub fn route_pip(&mut self, rc: RowCol, from: Wire, to: Wire) -> Result<()> {
+        let from_seg = self.seg(rc, from)?;
+        let net = self.net_for_source(Pin::at(rc, from), from_seg)?;
+        self.route_pip_on_net(net, rc, from, to)?;
+        Ok(())
+    }
+
+    /// Paper-flavoured convenience: `route(row, col, from, to)`.
+    pub fn route_rc(&mut self, row: u16, col: u16, from: Wire, to: Wire) -> Result<()> {
+        self.route_pip(RowCol::new(row, col), from, to)
+    }
+
+    fn net_for_source(&mut self, pin: Pin, seg: Segment) -> Result<NetId> {
+        if let Some(id) = self.nets.owner(seg) {
+            return Ok(id);
+        }
+        let id = self.nets.create(pin, seg)?;
+        self.stats.nets_created += 1;
+        Ok(id)
+    }
+
+    /// Contention-checked PIP set on behalf of `net`. Returns whether the
+    /// configuration bit actually changed (false when re-claiming a PIP
+    /// the net already owns).
+    fn route_pip_on_net(&mut self, net: NetId, rc: RowCol, from: Wire, to: Wire) -> Result<bool> {
+        let target = self.seg(rc, to)?;
+        // Net-level ownership check.
+        if let Some(owner) = self.nets.owner(target) {
+            if owner != net {
+                self.stats.contention_rejections += 1;
+                return Err(RouteError::Contention { segment: target, owner: Some(owner) });
+            }
+        }
+        // Bitstream-level check: the segment must not be driven by any
+        // *other* PIP (covers raw-JBits state and bi-directional wires
+        // driven from the far end — §3.4's protection).
+        for (drc, dpip) in self.bits.segment_drivers(target) {
+            if !(drc == rc && dpip.from == from && dpip.to == to) {
+                self.stats.contention_rejections += 1;
+                return Err(RouteError::Contention {
+                    segment: target,
+                    owner: self.nets.owner(target),
+                });
+            }
+        }
+        let changed = self.bits.set_pip(rc, from, to)?;
+        if changed {
+            self.stats.pips_set += 1;
+        }
+        self.nets.add_pip(net, rc, Pip::new(from, to), target)?;
+        if to.is_clb_input() {
+            self.nets.add_sink(net, Pin::at(rc, to));
+        }
+        Ok(changed)
+    }
+
+    /// Commit a list of PIPs to `net`, rolling the bitstream back on any
+    /// failure (so a failed auto-route leaves no debris). Only PIPs this
+    /// commit actually turned on are rolled back — ones shared with an
+    /// earlier branch of the same net stay configured.
+    fn commit_pips(&mut self, net: NetId, pips: &[(RowCol, Pip)]) -> Result<()> {
+        let mut newly_set: Vec<(RowCol, Pip)> = Vec::new();
+        let mut err = None;
+        for &(rc, pip) in pips {
+            match self.route_pip_on_net(net, rc, pip.from, pip.to) {
+                Ok(changed) => {
+                    if changed {
+                        newly_set.push((rc, pip));
+                    }
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = err {
+            let dev = self.device;
+            for &(rc, pip) in newly_set.iter().rev() {
+                let _ = self.bits.clear_pip(rc, pip.from, pip.to);
+                if let Some(target) = dev.canonicalize(rc, pip.to) {
+                    self.nets.remove_pip(net, rc, pip, target);
+                }
+                self.stats.pips_cleared += 1;
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// `isOn` (§3.4): whether the wire in CLB `(row, col)` is currently in
+    /// use (driven, or known to a live net).
+    pub fn is_on(&self, rc: RowCol, wire: Wire) -> Result<bool> {
+        let seg = self.seg(rc, wire)?;
+        Ok(self.nets.is_used(seg) || self.bits.is_segment_driven(seg))
+    }
+
+    // ----------------------------------------------------------------
+    // Level 2: paths (§3.1 route(Path))
+    // ----------------------------------------------------------------
+
+    /// Route an explicit [`Path`]: turn on all the connections it defines.
+    pub fn route_path(&mut self, path: &Path) -> Result<()> {
+        let wires = path.wires();
+        if wires.is_empty() {
+            return Ok(());
+        }
+        let mut cur = self.seg(path.start(), wires[0])?;
+        let net = self.net_for_source(Pin::at(path.start(), wires[0]), cur)?;
+        let mut taps: Vec<Tap> = Vec::with_capacity(4);
+        for &next in &wires[1..] {
+            taps.clear();
+            virtex::segment::taps(self.device.dims(), cur, &mut taps);
+            let arch = *self.device.arch();
+            let hop = taps
+                .iter()
+                .find(|t| arch.pip_exists(t.rc, t.wire, next))
+                .copied()
+                .ok_or(RouteError::PathDisconnected { at: cur.rc, from: cur.wire, to: next })?;
+            self.route_pip_on_net(net, hop.rc, hop.wire, next)?;
+            cur = self.seg(hop.rc, next)?;
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Level 3: templates (§3.1 route(Pin, wire, Template))
+    // ----------------------------------------------------------------
+
+    /// Route from `start` to `end_wire` following `template`: *"the user
+    /// specifies a template and the router picks the wires."*
+    pub fn route_template(
+        &mut self,
+        start: Pin,
+        end_wire: Wire,
+        template: &Template,
+    ) -> Result<()> {
+        let start_seg = self.seg(start.rc, start.wire)?;
+        let end_rc = template
+            .end_tile(start.rc, self.device.dims())
+            .ok_or(RouteError::TemplateOffChip)?;
+        let goal = self.seg(end_rc, end_wire)?;
+        let net = self.net_for_source(start, start_seg)?;
+        self.stats.template_attempts += 1;
+        let pips = self
+            .template_search(start_seg, goal, template, net)
+            .ok_or(RouteError::TemplateExhausted)?;
+        self.commit_pips(net, &pips)?;
+        self.stats.template_successes += 1;
+        Ok(())
+    }
+
+    /// Depth-first template matcher, per §3.1: at each step consider the
+    /// wires the current wire drives, keep those whose template value
+    /// matches and which are not in use, and recurse with the rest of the
+    /// template. Backtracking is budgeted: long templates on congested
+    /// fabric would otherwise backtrack exponentially, and the intended
+    /// behaviour (§3.1) is to fail fast and fall back to the maze.
+    fn template_search(
+        &mut self,
+        start: Segment,
+        goal: Segment,
+        template: &Template,
+        net: NetId,
+    ) -> Option<Vec<(RowCol, Pip)>> {
+        const TEMPLATE_BUDGET: usize = 4_096;
+        fn recur(
+            r: &Router,
+            cur: Segment,
+            goal: Segment,
+            values: &[virtex::TemplateValue],
+            net: NetId,
+            acc: &mut Vec<(RowCol, Pip)>,
+            budget: &mut usize,
+        ) -> bool {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            let Some((&want, rest)) = values.split_first() else {
+                return cur == goal;
+            };
+            let mut taps: Vec<Tap> = Vec::with_capacity(4);
+            virtex::segment::taps(r.device.dims(), cur, &mut taps);
+            let mut fanout: Vec<Wire> = Vec::with_capacity(40);
+            for tap in &taps {
+                fanout.clear();
+                r.device.arch().pips_from(tap.rc, tap.wire, &mut fanout);
+                for &to in &fanout {
+                    if template_value(to) != want {
+                        continue;
+                    }
+                    let Some(next) = r.device.canonicalize(tap.rc, to) else { continue };
+                    let is_goal = next == goal;
+                    if rest.is_empty() != is_goal {
+                        // Must land exactly on the goal with the last step.
+                        continue;
+                    }
+                    // "checks to make sure the wire is not already in
+                    // use" — including by this net's own earlier
+                    // branches: a driven wire cannot take a second
+                    // driving PIP (§3.4).
+                    let _ = net;
+                    if r.nets.is_used(next) || r.bits.is_segment_driven(next) {
+                        continue;
+                    }
+                    acc.push((tap.rc, Pip::new(tap.wire, to)));
+                    if recur(r, next, goal, rest, net, acc, budget) {
+                        return true;
+                    }
+                    acc.pop();
+                }
+            }
+            false
+        }
+        let mut acc = Vec::with_capacity(template.len());
+        let mut budget = TEMPLATE_BUDGET;
+        if recur(self, start, goal, template.values(), net, &mut acc, &mut budget) {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Levels 4-6: auto-routing (§3.1)
+    // ----------------------------------------------------------------
+
+    /// Auto-route a single source to a single sink
+    /// (`route(EndPoint, EndPoint)`). Tries the predefined templates
+    /// first, then falls back to the maze router, per §3.1.
+    pub fn route(&mut self, source: &EndPoint, sink: &EndPoint) -> Result<()> {
+        let src_pins = self.resolve(source)?;
+        let sink_pins = self.resolve(sink)?;
+        let src = src_pins[0];
+        let net = {
+            let seg = self.seg(src.rc, src.wire)?;
+            self.net_for_source(src, seg)?
+        };
+        for s in &sink_pins {
+            self.route_one(net, src, *s, self.opts.use_templates_first)?;
+        }
+        self.nets.add_intent(net, *source, *sink);
+        Ok(())
+    }
+
+    /// Auto-route one source to several sinks
+    /// (`route(EndPoint, EndPoint[])`): *"Each sink gets routed in order
+    /// of increasing distance from the source. For each sink, the router
+    /// attempts to reuse the previous paths as much as possible."*
+    pub fn route_fanout(&mut self, source: &EndPoint, sinks: &[EndPoint]) -> Result<()> {
+        let src_pins = self.resolve(source)?;
+        let src = src_pins[0];
+        // Resolve all sinks, keeping their endpoint for port memory.
+        let mut resolved: Vec<(Pin, EndPoint)> = Vec::new();
+        for ep in sinks {
+            for pin in self.resolve(ep)? {
+                resolved.push((pin, *ep));
+            }
+        }
+        resolved.sort_by_key(|(pin, _)| pin.rc.manhattan(src.rc));
+        let net = {
+            let seg = self.seg(src.rc, src.wire)?;
+            self.net_for_source(src, seg)?
+        };
+        for (pin, ep) in resolved {
+            // Fan-out legs go straight to the maze with tree reuse; the
+            // greedy ordering is the paper's algorithm.
+            self.route_one(net, src, pin, false)?;
+            self.nets.add_intent(net, *source, ep);
+        }
+        Ok(())
+    }
+
+    /// Bus routing (`route(EndPoint[], EndPoint[])`): connect
+    /// `sources[i] -> sinks[i]` for every `i`. *"the user would not need
+    /// to connect each bit of the bus"* (§3.1).
+    pub fn route_bus(&mut self, sources: &[EndPoint], sinks: &[EndPoint]) -> Result<()> {
+        if sources.len() != sinks.len() {
+            return Err(RouteError::BusWidthMismatch {
+                sources: sources.len(),
+                sinks: sinks.len(),
+            });
+        }
+        for (s, k) in sources.iter().zip(sinks) {
+            self.route(s, k)?;
+        }
+        Ok(())
+    }
+
+    /// Route one sink for `net`, optionally trying templates first.
+    fn route_one(&mut self, net: NetId, src: Pin, sink: Pin, templates: bool) -> Result<()> {
+        let goal = self.seg(sink.rc, sink.wire)?;
+        if let Some(owner) = self.nets.owner(goal) {
+            if owner != net {
+                return Err(RouteError::ResourceInUse { segment: goal, owner: Some(owner) });
+            }
+            return Ok(()); // already reached by this net
+        }
+        if self.bits.is_segment_driven(goal) {
+            self.stats.contention_rejections += 1;
+            return Err(RouteError::Contention { segment: goal, owner: None });
+        }
+        let src_seg = self.seg(src.rc, src.wire)?;
+
+        if templates {
+            let cands = templates_db::candidates(src.rc, src.wire, sink.rc, sink.wire);
+            for t in &cands {
+                self.stats.template_attempts += 1;
+                if let Some(pips) = self.template_search(src_seg, goal, t, net) {
+                    // A template path can still lose a race against state
+                    // the search could not see (commit re-checks the
+                    // bitstream); treat that as a template failure and
+                    // keep trying — the maze is the final fallback.
+                    if self.commit_pips(net, &pips).is_ok() {
+                        self.stats.template_successes += 1;
+                        self.nets.add_sink(net, sink);
+                        return Ok(());
+                    }
+                }
+            }
+            self.stats.maze_fallbacks += 1;
+        }
+
+        // Maze search with tree reuse: every segment already on the net is
+        // a zero-cost start.
+        let mut starts = vec![(src_seg, 0u32)];
+        if let Some(n) = self.nets.net(net) {
+            let dev = self.device;
+            starts.extend(n.pips.iter().filter_map(|&(rc, pip)| {
+                let seg = dev.canonicalize(rc, pip.to)?;
+                (!seg.wire.is_clb_input()).then_some((seg, 0u32))
+            }));
+        }
+        let cfg = self.maze_config();
+        self.stats.maze_searches += 1;
+        let result = {
+            let nets = &self.nets;
+            let bits = &self.bits;
+            maze::search(
+                &self.device,
+                &starts,
+                goal,
+                &cfg,
+                |seg| {
+                    nets.owner(seg).is_some_and(|o| o != net)
+                        || (nets.owner(seg).is_none() && bits.is_segment_driven(seg))
+                },
+                |_| 0,
+                &mut self.scratch,
+            )
+        };
+        let result = result.ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
+        self.stats.maze_nodes_expanded += result.nodes_expanded;
+        self.commit_pips(net, &result.pips)?;
+        self.nets.add_sink(net, sink);
+        Ok(())
+    }
+
+    /// Resolve an endpoint to physical pins (ports flatten, §3.2).
+    pub fn resolve(&self, ep: &EndPoint) -> Result<Vec<Pin>> {
+        let mut pins = Vec::new();
+        self.ports.resolve(ep, &mut pins)?;
+        if pins.is_empty() {
+            return Err(RouteError::EmptyEndpoint);
+        }
+        Ok(pins)
+    }
+
+    // ----------------------------------------------------------------
+    // Unrouting (§3.3)
+    // ----------------------------------------------------------------
+
+    /// Forward unroute: remove the entire net driven by `source`
+    /// (`unroute(EndPoint source)`). Returns the number of PIPs cleared.
+    /// Port-level connection intents are remembered for reconnection.
+    pub fn unroute(&mut self, source: &EndPoint) -> Result<usize> {
+        let pins = self.resolve(source)?;
+        let seg = self.seg(pins[0].rc, pins[0].wire)?;
+        self.remember_intents_of(seg);
+        let n = unroute::unroute_forward(&mut self.bits, &mut self.nets, seg)?;
+        self.stats.pips_cleared += n;
+        Ok(n)
+    }
+
+    /// Reverse unroute: free only the branch that feeds `sink`
+    /// (`reverseUnroute(EndPoint sink)`). Returns the number of PIPs
+    /// cleared.
+    pub fn reverse_unroute(&mut self, sink: &EndPoint) -> Result<usize> {
+        let pins = self.resolve(sink)?;
+        let mut total = 0usize;
+        for pin in pins {
+            let seg = self.seg(pin.rc, pin.wire)?;
+            total += unroute::reverse_unroute(&mut self.bits, &mut self.nets, seg)?;
+        }
+        self.stats.pips_cleared += total;
+        Ok(total)
+    }
+
+    /// Reverse-unroute the branch feeding `sink`, remembering the
+    /// endpoint-level intents of the owning net so the connection can be
+    /// re-made after a core replacement (§3.3). Returns PIPs cleared.
+    pub fn unroute_sink(&mut self, sink: &EndPoint) -> Result<usize> {
+        let pins = self.resolve(sink)?;
+        let mut total = 0usize;
+        for pin in pins {
+            let seg = self.seg(pin.rc, pin.wire)?;
+            if let Some(id) = self.nets.owner(seg) {
+                if let Some(net) = self.nets.net(id) {
+                    let source = net.source;
+                    self.remember_intents_of(source);
+                }
+            }
+            total += unroute::reverse_unroute(&mut self.bits, &mut self.nets, seg)?;
+        }
+        self.stats.pips_cleared += total;
+        Ok(total)
+    }
+
+    fn remember_intents_of(&mut self, source: Segment) {
+        let Some(id) = self.nets.net_at_source(source).or_else(|| self.nets.owner(source)) else {
+            return;
+        };
+        if let Some(net) = self.nets.net(id) {
+            for &(s, k) in &net.intents {
+                let involves_port =
+                    matches!(s, EndPoint::Port(_)) || matches!(k, EndPoint::Port(_));
+                let r = Remembered { source: s, sink: k };
+                if involves_port && !self.remembered.contains(&r) {
+                    self.remembered.push(r);
+                }
+            }
+        }
+    }
+
+    /// Unroute a whole net by id (used by core replacement flows).
+    pub fn unroute_net(&mut self, id: NetId) -> Result<usize> {
+        let Some(net) = self.nets.net(id) else {
+            return Ok(0);
+        };
+        let source = net.source;
+        self.remember_intents_of(source);
+        let net: Net = self.nets.remove_net(id).expect("net exists");
+        for &(rc, pip) in &net.pips {
+            self.bits.clear_pip(rc, pip.from, pip.to)?;
+            self.stats.pips_cleared += 1;
+        }
+        Ok(net.pips.len())
+    }
+
+    // ----------------------------------------------------------------
+    // Debug (§3.5)
+    // ----------------------------------------------------------------
+
+    /// Trace a source to all of its sinks; the entire net is returned.
+    pub fn trace(&self, source: &EndPoint) -> Result<TracedNet> {
+        let pins = self.resolve(source)?;
+        let seg = self.seg(pins[0].rc, pins[0].wire)?;
+        Ok(trace::trace(&self.bits, seg))
+    }
+
+    /// Trace a sink back to its source; only the branch leading to the
+    /// sink is returned.
+    pub fn reverse_trace(&self, sink: &EndPoint) -> Result<(Vec<Hop>, Segment)> {
+        let pins = self.resolve(sink)?;
+        let seg = self.seg(pins[0].rc, pins[0].wire)?;
+        trace::reverse_trace(&self.bits, seg)
+            .ok_or(RouteError::NoSuchNet { segment: seg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Device, Dir, Family, TemplateValue as T};
+
+    fn router() -> Router {
+        Router::new(&Device::new(Family::Xcv50))
+    }
+
+    #[test]
+    fn level1_paper_example_manual_route() {
+        // §3.1 worked example, verbatim.
+        let mut r = router();
+        r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
+        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        r.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0)).unwrap();
+        r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        assert_eq!(r.stats().pips_set, 4);
+        assert_eq!(r.nets().len(), 1);
+        let net = r.trace(&Pin::new(5, 7, wire::S1_YQ).into()).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+        assert!(r.is_on(RowCol::new(5, 7), wire::single(Dir::East, 5)).unwrap());
+        assert!(!r.is_on(RowCol::new(5, 7), wire::single(Dir::East, 6)).unwrap());
+    }
+
+    #[test]
+    fn level2_path_route_matches_paper_example() {
+        let mut r = router();
+        let p = Path::new(
+            5,
+            7,
+            vec![
+                wire::S1_YQ,
+                wire::out(1),
+                wire::single(Dir::East, 5),
+                wire::single(Dir::North, 0),
+                wire::S0_F3,
+            ],
+        );
+        r.route_path(&p).unwrap();
+        let net = r.trace(&Pin::new(5, 7, wire::S1_YQ).into()).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+        assert_eq!(net.pips.len(), 4);
+    }
+
+    #[test]
+    fn level2_disconnected_path_is_rejected() {
+        let mut r = router();
+        let p = Path::new(5, 7, vec![wire::S1_YQ, wire::single(Dir::East, 5)]);
+        let err = r.route_path(&p).unwrap_err();
+        assert!(matches!(err, RouteError::PathDisconnected { .. }));
+    }
+
+    #[test]
+    fn level3_template_route_matches_paper_example() {
+        let mut r = router();
+        let t = Template::new(vec![T::OutMux, T::East1, T::North1, T::ClbIn]);
+        r.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap();
+        let net = r.trace(&Pin::new(5, 7, wire::S1_YQ).into()).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+        // Template route uses exactly template-length pips.
+        assert_eq!(net.pips.len(), 4);
+    }
+
+    #[test]
+    fn level3_template_failure_is_template_exhausted() {
+        let mut r = router();
+        // A template demanding a LONGH step from a non-access tile fails.
+        let t = Template::new(vec![T::OutMux, T::LongH, T::ClbIn]);
+        let err = r.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap_err();
+        assert!(matches!(err, RouteError::TemplateExhausted));
+        // Walking off the chip is detected before searching.
+        let t = Template::new(vec![T::OutMux, T::South6, T::ClbIn]);
+        let err = r.route_template(Pin::new(2, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap_err();
+        assert!(matches!(err, RouteError::TemplateOffChip));
+    }
+
+    #[test]
+    fn level4_auto_route_point_to_point() {
+        let mut r = router();
+        let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+        let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+        r.route(&src, &sink).unwrap();
+        let net = r.trace(&src).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+        // The fast path should have been a predefined template, no maze.
+        assert_eq!(r.stats().maze_searches, 0);
+        assert!(r.stats().template_successes >= 1);
+    }
+
+    #[test]
+    fn level4_auto_route_falls_back_to_maze() {
+        let mut r = router();
+        let mut opts = RouterOptions::default();
+        opts.use_templates_first = false;
+        *r.options_mut() = opts;
+        let src: EndPoint = Pin::new(1, 1, wire::S0_YQ).into();
+        let sink: EndPoint = Pin::new(12, 20, wire::S1_F1).into();
+        r.route(&src, &sink).unwrap();
+        assert_eq!(r.stats().maze_searches, 1);
+        let net = r.trace(&src).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(12, 20, wire::S1_F1)]);
+    }
+
+    #[test]
+    fn level5_fanout_reuses_tree() {
+        let mut r = router();
+        let src: EndPoint = Pin::new(4, 4, wire::S0_YQ).into();
+        let sinks: Vec<EndPoint> = vec![
+            Pin::new(4, 10, wire::S0_F3).into(),
+            Pin::new(5, 10, wire::S1_F1).into(),
+            Pin::new(4, 11, wire::slice_in(0, 1)).into(),
+        ];
+        r.route_fanout(&src, &sinks).unwrap();
+        let net = r.trace(&src).unwrap();
+        assert_eq!(net.sinks.len(), 3);
+        // One net owns everything.
+        assert_eq!(r.nets().len(), 1);
+    }
+
+    #[test]
+    fn level6_bus_routes_pairwise_and_checks_width() {
+        let mut r = router();
+        let sources: Vec<EndPoint> =
+            (0..4).map(|i| Pin::new(2 + i, 2, wire::S0_YQ).into()).collect();
+        let sinks: Vec<EndPoint> =
+            (0..4).map(|i| Pin::new(2 + i, 6, wire::S0_F3).into()).collect();
+        r.route_bus(&sources, &sinks).unwrap();
+        assert_eq!(r.nets().len(), 4);
+        let err = r.route_bus(&sources, &sinks[..2]).unwrap_err();
+        assert!(matches!(err, RouteError::BusWidthMismatch { sources: 4, sinks: 2 }));
+    }
+
+    #[test]
+    fn contention_is_rejected_with_exception() {
+        // §3.4: driving an in-use wire throws.
+        let mut r = router();
+        r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
+        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        // S0_X (k=0) also reaches OUT[0] and OUT[2]... use another driver
+        // of SINGLE_E[5]: OUT[1] is its OMUX driver; drive from a hex tap
+        // instead must be refused.
+        let mut drivers = Vec::new();
+        r.device().arch().pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
+        let other = drivers.into_iter().find(|w| *w != wire::out(1)).unwrap();
+        let err = r.route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5)).unwrap_err();
+        assert!(matches!(err, RouteError::Contention { .. }));
+        assert_eq!(r.stats().contention_rejections, 1);
+    }
+
+    #[test]
+    fn router_protects_against_raw_jbits_state() {
+        // Configure a driver behind the router's back; the router must
+        // still refuse to double-drive.
+        let mut r = router();
+        r.bits_mut().set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
+        let mut drivers = Vec::new();
+        r.device().arch().pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
+        let other = drivers.into_iter().find(|w| *w != wire::out(1)).unwrap();
+        let err = r.route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5)).unwrap_err();
+        assert!(matches!(err, RouteError::Contention { .. }));
+    }
+
+    #[test]
+    fn unroute_frees_resources_for_reuse() {
+        let mut r = router();
+        let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+        let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+        r.route(&src, &sink).unwrap();
+        let used = r.nets().used_segments();
+        assert!(used > 0);
+        let cleared = r.unroute(&src).unwrap();
+        assert!(cleared >= 4);
+        assert_eq!(r.nets().used_segments(), 0);
+        assert_eq!(r.bits().on_pip_count(), 0);
+        // Resources are reusable: route again.
+        r.route(&src, &sink).unwrap();
+    }
+
+    #[test]
+    fn ports_route_and_reconnect_after_rebind() {
+        let mut r = router();
+        // A "core" output port at (2,2) and an input port at (2,6).
+        let out_port = r.define_port(
+            "q",
+            "core_a",
+            PortDir::Output,
+            vec![Pin::new(2, 2, wire::S0_YQ).into()],
+        );
+        let in_port = r.define_port(
+            "d",
+            "core_b",
+            PortDir::Input,
+            vec![Pin::new(2, 6, wire::S0_F3).into()],
+        );
+        r.route(&out_port.into(), &in_port.into()).unwrap();
+        assert_eq!(r.trace(&out_port.into()).unwrap().sinks.len(), 1);
+
+        // Replace core_a: unroute, rebind its port to a new location, and
+        // the connection is automatically re-made (§3.3).
+        r.unroute(&out_port.into()).unwrap();
+        assert_eq!(r.bits().on_pip_count(), 0);
+        assert_eq!(r.remembered().len(), 1);
+        let reconnected =
+            r.rebind_port(out_port, vec![Pin::new(4, 2, wire::S1_YQ).into()]).unwrap();
+        assert_eq!(reconnected, 1);
+        assert!(r.remembered().is_empty());
+        let net = r.trace(&out_port.into()).unwrap();
+        assert_eq!(net.sinks, vec![Pin::new(2, 6, wire::S0_F3)]);
+    }
+
+    #[test]
+    fn reverse_trace_via_router() {
+        let mut r = router();
+        let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+        let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+        r.route(&src, &sink).unwrap();
+        let (hops, found) = r.reverse_trace(&sink).unwrap();
+        assert!(!hops.is_empty());
+        assert_eq!(found, r.device().canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap());
+    }
+
+    #[test]
+    fn resource_usage_census() {
+        let mut r = router();
+        r.route(
+            &Pin::new(2, 2, wire::S0_YQ).into(),
+            &Pin::new(10, 14, wire::S0_F3).into(),
+        )
+        .unwrap();
+        let u = r.resource_usage();
+        assert!(u.total() > 0);
+        assert!(u.hexes > 0, "a 20-CLB route should use hexes: {u}");
+        assert_eq!(u.longs, 0, "long lines are off by default");
+    }
+}

@@ -1,0 +1,157 @@
+//! Router statistics and resource-usage accounting.
+//!
+//! The experiments (E2, E3, E8, E9) measure "routing resources used" and
+//! algorithm effort; this module defines the counters the router
+//! maintains and the per-class usage census.
+
+use crate::net::NetDb;
+use virtex::WireKind;
+
+/// Cumulative router activity counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// PIPs turned on.
+    pub pips_set: usize,
+    /// PIPs turned off (unrouting).
+    pub pips_cleared: usize,
+    /// Nets created.
+    pub nets_created: usize,
+    /// Maze searches run.
+    pub maze_searches: usize,
+    /// Total maze nodes expanded.
+    pub maze_nodes_expanded: usize,
+    /// Template-route attempts (user templates and predefined ones).
+    pub template_attempts: usize,
+    /// Template-route successes.
+    pub template_successes: usize,
+    /// Auto-routes that fell back from templates to the maze router.
+    pub maze_fallbacks: usize,
+    /// Contention errors raised (each one is a protected device, §3.4).
+    pub contention_rejections: usize,
+}
+
+/// Segments in use, bucketed by resource class.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the resource classes of paper §2
+pub struct ResourceUsage {
+    pub outs: usize,
+    pub singles: usize,
+    pub hexes: usize,
+    pub longs: usize,
+    pub directs: usize,
+    pub feedbacks: usize,
+    pub clb_pins: usize,
+    pub gclks: usize,
+}
+
+impl ResourceUsage {
+    /// Total segments in use.
+    pub fn total(&self) -> usize {
+        self.outs
+            + self.singles
+            + self.hexes
+            + self.longs
+            + self.directs
+            + self.feedbacks
+            + self.clb_pins
+            + self.gclks
+    }
+
+    /// Census over a net database.
+    pub fn from_netdb(db: &NetDb) -> Self {
+        let mut u = ResourceUsage::default();
+        for net in db.iter() {
+            u.bump(net.source.wire.kind());
+            for &(rc, pip) in &net.pips {
+                let _ = rc;
+                u.bump(pip.to.kind());
+            }
+        }
+        u
+    }
+
+    fn bump(&mut self, kind: WireKind) {
+        match kind {
+            WireKind::Out(_) => self.outs += 1,
+            WireKind::Single { .. } | WireKind::SingleEnd { .. } => self.singles += 1,
+            WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => {
+                self.hexes += 1
+            }
+            WireKind::LongH(_) | WireKind::LongV(_) => self.longs += 1,
+            WireKind::DirectE(_) | WireKind::DirectWEnd(_) => self.directs += 1,
+            WireKind::Feedback(_) => self.feedbacks += 1,
+            WireKind::SliceIn { .. } | WireKind::SliceOut { .. } => self.clb_pins += 1,
+            WireKind::Gclk(_) => self.gclks += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "outs={} singles={} hexes={} longs={} directs={} feedbacks={} pins={} gclks={} (total {})",
+            self.outs,
+            self.singles,
+            self.hexes,
+            self.longs,
+            self.directs,
+            self.feedbacks,
+            self.clb_pins,
+            self.gclks,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::Pin;
+    use jbits::Pip;
+    use virtex::{wire, Dir, RowCol, Segment};
+
+    #[test]
+    fn census_buckets_by_class() {
+        let mut db = NetDb::new();
+        let src = Pin::new(0, 0, wire::S0_YQ);
+        let s = Segment { rc: RowCol::new(0, 0), wire: wire::S0_YQ };
+        let id = db.create(src, s).unwrap();
+        let rc = RowCol::new(0, 0);
+        db.add_pip(
+            id,
+            rc,
+            Pip::new(wire::S0_YQ, wire::out(3)),
+            Segment { rc, wire: wire::out(3) },
+        )
+        .unwrap();
+        db.add_pip(
+            id,
+            rc,
+            Pip::new(wire::out(3), wire::single(Dir::East, 1)),
+            Segment { rc, wire: wire::single(Dir::East, 1) },
+        )
+        .unwrap();
+        db.add_pip(
+            id,
+            rc,
+            Pip::new(wire::out(3), wire::hex(Dir::North, 4)),
+            Segment { rc, wire: wire::hex(Dir::North, 4) },
+        )
+        .unwrap();
+        let u = ResourceUsage::from_netdb(&db);
+        assert_eq!(u.clb_pins, 1); // the source pin
+        assert_eq!(u.outs, 1);
+        assert_eq!(u.singles, 1);
+        assert_eq!(u.hexes, 1);
+        assert_eq!(u.total(), 4);
+        assert!(u.to_string().contains("total 4"));
+    }
+
+    #[test]
+    fn stats_default_to_zero() {
+        let s = RouterStats::default();
+        assert_eq!(s.pips_set, 0);
+        assert_eq!(s, RouterStats::default());
+    }
+}

@@ -1,0 +1,113 @@
+//! Route templates: the third level of control.
+//!
+//! Paper §3.1: *"A template is defined as an array of template values ...
+//! The user does not have to know the wire connections and the resources
+//! in use."*
+
+use virtex::geometry::{Dims, RowCol};
+use virtex::TemplateValue;
+
+/// An ordered sequence of [`TemplateValue`]s describing the *shape* of a
+/// route without naming resources.
+///
+/// Mirrors the paper's
+/// `Template template = new Template(new int[]{OUTMUX, EAST1, NORTH1, CLBIN})`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    values: Vec<TemplateValue>,
+}
+
+impl Template {
+    /// Template over the given values, in traversal order.
+    pub fn new(values: impl Into<Vec<TemplateValue>>) -> Self {
+        Template { values: values.into() }
+    }
+
+    /// The template values.
+    #[inline]
+    pub fn values(&self) -> &[TemplateValue] {
+        &self.values
+    }
+
+    /// Number of steps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the template has no steps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Net displacement `(d_row, d_col)` of one complete walk of the
+    /// template (directional steps only; local steps move nothing).
+    pub fn displacement(&self) -> (i32, i32) {
+        let mut dr = 0i32;
+        let mut dc = 0i32;
+        for v in &self.values {
+            if let Some(dir) = v.dir() {
+                let (r, c) = dir.delta();
+                let n = v.hop_length() as i32;
+                dr += r * n;
+                dc += c * n;
+            }
+        }
+        (dr, dc)
+    }
+
+    /// Tile reached by walking the template from `start`, or `None` if it
+    /// leaves a `dims`-sized device (checked cumulatively so a template
+    /// cannot escape and re-enter).
+    pub fn end_tile(&self, start: RowCol, dims: Dims) -> Option<RowCol> {
+        let mut rc = start;
+        for v in &self.values {
+            if let Some(dir) = v.dir() {
+                rc = rc.step(dir, v.hop_length(), dims)?;
+            }
+        }
+        Some(rc)
+    }
+}
+
+impl FromIterator<TemplateValue> for Template {
+    fn from_iter<I: IntoIterator<Item = TemplateValue>>(iter: I) -> Self {
+        Template::new(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::TemplateValue as T;
+
+    #[test]
+    fn paper_example_template() {
+        // §3.1: int[] t = {OUTMUX, EAST1, NORTH1, CLBIN};
+        let t = Template::new(vec![T::OutMux, T::East1, T::North1, T::ClbIn]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.displacement(), (1, 1));
+        // From (5,7) the walk ends at (6,8) — the paper's sink tile.
+        let end = t.end_tile(RowCol::new(5, 7), Dims::new(16, 24)).unwrap();
+        assert_eq!(end, RowCol::new(6, 8));
+    }
+
+    #[test]
+    fn displacement_mixes_hexes_and_singles() {
+        let t = Template::new(vec![T::OutMux, T::North6, T::North6, T::South1, T::East6, T::ClbIn]);
+        assert_eq!(t.displacement(), (11, 6));
+    }
+
+    #[test]
+    fn end_tile_rejects_off_chip_walks() {
+        let t = Template::new(vec![T::South6, T::North6]);
+        // Walking south 6 from row 2 leaves the chip even though the net
+        // displacement is zero.
+        assert_eq!(t.end_tile(RowCol::new(2, 5), Dims::new(16, 24)), None);
+        assert_eq!(
+            t.end_tile(RowCol::new(8, 5), Dims::new(16, 24)),
+            Some(RowCol::new(8, 5))
+        );
+    }
+}

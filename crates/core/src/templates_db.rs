@@ -1,0 +1,206 @@
+//! Predefined templates for point-to-point auto-routing.
+//!
+//! Paper §3.1, on `route(EndPoint, EndPoint)`: *"Another possibility that
+//! would potentially be faster is to define a set of unique and
+//! predefined templates that would get from the source to the sink and
+//! try each one. If all of them fail then the router could fall back on a
+//! maze algorithm. The benefit of defining the template would be to
+//! reduce the search space."*
+//!
+//! Given the displacement between source and sink we decompose each axis
+//! into hex hops (6 CLBs) plus single hops (1 CLB) and emit a handful of
+//! orderings (row-first, column-first, hexes-first). §5 notes this is the
+//! one architecture-dependent piece of the initial implementation.
+
+use crate::template::Template;
+use virtex::{Dir, RowCol, TemplateValue, Wire, WireKind};
+
+/// Per-axis decomposition into hex + single template values.
+fn axis_steps(delta: i32, pos: Dir, neg: Dir, out: &mut Vec<TemplateValue>) {
+    let dir = if delta >= 0 { pos } else { neg };
+    let n = delta.unsigned_abs();
+    for _ in 0..n / 6 {
+        out.push(TemplateValue::hex(dir));
+    }
+    for _ in 0..n % 6 {
+        out.push(TemplateValue::single(dir));
+    }
+}
+
+/// Generate the predefined candidate templates for a route from `src_rc`
+/// (on wire `src_wire`) to `dst_rc` (onto wire `dst_wire`).
+///
+/// Prefixes `OUTMUX` when the source is a logic-block output pin and
+/// appends `CLBIN` when the sink is an input pin, so the templates run
+/// end-to-end. Candidates are returned cheapest-first (fewest steps).
+pub fn candidates(
+    src_rc: RowCol,
+    src_wire: Wire,
+    dst_rc: RowCol,
+    dst_wire: Wire,
+) -> Vec<Template> {
+    let dr = dst_rc.row as i32 - src_rc.row as i32;
+    let dc = dst_rc.col as i32 - src_rc.col as i32;
+    let from_output = src_wire.is_clb_output();
+    let to_input = dst_wire.is_clb_input();
+
+    let mut cands: Vec<Vec<TemplateValue>> = Vec::new();
+
+    // Same-tile feedback and east-neighbour direct connect come first:
+    // they are the local resources of paper §2 / Fig. 1.
+    if from_output && to_input && dr == 0 && dc == 0 {
+        cands.push(vec![TemplateValue::Feedback]);
+    }
+    if from_output && to_input && dr == 0 && dc == 1 {
+        cands.push(vec![TemplateValue::Direct]);
+    }
+
+    let mut rows = Vec::new();
+    axis_steps(dr, Dir::North, Dir::South, &mut rows);
+    let mut cols = Vec::new();
+    axis_steps(dc, Dir::East, Dir::West, &mut cols);
+
+    // Row-major, column-major, and interleaved orderings.
+    let mut row_first = rows.clone();
+    row_first.extend_from_slice(&cols);
+    let mut col_first = cols.clone();
+    col_first.extend_from_slice(&rows);
+    let mut interleaved = Vec::with_capacity(rows.len() + cols.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < rows.len() || j < cols.len() {
+        if i < rows.len() {
+            interleaved.push(rows[i]);
+            i += 1;
+        }
+        if j < cols.len() {
+            interleaved.push(cols[j]);
+            j += 1;
+        }
+    }
+    for body in [row_first, col_first, interleaved] {
+        if !body.is_empty() && !cands.contains(&body) {
+            cands.push(body);
+        }
+    }
+
+    cands
+        .into_iter()
+        .map(|mut body| {
+            // Local resources connect pins directly; fabric templates need
+            // the OMUX prefix and input suffix.
+            let local = matches!(
+                body.as_slice(),
+                [TemplateValue::Feedback] | [TemplateValue::Direct]
+            );
+            let mut v = Vec::with_capacity(body.len() + 2);
+            if from_output && !local {
+                v.push(TemplateValue::OutMux);
+            }
+            v.append(&mut body);
+            if to_input {
+                v.push(TemplateValue::ClbIn);
+            }
+            Template::new(v)
+        })
+        .collect()
+}
+
+/// Whether `wire`'s class can appear mid-template (directional fabric
+/// resources only).
+pub fn is_fabric(wire: Wire) -> bool {
+    matches!(
+        wire.kind(),
+        WireKind::Single { .. }
+            | WireKind::SingleEnd { .. }
+            | WireKind::Hex { .. }
+            | WireKind::HexMid { .. }
+            | WireKind::HexEnd { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::wire;
+    use virtex::Dims;
+    use virtex::TemplateValue as T;
+
+    #[test]
+    fn paper_example_delta_generates_the_paper_template() {
+        // (5,7) -> (6,8) is Δ(1,1): one of the candidates must be the
+        // paper's {OUTMUX, EAST1, NORTH1, CLBIN} (as col-first) or its
+        // row-first twin.
+        let c = candidates(
+            RowCol::new(5, 7),
+            wire::S1_YQ,
+            RowCol::new(6, 8),
+            wire::S0_F3,
+        );
+        assert!(c
+            .iter()
+            .any(|t| t.values() == [T::OutMux, T::East1, T::North1, T::ClbIn]));
+        assert!(c
+            .iter()
+            .any(|t| t.values() == [T::OutMux, T::North1, T::East1, T::ClbIn]));
+        // All candidates land on the sink tile.
+        for t in &c {
+            assert_eq!(
+                t.end_tile(RowCol::new(5, 7), Dims::new(16, 24)),
+                Some(RowCol::new(6, 8)),
+                "template {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_deltas_decompose_into_hexes_plus_singles() {
+        let c = candidates(
+            RowCol::new(0, 0),
+            wire::S0_YQ,
+            RowCol::new(13, 8),
+            wire::S0_F3,
+        );
+        // Δrow=13 = 2 hexes + 1 single; Δcol=8 = 1 hex + 2 singles.
+        let t = &c[0];
+        let hexes = t.values().iter().filter(|v| v.hop_length() == 6).count();
+        let singles = t.values().iter().filter(|v| v.hop_length() == 1).count();
+        assert_eq!(hexes, 3);
+        assert_eq!(singles, 3);
+        assert_eq!(t.displacement(), (13, 8));
+    }
+
+    #[test]
+    fn local_deltas_offer_feedback_and_direct() {
+        let same = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 4), wire::S0_F3);
+        assert_eq!(same[0].values(), [T::Feedback, T::ClbIn]);
+        let east = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 5), wire::S0_F3);
+        assert_eq!(east[0].values(), [T::Direct, T::ClbIn]);
+        // But a west neighbour has no direct connect.
+        let west = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 3), wire::S0_F3);
+        assert!(west.iter().all(|t| t.values().first() != Some(&T::Direct)));
+    }
+
+    #[test]
+    fn non_pin_endpoints_get_no_prefix_or_suffix() {
+        let c = candidates(
+            RowCol::new(2, 2),
+            wire::single(virtex::Dir::East, 0),
+            RowCol::new(2, 4),
+            wire::single(virtex::Dir::East, 7),
+        );
+        for t in &c {
+            assert_ne!(t.values().first(), Some(&T::OutMux));
+            assert_ne!(t.values().last(), Some(&T::ClbIn));
+        }
+    }
+
+    #[test]
+    fn candidates_are_distinct() {
+        let c = candidates(RowCol::new(0, 0), wire::S0_YQ, RowCol::new(5, 5), wire::S0_F3);
+        for (i, a) in c.iter().enumerate() {
+            for b in &c[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

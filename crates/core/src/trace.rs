@@ -1,0 +1,176 @@
+//! Net tracing: the debugging features of paper §3.5.
+//!
+//! * [`trace`] — *"traces a source to all of its sinks. The entire net is
+//!   returned."*
+//! * [`reverse_trace`] — *"A sink is traced back to its source. Only the
+//!   net that leads to the sink is returned."*
+//!
+//! Both work purely from the configuration bitstream (readback), exactly
+//! as BoardScope-class tools must: they make no use of the router's net
+//! database, so they can inspect state configured by raw JBits calls too.
+
+use crate::endpoint::Pin;
+use jbits::{Bitstream, Pip};
+use virtex::segment::Tap;
+use virtex::{RowCol, Segment};
+
+/// A traced net: everything reachable from a source through on-PIPs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedNet {
+    /// The canonical source segment the trace started from.
+    pub source: Segment,
+    /// Every segment the signal reaches, in discovery (BFS) order,
+    /// starting with the source.
+    pub segments: Vec<Segment>,
+    /// Every on-PIP carrying the signal, in discovery order.
+    pub pips: Vec<(RowCol, Pip)>,
+    /// Logic-block input pins reached (the net's sinks).
+    pub sinks: Vec<Pin>,
+}
+
+/// One step of a reverse trace: the PIP that drove the wire.
+pub type Hop = (RowCol, Pip);
+
+/// Trace forward from `source`, following every on-PIP, and return the
+/// entire net (paper: `trace(EndPoint source)`).
+pub fn trace(bits: &Bitstream, source: Segment) -> TracedNet {
+    let dev = bits.device();
+    let mut net = TracedNet {
+        source,
+        segments: vec![source],
+        pips: Vec::new(),
+        sinks: Vec::new(),
+    };
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(source);
+    let mut frontier = vec![source];
+    let mut taps: Vec<Tap> = Vec::new();
+    while let Some(seg) = frontier.pop() {
+        taps.clear();
+        virtex::segment::taps(dev.dims(), seg, &mut taps);
+        for tap in &taps {
+            for pip in bits.pips_at(tap.rc) {
+                if pip.from != tap.wire {
+                    continue;
+                }
+                net.pips.push((tap.rc, *pip));
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                if pip.to.is_clb_input() {
+                    let pin = Pin::at(tap.rc, pip.to);
+                    if !net.sinks.contains(&pin) {
+                        net.sinks.push(pin);
+                    }
+                }
+                if seen.insert(next) {
+                    net.segments.push(next);
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    net
+}
+
+/// Trace backward from `sink` to the net's source (paper:
+/// `reverseTrace(EndPoint sink)`). Returns the hops sink-first and the
+/// source segment, or `None` if `sink` is not driven at all.
+pub fn reverse_trace(bits: &Bitstream, sink: Segment) -> Option<(Vec<Hop>, Segment)> {
+    let dev = bits.device();
+    let mut hops = Vec::new();
+    let mut cur = sink;
+    let mut guard = 0usize;
+    loop {
+        match bits.segment_driver(cur) {
+            Some((rc, pip)) => {
+                hops.push((rc, pip));
+                cur = dev.canonicalize(rc, pip.from)?;
+            }
+            None => {
+                if hops.is_empty() {
+                    return None;
+                }
+                return Some((hops, cur));
+            }
+        }
+        guard += 1;
+        assert!(
+            guard <= dev.segment_space(),
+            "reverse trace cycle: configuration drives itself"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jbits::Bitstream;
+    use virtex::{wire, Device, Dir, Family, RowCol};
+
+    /// Configure the paper's §3.1 worked example route by hand.
+    fn example_route() -> (Bitstream, Segment) {
+        let dev = Device::new(Family::Xcv50);
+        let mut b = Bitstream::new(&dev);
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+            .unwrap();
+        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
+        (b, src)
+    }
+
+    #[test]
+    fn trace_returns_entire_net() {
+        let (b, src) = example_route();
+        let net = trace(&b, src);
+        assert_eq!(net.source, src);
+        assert_eq!(net.pips.len(), 4);
+        assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+        // Segments: S1_YQ, OUT[1], SINGLE_E[5], SINGLE_N[0], S0_F3.
+        assert_eq!(net.segments.len(), 5);
+    }
+
+    #[test]
+    fn trace_follows_fanout_branches() {
+        let (mut b, src) = example_route();
+        // Branch at OUT[1]: also drive SINGLE_N[4] from (5,7)
+        // (pattern: OUT[1] drives north singles {3, 11, 19}).
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
+        let net = trace(&b, src);
+        assert_eq!(net.pips.len(), 5);
+        assert_eq!(net.segments.len(), 6);
+    }
+
+    #[test]
+    fn reverse_trace_finds_only_the_stem() {
+        let (mut b, src) = example_route();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
+        let dev = *b.device();
+        let sink = dev.canonicalize(RowCol::new(6, 8), wire::S0_F3).unwrap();
+        let (hops, found_src) = reverse_trace(&b, sink).unwrap();
+        assert_eq!(found_src, src);
+        // The stem is 4 hops; the branch to SINGLE_N[5] is not included.
+        assert_eq!(hops.len(), 4);
+        assert_eq!(hops[0].0, RowCol::new(6, 8));
+        assert_eq!(hops[3].1, jbits::Pip::new(wire::S1_YQ, wire::out(1)));
+    }
+
+    #[test]
+    fn reverse_trace_of_undriven_wire_is_none() {
+        let (b, _) = example_route();
+        let dev = *b.device();
+        let sink = dev.canonicalize(RowCol::new(2, 2), wire::S0_F3).unwrap();
+        assert!(reverse_trace(&b, sink).is_none());
+    }
+
+    #[test]
+    fn trace_of_unrouted_source_is_just_the_source() {
+        let dev = Device::new(Family::Xcv50);
+        let b = Bitstream::new(&dev);
+        let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
+        let net = trace(&b, src);
+        assert_eq!(net.segments, vec![src]);
+        assert!(net.pips.is_empty());
+        assert!(net.sinks.is_empty());
+    }
+}

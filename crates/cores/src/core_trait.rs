@@ -1,0 +1,194 @@
+//! The run-time parameterizable core abstraction (paper §3.2, §4).
+//!
+//! *"Another goal when designing the JRoute API was to support a
+//! hierarchical and reusable library of run-time parameterizable
+//! cores."* A core occupies a rectangle of CLBs, configures LUTs and
+//! internal routing, and exposes *ports* grouped per bus. The paper's
+//! routing guidelines are followed: every port is in a group, the router
+//! is called for each port's internal connection, and `get_ports(group)`
+//! returns the group's ports in bit order.
+
+use jroute::{EndPoint, PortDir, PortId, Result, RouteError, Router};
+use std::collections::HashMap;
+use virtex::RowCol;
+
+/// A run-time parameterizable core.
+pub trait RtpCore {
+    /// Human-readable core type name.
+    fn name(&self) -> &str;
+
+    /// Footprint in CLBs: `(rows, cols)` from the origin (inclusive).
+    fn footprint(&self) -> (u16, u16);
+
+    /// Current placement origin (south-west corner).
+    fn origin(&self) -> RowCol;
+
+    /// Move the placement origin (takes effect at the next
+    /// [`RtpCore::implement`]).
+    fn set_origin(&mut self, rc: RowCol);
+
+    /// Configure the core at its origin: LUTs, internal routing, and port
+    /// (re)binding. Idempotent with respect to ports: the first call
+    /// defines them, later calls rebind them (which auto-reconnects
+    /// remembered connections, §3.3).
+    fn implement(&mut self, router: &mut Router) -> Result<()>;
+
+    /// Remove the core: unroute its internal nets and erase its LUTs.
+    /// Port definitions survive (their bindings go stale until the next
+    /// `implement`).
+    fn remove(&mut self, router: &mut Router) -> Result<()>;
+
+    /// Port bookkeeping shared by all cores.
+    fn state(&self) -> &CoreState;
+}
+
+/// Shared implementation state: placement, port ids, internal nets, LUTs.
+#[derive(Debug, Default)]
+pub struct CoreState {
+    /// Port ids per group, in bit order.
+    ports: HashMap<String, Vec<PortId>>,
+    /// Direction of each group.
+    group_dirs: HashMap<String, PortDir>,
+    /// Sources of internally routed nets (to unroute on removal).
+    internal_nets: Vec<EndPoint>,
+    /// LUTs configured (to erase on removal): `(rc, slice, lut)`.
+    luts: Vec<(RowCol, u8, u8)>,
+    /// Whether the core is currently implemented on the device.
+    placed: bool,
+}
+
+impl CoreState {
+    /// Fresh, unplaced core state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the core is currently configured on the device.
+    pub fn is_placed(&self) -> bool {
+        self.placed
+    }
+
+    pub(crate) fn set_placed(&mut self, placed: bool) {
+        self.placed = placed;
+    }
+
+    /// The paper's `getPorts()` for this core.
+    pub fn get_ports(&self, group: &str) -> &[PortId] {
+        self.ports.get(group).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All group names with their directions.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, PortDir)> {
+        self.group_dirs.iter().map(|(g, d)| (g.as_str(), *d))
+    }
+
+    /// Define the group's ports on first call, rebind them afterwards.
+    /// `targets[i]` is bit `i`'s binding.
+    pub(crate) fn define_or_rebind_group(
+        &mut self,
+        router: &mut Router,
+        group: &str,
+        dir: PortDir,
+        targets: Vec<Vec<EndPoint>>,
+    ) -> Result<()> {
+        match self.ports.get(group) {
+            Some(ids) => {
+                if ids.len() != targets.len() {
+                    // A core's bus width is fixed over its lifetime.
+                    return Err(RouteError::BusWidthMismatch {
+                        sources: ids.len(),
+                        sinks: targets.len(),
+                    });
+                }
+                for (id, t) in ids.clone().into_iter().zip(targets) {
+                    router.rebind_port(id, t)?;
+                }
+            }
+            None => {
+                let ids: Vec<PortId> = targets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(bit, t)| router.define_port(format!("{group}[{bit}]"), group, dir, t))
+                    .collect();
+                self.ports.insert(group.to_string(), ids);
+                self.group_dirs.insert(group.to_string(), dir);
+            }
+        }
+        Ok(())
+    }
+
+    /// Record an internal net's source endpoint for later removal.
+    pub(crate) fn record_internal_net(&mut self, source: EndPoint) {
+        if !self.internal_nets.contains(&source) {
+            self.internal_nets.push(source);
+        }
+    }
+
+    /// Record a configured LUT for later erasure.
+    pub(crate) fn record_lut(&mut self, rc: RowCol, slice: u8, lut: u8) {
+        if !self.luts.contains(&(rc, slice, lut)) {
+            self.luts.push((rc, slice, lut));
+        }
+    }
+
+    /// Unroute internal nets and erase LUTs (the shared `remove` body).
+    pub(crate) fn tear_down(&mut self, router: &mut Router) -> Result<()> {
+        for src in self.internal_nets.drain(..) {
+            match router.unroute(&src) {
+                Ok(_) | Err(RouteError::NoSuchNet { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for (rc, slice, lut) in self.luts.drain(..) {
+            router.bits_mut().set_lut(rc, slice, lut, 0).map_err(RouteError::JBits)?;
+        }
+        self.placed = false;
+        Ok(())
+    }
+}
+
+/// Detach a core from its neighbours: unroute nets driven by its output
+/// ports (remembered) and branches arriving at its input ports
+/// (remembered via the upstream nets). Call before removing/relocating.
+pub fn detach(core: &dyn RtpCore, router: &mut Router) -> Result<()> {
+    let state = core.state();
+    let groups: Vec<(String, PortDir)> =
+        state.groups().map(|(g, d)| (g.to_string(), d)).collect();
+    for (group, dir) in groups {
+        for &id in state.get_ports(&group) {
+            let ep: EndPoint = id.into();
+            let r = match dir {
+                PortDir::Output => router.unroute(&ep).map(|_| ()),
+                PortDir::Input => router.unroute_sink(&ep).map(|_| ()),
+            };
+            match r {
+                Ok(()) | Err(RouteError::NoSuchNet { .. }) | Err(RouteError::UnboundPort { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Relocate a core: detach, remove, move, re-implement. Rebinding the
+/// ports inside `implement` automatically re-routes the remembered
+/// connections — the paper's §3.3 core-relocation flow.
+pub fn relocate(core: &mut dyn RtpCore, router: &mut Router, new_origin: RowCol) -> Result<()> {
+    detach(core, router)?;
+    core.remove(router)?;
+    core.set_origin(new_origin);
+    core.implement(router)
+}
+
+/// Replace-in-place flow for run-time parameter changes (§3.3's constant
+/// multiplier example): detach, remove, apply `change`, re-implement.
+pub fn replace_with<C: RtpCore>(
+    core: &mut C,
+    router: &mut Router,
+    change: impl FnOnce(&mut C),
+) -> Result<()> {
+    detach(core, router)?;
+    core.remove(router)?;
+    change(core);
+    core.implement(router)
+}

@@ -1,0 +1,167 @@
+//! Run-time floorplanning: tracking which CLBs cores occupy.
+//!
+//! Paper §1: *"Since the placement of cores is one of the parameters that
+//! can be configured at run-time, the routing is not predefined."*
+//! Something has to pick those placements; this module is the run-time
+//! placer: a CLB occupancy grid with first-fit region allocation, the
+//! substrate RTR systems use to insert, remove and relocate cores while
+//! the device runs.
+
+use virtex::{Dims, RowCol};
+
+/// Identifier of a placed region (caller-chosen, e.g. a core index).
+pub type RegionId = u32;
+
+/// A rectangular claim on the CLB array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// South-west corner.
+    pub origin: RowCol,
+    /// Rows extent.
+    pub rows: u16,
+    /// Columns extent.
+    pub cols: u16,
+}
+
+impl Region {
+    /// Whether two regions overlap.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let (r1a, r1b) = (self.origin.row, self.origin.row + self.rows);
+        let (c1a, c1b) = (self.origin.col, self.origin.col + self.cols);
+        let (r2a, r2b) = (other.origin.row, other.origin.row + other.rows);
+        let (c2a, c2b) = (other.origin.col, other.origin.col + other.cols);
+        r1a < r2b && r2a < r1b && c1a < c2b && c2a < c1b
+    }
+
+    /// Whether the region lies fully on a `dims` device.
+    pub fn fits(&self, dims: Dims) -> bool {
+        self.origin.row + self.rows <= dims.rows && self.origin.col + self.cols <= dims.cols
+    }
+}
+
+/// The run-time floorplan: occupied regions on one device.
+#[derive(Debug)]
+pub struct Floorplan {
+    dims: Dims,
+    regions: Vec<(RegionId, Region)>,
+}
+
+impl Floorplan {
+    /// Empty floorplan for a device of the given dimensions.
+    pub fn new(dims: Dims) -> Self {
+        Floorplan { dims, regions: Vec::new() }
+    }
+
+    /// Occupied CLB count.
+    pub fn occupied_clbs(&self) -> usize {
+        self.regions.iter().map(|(_, r)| r.rows as usize * r.cols as usize).sum()
+    }
+
+    /// All current regions.
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, Region)> + '_ {
+        self.regions.iter().copied()
+    }
+
+    /// Whether `region` is free (on-chip and overlapping nothing).
+    pub fn is_free(&self, region: Region) -> bool {
+        region.fits(self.dims) && self.regions.iter().all(|(_, r)| !r.overlaps(&region))
+    }
+
+    /// Claim an explicit region. Fails (returns `false`) if occupied or
+    /// off-chip.
+    pub fn claim(&mut self, id: RegionId, region: Region) -> bool {
+        if !self.is_free(region) {
+            return false;
+        }
+        self.regions.push((id, region));
+        true
+    }
+
+    /// Release every region owned by `id`. Returns how many were freed.
+    pub fn release(&mut self, id: RegionId) -> usize {
+        let before = self.regions.len();
+        self.regions.retain(|(owner, _)| *owner != id);
+        before - self.regions.len()
+    }
+
+    /// First-fit search: find a free `rows x cols` region, scanning
+    /// row-major from the origin, and claim it for `id`.
+    pub fn place(&mut self, id: RegionId, rows: u16, cols: u16) -> Option<RowCol> {
+        for r in 0..self.dims.rows.saturating_sub(rows - 1) {
+            for c in 0..self.dims.cols.saturating_sub(cols - 1) {
+                let region = Region { origin: RowCol::new(r, c), rows, cols };
+                if self.claim(id, region) {
+                    return Some(region.origin);
+                }
+            }
+        }
+        None
+    }
+
+    /// Fraction of the device occupied, 0.0..=1.0.
+    pub fn utilization(&self) -> f64 {
+        self.occupied_clbs() as f64 / self.dims.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: Dims = Dims::new(16, 24);
+
+    #[test]
+    fn overlap_detection_covers_edges() {
+        let a = Region { origin: RowCol::new(2, 2), rows: 4, cols: 4 };
+        let touching = Region { origin: RowCol::new(6, 2), rows: 2, cols: 2 };
+        let inside = Region { origin: RowCol::new(3, 3), rows: 1, cols: 1 };
+        let corner = Region { origin: RowCol::new(5, 5), rows: 3, cols: 3 };
+        let apart = Region { origin: RowCol::new(10, 10), rows: 2, cols: 2 };
+        assert!(!a.overlaps(&touching), "edge-adjacent is not overlap");
+        assert!(a.overlaps(&inside));
+        assert!(a.overlaps(&corner));
+        assert!(!a.overlaps(&apart));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn first_fit_packs_left_to_right() {
+        let mut fp = Floorplan::new(DIMS);
+        let a = fp.place(0, 4, 4).unwrap();
+        let b = fp.place(1, 4, 4).unwrap();
+        assert_eq!(a, RowCol::new(0, 0));
+        assert_eq!(b, RowCol::new(0, 4));
+        assert_eq!(fp.occupied_clbs(), 32);
+        assert!(fp.utilization() > 0.0);
+    }
+
+    #[test]
+    fn claims_respect_occupancy_and_bounds() {
+        let mut fp = Floorplan::new(DIMS);
+        assert!(fp.claim(0, Region { origin: RowCol::new(0, 0), rows: 4, cols: 4 }));
+        assert!(!fp.claim(1, Region { origin: RowCol::new(2, 2), rows: 4, cols: 4 }));
+        assert!(!fp.claim(1, Region { origin: RowCol::new(14, 22), rows: 4, cols: 4 }), "off-chip");
+        assert!(fp.claim(1, Region { origin: RowCol::new(4, 0), rows: 4, cols: 4 }));
+    }
+
+    #[test]
+    fn release_frees_space_for_reuse() {
+        let mut fp = Floorplan::new(DIMS);
+        fp.place(0, 16, 24).unwrap(); // whole device
+        assert!(fp.place(1, 1, 1).is_none());
+        assert_eq!(fp.release(0), 1);
+        assert_eq!(fp.place(1, 1, 1), Some(RowCol::new(0, 0)));
+        assert_eq!(fp.release(9), 0, "unknown id frees nothing");
+    }
+
+    #[test]
+    fn device_fills_up_exactly() {
+        let mut fp = Floorplan::new(Dims::new(8, 8));
+        let mut placed = 0;
+        while fp.place(placed, 2, 2).is_some() {
+            placed += 1;
+        }
+        assert_eq!(placed, 16, "8x8 holds exactly sixteen 2x2 cores");
+        assert!((fp.utilization() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jroute-cores — run-time parameterizable cores over the JRoute API
+//!
+//! The paper's §3.2/§4 story: with ports and auto-routing, *"a user can
+//! create designs without knowledge of the routing architecture by using
+//! port to port connections. The user only really needs a small set of
+//! architecture-specific cores to start with."* This crate is that small
+//! set:
+//!
+//! * [`StimulusBank`] — drivable outputs standing in for IOBs;
+//! * [`ConstAdder`] — `a + K`, carry rippled through general routing;
+//! * [`Counter`] — the paper's §4 example (constant adder + feedback);
+//! * [`ConstMultiplier`] — the §3.3 replaceable constant multiplier
+//!   (LUT-based distributed arithmetic);
+//! * [`Register`] — a D register bank.
+//!
+//! Plus the RTR verbs of §3.3: [`relocate`] and [`replace_with`], which
+//! exercise unroute → rebind → automatic reconnection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accumulator;
+pub mod adder;
+pub mod core_trait;
+pub mod counter;
+pub mod floorplan;
+pub mod lfsr;
+pub mod multiplier;
+pub mod register;
+pub mod stimulus;
+pub mod util;
+
+pub use accumulator::Accumulator;
+pub use adder::ConstAdder;
+pub use core_trait::{detach, relocate, replace_with, CoreState, RtpCore};
+pub use counter::Counter;
+pub use floorplan::{Floorplan, Region, RegionId};
+pub use lfsr::Lfsr;
+pub use multiplier::{ConstMultiplier, IN_WIDTH};
+pub use register::Register;
+pub use stimulus::StimulusBank;

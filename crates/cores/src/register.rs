@@ -1,0 +1,100 @@
+//! Register bank: a `width`-bit D register.
+
+use crate::core_trait::{CoreState, RtpCore};
+use crate::util::buffer_mask;
+use jroute::{EndPoint, Pin, PortDir, PortId, Result, Router};
+use virtex::wire::{self, slice_in_pin, slice_out_pin};
+use virtex::RowCol;
+
+/// A `width`-bit register clocked from a global clock net. One CLB per
+/// bit; the F-LUT buffers `F1` into the F flip-flop.
+#[derive(Debug)]
+pub struct Register {
+    width: usize,
+    gclk: usize,
+    origin: RowCol,
+    state: CoreState,
+}
+
+impl Register {
+    /// Register of `width` bits at `origin`, clocked by `GCLK[gclk]`.
+    pub fn new(width: usize, gclk: usize, origin: RowCol) -> Self {
+        assert!(width > 0);
+        Register { width, gclk, origin, state: CoreState::new() }
+    }
+
+    /// Bit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn rc(&self, bit: usize) -> RowCol {
+        RowCol::new(self.origin.row + bit as u16, self.origin.col)
+    }
+
+    /// Input port group `"d"`.
+    pub fn d_ports(&self) -> &[PortId] {
+        self.state.get_ports("d")
+    }
+
+    /// Output port group `"q"`.
+    pub fn q_ports(&self) -> &[PortId] {
+        self.state.get_ports("q")
+    }
+
+    /// Tile of bit `bit` (`LogicSource::Xq {{ rc, slice: 0 }}`).
+    pub fn bit_site(&self, bit: usize) -> RowCol {
+        self.rc(bit)
+    }
+}
+
+impl RtpCore for Register {
+    fn name(&self) -> &str {
+        "register"
+    }
+
+    fn footprint(&self) -> (u16, u16) {
+        (self.width as u16, 1)
+    }
+
+    fn origin(&self) -> RowCol {
+        self.origin
+    }
+
+    fn set_origin(&mut self, rc: RowCol) {
+        self.origin = rc;
+    }
+
+    fn implement(&mut self, router: &mut Router) -> Result<()> {
+        for bit in 0..self.width {
+            let rc = self.rc(bit);
+            router.bits_mut().set_lut(rc, 0, 0, buffer_mask(0))?;
+            self.state.record_lut(rc, 0, 0);
+            router.route_pip(rc, wire::gclk(self.gclk), wire::slice_in(0, slice_in_pin::CLK))?;
+        }
+        self.state
+            .record_internal_net(Pin::at(self.rc(0), wire::gclk(self.gclk)).into());
+        let d_targets: Vec<Vec<EndPoint>> = (0..self.width)
+            .map(|bit| {
+                vec![Pin::at(self.rc(bit), wire::slice_in(0, slice_in_pin::F1)).into()]
+            })
+            .collect();
+        self.state.define_or_rebind_group(router, "d", PortDir::Input, d_targets)?;
+        let q_targets: Vec<Vec<EndPoint>> = (0..self.width)
+            .map(|bit| {
+                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()]
+            })
+            .collect();
+        self.state.define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
+        self.state.set_placed(true);
+        Ok(())
+    }
+
+    fn remove(&mut self, router: &mut Router) -> Result<()> {
+        self.state.tear_down(router)
+    }
+
+    fn state(&self) -> &CoreState {
+        &self.state
+    }
+}

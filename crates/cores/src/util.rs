@@ -1,0 +1,36 @@
+//! LUT mask construction helpers.
+
+/// Build a 16-bit LUT mask from a truth function over the 4-bit address
+/// (`addr` bit 0 = input 1, … bit 3 = input 4).
+pub fn lut_mask(f: impl Fn(u16) -> bool) -> u16 {
+    let mut mask = 0u16;
+    for addr in 0..16u16 {
+        if f(addr) {
+            mask |= 1 << addr;
+        }
+    }
+    mask
+}
+
+/// Identity of address bit `bit` (a LUT buffer of one input).
+pub fn buffer_mask(bit: u8) -> u16 {
+    lut_mask(|a| (a >> bit) & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_match_truth_tables() {
+        assert_eq!(lut_mask(|_| false), 0);
+        assert_eq!(lut_mask(|_| true), 0xFFFF);
+        assert_eq!(buffer_mask(0), 0xAAAA);
+        assert_eq!(buffer_mask(1), 0xCCCC);
+        assert_eq!(buffer_mask(2), 0xF0F0);
+        assert_eq!(buffer_mask(3), 0xFF00);
+        // XOR of inputs 1 and 2.
+        let xor = lut_mask(|a| ((a & 1) ^ ((a >> 1) & 1)) == 1);
+        assert_eq!(xor, 0x6666);
+    }
+}

@@ -1,0 +1,368 @@
+//! The configuration bitstream: per-tile PIP state and LUT contents.
+//!
+//! This is the JBits-class layer: a *manual*, bit-level interface to the
+//! device configuration. It validates that a PIP physically exists (you
+//! cannot set a bit the silicon doesn't have) but performs **no**
+//! contention or routing checks — those belong to JRoute (paper §3.4).
+//!
+//! State is stored sparsely (per-tile sorted vectors of on-PIPs): real RTR
+//! designs turn on a vanishing fraction of the millions of PIPs, and the
+//! sparse form makes readback, diffing and tracing cheap.
+
+use crate::error::JBitsError;
+use crate::frame::{lut_frame, pip_frame, FrameTracker};
+use virtex::segment::Tap;
+use virtex::{Device, RowCol, Segment, Wire};
+
+/// One programmable interconnect point at a tile: drive `to` from `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pip {
+    /// Driving wire (local name).
+    pub from: Wire,
+    /// Driven wire (local name).
+    pub to: Wire,
+}
+
+impl Pip {
+    /// PIP driving `to` from `from`.
+    #[inline]
+    pub const fn new(from: Wire, to: Wire) -> Self {
+        Pip { from, to }
+    }
+}
+
+/// Per-tile configuration: on-PIPs (sorted) and LUT contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct TileConfig {
+    /// Sorted by (to, from) so "who drives `to`" is a contiguous range.
+    pub(crate) pips: Vec<Pip>,
+    /// 16-bit LUT equations: [S0-F, S0-G, S1-F, S1-G].
+    pub(crate) luts: [u16; 4],
+}
+
+impl TileConfig {
+    #[inline]
+    fn find(&self, pip: Pip) -> Result<usize, usize> {
+        self.pips.binary_search_by(|p| (p.to, p.from).cmp(&(pip.to, pip.from)))
+    }
+}
+
+/// The full device configuration.
+pub struct Bitstream {
+    device: Device,
+    tiles: Vec<TileConfig>,
+    frames: FrameTracker,
+    on_pips: usize,
+}
+
+impl Bitstream {
+    /// A blank (erased) configuration for `device`.
+    pub fn new(device: &Device) -> Self {
+        Bitstream {
+            device: *device,
+            tiles: vec![TileConfig::default(); device.dims().tiles()],
+            frames: FrameTracker::new(),
+            on_pips: 0,
+        }
+    }
+
+    /// The device this configuration belongs to.
+    #[inline]
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    #[inline]
+    fn tile(&self, rc: RowCol) -> Result<&TileConfig, JBitsError> {
+        if !self.device.dims().contains(rc) {
+            return Err(JBitsError::BadTile { rc });
+        }
+        Ok(&self.tiles[self.device.dims().tile_index(rc)])
+    }
+
+    fn validate_pip(&self, rc: RowCol, from: Wire, to: Wire) -> Result<(), JBitsError> {
+        if !self.device.dims().contains(rc) {
+            return Err(JBitsError::BadTile { rc });
+        }
+        if !self.device.wire_exists(rc, from) {
+            return Err(JBitsError::NoSuchWire { rc, wire: from });
+        }
+        if !self.device.wire_exists(rc, to) {
+            return Err(JBitsError::NoSuchWire { rc, wire: to });
+        }
+        if !self.device.arch().pip_exists(rc, from, to) {
+            return Err(JBitsError::NoSuchPip { rc, from, to });
+        }
+        Ok(())
+    }
+
+    /// Turn a PIP on. Returns `true` if the bit changed.
+    pub fn set_pip(&mut self, rc: RowCol, from: Wire, to: Wire) -> Result<bool, JBitsError> {
+        self.validate_pip(rc, from, to)?;
+        let idx = self.device.dims().tile_index(rc);
+        let pip = Pip::new(from, to);
+        match self.tiles[idx].find(pip) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.tiles[idx].pips.insert(pos, pip);
+                self.frames.touch(pip_frame(rc, to));
+                self.on_pips += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Turn a PIP off. Returns `true` if the bit changed.
+    pub fn clear_pip(&mut self, rc: RowCol, from: Wire, to: Wire) -> Result<bool, JBitsError> {
+        self.validate_pip(rc, from, to)?;
+        let idx = self.device.dims().tile_index(rc);
+        match self.tiles[idx].find(Pip::new(from, to)) {
+            Ok(pos) => {
+                self.tiles[idx].pips.remove(pos);
+                self.frames.touch(pip_frame(rc, to));
+                self.on_pips -= 1;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Whether the PIP is currently on.
+    pub fn get_pip(&self, rc: RowCol, from: Wire, to: Wire) -> Result<bool, JBitsError> {
+        self.validate_pip(rc, from, to)?;
+        Ok(self.tile(rc)?.find(Pip::new(from, to)).is_ok())
+    }
+
+    /// All on-PIPs at a tile, sorted by (to, from).
+    pub fn pips_at(&self, rc: RowCol) -> &[Pip] {
+        match self.tile(rc) {
+            Ok(t) => &t.pips,
+            Err(_) => &[],
+        }
+    }
+
+    /// On-PIPs at `rc` whose target is `to` (the drivers configured for
+    /// that wire at that tile).
+    pub fn drivers_at(&self, rc: RowCol, to: Wire) -> impl Iterator<Item = Pip> + '_ {
+        self.pips_at(rc).iter().copied().filter(move |p| p.to == to)
+    }
+
+    /// Whether any on-PIP anywhere drives the canonical segment `seg`.
+    ///
+    /// Scans the segment's drive-in taps; used by `is_on`-style queries
+    /// and by tracing (routers keep their own occupancy index for speed).
+    pub fn is_segment_driven(&self, seg: Segment) -> bool {
+        self.segment_driver(seg).is_some()
+    }
+
+    /// The PIP currently driving `seg`, if any. If several PIPs drive it
+    /// (contention — JRoute prevents this, raw JBits writes may not), the
+    /// first in tap order is returned.
+    pub fn segment_driver(&self, seg: Segment) -> Option<(RowCol, Pip)> {
+        let mut taps: Vec<Tap> = Vec::with_capacity(4);
+        self.device.arch().drive_taps(seg, &mut taps);
+        for tap in taps {
+            if let Some(p) = self.drivers_at(tap.rc, tap.wire).next() {
+                return Some((tap.rc, p));
+            }
+        }
+        None
+    }
+
+    /// Every PIP currently driving `seg`, across all of its drive-in taps.
+    pub fn segment_drivers(&self, seg: Segment) -> Vec<(RowCol, Pip)> {
+        let mut taps: Vec<Tap> = Vec::with_capacity(4);
+        self.device.arch().drive_taps(seg, &mut taps);
+        let mut out = Vec::new();
+        for tap in taps {
+            out.extend(self.drivers_at(tap.rc, tap.wire).map(|p| (tap.rc, p)));
+        }
+        out
+    }
+
+    /// Set a LUT equation. `slice` in 0..2, `lut` 0 = F, 1 = G.
+    pub fn set_lut(
+        &mut self,
+        rc: RowCol,
+        slice: u8,
+        lut: u8,
+        value: u16,
+    ) -> Result<(), JBitsError> {
+        if !self.device.dims().contains(rc) {
+            return Err(JBitsError::BadTile { rc });
+        }
+        if slice >= 2 || lut >= 2 {
+            return Err(JBitsError::BadLut { slice, lut });
+        }
+        let idx = self.device.dims().tile_index(rc);
+        let slot = (slice * 2 + lut) as usize;
+        if self.tiles[idx].luts[slot] != value {
+            self.tiles[idx].luts[slot] = value;
+            self.frames.touch(lut_frame(rc, slice, lut));
+        }
+        Ok(())
+    }
+
+    /// Read a LUT equation back.
+    pub fn get_lut(&self, rc: RowCol, slice: u8, lut: u8) -> Result<u16, JBitsError> {
+        if slice >= 2 || lut >= 2 {
+            return Err(JBitsError::BadLut { slice, lut });
+        }
+        Ok(self.tile(rc)?.luts[(slice * 2 + lut) as usize])
+    }
+
+    /// Total number of on-PIPs in the configuration.
+    #[inline]
+    pub fn on_pip_count(&self) -> usize {
+        self.on_pips
+    }
+
+    /// The partial-reconfiguration frame tracker (dirty frames since the
+    /// last [`FrameTracker::take`]).
+    #[inline]
+    pub fn frames(&self) -> &FrameTracker {
+        &self.frames
+    }
+
+    /// Mutable access to the frame tracker (to end a reconfiguration
+    /// transaction with `take()`).
+    #[inline]
+    pub fn frames_mut(&mut self) -> &mut FrameTracker {
+        &mut self.frames
+    }
+
+    pub(crate) fn tiles(&self) -> &[TileConfig] {
+        &self.tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Device, Dir, Family};
+
+    fn bs() -> Bitstream {
+        Bitstream::new(&Device::new(Family::Xcv50))
+    }
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let mut b = bs();
+        let rc = RowCol::new(5, 7);
+        assert!(!b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
+        assert!(b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
+        assert!(b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
+        assert!(!b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap(), "idempotent set");
+        assert_eq!(b.on_pip_count(), 1);
+        assert!(b.clear_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
+        assert!(!b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
+        assert_eq!(b.on_pip_count(), 0);
+    }
+
+    #[test]
+    fn nonexistent_pips_are_rejected() {
+        let mut b = bs();
+        let rc = RowCol::new(5, 7);
+        // S1_YQ only reaches OUT[7] and OUT[1] in this architecture.
+        let err = b.set_pip(rc, wire::S1_YQ, wire::out(4)).unwrap_err();
+        assert!(matches!(err, JBitsError::NoSuchPip { .. }));
+        // Off-chip tile.
+        let err = b.set_pip(RowCol::new(99, 0), wire::S1_YQ, wire::out(1)).unwrap_err();
+        assert!(matches!(err, JBitsError::BadTile { .. }));
+        // Wire that doesn't exist at the edge.
+        let err = b
+            .set_pip(RowCol::new(15, 0), wire::out(0), wire::single(Dir::North, 2))
+            .unwrap_err();
+        assert!(matches!(err, JBitsError::NoSuchWire { .. }));
+    }
+
+    #[test]
+    fn segment_driver_found_via_drive_taps() {
+        let mut b = bs();
+        let rc = RowCol::new(5, 7);
+        b.set_pip(rc, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        let seg = b.device().canonicalize(rc, wire::single(Dir::East, 5)).unwrap();
+        assert!(b.is_segment_driven(seg));
+        let (drc, pip) = b.segment_driver(seg).unwrap();
+        assert_eq!(drc, rc);
+        assert_eq!(pip, Pip::new(wire::out(1), wire::single(Dir::East, 5)));
+        // An undriven segment.
+        let other = b.device().canonicalize(rc, wire::single(Dir::East, 6)).unwrap();
+        assert!(!b.is_segment_driven(other));
+    }
+
+    #[test]
+    fn contention_is_visible_to_segment_drivers() {
+        // JBits is deliberately permissive: two drivers of one segment can
+        // be configured; segment_drivers exposes both so JRoute can refuse.
+        let mut b = bs();
+        let rc = RowCol::new(6, 6);
+        let dev = *b.device();
+        let target = wire::single(Dir::North, 2);
+        let mut drivers = Vec::new();
+        dev.arch().pips_into(rc, target, &mut drivers);
+        assert!(drivers.len() >= 2, "need two distinct drivers for this test");
+        b.set_pip(rc, drivers[0], target).unwrap();
+        b.set_pip(rc, drivers[1], target).unwrap();
+        let seg = dev.canonicalize(rc, target).unwrap();
+        assert_eq!(b.segment_drivers(seg).len(), 2);
+    }
+
+    #[test]
+    fn bidir_hex_driver_found_at_far_end() {
+        let mut b = bs();
+        let dev = *b.device();
+        // Drive bi-directional hex HEX_N[0]@(2,2) at its endpoint (8,2).
+        let end_rc = RowCol::new(8, 2);
+        let end = wire::hex_end(Dir::North, 0);
+        let mut drivers = Vec::new();
+        dev.arch().pips_into(end_rc, end, &mut drivers);
+        let from = *drivers
+            .iter()
+            .find(|w| matches!(w.kind(), virtex::WireKind::Out(_)))
+            .expect("an OMUX can drive a bidir hex end");
+        b.set_pip(end_rc, from, end).unwrap();
+        let seg = dev.canonicalize(end_rc, end).unwrap();
+        assert_eq!(seg.rc, RowCol::new(2, 2));
+        assert!(b.is_segment_driven(seg));
+        assert_eq!(b.segment_driver(seg).unwrap().0, end_rc);
+    }
+
+    #[test]
+    fn lut_config_round_trips_and_dirties_frames() {
+        let mut b = bs();
+        let rc = RowCol::new(1, 2);
+        b.frames_mut().take();
+        b.set_lut(rc, 0, 1, 0xBEEF).unwrap();
+        assert_eq!(b.get_lut(rc, 0, 1).unwrap(), 0xBEEF);
+        assert_eq!(b.frames().dirty_count(), 1);
+        // Writing the same value is free.
+        b.frames_mut().take();
+        b.set_lut(rc, 0, 1, 0xBEEF).unwrap();
+        assert!(b.frames().is_clean());
+        assert!(b.set_lut(rc, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn frame_accounting_tracks_touched_columns() {
+        let mut b = bs();
+        b.frames_mut().take();
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(9, 7), wire::S1_YQ, wire::out(1)).unwrap(); // same frame
+        assert_eq!(b.frames().dirty_count(), 1, "same column + word share a frame");
+        b.set_pip(RowCol::new(5, 8), wire::S1_YQ, wire::out(1)).unwrap();
+        assert_eq!(b.frames().dirty_count(), 2);
+    }
+
+    #[test]
+    fn drivers_at_filters_by_target() {
+        let mut b = bs();
+        let rc = RowCol::new(5, 7);
+        b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(rc, wire::S1_YQ, wire::out(7)).unwrap();
+        assert_eq!(b.drivers_at(rc, wire::out(1)).count(), 1);
+        assert_eq!(b.drivers_at(rc, wire::out(7)).count(), 1);
+        assert_eq!(b.drivers_at(rc, wire::out(2)).count(), 0);
+        assert_eq!(b.pips_at(rc).len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! Errors raised by the configuration substrate.
+
+use virtex::{RowCol, Wire};
+
+/// Error type for bitstream operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are named self-describingly
+pub enum JBitsError {
+    /// The tile coordinate is off the device.
+    BadTile { rc: RowCol },
+    /// The named wire does not exist at that tile.
+    NoSuchWire { rc: RowCol, wire: Wire },
+    /// No PIP connects `from` to `to` at `rc` in this architecture.
+    NoSuchPip { rc: RowCol, from: Wire, to: Wire },
+    /// LUT selector out of range.
+    BadLut { slice: u8, lut: u8 },
+}
+
+impl std::fmt::Display for JBitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JBitsError::BadTile { rc } => write!(f, "tile {rc} is off the device"),
+            JBitsError::NoSuchWire { rc, wire } => {
+                write!(f, "wire {} does not exist at {rc}", wire.name())
+            }
+            JBitsError::NoSuchPip { rc, from, to } => {
+                write!(f, "no PIP {} -> {} at {rc}", from.name(), to.name())
+            }
+            JBitsError::BadLut { slice, lut } => {
+                write!(f, "no LUT (slice {slice}, lut {lut})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JBitsError {}

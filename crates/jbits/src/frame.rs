@@ -1,0 +1,153 @@
+//! Configuration-frame accounting.
+//!
+//! Real Virtex configuration memory is organised in vertical *frames*: the
+//! atomic unit of (partial) reconfiguration is one frame, which spans a
+//! full column of the device. The exact bit layout is proprietary; what
+//! run-time reconfiguration cost models need is only (a) frames are
+//! column-granular and (b) touching any bit in a frame dirties the whole
+//! frame. We therefore address a frame as `(column, word)` where `word`
+//! buckets the per-tile configuration bits.
+//!
+//! This is the substrate for experiment E5 (paper §3.3: unrouting and
+//! replacing one core avoids "having to reconfigure the entire design"):
+//! the cost of a reconfiguration step is the number of distinct dirty
+//! frames.
+
+use std::collections::BTreeSet;
+use virtex::{Dims, RowCol, Wire};
+
+/// Bits-per-word bucketing of the local wire id space into frames.
+pub const WORDS_PER_TILE: u16 = (virtex::wire::NUM_LOCAL_WIRES as u16).div_ceil(32);
+
+/// Extra per-tile words holding LUT configuration.
+pub const LUT_WORDS_PER_TILE: u16 = 2;
+
+/// Address of one configuration frame: a column of the device times a
+/// word index within each tile's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameAddr {
+    /// Device column the frame spans.
+    pub col: u16,
+    /// Word index within each tile of the column.
+    pub word: u16,
+}
+
+/// Frame containing the PIP whose *target* wire is `to` at tile `rc`.
+///
+/// PIP bits are bucketed by target wire (each target's mux select bits sit
+/// together, as in real devices).
+#[inline]
+pub fn pip_frame(rc: RowCol, to: Wire) -> FrameAddr {
+    FrameAddr { col: rc.col, word: to.0 / 32 }
+}
+
+/// Frame containing a LUT's configuration bits.
+#[inline]
+pub fn lut_frame(rc: RowCol, slice: u8, lut: u8) -> FrameAddr {
+    FrameAddr { col: rc.col, word: WORDS_PER_TILE + (slice * 2 + lut) as u16 / 2 }
+}
+
+/// Total number of frames in a full-device configuration.
+pub fn total_frames(dims: Dims) -> usize {
+    dims.cols as usize * (WORDS_PER_TILE + LUT_WORDS_PER_TILE) as usize
+}
+
+/// Records which frames have been dirtied since the last
+/// [`FrameTracker::take`]; the partial-reconfiguration cost model.
+#[derive(Debug, Default, Clone)]
+pub struct FrameTracker {
+    dirty: BTreeSet<FrameAddr>,
+}
+
+impl FrameTracker {
+    /// Clean tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark a frame dirty.
+    #[inline]
+    pub fn touch(&mut self, frame: FrameAddr) {
+        self.dirty.insert(frame);
+    }
+
+    /// Number of distinct dirty frames.
+    #[inline]
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Whether anything is dirty.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Drain and return the dirty set (ends the current reconfiguration
+    /// "transaction").
+    pub fn take(&mut self) -> BTreeSet<FrameAddr> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Iterate the dirty frames in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &FrameAddr> {
+        self.dirty.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::wire;
+
+    #[test]
+    fn pips_with_same_target_word_share_a_frame() {
+        let rc = RowCol::new(3, 7);
+        let a = pip_frame(rc, Wire(0));
+        let b = pip_frame(rc, Wire(31));
+        let c = pip_frame(rc, Wire(32));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.col, 7);
+    }
+
+    #[test]
+    fn frames_are_column_granular() {
+        // Same target, same column, different row: same frame (the frame
+        // spans the column).
+        let a = pip_frame(RowCol::new(0, 5), wire::out(0));
+        let b = pip_frame(RowCol::new(9, 5), wire::out(0));
+        assert_eq!(a, b);
+        // Different column: different frame.
+        let c = pip_frame(RowCol::new(0, 6), wire::out(0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lut_frames_do_not_collide_with_pip_frames() {
+        let rc = RowCol::new(0, 0);
+        let lut = lut_frame(rc, 1, 1);
+        assert!(lut.word >= WORDS_PER_TILE);
+        assert!(Wire::all().all(|w| pip_frame(rc, w).word < WORDS_PER_TILE));
+    }
+
+    #[test]
+    fn tracker_counts_distinct_frames() {
+        let mut t = FrameTracker::new();
+        assert!(t.is_clean());
+        t.touch(pip_frame(RowCol::new(0, 0), wire::out(0)));
+        t.touch(pip_frame(RowCol::new(5, 0), wire::out(1))); // same frame
+        t.touch(pip_frame(RowCol::new(0, 3), wire::out(0)));
+        assert_eq!(t.dirty_count(), 2);
+        let taken = t.take();
+        assert_eq!(taken.len(), 2);
+        assert!(t.is_clean());
+    }
+
+    #[test]
+    fn total_frames_scales_with_columns() {
+        let small = total_frames(Dims::new(16, 24));
+        let large = total_frames(Dims::new(64, 96));
+        assert_eq!(large, small * 4);
+    }
+}

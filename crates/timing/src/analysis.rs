@@ -1,0 +1,168 @@
+//! Net timing analysis over a configured bitstream.
+//!
+//! Walks a net from its source through the on-PIPs (readback-based, like
+//! `jroute::trace`) accumulating the delay model, and reports per-sink
+//! arrival times, the critical (max) delay and the skew (max − min) —
+//! the §6 "skew minimization" metric.
+
+use crate::delay::{wire_delay_ps, PIP_DELAY_PS};
+use jbits::Bitstream;
+use jroute::Pin;
+use std::collections::HashMap;
+use virtex::segment::Tap;
+use virtex::Segment;
+
+/// Per-sink arrival times of one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetTiming {
+    /// `(sink pin, arrival delay in ps)` in discovery order.
+    pub sink_delays: Vec<(Pin, u64)>,
+}
+
+impl NetTiming {
+    /// Critical-path (maximum) sink delay.
+    pub fn max_delay(&self) -> u64 {
+        self.sink_delays.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Fastest sink delay.
+    pub fn min_delay(&self) -> u64 {
+        self.sink_delays.iter().map(|&(_, d)| d).min().unwrap_or(0)
+    }
+
+    /// Skew: spread between fastest and slowest sink.
+    pub fn skew(&self) -> u64 {
+        self.max_delay() - self.min_delay()
+    }
+
+    /// Number of sinks reached.
+    pub fn fanout(&self) -> usize {
+        self.sink_delays.len()
+    }
+}
+
+/// Arrival time of every *segment* of the net driven by `source`
+/// (earliest arrival under the delay model). The source maps to 0.
+///
+/// This is the substrate of timing-driven tree extension: a new branch
+/// grafted at segment `s` starts with delay `arrivals[s]`.
+pub fn segment_arrivals(bits: &Bitstream, source: Segment) -> HashMap<Segment, u64> {
+    let dev = bits.device();
+    let mut arrival: HashMap<Segment, u64> = HashMap::new();
+    arrival.insert(source, 0);
+    let mut frontier = vec![source];
+    let mut taps: Vec<Tap> = Vec::new();
+    while let Some(seg) = frontier.pop() {
+        let at = arrival[&seg];
+        taps.clear();
+        virtex::segment::taps(dev.dims(), seg, &mut taps);
+        for tap in &taps {
+            for pip in bits.pips_at(tap.rc) {
+                if pip.from != tap.wire || pip.to.is_clb_input() {
+                    continue;
+                }
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                let t = at + PIP_DELAY_PS + wire_delay_ps(next.wire);
+                let entry = arrival.entry(next).or_insert(u64::MAX);
+                if *entry > t {
+                    *entry = t;
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    arrival
+}
+
+/// Analyse the net driven by `source`: arrival time of every reached
+/// sink under the delay model.
+///
+/// Arrival at a segment is the arrival at its driver plus one PIP delay
+/// plus the segment's wire delay; fan-out branches accumulate
+/// independently. If reconvergence were configured (it cannot be under
+/// the single-driver invariant) the earliest arrival would win.
+pub fn analyze_net(bits: &Bitstream, source: Segment) -> NetTiming {
+    let dev = bits.device();
+    let mut arrival: HashMap<Segment, u64> = HashMap::new();
+    arrival.insert(source, 0);
+    let mut frontier = vec![source];
+    let mut sink_delays = Vec::new();
+    let mut taps: Vec<Tap> = Vec::new();
+    while let Some(seg) = frontier.pop() {
+        let at = arrival[&seg];
+        taps.clear();
+        virtex::segment::taps(dev.dims(), seg, &mut taps);
+        for tap in &taps {
+            for pip in bits.pips_at(tap.rc) {
+                if pip.from != tap.wire {
+                    continue;
+                }
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                let t = at + PIP_DELAY_PS + wire_delay_ps(next.wire);
+                if pip.to.is_clb_input() {
+                    sink_delays.push((Pin::at(tap.rc, pip.to), t));
+                    continue;
+                }
+                let entry = arrival.entry(next).or_insert(u64::MAX);
+                if *entry > t {
+                    *entry = t;
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+    NetTiming { sink_delays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Device, Dir, Family, RowCol};
+
+    fn example() -> (Bitstream, Segment) {
+        let dev = Device::new(Family::Xcv50);
+        let mut b = Bitstream::new(&dev);
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+            .unwrap();
+        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
+        (b, src)
+    }
+
+    #[test]
+    fn single_sink_delay_sums_the_path() {
+        let (b, src) = example();
+        let t = analyze_net(&b, src);
+        assert_eq!(t.fanout(), 1);
+        // S1_YQ -> OUT (pip+80) -> single (pip+150) -> single (pip+150)
+        // -> pin (pip+0).
+        let expect = (120 + 80) + (120 + 150) + (120 + 150) + 120;
+        assert_eq!(t.max_delay(), expect);
+        assert_eq!(t.skew(), 0, "one sink has no skew");
+    }
+
+    #[test]
+    fn fanout_branches_have_independent_arrivals() {
+        let (mut b, src) = example();
+        // Short branch: OUT[1] also drives SINGLE_N[3] to a local pin.
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
+        b.set_pip(RowCol::new(6, 7), wire::single_end(Dir::North, 3), wire::slice_in(1, 8))
+            .unwrap();
+        let t = analyze_net(&b, src);
+        assert_eq!(t.fanout(), 2);
+        assert!(t.skew() > 0, "branches of different length must skew");
+        assert!(t.min_delay() < t.max_delay());
+    }
+
+    #[test]
+    fn unrouted_source_has_no_sinks() {
+        let dev = Device::new(Family::Xcv50);
+        let b = Bitstream::new(&dev);
+        let src = dev.canonicalize(RowCol::new(3, 3), wire::S0_YQ).unwrap();
+        let t = analyze_net(&b, src);
+        assert_eq!(t.fanout(), 0);
+        assert_eq!(t.max_delay(), 0);
+    }
+}

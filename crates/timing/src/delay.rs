@@ -1,0 +1,86 @@
+//! The wire-delay model.
+//!
+//! Paper §3.1, on the greedy fan-out router: *"Because it is not timing
+//! driven, this algorithm is suitable only for non-critical nets."* And
+//! §6: *"skew minimization will be addressed."* Analysing either claim
+//! needs a delay model; this is a simple Elmore-flavoured one with
+//! per-class constants in picoseconds, shaped like the published Virtex
+//! speed characteristics: each PIP adds switch delay, short wires are
+//! fast, long buffered lines have a higher but span-independent cost.
+
+use virtex::{Wire, WireKind};
+
+/// Delay contributed by one PIP (buffer + switch), in picoseconds.
+pub const PIP_DELAY_PS: u64 = 120;
+
+/// Delay of travelling the given wire, in picoseconds (excludes the PIP
+/// that drives it).
+pub fn wire_delay_ps(wire: Wire) -> u64 {
+    match wire.kind() {
+        // Local resources: fast dedicated paths (paper §2: "high-speed
+        // connections bypassing the routing matrix").
+        WireKind::DirectE(_) | WireKind::DirectWEnd(_) => 60,
+        WireKind::Feedback(_) => 50,
+        // OMUX: a mux stage.
+        WireKind::Out(_) => 80,
+        // General-purpose interconnect.
+        WireKind::Single { .. } | WireKind::SingleEnd { .. } => 150,
+        WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => 350,
+        // Longs are buffered: costly to enter, then span-independent
+        // ("distribute the signals across the chip quickly", §2).
+        WireKind::LongH(_) | WireKind::LongV(_) => 600,
+        // Pin connections.
+        WireKind::SliceIn { .. } | WireKind::SliceOut { .. } => 0,
+        // Dedicated low-skew global network.
+        WireKind::Gclk(_) => 100,
+    }
+}
+
+/// Delay per CLB of distance, for normalised comparisons: hexes cover six
+/// CLBs per hop, so their *per-CLB* delay is lower than singles' — the
+/// reason routers prefer them for distance.
+pub fn delay_per_clb_ps(wire: Wire) -> u64 {
+    match wire.kind() {
+        WireKind::Single { .. } | WireKind::SingleEnd { .. } => 150,
+        WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => 350 / 6,
+        _ => wire_delay_ps(wire),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Dir};
+
+    #[test]
+    fn hexes_beat_singles_per_clb() {
+        assert!(
+            delay_per_clb_ps(wire::hex(Dir::North, 0)) < delay_per_clb_ps(wire::single(Dir::North, 0)),
+            "hex per-CLB delay must undercut singles"
+        );
+    }
+
+    #[test]
+    fn local_resources_are_fastest() {
+        let local = wire_delay_ps(wire::feedback(0));
+        for w in [
+            wire::single(Dir::East, 0),
+            wire::hex(Dir::East, 0),
+            wire::long_h(0),
+        ] {
+            assert!(local < wire_delay_ps(w));
+        }
+    }
+
+    #[test]
+    fn aliases_share_the_segment_delay() {
+        assert_eq!(
+            wire_delay_ps(wire::single(Dir::East, 3)),
+            wire_delay_ps(wire::single_end(Dir::East, 3))
+        );
+        assert_eq!(
+            wire_delay_ps(wire::hex(Dir::South, 1)),
+            wire_delay_ps(wire::hex_mid(Dir::South, 1))
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The Virtex device family table.
+//!
+//! The paper (§2): *"The array sizes for Virtex range from 16x24 CLBs to
+//! 64x96 CLBs."* We model the published CLB array sizes of the Virtex
+//! family (XCV50 … XCV1000). Only the CLB array geometry matters to
+//! JRoute; package/IOB data is out of scope (paper §6 lists IOB support as
+//! future work).
+
+use crate::geometry::Dims;
+use serde::{Deserialize, Serialize};
+
+/// A member of the (simulated) Virtex family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// 16 x 24 CLBs — the smallest Virtex array (XCV50-class).
+    Xcv50,
+    /// 20 x 30 CLBs (XCV100-class).
+    Xcv100,
+    /// 28 x 42 CLBs (XCV200-class).
+    Xcv200,
+    /// 32 x 48 CLBs (XCV300-class).
+    Xcv300,
+    /// 40 x 60 CLBs (XCV400-class).
+    Xcv400,
+    /// 48 x 72 CLBs (XCV600-class).
+    Xcv600,
+    /// 56 x 84 CLBs (XCV800-class).
+    Xcv800,
+    /// 64 x 96 CLBs — the largest Virtex array (XCV1000-class).
+    Xcv1000,
+}
+
+impl Family {
+    /// All family members, smallest first.
+    pub const ALL: [Family; 8] = [
+        Family::Xcv50,
+        Family::Xcv100,
+        Family::Xcv200,
+        Family::Xcv300,
+        Family::Xcv400,
+        Family::Xcv600,
+        Family::Xcv800,
+        Family::Xcv1000,
+    ];
+
+    /// CLB array dimensions.
+    pub const fn dims(self) -> Dims {
+        match self {
+            Family::Xcv50 => Dims::new(16, 24),
+            Family::Xcv100 => Dims::new(20, 30),
+            Family::Xcv200 => Dims::new(28, 42),
+            Family::Xcv300 => Dims::new(32, 48),
+            Family::Xcv400 => Dims::new(40, 60),
+            Family::Xcv600 => Dims::new(48, 72),
+            Family::Xcv800 => Dims::new(56, 84),
+            Family::Xcv1000 => Dims::new(64, 96),
+        }
+    }
+
+    /// Marketing-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Family::Xcv50 => "XCV50",
+            Family::Xcv100 => "XCV100",
+            Family::Xcv200 => "XCV200",
+            Family::Xcv300 => "XCV300",
+            Family::Xcv400 => "XCV400",
+            Family::Xcv600 => "XCV600",
+            Family::Xcv800 => "XCV800",
+            Family::Xcv1000 => "XCV1000",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_range_matches_paper() {
+        // §2: "array sizes for Virtex range from 16x24 CLBs to 64x96 CLBs"
+        assert_eq!(Family::Xcv50.dims(), Dims::new(16, 24));
+        assert_eq!(Family::Xcv1000.dims(), Dims::new(64, 96));
+    }
+
+    #[test]
+    fn families_are_strictly_increasing() {
+        let mut prev = 0usize;
+        for f in Family::ALL {
+            let t = f.dims().tiles();
+            assert!(t > prev, "{f} not larger than its predecessor");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_is_2_to_3() {
+        for f in Family::ALL {
+            let d = f.dims();
+            assert_eq!(d.rows as u32 * 3, d.cols as u32 * 2, "{f} aspect ratio");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Grid geometry: directions, CLB coordinates and device dimensions.
+//!
+//! The device is a rectangular array of CLB tiles. Rows increase to the
+//! *north*, columns increase to the *east* (the convention used by the
+//! JRoute paper's `(row, col)` call signatures).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four routing directions of the Virtex general routing fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dir {
+    /// Increasing row.
+    North,
+    /// Increasing column.
+    East,
+    /// Decreasing row.
+    South,
+    /// Decreasing column.
+    West,
+}
+
+impl Dir {
+    /// All four directions, in canonical (N, E, S, W) order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// Stable small index (N=0, E=1, S=2, W=3) used by the connectivity
+    /// pattern formulas in [`crate::arch`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Dir::North => 0,
+            Dir::East => 1,
+            Dir::South => 2,
+            Dir::West => 3,
+        }
+    }
+
+    /// Direction obtained by reversing this one.
+    #[inline]
+    pub const fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// Unit step `(d_row, d_col)` for one CLB in this direction.
+    #[inline]
+    pub const fn delta(self) -> (i32, i32) {
+        match self {
+            Dir::North => (1, 0),
+            Dir::East => (0, 1),
+            Dir::South => (-1, 0),
+            Dir::West => (0, -1),
+        }
+    }
+
+    /// True for the vertical (North/South) directions.
+    #[inline]
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Dir::North | Dir::South)
+    }
+
+    /// Inverse of [`Dir::index`].
+    #[inline]
+    pub const fn from_index(i: usize) -> Dir {
+        match i {
+            0 => Dir::North,
+            1 => Dir::East,
+            2 => Dir::South,
+            _ => Dir::West,
+        }
+    }
+}
+
+/// Coordinates of one CLB tile: `(row, col)`, both 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowCol {
+    /// Row index, increasing to the north.
+    pub row: u16,
+    /// Column index, increasing to the east.
+    pub col: u16,
+}
+
+impl RowCol {
+    /// Tile at `(row, col)`.
+    #[inline]
+    pub const fn new(row: u16, col: u16) -> Self {
+        RowCol { row, col }
+    }
+
+    /// Step `n` CLBs in direction `dir`. Returns `None` when the result
+    /// falls off the edge of a `dims`-sized device.
+    #[inline]
+    pub fn step(self, dir: Dir, n: u16, dims: Dims) -> Option<RowCol> {
+        let (dr, dc) = dir.delta();
+        let r = self.row as i32 + dr * n as i32;
+        let c = self.col as i32 + dc * n as i32;
+        if r < 0 || c < 0 || r >= dims.rows as i32 || c >= dims.cols as i32 {
+            None
+        } else {
+            Some(RowCol::new(r as u16, c as u16))
+        }
+    }
+
+    /// Step without a bounds check; caller must know the result is on-chip.
+    #[inline]
+    pub fn step_unchecked(self, dir: Dir, n: u16) -> RowCol {
+        let (dr, dc) = dir.delta();
+        RowCol::new(
+            (self.row as i32 + dr * n as i32) as u16,
+            (self.col as i32 + dc * n as i32) as u16,
+        )
+    }
+
+    /// Manhattan distance between two tiles.
+    #[inline]
+    pub fn manhattan(self, other: RowCol) -> u32 {
+        self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
+    }
+}
+
+impl std::fmt::Display for RowCol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// Array dimensions of a device, in CLBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    /// Number of CLB rows.
+    pub rows: u16,
+    /// Number of CLB columns.
+    pub cols: u16,
+}
+
+impl Dims {
+    /// Dimensions of `rows` x `cols` CLBs.
+    #[inline]
+    pub const fn new(rows: u16, cols: u16) -> Self {
+        Dims { rows, cols }
+    }
+
+    /// Number of CLB tiles.
+    #[inline]
+    pub const fn tiles(self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Dense index of a tile, row-major.
+    #[inline]
+    pub const fn tile_index(self, rc: RowCol) -> usize {
+        rc.row as usize * self.cols as usize + rc.col as usize
+    }
+
+    /// Inverse of [`Dims::tile_index`].
+    #[inline]
+    pub const fn tile_at(self, index: usize) -> RowCol {
+        RowCol::new((index / self.cols as usize) as u16, (index % self.cols as usize) as u16)
+    }
+
+    /// Whether `rc` lies on this device.
+    #[inline]
+    pub const fn contains(self, rc: RowCol) -> bool {
+        rc.row < self.rows && rc.col < self.cols
+    }
+
+    /// Iterate all tiles in row-major order.
+    pub fn iter_tiles(self) -> impl Iterator<Item = RowCol> {
+        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| RowCol::new(r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_opposites_are_involutions() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn dir_index_round_trips() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn deltas_sum_to_zero_over_all_dirs() {
+        let (mut r, mut c) = (0, 0);
+        for d in Dir::ALL {
+            let (dr, dc) = d.delta();
+            r += dr;
+            c += dc;
+        }
+        assert_eq!((r, c), (0, 0));
+    }
+
+    #[test]
+    fn step_stays_on_chip_or_returns_none() {
+        let dims = Dims::new(16, 24);
+        let rc = RowCol::new(0, 0);
+        assert_eq!(rc.step(Dir::South, 1, dims), None);
+        assert_eq!(rc.step(Dir::West, 1, dims), None);
+        assert_eq!(rc.step(Dir::North, 1, dims), Some(RowCol::new(1, 0)));
+        assert_eq!(rc.step(Dir::East, 6, dims), Some(RowCol::new(0, 6)));
+        assert_eq!(RowCol::new(15, 23).step(Dir::North, 1, dims), None);
+        assert_eq!(RowCol::new(15, 23).step(Dir::East, 1, dims), None);
+    }
+
+    #[test]
+    fn tile_index_round_trips() {
+        let dims = Dims::new(16, 24);
+        for rc in dims.iter_tiles() {
+            assert_eq!(dims.tile_at(dims.tile_index(rc)), rc);
+        }
+        assert_eq!(dims.iter_tiles().count(), dims.tiles());
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = RowCol::new(3, 7);
+        let b = RowCol::new(9, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 6 + 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+}

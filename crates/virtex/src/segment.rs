@@ -1,0 +1,327 @@
+//! Canonical wire segments.
+//!
+//! A physical wire *segment* (one piece of metal) is visible at several
+//! tiles under several local names: an east single is `SINGLE_E[i]` at its
+//! origin and `SINGLE_E_END[i]` one tile east; a hex is visible at its
+//! origin, midpoint and endpoint; a long line at every sixth tile of its
+//! row/column; a global clock everywhere. Occupancy, contention and net
+//! identity are properties of the *segment*, so every router data
+//! structure keys on the canonical `(tile, wire)` pair defined here.
+//!
+//! Canonical form: the origin-form local name at the tile that owns the
+//! resource —
+//! * singles/hexes/directs: the `Single`/`Hex`/`DirectE` name at the
+//!   origin tile;
+//! * horizontal longs: `LONG_H[i]` at column 0 of their row;
+//! * vertical longs: `LONG_V[i]` at row 0 of their column;
+//! * global clocks: `GCLK[i]` at tile (0,0);
+//! * everything else (pins, OMUX, feedback) is tile-local already.
+
+use crate::geometry::{Dims, Dir, RowCol};
+use crate::wire::{self, Wire, WireKind, HEX_SPAN, LONG_ACCESS, NUM_LOCAL_WIRES};
+use serde::{Deserialize, Serialize};
+
+/// A canonical wire segment: the globally unique identity of one routing
+/// resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Segment {
+    /// Tile owning the resource (origin tile of travelling wires).
+    pub rc: RowCol,
+    /// Origin-form local wire name.
+    pub wire: Wire,
+}
+
+impl Segment {
+    /// Dense index in `0 .. dims.tiles() * NUM_LOCAL_WIRES`, usable for
+    /// flat visited/occupancy arrays.
+    #[inline]
+    pub fn index(self, dims: Dims) -> usize {
+        dims.tile_index(self.rc) * NUM_LOCAL_WIRES + self.wire.0 as usize
+    }
+
+    /// Inverse of [`Segment::index`]. The result is only meaningful for
+    /// indices produced from canonical segments.
+    #[inline]
+    pub fn from_index(index: usize, dims: Dims) -> Segment {
+        Segment {
+            rc: dims.tile_at(index / NUM_LOCAL_WIRES),
+            wire: Wire((index % NUM_LOCAL_WIRES) as u16),
+        }
+    }
+}
+
+impl std::fmt::Display for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.wire.name(), self.rc)
+    }
+}
+
+/// Whether local name `wire` denotes an existing resource at tile `rc` on a
+/// `dims`-sized device. Travelling wires only exist where their full span
+/// lies on-chip; long lines are only visible at access tiles (every
+/// [`LONG_ACCESS`] CLBs, per paper §2 "Long lines can be accessed every 6
+/// blocks").
+pub fn wire_exists(dims: Dims, rc: RowCol, wire: Wire) -> bool {
+    if !dims.contains(rc) {
+        return false;
+    }
+    match wire.kind() {
+        WireKind::Out(_)
+        | WireKind::SliceOut { .. }
+        | WireKind::SliceIn { .. }
+        | WireKind::Feedback(_)
+        | WireKind::Gclk(_) => true,
+        WireKind::Single { dir, .. } => rc.step(dir, 1, dims).is_some(),
+        WireKind::SingleEnd { dir, .. } => rc.step(dir.opposite(), 1, dims).is_some(),
+        WireKind::Hex { dir, .. } => rc.step(dir, HEX_SPAN, dims).is_some(),
+        WireKind::HexMid { dir, .. } => {
+            rc.step(dir, HEX_SPAN / 2, dims).is_some()
+                && rc.step(dir.opposite(), HEX_SPAN / 2, dims).is_some()
+        }
+        WireKind::HexEnd { dir, .. } => rc.step(dir.opposite(), HEX_SPAN, dims).is_some(),
+        WireKind::LongH(_) => rc.col % LONG_ACCESS == 0,
+        WireKind::LongV(_) => rc.row % LONG_ACCESS == 0,
+        WireKind::DirectE(_) => rc.step(Dir::East, 1, dims).is_some(),
+        WireKind::DirectWEnd(_) => rc.step(Dir::West, 1, dims).is_some(),
+    }
+}
+
+/// Resolve a local `(tile, wire)` name to its canonical segment.
+///
+/// Returns `None` when the name does not denote an existing resource at
+/// `rc` (off-chip span, non-access tile for a long line, …).
+pub fn canonicalize(dims: Dims, rc: RowCol, wire: Wire) -> Option<Segment> {
+    if !wire_exists(dims, rc, wire) {
+        return None;
+    }
+    let seg = match wire.kind() {
+        WireKind::SingleEnd { dir, idx } => Segment {
+            rc: rc.step_unchecked(dir.opposite(), 1),
+            wire: wire::single(dir, idx as usize),
+        },
+        WireKind::HexMid { dir, idx } => Segment {
+            rc: rc.step_unchecked(dir.opposite(), HEX_SPAN / 2),
+            wire: wire::hex(dir, idx as usize),
+        },
+        WireKind::HexEnd { dir, idx } => Segment {
+            rc: rc.step_unchecked(dir.opposite(), HEX_SPAN),
+            wire: wire::hex(dir, idx as usize),
+        },
+        WireKind::LongH(_) => Segment { rc: RowCol::new(rc.row, 0), wire },
+        WireKind::LongV(_) => Segment { rc: RowCol::new(0, rc.col), wire },
+        WireKind::DirectWEnd(idx) => Segment {
+            rc: rc.step_unchecked(Dir::West, 1),
+            wire: wire::direct_e(idx as usize),
+        },
+        WireKind::Gclk(_) => Segment { rc: RowCol::new(0, 0), wire },
+        _ => Segment { rc, wire },
+    };
+    debug_assert!(is_canonical(dims, seg), "non-canonical result {seg}");
+    Some(seg)
+}
+
+/// Whether `seg` is already in canonical form on a `dims` device.
+pub fn is_canonical(dims: Dims, seg: Segment) -> bool {
+    if !wire_exists(dims, seg.rc, seg.wire) {
+        return false;
+    }
+    match seg.wire.kind() {
+        WireKind::SingleEnd { .. }
+        | WireKind::HexMid { .. }
+        | WireKind::HexEnd { .. }
+        | WireKind::DirectWEnd(_) => false,
+        WireKind::LongH(_) => seg.rc.col == 0,
+        WireKind::LongV(_) => seg.rc.row == 0,
+        WireKind::Gclk(_) => seg.rc == RowCol::new(0, 0),
+        _ => true,
+    }
+}
+
+/// A place where a segment surfaces: the tile and the local name it bears
+/// there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tap {
+    /// Tile at which the segment surfaces.
+    pub rc: RowCol,
+    /// Local name the segment bears there.
+    pub wire: Wire,
+}
+
+/// Enumerate every tap of a canonical segment: each `(tile, local name)`
+/// pair at which the segment is visible, origin first.
+///
+/// Taps are appended to `out` (workhorse-buffer style; the caller clears).
+pub fn taps(dims: Dims, seg: Segment, out: &mut Vec<Tap>) {
+    debug_assert!(is_canonical(dims, seg), "taps() wants canonical input, got {seg}");
+    let rc = seg.rc;
+    match seg.wire.kind() {
+        WireKind::Single { dir, idx } => {
+            out.push(Tap { rc, wire: seg.wire });
+            out.push(Tap {
+                rc: rc.step_unchecked(dir, 1),
+                wire: wire::single_end(dir, idx as usize),
+            });
+        }
+        WireKind::Hex { dir, idx } => {
+            out.push(Tap { rc, wire: seg.wire });
+            out.push(Tap {
+                rc: rc.step_unchecked(dir, HEX_SPAN / 2),
+                wire: wire::hex_mid(dir, idx as usize),
+            });
+            out.push(Tap {
+                rc: rc.step_unchecked(dir, HEX_SPAN),
+                wire: wire::hex_end(dir, idx as usize),
+            });
+        }
+        WireKind::LongH(_) => {
+            let mut c = 0;
+            while c < dims.cols {
+                out.push(Tap { rc: RowCol::new(rc.row, c), wire: seg.wire });
+                c += LONG_ACCESS;
+            }
+        }
+        WireKind::LongV(_) => {
+            let mut r = 0;
+            while r < dims.rows {
+                out.push(Tap { rc: RowCol::new(r, rc.col), wire: seg.wire });
+                r += LONG_ACCESS;
+            }
+        }
+        WireKind::DirectE(idx) => {
+            out.push(Tap { rc, wire: seg.wire });
+            out.push(Tap {
+                rc: rc.step_unchecked(Dir::East, 1),
+                wire: wire::direct_w_end(idx as usize),
+            });
+        }
+        WireKind::Gclk(_) => {
+            // Global clocks surface at every tile; callers that only need
+            // a specific tile should not enumerate this.
+            for t in dims.iter_tiles() {
+                out.push(Tap { rc: t, wire: seg.wire });
+            }
+        }
+        _ => out.push(Tap { rc, wire: seg.wire }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{SINGLES_PER_DIR, HEXES_PER_DIR};
+
+    const DIMS: Dims = Dims::new(16, 24);
+
+    #[test]
+    fn paper_example_alias_single_east() {
+        // Paper §3.1: SingleEast[5] driven at (5,7) is SingleWest[5] at
+        // (5,8) — in our naming, SINGLE_E_END[5] at (5,8).
+        let origin = canonicalize(DIMS, RowCol::new(5, 7), wire::single(Dir::East, 5)).unwrap();
+        let arriving =
+            canonicalize(DIMS, RowCol::new(5, 8), wire::single_end(Dir::East, 5)).unwrap();
+        assert_eq!(origin, arriving);
+    }
+
+    #[test]
+    fn hex_taps_are_origin_mid_end() {
+        let seg = canonicalize(DIMS, RowCol::new(2, 3), wire::hex(Dir::North, 7)).unwrap();
+        let mut t = Vec::new();
+        taps(DIMS, seg, &mut t);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].rc, RowCol::new(2, 3));
+        assert_eq!(t[1].rc, RowCol::new(5, 3));
+        assert_eq!(t[2].rc, RowCol::new(8, 3));
+        // And every tap canonicalizes back to the same segment.
+        for tap in &t {
+            assert_eq!(canonicalize(DIMS, tap.rc, tap.wire), Some(seg));
+        }
+    }
+
+    #[test]
+    fn edge_wires_do_not_exist() {
+        // A north single at the top row has no far end.
+        assert!(!wire_exists(DIMS, RowCol::new(15, 0), wire::single(Dir::North, 0)));
+        // A hex needs its whole 6-CLB span on chip.
+        assert!(!wire_exists(DIMS, RowCol::new(11, 0), wire::hex(Dir::North, 0)));
+        assert!(wire_exists(DIMS, RowCol::new(9, 0), wire::hex(Dir::North, 0)));
+        // Long lines only at access tiles.
+        assert!(wire_exists(DIMS, RowCol::new(3, 6), wire::long_h(0)));
+        assert!(!wire_exists(DIMS, RowCol::new(3, 7), wire::long_h(0)));
+    }
+
+    #[test]
+    fn long_lines_access_every_six_blocks() {
+        // Paper §2: "Long lines can be accessed every 6 blocks."
+        let seg = canonicalize(DIMS, RowCol::new(3, 12), wire::long_h(4)).unwrap();
+        assert_eq!(seg.rc, RowCol::new(3, 0));
+        let mut t = Vec::new();
+        taps(DIMS, seg, &mut t);
+        let cols: Vec<u16> = t.iter().map(|tap| tap.rc.col).collect();
+        assert_eq!(cols, vec![0, 6, 12, 18]);
+        assert!(t.iter().all(|tap| tap.rc.row == 3));
+    }
+
+    #[test]
+    fn every_existing_local_name_canonicalizes_and_is_a_tap() {
+        // Structural soundness over a whole small device: canonicalize is
+        // idempotent and consistent with taps().
+        let mut buf = Vec::new();
+        for rc in DIMS.iter_tiles() {
+            for w in Wire::all() {
+                let Some(seg) = canonicalize(DIMS, rc, w) else {
+                    assert!(!wire_exists(DIMS, rc, w));
+                    continue;
+                };
+                assert!(is_canonical(DIMS, seg));
+                // The (rc, w) pair must appear among the segment's taps.
+                buf.clear();
+                taps(DIMS, seg, &mut buf);
+                assert!(
+                    buf.iter().any(|t| t.rc == rc && t.wire == w),
+                    "{} not a tap of {}",
+                    w.name(),
+                    seg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_index_round_trips() {
+        for (rc, w) in [
+            (RowCol::new(0, 0), wire::out(0)),
+            (RowCol::new(5, 7), wire::S1_YQ),
+            (RowCol::new(9, 0), wire::hex(Dir::North, 11)),
+            (RowCol::new(15, 23), wire::feedback(7)),
+        ] {
+            let seg = canonicalize(DIMS, rc, w).unwrap();
+            assert_eq!(Segment::from_index(seg.index(DIMS), DIMS), seg);
+        }
+    }
+
+    #[test]
+    fn distinct_segments_have_distinct_indices() {
+        let a = canonicalize(DIMS, RowCol::new(1, 1), wire::single(Dir::North, 3)).unwrap();
+        let b = canonicalize(DIMS, RowCol::new(1, 2), wire::single(Dir::North, 3)).unwrap();
+        let c = canonicalize(DIMS, RowCol::new(1, 1), wire::single(Dir::North, 4)).unwrap();
+        assert_ne!(a.index(DIMS), b.index(DIMS));
+        assert_ne!(a.index(DIMS), c.index(DIMS));
+    }
+
+    #[test]
+    fn singles_per_dir_and_hexes_per_dir_census() {
+        // At an interior tile all 24 singles and 12 hexes per direction
+        // exist (paper §2 counts).
+        let rc = RowCol::new(8, 12);
+        for dir in Dir::ALL {
+            let singles = (0..SINGLES_PER_DIR)
+                .filter(|&i| wire_exists(DIMS, rc, wire::single(dir, i)))
+                .count();
+            assert_eq!(singles, 24);
+            let hexes = (0..HEXES_PER_DIR)
+                .filter(|&i| wire_exists(DIMS, rc, wire::hex(dir, i)))
+                .count();
+            assert_eq!(hexes, 12);
+        }
+    }
+}

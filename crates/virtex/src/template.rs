@@ -1,0 +1,154 @@
+//! Template values.
+//!
+//! Paper §3: *"A template value is defined as a value describing a
+//! direction and a resource type. For example, a template value of NORTH6
+//! describes any hex wire in the north direction, a template value of
+//! NORTH1 describes any single wire in the north direction."*
+//!
+//! Every wire classifies under exactly one template value (also part of
+//! the paper's architecture description class).
+
+use crate::geometry::Dir;
+use crate::wire::{Wire, WireKind};
+use serde::{Deserialize, Serialize};
+
+/// A direction + resource-type class of wires, used to steer the
+/// template-based router without naming specific resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateValue {
+    /// Any single wire travelling north (paper: `NORTH1`).
+    North1,
+    /// Any single wire travelling east (`EAST1`).
+    East1,
+    /// Any single wire travelling south (`SOUTH1`).
+    South1,
+    /// Any single wire travelling west (`WEST1`).
+    West1,
+    /// Any hex wire travelling north (`NORTH6`).
+    North6,
+    /// Any hex wire travelling east (`EAST6`).
+    East6,
+    /// Any hex wire travelling south (`SOUTH6`).
+    South6,
+    /// Any hex wire travelling west (`WEST6`).
+    West6,
+    /// Any horizontal long line.
+    LongH,
+    /// Any vertical long line.
+    LongV,
+    /// Any OMUX output (`OUTMUX` in the paper's example).
+    OutMux,
+    /// Any logic-block input pin (`CLBIN` in the paper's example).
+    ClbIn,
+    /// Any logic-block output pin.
+    ClbOut,
+    /// Any direct connect to the horizontally adjacent CLB.
+    Direct,
+    /// Any feedback wire within a CLB.
+    Feedback,
+    /// Any dedicated global clock net.
+    Global,
+}
+
+impl TemplateValue {
+    /// The single-wire class for `dir`.
+    pub const fn single(dir: Dir) -> TemplateValue {
+        match dir {
+            Dir::North => TemplateValue::North1,
+            Dir::East => TemplateValue::East1,
+            Dir::South => TemplateValue::South1,
+            Dir::West => TemplateValue::West1,
+        }
+    }
+
+    /// The hex-wire class for `dir`.
+    pub const fn hex(dir: Dir) -> TemplateValue {
+        match dir {
+            Dir::North => TemplateValue::North6,
+            Dir::East => TemplateValue::East6,
+            Dir::South => TemplateValue::South6,
+            Dir::West => TemplateValue::West6,
+        }
+    }
+
+    /// Direction of travel, when this class has one.
+    pub const fn dir(self) -> Option<Dir> {
+        match self {
+            TemplateValue::North1 | TemplateValue::North6 => Some(Dir::North),
+            TemplateValue::East1 | TemplateValue::East6 => Some(Dir::East),
+            TemplateValue::South1 | TemplateValue::South6 => Some(Dir::South),
+            TemplateValue::West1 | TemplateValue::West6 => Some(Dir::West),
+            _ => None,
+        }
+    }
+
+    /// CLB distance covered by one wire of this class (0 for local
+    /// resources, chip-spanning longs report 0 as they have no fixed hop).
+    pub const fn hop_length(self) -> u16 {
+        match self {
+            TemplateValue::North1
+            | TemplateValue::East1
+            | TemplateValue::South1
+            | TemplateValue::West1 => 1,
+            TemplateValue::North6
+            | TemplateValue::East6
+            | TemplateValue::South6
+            | TemplateValue::West6 => 6,
+            _ => 0,
+        }
+    }
+}
+
+/// The template value under which `wire` classifies.
+///
+/// Alias names (arriving ends, hex taps) classify with their travel
+/// direction, so a template step matches a wire wherever the router
+/// touches it.
+pub fn template_value(wire: Wire) -> TemplateValue {
+    match wire.kind() {
+        WireKind::Out(_) => TemplateValue::OutMux,
+        WireKind::SliceOut { .. } => TemplateValue::ClbOut,
+        WireKind::SliceIn { .. } => TemplateValue::ClbIn,
+        WireKind::Single { dir, .. } | WireKind::SingleEnd { dir, .. } => {
+            TemplateValue::single(dir)
+        }
+        WireKind::Hex { dir, .. } | WireKind::HexMid { dir, .. } | WireKind::HexEnd { dir, .. } => {
+            TemplateValue::hex(dir)
+        }
+        WireKind::LongH(_) => TemplateValue::LongH,
+        WireKind::LongV(_) => TemplateValue::LongV,
+        WireKind::DirectE(_) | WireKind::DirectWEnd(_) => TemplateValue::Direct,
+        WireKind::Feedback(_) => TemplateValue::Feedback,
+        WireKind::Gclk(_) => TemplateValue::Global,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn every_wire_classifies() {
+        // The paper requires every wire to carry a template classification;
+        // template_value is total, so just spot-check the mapping.
+        assert_eq!(template_value(wire::out(3)), TemplateValue::OutMux);
+        assert_eq!(template_value(wire::S0_F3), TemplateValue::ClbIn);
+        assert_eq!(template_value(wire::single(Dir::North, 5)), TemplateValue::North1);
+        assert_eq!(template_value(wire::single_end(Dir::North, 5)), TemplateValue::North1);
+        assert_eq!(template_value(wire::hex(Dir::West, 2)), TemplateValue::West6);
+        assert_eq!(template_value(wire::hex_mid(Dir::West, 2)), TemplateValue::West6);
+        assert_eq!(template_value(wire::long_h(0)), TemplateValue::LongH);
+        assert_eq!(template_value(wire::gclk(1)), TemplateValue::Global);
+    }
+
+    #[test]
+    fn dirs_and_hop_lengths() {
+        assert_eq!(TemplateValue::North6.dir(), Some(Dir::North));
+        assert_eq!(TemplateValue::North6.hop_length(), 6);
+        assert_eq!(TemplateValue::West1.hop_length(), 1);
+        assert_eq!(TemplateValue::OutMux.dir(), None);
+        assert_eq!(TemplateValue::single(Dir::East), TemplateValue::East1);
+        assert_eq!(TemplateValue::hex(Dir::South), TemplateValue::South6);
+    }
+}

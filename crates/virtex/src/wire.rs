@@ -1,0 +1,470 @@
+//! The per-tile wire namespace.
+//!
+//! Every routing resource visible at a CLB tile has a *local wire name*,
+//! a small integer (`Wire`). This mirrors the JRoute paper's
+//! "architecture description class" in which *"each wire is defined by a
+//! unique integer"*. A physical wire segment that spans several tiles has
+//! one local name per tile at which it can be accessed; the *canonical*
+//! name (and with it a globally unique segment identity) is derived in
+//! [`crate::segment`].
+//!
+//! Layout of the local id space (dense, so per-tile tables can be flat
+//! arrays):
+//!
+//! | range       | resource                                          |
+//! |-------------|---------------------------------------------------|
+//! | 0..8        | `OUT[j]` — OMUX outputs of the logic block        |
+//! | 8..16       | slice outputs `S0_X,S0_XQ,S0_Y,S0_YQ,S1_…`        |
+//! | 16..42      | slice inputs, 13 per slice (`F1..F4,G1..G4,BX,BY,CLK,CE,SR`) |
+//! | 42..138     | `SINGLE[dir][0..24]` — singles *originating here*  |
+//! | 138..234    | `SINGLE_END[dir][0..24]` — singles arriving here   |
+//! | 234..282    | `HEX[dir][0..12]` — hexes originating here         |
+//! | 282..330    | `HEX_MID[dir][0..12]` — hex midpoint taps          |
+//! | 330..378    | `HEX_END[dir][0..12]` — hex endpoint taps          |
+//! | 378..390    | `LONG_H[0..12]` — horizontal long lines            |
+//! | 390..402    | `LONG_V[0..12]` — vertical long lines              |
+//! | 402..410    | `DIRECT_E[0..8]` — direct connect to east neighbour|
+//! | 410..418    | `DIRECT_W_END[0..8]` — direct arriving from west   |
+//! | 418..426    | `FEEDBACK[0..8]` — logic-block feedback            |
+//! | 426..430    | `GCLK[0..4]` — dedicated global clock nets         |
+//!
+//! Naming note vs. the paper: JBits names a single by the direction it
+//! travels *as seen from each tile* — the paper's example drives
+//! `SingleEast[5]` at `(5,7)` and consumes the same metal as
+//! `SingleWest[5]` at `(5,8)`. We name the consuming end
+//! `SINGLE_END[East][5]` ("the east-going single ending here") to keep the
+//! id space collision-free; the alias relationship is identical.
+
+use crate::geometry::Dir;
+use serde::{Deserialize, Serialize};
+
+/// Number of OMUX outputs per CLB.
+pub const NUM_OUT: usize = 8;
+/// Number of slice outputs per CLB (2 slices x {X, XQ, Y, YQ}).
+pub const NUM_SLICE_OUT: usize = 8;
+/// Number of input pins per slice.
+pub const INPUTS_PER_SLICE: usize = 13;
+/// Number of slice input pins per CLB (2 slices).
+pub const NUM_SLICE_IN: usize = 2 * INPUTS_PER_SLICE;
+/// Singles per direction per tile (Virtex: 24).
+pub const SINGLES_PER_DIR: usize = 24;
+/// Hexes *accessible* (driveable) per direction per tile (Virtex: 12 of 96).
+pub const HEXES_PER_DIR: usize = 12;
+/// Long lines per orientation (Virtex: 12 horizontal, 12 vertical).
+pub const NUM_LONG: usize = 12;
+/// Direct connects to the east neighbour.
+pub const NUM_DIRECT: usize = 8;
+/// Feedback paths from outputs to same-CLB inputs.
+pub const NUM_FEEDBACK: usize = 8;
+/// Dedicated global clock nets (Virtex: 4).
+pub const NUM_GCLK: usize = 4;
+/// Span, in CLBs, of a hex line.
+pub const HEX_SPAN: u16 = 6;
+/// Long lines are accessible every `LONG_ACCESS` CLBs.
+pub const LONG_ACCESS: u16 = 6;
+
+pub(crate) const BASE_OUT: u16 = 0;
+pub(crate) const BASE_SLICE_OUT: u16 = 8;
+pub(crate) const BASE_SLICE_IN: u16 = 16;
+pub(crate) const BASE_SINGLE: u16 = 42;
+pub(crate) const BASE_SINGLE_END: u16 = 138;
+pub(crate) const BASE_HEX: u16 = 234;
+pub(crate) const BASE_HEX_MID: u16 = 282;
+pub(crate) const BASE_HEX_END: u16 = 330;
+pub(crate) const BASE_LONG_H: u16 = 378;
+pub(crate) const BASE_LONG_V: u16 = 390;
+pub(crate) const BASE_DIRECT_E: u16 = 402;
+pub(crate) const BASE_DIRECT_W_END: u16 = 410;
+pub(crate) const BASE_FEEDBACK: u16 = 418;
+pub(crate) const BASE_GCLK: u16 = 426;
+
+/// Total size of the per-tile local wire id space.
+pub const NUM_LOCAL_WIRES: usize = 430;
+
+/// A local wire name at some tile: a dense small integer.
+///
+/// Construct via the `out`, `single`, `hex`, … helpers or the named
+/// constants (`S1_YQ`, …); decode via [`Wire::kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Wire(pub u16);
+
+/// Decoded form of a [`Wire`].
+///
+/// For the travelling resources (singles, hexes, directs) the `Dir` is the
+/// direction of travel of the physical wire, regardless of whether the
+/// local name refers to its origin (`Single`, `Hex`, `DirectE`), its
+/// midpoint (`HexMid`) or its destination (`SingleEnd`, `HexEnd`,
+/// `DirectWEnd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant fields (dir, idx, slice, pin) are self-describing
+pub enum WireKind {
+    /// OMUX output `OUT[j]`.
+    Out(u8),
+    /// Slice output; `slice` in 0..2, `pin` in 0..4 (X, XQ, Y, YQ).
+    SliceOut { slice: u8, pin: u8 },
+    /// Slice input; `slice` in 0..2, `pin` in 0..13.
+    SliceIn { slice: u8, pin: u8 },
+    /// Single originating at this tile, travelling `dir`.
+    Single { dir: Dir, idx: u8 },
+    /// Single arriving at this tile (it originated one tile behind `dir`).
+    SingleEnd { dir: Dir, idx: u8 },
+    /// Hex originating at this tile, travelling `dir`.
+    Hex { dir: Dir, idx: u8 },
+    /// Hex midpoint tap (origin three tiles behind `dir`).
+    HexMid { dir: Dir, idx: u8 },
+    /// Hex endpoint tap (origin six tiles behind `dir`).
+    HexEnd { dir: Dir, idx: u8 },
+    /// Horizontal long line.
+    LongH(u8),
+    /// Vertical long line.
+    LongV(u8),
+    /// Direct connect originating here toward the east neighbour.
+    DirectE(u8),
+    /// Direct connect arriving from the west neighbour.
+    DirectWEnd(u8),
+    /// Feedback from this CLB's outputs to its own inputs.
+    Feedback(u8),
+    /// Dedicated global clock net (chip-wide).
+    Gclk(u8),
+}
+
+/// Slice-output pin codes for [`WireKind::SliceOut`].
+pub mod slice_out_pin {
+    #![allow(missing_docs)] // the pin codes are self-describing
+    pub const X: u8 = 0;
+    pub const XQ: u8 = 1;
+    pub const Y: u8 = 2;
+    pub const YQ: u8 = 3;
+}
+
+/// Slice-input pin codes for [`WireKind::SliceIn`].
+pub mod slice_in_pin {
+    #![allow(missing_docs)] // the pin codes are self-describing
+    pub const F1: u8 = 0;
+    pub const F2: u8 = 1;
+    pub const F3: u8 = 2;
+    pub const F4: u8 = 3;
+    pub const G1: u8 = 4;
+    pub const G2: u8 = 5;
+    pub const G3: u8 = 6;
+    pub const G4: u8 = 7;
+    pub const BX: u8 = 8;
+    pub const BY: u8 = 9;
+    pub const CLK: u8 = 10;
+    pub const CE: u8 = 11;
+    pub const SR: u8 = 12;
+}
+
+/// `OUT[j]` — OMUX output `j` (0..8).
+#[inline]
+pub const fn out(j: usize) -> Wire {
+    assert!(j < NUM_OUT);
+    Wire(BASE_OUT + j as u16)
+}
+
+/// Slice output; `slice` 0..2, `pin` one of [`slice_out_pin`].
+#[inline]
+pub const fn slice_out(slice: usize, pin: u8) -> Wire {
+    assert!(slice < 2 && pin < 4);
+    Wire(BASE_SLICE_OUT + (slice as u16) * 4 + pin as u16)
+}
+
+/// Slice input; `slice` 0..2, `pin` one of [`slice_in_pin`].
+#[inline]
+pub const fn slice_in(slice: usize, pin: u8) -> Wire {
+    assert!(slice < 2 && (pin as usize) < INPUTS_PER_SLICE);
+    Wire(BASE_SLICE_IN + (slice as u16) * INPUTS_PER_SLICE as u16 + pin as u16)
+}
+
+/// Single originating here travelling `dir`, index 0..24.
+#[inline]
+pub const fn single(dir: Dir, idx: usize) -> Wire {
+    assert!(idx < SINGLES_PER_DIR);
+    Wire(BASE_SINGLE + (dir.index() as u16) * SINGLES_PER_DIR as u16 + idx as u16)
+}
+
+/// Single arriving here that travelled `dir` (originating one tile behind).
+#[inline]
+pub const fn single_end(dir: Dir, idx: usize) -> Wire {
+    assert!(idx < SINGLES_PER_DIR);
+    Wire(BASE_SINGLE_END + (dir.index() as u16) * SINGLES_PER_DIR as u16 + idx as u16)
+}
+
+/// Hex originating here travelling `dir`, index 0..12.
+#[inline]
+pub const fn hex(dir: Dir, idx: usize) -> Wire {
+    assert!(idx < HEXES_PER_DIR);
+    Wire(BASE_HEX + (dir.index() as u16) * HEXES_PER_DIR as u16 + idx as u16)
+}
+
+/// Hex midpoint tap of a hex that originated three tiles behind `dir`.
+#[inline]
+pub const fn hex_mid(dir: Dir, idx: usize) -> Wire {
+    assert!(idx < HEXES_PER_DIR);
+    Wire(BASE_HEX_MID + (dir.index() as u16) * HEXES_PER_DIR as u16 + idx as u16)
+}
+
+/// Hex endpoint tap of a hex that originated six tiles behind `dir`.
+#[inline]
+pub const fn hex_end(dir: Dir, idx: usize) -> Wire {
+    assert!(idx < HEXES_PER_DIR);
+    Wire(BASE_HEX_END + (dir.index() as u16) * HEXES_PER_DIR as u16 + idx as u16)
+}
+
+/// Horizontal long line, index 0..12.
+#[inline]
+pub const fn long_h(idx: usize) -> Wire {
+    assert!(idx < NUM_LONG);
+    Wire(BASE_LONG_H + idx as u16)
+}
+
+/// Vertical long line, index 0..12.
+#[inline]
+pub const fn long_v(idx: usize) -> Wire {
+    assert!(idx < NUM_LONG);
+    Wire(BASE_LONG_V + idx as u16)
+}
+
+/// Direct connect originating here toward the east neighbour.
+#[inline]
+pub const fn direct_e(idx: usize) -> Wire {
+    assert!(idx < NUM_DIRECT);
+    Wire(BASE_DIRECT_E + idx as u16)
+}
+
+/// Direct connect arriving here from the west neighbour.
+#[inline]
+pub const fn direct_w_end(idx: usize) -> Wire {
+    assert!(idx < NUM_DIRECT);
+    Wire(BASE_DIRECT_W_END + idx as u16)
+}
+
+/// Feedback wire from this CLB's outputs to its own inputs.
+#[inline]
+pub const fn feedback(idx: usize) -> Wire {
+    assert!(idx < NUM_FEEDBACK);
+    Wire(BASE_FEEDBACK + idx as u16)
+}
+
+/// Dedicated global clock net, index 0..4.
+#[inline]
+pub const fn gclk(idx: usize) -> Wire {
+    assert!(idx < NUM_GCLK);
+    Wire(BASE_GCLK + idx as u16)
+}
+
+// Named constants matching the paper's examples.
+/// Slice 0 output `YQ`.
+pub const S0_YQ: Wire = slice_out(0, slice_out_pin::YQ);
+/// Slice 1 output `YQ` (source of the paper's running example).
+pub const S1_YQ: Wire = slice_out(1, slice_out_pin::YQ);
+/// Slice 0 input `F3` (sink of the paper's running example).
+pub const S0_F3: Wire = slice_in(0, slice_in_pin::F3);
+/// Slice 1 input `F1`.
+pub const S1_F1: Wire = slice_in(1, slice_in_pin::F1);
+
+impl Wire {
+    /// Decode this local id into its resource kind.
+    pub fn kind(self) -> WireKind {
+        let v = self.0;
+        debug_assert!((v as usize) < NUM_LOCAL_WIRES, "wire id out of range: {v}");
+        match v {
+            _ if v < BASE_SLICE_OUT => WireKind::Out(v as u8),
+            _ if v < BASE_SLICE_IN => {
+                let o = v - BASE_SLICE_OUT;
+                WireKind::SliceOut { slice: (o / 4) as u8, pin: (o % 4) as u8 }
+            }
+            _ if v < BASE_SINGLE => {
+                let o = v - BASE_SLICE_IN;
+                WireKind::SliceIn {
+                    slice: (o / INPUTS_PER_SLICE as u16) as u8,
+                    pin: (o % INPUTS_PER_SLICE as u16) as u8,
+                }
+            }
+            _ if v < BASE_SINGLE_END => {
+                let o = v - BASE_SINGLE;
+                WireKind::Single {
+                    dir: Dir::from_index((o / SINGLES_PER_DIR as u16) as usize),
+                    idx: (o % SINGLES_PER_DIR as u16) as u8,
+                }
+            }
+            _ if v < BASE_HEX => {
+                let o = v - BASE_SINGLE_END;
+                WireKind::SingleEnd {
+                    dir: Dir::from_index((o / SINGLES_PER_DIR as u16) as usize),
+                    idx: (o % SINGLES_PER_DIR as u16) as u8,
+                }
+            }
+            _ if v < BASE_HEX_MID => {
+                let o = v - BASE_HEX;
+                WireKind::Hex {
+                    dir: Dir::from_index((o / HEXES_PER_DIR as u16) as usize),
+                    idx: (o % HEXES_PER_DIR as u16) as u8,
+                }
+            }
+            _ if v < BASE_HEX_END => {
+                let o = v - BASE_HEX_MID;
+                WireKind::HexMid {
+                    dir: Dir::from_index((o / HEXES_PER_DIR as u16) as usize),
+                    idx: (o % HEXES_PER_DIR as u16) as u8,
+                }
+            }
+            _ if v < BASE_LONG_H => {
+                let o = v - BASE_HEX_END;
+                WireKind::HexEnd {
+                    dir: Dir::from_index((o / HEXES_PER_DIR as u16) as usize),
+                    idx: (o % HEXES_PER_DIR as u16) as u8,
+                }
+            }
+            _ if v < BASE_LONG_V => WireKind::LongH((v - BASE_LONG_H) as u8),
+            _ if v < BASE_DIRECT_E => WireKind::LongV((v - BASE_LONG_V) as u8),
+            _ if v < BASE_DIRECT_W_END => WireKind::DirectE((v - BASE_DIRECT_E) as u8),
+            _ if v < BASE_FEEDBACK => WireKind::DirectWEnd((v - BASE_DIRECT_W_END) as u8),
+            _ if v < BASE_GCLK => WireKind::Feedback((v - BASE_FEEDBACK) as u8),
+            _ => WireKind::Gclk((v - BASE_GCLK) as u8),
+        }
+    }
+
+    /// True if this local name denotes a logic-block input pin (a routing
+    /// sink).
+    #[inline]
+    pub fn is_clb_input(self) -> bool {
+        (BASE_SLICE_IN..BASE_SINGLE).contains(&self.0)
+    }
+
+    /// True if this local name denotes a logic-block output pin (a routing
+    /// source).
+    #[inline]
+    pub fn is_clb_output(self) -> bool {
+        (BASE_SLICE_OUT..BASE_SLICE_IN).contains(&self.0)
+    }
+
+    /// Iterate every local wire id.
+    pub fn all() -> impl Iterator<Item = Wire> {
+        (0..NUM_LOCAL_WIRES as u16).map(Wire)
+    }
+
+    /// Human-readable name, e.g. `S1_YQ`, `OUT[3]`, `SINGLE_E[5]`.
+    pub fn name(self) -> String {
+        fn d(dir: Dir) -> char {
+            match dir {
+                Dir::North => 'N',
+                Dir::East => 'E',
+                Dir::South => 'S',
+                Dir::West => 'W',
+            }
+        }
+        match self.kind() {
+            WireKind::Out(j) => format!("OUT[{j}]"),
+            WireKind::SliceOut { slice, pin } => {
+                let p = ["X", "XQ", "Y", "YQ"][pin as usize];
+                format!("S{slice}_{p}")
+            }
+            WireKind::SliceIn { slice, pin } => {
+                let p = ["F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "BX", "BY", "CLK",
+                    "CE", "SR"][pin as usize];
+                format!("S{slice}_{p}")
+            }
+            WireKind::Single { dir, idx } => format!("SINGLE_{}[{idx}]", d(dir)),
+            WireKind::SingleEnd { dir, idx } => format!("SINGLE_{}_END[{idx}]", d(dir)),
+            WireKind::Hex { dir, idx } => format!("HEX_{}[{idx}]", d(dir)),
+            WireKind::HexMid { dir, idx } => format!("HEX_{}_MID[{idx}]", d(dir)),
+            WireKind::HexEnd { dir, idx } => format!("HEX_{}_END[{idx}]", d(dir)),
+            WireKind::LongH(i) => format!("LONG_H[{i}]"),
+            WireKind::LongV(i) => format!("LONG_V[{i}]"),
+            WireKind::DirectE(i) => format!("DIRECT_E[{i}]"),
+            WireKind::DirectWEnd(i) => format!("DIRECT_W_END[{i}]"),
+            WireKind::Feedback(i) => format!("FEEDBACK[{i}]"),
+            WireKind::Gclk(i) => format!("GCLK[{i}]"),
+        }
+    }
+}
+
+impl std::fmt::Display for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_space_is_dense_and_sized() {
+        assert_eq!(
+            NUM_LOCAL_WIRES,
+            NUM_OUT
+                + NUM_SLICE_OUT
+                + NUM_SLICE_IN
+                + 4 * SINGLES_PER_DIR * 2
+                + 4 * HEXES_PER_DIR * 3
+                + 2 * NUM_LONG
+                + 2 * NUM_DIRECT
+                + NUM_FEEDBACK
+                + NUM_GCLK
+        );
+    }
+
+    #[test]
+    fn kind_round_trips_for_every_wire() {
+        for w in Wire::all() {
+            let rebuilt = match w.kind() {
+                WireKind::Out(j) => out(j as usize),
+                WireKind::SliceOut { slice, pin } => slice_out(slice as usize, pin),
+                WireKind::SliceIn { slice, pin } => slice_in(slice as usize, pin),
+                WireKind::Single { dir, idx } => single(dir, idx as usize),
+                WireKind::SingleEnd { dir, idx } => single_end(dir, idx as usize),
+                WireKind::Hex { dir, idx } => hex(dir, idx as usize),
+                WireKind::HexMid { dir, idx } => hex_mid(dir, idx as usize),
+                WireKind::HexEnd { dir, idx } => hex_end(dir, idx as usize),
+                WireKind::LongH(i) => long_h(i as usize),
+                WireKind::LongV(i) => long_v(i as usize),
+                WireKind::DirectE(i) => direct_e(i as usize),
+                WireKind::DirectWEnd(i) => direct_w_end(i as usize),
+                WireKind::Feedback(i) => feedback(i as usize),
+                WireKind::Gclk(i) => gclk(i as usize),
+            };
+            assert_eq!(rebuilt, w, "round trip failed for {}", w.name());
+        }
+    }
+
+    #[test]
+    fn paper_example_constants_decode() {
+        assert_eq!(S1_YQ.kind(), WireKind::SliceOut { slice: 1, pin: slice_out_pin::YQ });
+        assert_eq!(S0_F3.kind(), WireKind::SliceIn { slice: 0, pin: slice_in_pin::F3 });
+        assert!(S0_F3.is_clb_input());
+        assert!(S1_YQ.is_clb_output());
+        assert!(!S1_YQ.is_clb_input());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in Wire::all() {
+            assert!(seen.insert(w.name()), "duplicate name {}", w.name());
+        }
+    }
+
+    #[test]
+    fn resource_census_matches_paper_section_2() {
+        // "There are 24 single length lines in each of the four directions."
+        let singles = Wire::all()
+            .filter(|w| matches!(w.kind(), WireKind::Single { dir: Dir::North, .. }))
+            .count();
+        assert_eq!(singles, 24);
+        // "Only 12 [hexes] in each direction can be accessed by any given
+        // logic block."
+        let hexes = Wire::all()
+            .filter(|w| matches!(w.kind(), WireKind::Hex { dir: Dir::East, .. }))
+            .count();
+        assert_eq!(hexes, 12);
+        // "There are also 12 long lines that run horizontal, or vertical."
+        let longs_h = Wire::all().filter(|w| matches!(w.kind(), WireKind::LongH(_))).count();
+        let longs_v = Wire::all().filter(|w| matches!(w.kind(), WireKind::LongV(_))).count();
+        assert_eq!((longs_h, longs_v), (12, 12));
+        // "four dedicated global nets"
+        let gclks = Wire::all().filter(|w| matches!(w.kind(), WireKind::Gclk(_))).count();
+        assert_eq!(gclks, 4);
+    }
+}

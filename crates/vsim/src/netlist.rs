@@ -1,0 +1,165 @@
+//! Netlist extraction: from configuration bits to logic connectivity.
+//!
+//! The simulator does not interpret PIPs at runtime; it extracts, once,
+//! the *logic source* behind every driven CLB input pin by reverse-tracing
+//! the configuration — the same readback-based view a BoardScope-class
+//! debugger has of the hardware.
+
+use jbits::Bitstream;
+use virtex::{Device, RowCol, Segment, WireKind};
+
+/// Where the value on a wire ultimately comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant fields (rc, slice) are self-describing
+pub enum LogicSource {
+    /// Combinational F-LUT output (`X`) of a slice.
+    X { rc: RowCol, slice: u8 },
+    /// Combinational G-LUT output (`Y`) of a slice.
+    Y { rc: RowCol, slice: u8 },
+    /// Registered F output (`XQ`).
+    Xq { rc: RowCol, slice: u8 },
+    /// Registered G output (`YQ`).
+    Yq { rc: RowCol, slice: u8 },
+    /// A global clock net.
+    Gclk(u8),
+}
+
+/// One slice input pin position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputPin {
+    /// Tile of the pin.
+    pub rc: RowCol,
+    /// Slice index (0 or 1).
+    pub slice: u8,
+    /// Pin code from [`virtex::wire::slice_in_pin`].
+    pub pin: u8,
+}
+
+/// The extracted logic netlist: a map from every driven input pin to its
+/// logic source.
+#[derive(Debug, Default)]
+pub struct Netlist {
+    pub(crate) inputs: std::collections::HashMap<InputPin, LogicSource>,
+}
+
+/// Classify a canonical segment as a logic source, if it is one.
+fn source_of_segment(seg: Segment) -> Option<LogicSource> {
+    match seg.wire.kind() {
+        WireKind::SliceOut { slice, pin } => Some(match pin {
+            virtex::wire::slice_out_pin::X => LogicSource::X { rc: seg.rc, slice },
+            virtex::wire::slice_out_pin::XQ => LogicSource::Xq { rc: seg.rc, slice },
+            virtex::wire::slice_out_pin::Y => LogicSource::Y { rc: seg.rc, slice },
+            _ => LogicSource::Yq { rc: seg.rc, slice },
+        }),
+        WireKind::Gclk(i) => Some(LogicSource::Gclk(i)),
+        _ => None,
+    }
+}
+
+impl Netlist {
+    /// Extract the netlist from a configuration.
+    ///
+    /// Every PIP targeting a CLB input pin is reverse-traced to a slice
+    /// output or global clock. Pins that trace to nothing (dangling
+    /// routing) are left undriven and read as 0 in simulation.
+    pub fn extract(bits: &Bitstream) -> Self {
+        let dev: &Device = bits.device();
+        let mut inputs = std::collections::HashMap::new();
+        for rc in dev.dims().iter_tiles() {
+            for pip in bits.pips_at(rc) {
+                if !pip.to.is_clb_input() {
+                    continue;
+                }
+                let WireKind::SliceIn { slice, pin } = pip.to.kind() else { continue };
+                // Walk back from the pin's driver wire to a logic source.
+                let Some(mut cur) = dev.canonicalize(rc, pip.from) else { continue };
+                let src = loop {
+                    if let Some(s) = source_of_segment(cur) {
+                        break Some(s);
+                    }
+                    match bits.segment_driver(cur) {
+                        Some((drc, dpip)) => {
+                            match dev.canonicalize(drc, dpip.from) {
+                                Some(next) => cur = next,
+                                None => break None,
+                            }
+                        }
+                        None => break None,
+                    }
+                };
+                if let Some(src) = src {
+                    inputs.insert(InputPin { rc, slice, pin }, src);
+                }
+            }
+        }
+        Netlist { inputs }
+    }
+
+    /// Logic source driving a pin, if any.
+    pub fn source(&self, pin: InputPin) -> Option<LogicSource> {
+        self.inputs.get(&pin).copied()
+    }
+
+    /// Number of driven input pins.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether nothing is connected.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{wire, Device, Dir, Family};
+
+    #[test]
+    fn extracts_the_paper_example_connection() {
+        let dev = Device::new(Family::Xcv50);
+        let mut b = Bitstream::new(&dev);
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+            .unwrap();
+        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        let nl = Netlist::extract(&b);
+        assert_eq!(nl.len(), 1);
+        let pin = InputPin {
+            rc: RowCol::new(6, 8),
+            slice: 0,
+            pin: virtex::wire::slice_in_pin::F3,
+        };
+        assert_eq!(
+            nl.source(pin),
+            Some(LogicSource::Yq { rc: RowCol::new(5, 7), slice: 1 })
+        );
+    }
+
+    #[test]
+    fn dangling_routes_leave_pins_undriven() {
+        let dev = Device::new(Family::Xcv50);
+        let mut b = Bitstream::new(&dev);
+        // Drive an input from a single that nothing drives.
+        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        let nl = Netlist::extract(&b);
+        assert!(nl.is_empty());
+    }
+
+    #[test]
+    fn gclk_sources_are_recognised() {
+        let dev = Device::new(Family::Xcv50);
+        let mut b = Bitstream::new(&dev);
+        b.set_pip(RowCol::new(3, 3), wire::gclk(2), wire::slice_in(0, wire::slice_in_pin::CLK))
+            .unwrap();
+        let nl = Netlist::extract(&b);
+        let pin = InputPin {
+            rc: RowCol::new(3, 3),
+            slice: 0,
+            pin: wire::slice_in_pin::CLK,
+        };
+        assert_eq!(nl.source(pin), Some(LogicSource::Gclk(2)));
+    }
+}

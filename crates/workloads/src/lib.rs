@@ -1,0 +1,15 @@
+//! # jroute-workloads — workload and scenario generators for the
+//! evaluation
+//!
+//! Deterministic (seeded) generators producing the net lists and RTR
+//! scenarios used by the experiment suite (DESIGN.md §4). All generators
+//! take a `ChaCha8Rng` so every experiment is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod netgen;
+pub mod scenarios;
+
+pub use netgen::{random_netlist, random_pairs, window_netlist, NetlistParams};
+pub use scenarios::{fanout_spec, pipeline_placements};

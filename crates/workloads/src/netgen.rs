@@ -1,0 +1,230 @@
+//! Random net-list generation.
+
+use jroute::pathfinder::NetSpec;
+use jroute::Pin;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use virtex::wire::{self, slice_in_pin};
+use virtex::{Device, RowCol};
+
+/// Parameters of a random netlist.
+#[derive(Debug, Clone)]
+pub struct NetlistParams {
+    /// Number of nets.
+    pub nets: usize,
+    /// Sinks per net are drawn uniformly from `1..=max_fanout`.
+    pub max_fanout: usize,
+    /// Maximum Manhattan span from source to each sink (bounds net
+    /// bounding boxes). `None` = whole chip.
+    pub max_span: Option<u16>,
+}
+
+impl Default for NetlistParams {
+    fn default() -> Self {
+        NetlistParams { nets: 20, max_fanout: 1, max_span: None }
+    }
+}
+
+/// All source pin positions of a tile (slice outputs).
+fn out_pins(rc: RowCol) -> [Pin; 8] {
+    let mut i = 0;
+    [(); 8].map(|_| {
+        let p = Pin::at(rc, wire::slice_out(i / 4, (i % 4) as u8));
+        i += 1;
+        p
+    })
+}
+
+/// All LUT-input pin positions of a tile.
+fn in_pins(rc: RowCol) -> Vec<Pin> {
+    let mut v = Vec::with_capacity(16);
+    for slice in 0..2usize {
+        for pin in slice_in_pin::F1..=slice_in_pin::G4 {
+            v.push(Pin::at(rc, wire::slice_in(slice, pin)));
+        }
+    }
+    v
+}
+
+fn random_tile(dev: &Device, rng: &mut ChaCha8Rng) -> RowCol {
+    let d = dev.dims();
+    RowCol::new(rng.gen_range(0..d.rows), rng.gen_range(0..d.cols))
+}
+
+fn tile_near(dev: &Device, around: RowCol, span: u16, rng: &mut ChaCha8Rng) -> RowCol {
+    let d = dev.dims();
+    let lo_r = around.row.saturating_sub(span);
+    let hi_r = (around.row + span).min(d.rows - 1);
+    let lo_c = around.col.saturating_sub(span);
+    let hi_c = (around.col + span).min(d.cols - 1);
+    RowCol::new(rng.gen_range(lo_r..=hi_r), rng.gen_range(lo_c..=hi_c))
+}
+
+/// Generate `params.nets` nets with globally distinct source pins and
+/// distinct sink pins.
+pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut ChaCha8Rng) -> Vec<NetSpec> {
+    let mut used_src = std::collections::HashSet::new();
+    let mut used_sink = std::collections::HashSet::new();
+    let mut specs = Vec::with_capacity(params.nets);
+    let mut guard = 0usize;
+    while specs.len() < params.nets {
+        guard += 1;
+        assert!(guard < params.nets * 1000, "netlist generation starved — device too small");
+        let src_rc = random_tile(dev, rng);
+        let Some(&src) = out_pins(src_rc).choose(rng) else { continue };
+        if !used_src.insert(src) {
+            continue;
+        }
+        let fanout = rng.gen_range(1..=params.max_fanout.max(1));
+        let mut sinks = Vec::with_capacity(fanout);
+        for _ in 0..fanout {
+            for _attempt in 0..100 {
+                let rc = match params.max_span {
+                    Some(s) => tile_near(dev, src_rc, s, rng),
+                    None => random_tile(dev, rng),
+                };
+                if rc == src_rc {
+                    continue;
+                }
+                let Some(&sink) = in_pins(rc).choose(rng) else { continue };
+                if used_sink.insert(sink) {
+                    sinks.push(sink);
+                    break;
+                }
+            }
+        }
+        if sinks.is_empty() {
+            used_src.remove(&src);
+            continue;
+        }
+        specs.push(NetSpec::new(src, sinks));
+    }
+    specs
+}
+
+/// Point-to-point pairs (fanout 1), convenience wrapper.
+pub fn random_pairs(dev: &Device, n: usize, rng: &mut ChaCha8Rng) -> Vec<(Pin, Pin)> {
+    random_netlist(dev, &NetlistParams { nets: n, max_fanout: 1, max_span: None }, rng)
+        .into_iter()
+        .map(|s| {
+            let sink = s.sinks[0];
+            (s.source, sink)
+        })
+        .collect()
+}
+
+/// Nets crammed into a `window`-sized square region — the congestion
+/// stressor for experiments E4 and E8.
+pub fn window_netlist(
+    _dev: &Device,
+    nets: usize,
+    window: u16,
+    origin: RowCol,
+    rng: &mut ChaCha8Rng,
+) -> Vec<NetSpec> {
+    let mut used_src = std::collections::HashSet::new();
+    let mut used_sink = std::collections::HashSet::new();
+    let mut specs = Vec::with_capacity(nets);
+    let mut guard = 0usize;
+    while specs.len() < nets {
+        guard += 1;
+        assert!(guard < nets * 2000, "window netlist starved — window too small for {nets} nets");
+        let src_rc = RowCol::new(
+            origin.row + rng.gen_range(0..window),
+            origin.col + rng.gen_range(0..window),
+        );
+        let sink_rc = RowCol::new(
+            origin.row + rng.gen_range(0..window),
+            origin.col + rng.gen_range(0..window),
+        );
+        if src_rc == sink_rc {
+            continue;
+        }
+        let Some(&src) = out_pins(src_rc).choose(rng) else { continue };
+        let Some(&sink) = in_pins(sink_rc).choose(rng) else { continue };
+        if !used_src.insert(src) {
+            continue;
+        }
+        if !used_sink.insert(sink) {
+            used_src.remove(&src);
+            continue;
+        }
+        specs.push(NetSpec::new(src, vec![sink]));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use virtex::Family;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn netlists_are_deterministic_per_seed() {
+        let dev = Device::new(Family::Xcv50);
+        let p = NetlistParams { nets: 10, max_fanout: 3, max_span: Some(6) };
+        let a = random_netlist(&dev, &p, &mut rng(42));
+        let b = random_netlist(&dev, &p, &mut rng(42));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.sinks, y.sinks);
+        }
+        let c = random_netlist(&dev, &p, &mut rng(43));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.source != y.source));
+    }
+
+    #[test]
+    fn sources_and_sinks_are_disjoint_pins() {
+        let dev = Device::new(Family::Xcv50);
+        let p = NetlistParams { nets: 30, max_fanout: 4, max_span: None };
+        let nl = random_netlist(&dev, &p, &mut rng(7));
+        let mut srcs = std::collections::HashSet::new();
+        let mut sinks = std::collections::HashSet::new();
+        for n in &nl {
+            assert!(srcs.insert(n.source), "duplicate source {:?}", n.source);
+            for s in &n.sinks {
+                assert!(sinks.insert(*s), "duplicate sink {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_span_bounds_bounding_boxes() {
+        let dev = Device::new(Family::Xcv50);
+        let p = NetlistParams { nets: 20, max_fanout: 2, max_span: Some(3) };
+        for n in random_netlist(&dev, &p, &mut rng(1)) {
+            for s in &n.sinks {
+                assert!(s.rc.row.abs_diff(n.source.rc.row) <= 3);
+                assert!(s.rc.col.abs_diff(n.source.rc.col) <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn window_netlist_stays_in_window() {
+        let dev = Device::new(Family::Xcv50);
+        let origin = RowCol::new(4, 4);
+        for n in window_netlist(&dev, 25, 5, origin, &mut rng(3)) {
+            for rc in [n.source.rc, n.sinks[0].rc] {
+                assert!((4..9).contains(&rc.row) && (4..9).contains(&rc.col));
+            }
+        }
+    }
+
+    #[test]
+    fn random_pairs_have_distinct_endpoints() {
+        let dev = Device::new(Family::Xcv50);
+        let pairs = random_pairs(&dev, 15, &mut rng(9));
+        assert_eq!(pairs.len(), 15);
+        for (s, k) in &pairs {
+            assert_ne!(s.rc, k.rc);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Higher-level experiment scenarios: fan-out nets and data-flow
+//! pipeline placements.
+
+use jroute::pathfinder::NetSpec;
+use jroute::Pin;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use virtex::wire::{self, slice_in_pin};
+use virtex::{Device, RowCol};
+
+/// A single source with `fanout` sinks scattered within `span` CLBs —
+/// the E3/E9 workload.
+pub fn fanout_spec(
+    dev: &Device,
+    source: RowCol,
+    fanout: usize,
+    span: u16,
+    rng: &mut ChaCha8Rng,
+) -> NetSpec {
+    let d = dev.dims();
+    let src = Pin::at(source, wire::slice_out(0, wire::slice_out_pin::YQ));
+    let mut sinks = Vec::with_capacity(fanout);
+    let mut used = std::collections::HashSet::new();
+    let mut guard = 0;
+    while sinks.len() < fanout {
+        guard += 1;
+        assert!(guard < fanout * 1000, "fanout spec starved");
+        let r = source.row.saturating_sub(span)
+            ..=(source.row + span).min(d.rows - 1);
+        let c = source.col.saturating_sub(span)
+            ..=(source.col + span).min(d.cols - 1);
+        let rc = RowCol::new(rng.gen_range(r), rng.gen_range(c));
+        if rc == source {
+            continue;
+        }
+        let pin = Pin::at(
+            rc,
+            wire::slice_in(
+                rng.gen_range(0..2usize),
+                rng.gen_range(slice_in_pin::F1..=slice_in_pin::G4),
+            ),
+        );
+        if used.insert(pin) {
+            sinks.push(pin);
+        }
+    }
+    NetSpec::new(src, sinks)
+}
+
+/// Column origins for an `n_stages`-stage data-flow pipeline of cores of
+/// the given footprint, spaced `gap` columns apart starting at `start`.
+/// Returns `None` if the pipeline does not fit on the device.
+pub fn pipeline_placements(
+    dev: &Device,
+    n_stages: usize,
+    footprint: (u16, u16),
+    start: RowCol,
+    gap: u16,
+) -> Option<Vec<RowCol>> {
+    let d = dev.dims();
+    let (rows, cols) = footprint;
+    let mut out = Vec::with_capacity(n_stages);
+    let mut col = start.col;
+    for _ in 0..n_stages {
+        if start.row + rows > d.rows || col + cols > d.cols {
+            return None;
+        }
+        out.push(RowCol::new(start.row, col));
+        col += cols + gap;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use virtex::Family;
+
+    #[test]
+    fn fanout_spec_produces_requested_fanout() {
+        let dev = Device::new(Family::Xcv50);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let spec = fanout_spec(&dev, RowCol::new(8, 12), 16, 5, &mut rng);
+        assert_eq!(spec.sinks.len(), 16);
+        let uniq: std::collections::HashSet<_> = spec.sinks.iter().collect();
+        assert_eq!(uniq.len(), 16);
+    }
+
+    #[test]
+    fn pipeline_placements_fit_or_fail() {
+        let dev = Device::new(Family::Xcv50); // 16x24
+        let p = pipeline_placements(&dev, 3, (4, 1), RowCol::new(2, 2), 5).unwrap();
+        assert_eq!(p, vec![RowCol::new(2, 2), RowCol::new(2, 8), RowCol::new(2, 14)]);
+        assert!(pipeline_placements(&dev, 5, (4, 1), RowCol::new(2, 2), 5).is_none());
+        assert!(pipeline_placements(&dev, 1, (20, 1), RowCol::new(2, 2), 5).is_none());
+    }
+}

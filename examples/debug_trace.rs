@@ -1,0 +1,66 @@
+//! BoardScope-style debugging (paper §3.5): trace a net forward to all of
+//! its sinks, trace a sink back to its source, and diff configuration
+//! snapshots around a reconfiguration.
+//!
+//! Run with: `cargo run --example debug_trace`
+
+use jbits::{diff, snapshot};
+use jroute::{EndPoint, Pin, Router};
+use virtex::{wire, Device, Family};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::new(Family::Xcv50);
+    let mut router = Router::new(&device);
+
+    // A fan-out net: one source, three sinks.
+    let src: EndPoint = Pin::new(8, 8, wire::S0_YQ).into();
+    let sinks: Vec<EndPoint> = vec![
+        Pin::new(8, 12, wire::S0_F3).into(),
+        Pin::new(11, 9, wire::S1_F1).into(),
+        Pin::new(6, 10, wire::slice_in(0, wire::slice_in_pin::G2)).into(),
+    ];
+    let before = snapshot(router.bits());
+    router.route_fanout(&src, &sinks)?;
+
+    // trace(EndPoint): "traces a source to all of its sinks. The entire
+    // net is returned."
+    let net = router.trace(&src)?;
+    println!("trace from {src}:");
+    println!("  {} segments, {} PIPs", net.segments.len(), net.pips.len());
+    for sink in &net.sinks {
+        println!("  sink: {sink}");
+    }
+    assert_eq!(net.sinks.len(), 3);
+
+    // reverseTrace(EndPoint): "A sink is traced back to its source. Only
+    // the net that leads to the sink is returned."
+    let (hops, found_src) = router.reverse_trace(&sinks[1])?;
+    println!("\nreverse trace from {}:", sinks[1]);
+    for (rc, pip) in &hops {
+        println!("  {} -> {} at {rc}", pip.from.name(), pip.to.name());
+    }
+    println!("  source: {found_src}");
+
+    // isOn (§3.4).
+    let probe = net.segments[1];
+    println!("\nis_on({}, {}) = {}", probe.rc, probe.wire.name(), router.is_on(probe.rc, probe.wire)?);
+
+    // Readback diff: exactly what changed on the device?
+    let after = snapshot(router.bits());
+    let changes = diff(&before, &after);
+    println!("\nreadback diff: {} configuration changes", changes.len());
+    assert_eq!(changes.len(), net.pips.len());
+
+    // Branch surgery: free only the branch to the second sink, then show
+    // the net again.
+    router.reverse_unroute(&sinks[1])?;
+    let net2 = router.trace(&src)?;
+    println!(
+        "\nafter reverse_unroute of {}: {} sinks remain, {} PIPs freed",
+        sinks[1],
+        net2.sinks.len(),
+        net.pips.len() - net2.pips.len()
+    );
+    assert_eq!(net2.sinks.len(), 2);
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the paper's §3.1 worked example at every level of control.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! All four routes configure the same connection — slice 1's YQ output at
+//! CLB (5,7) to slice 0's F3 input at CLB (6,8) — exactly the example the
+//! paper walks through for each API level.
+
+use jroute::{EndPoint, Path, Pin, Router, Template};
+use virtex::{wire, Device, Dir, Family, TemplateValue as T};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::new(Family::Xcv50); // 16x24 CLBs
+    println!("device: {} ({}x{} CLBs)", device.family(), device.dims().rows, device.dims().cols);
+
+    // ------------------------------------------------------------------
+    // Level 1 — single connections: the user decides the path.
+    // ------------------------------------------------------------------
+    let mut router = Router::new(&device);
+    router.route_rc(5, 7, wire::S1_YQ, wire::out(1))?;
+    router.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5))?;
+    // The paper calls this wire "SingleWest[5]" at (5,8): the east-going
+    // single arriving from (5,7).
+    router.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))?;
+    router.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3)?;
+    println!("level 1 (manual):   {} PIPs", router.stats().pips_set);
+    let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+    router.unroute(&src)?;
+
+    // ------------------------------------------------------------------
+    // Level 2 — an explicit Path: name the wires, the router finds the
+    // tiles.
+    // ------------------------------------------------------------------
+    let path = Path::new(
+        5,
+        7,
+        vec![
+            wire::S1_YQ,
+            wire::out(1),
+            wire::single(Dir::East, 5),
+            wire::single(Dir::North, 0),
+            wire::S0_F3,
+        ],
+    );
+    router.route_path(&path)?;
+    println!("level 2 (path):     {} sinks traced", router.trace(&src)?.sinks.len());
+    router.unroute(&src)?;
+
+    // ------------------------------------------------------------------
+    // Level 3 — a Template: name only direction/resource classes.
+    // ------------------------------------------------------------------
+    let template = Template::new(vec![T::OutMux, T::East1, T::North1, T::ClbIn]);
+    router.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &template)?;
+    println!("level 3 (template): {:?}", router.trace(&src)?.sinks);
+    router.unroute(&src)?;
+
+    // ------------------------------------------------------------------
+    // Level 4 — auto-routing: just the endpoints.
+    // ------------------------------------------------------------------
+    let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+    router.route(&src, &sink)?;
+    let net = router.trace(&src)?;
+    println!("level 4 (auto):     {} PIPs, {} segments", net.pips.len(), net.segments.len());
+
+    // And back off again: RTR needs an unrouter (§3.3).
+    let cleared = router.unroute(&src)?;
+    println!("unrouted:           {cleared} PIPs cleared, device blank again");
+    assert_eq!(router.bits().on_pip_count(), 0);
+    Ok(())
+}

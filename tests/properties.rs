@@ -1,0 +1,163 @@
+//! Property-based tests over the whole stack: invariants that must hold
+//! for *any* routing request, not just the handworked examples.
+
+use jroute::{EndPoint, Pin, Router, RouterOptions};
+use jroute_workloads::{fanout_spec, random_pairs};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use virtex::{wire, Device, Family, RowCol, Wire};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// canonicalize is idempotent and stable: the canonical segment of any
+    /// existing local name canonicalizes to itself.
+    #[test]
+    fn canonicalize_is_idempotent(r in 0u16..16, c in 0u16..24, w in 0u16..430) {
+        let dev = dev();
+        let rc = RowCol::new(r, c);
+        if let Some(seg) = dev.canonicalize(rc, Wire(w)) {
+            prop_assert_eq!(dev.canonicalize(seg.rc, seg.wire), Some(seg));
+            // And the segment surfaces at the queried tap.
+            let mut taps = Vec::new();
+            virtex::segment::taps(dev.dims(), seg, &mut taps);
+            prop_assert!(taps.iter().any(|t| t.rc == rc && t.wire == Wire(w)));
+        }
+    }
+
+    /// Every PIP the architecture advertises connects two wires that
+    /// exist at the tile (no dangling connectivity).
+    #[test]
+    fn pips_connect_existing_wires(r in 0u16..16, c in 0u16..24, w in 0u16..430) {
+        let dev = dev();
+        let rc = RowCol::new(r, c);
+        let mut fan = Vec::new();
+        dev.arch().pips_from(rc, Wire(w), &mut fan);
+        for to in fan {
+            prop_assert!(dev.wire_exists(rc, to), "{} -> {} at {rc}", Wire(w).name(), to.name());
+        }
+    }
+
+    /// Auto-route then trace: the traced net reaches exactly the sink,
+    /// and reverse-trace returns to the source.
+    #[test]
+    fn route_trace_round_trip(seed in 0u64..1000) {
+        let dev = dev();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs = random_pairs(&dev, 1, &mut rng);
+        let (src, sink) = pairs[0];
+        let mut router = Router::new(&dev);
+        router.route(&src.into(), &sink.into()).unwrap();
+        let net = router.trace(&src.into()).unwrap();
+        prop_assert_eq!(&net.sinks, &vec![sink]);
+        let (hops, found) = router.reverse_trace(&sink.into()).unwrap();
+        prop_assert!(!hops.is_empty());
+        prop_assert_eq!(found, dev.canonicalize(src.rc, src.wire).unwrap());
+    }
+
+    /// Route then unroute returns the configuration to its prior state,
+    /// bit for bit.
+    #[test]
+    fn route_unroute_restores_state(seed in 0u64..1000) {
+        let dev = dev();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs = random_pairs(&dev, 3, &mut rng);
+        let mut router = Router::new(&dev);
+        // Pre-route one net to make the baseline non-trivial.
+        router.route(&pairs[0].0.into(), &pairs[0].1.into()).unwrap();
+        let baseline = jbits::snapshot(router.bits());
+        if router.route(&pairs[1].0.into(), &pairs[1].1.into()).is_ok() {
+            router.unroute(&pairs[1].0.into()).unwrap();
+            prop_assert_eq!(jbits::snapshot(router.bits()), baseline);
+        }
+    }
+
+    /// No routing sequence creates contention: after routing several
+    /// random nets, every segment has at most one driver.
+    #[test]
+    fn auto_router_never_creates_contention(seed in 0u64..1000) {
+        let dev = dev();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs = random_pairs(&dev, 6, &mut rng);
+        let mut router = Router::new(&dev);
+        for (s, k) in &pairs {
+            let _ = router.route(&(*s).into(), &(*k).into());
+        }
+        for rc in dev.dims().iter_tiles() {
+            for pip in router.bits().pips_at(rc) {
+                if let Some(seg) = dev.canonicalize(rc, pip.to) {
+                    prop_assert!(
+                        router.bits().segment_drivers(seg).len() <= 1,
+                        "contention on {}", seg
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reverse-unrouting one sink of a fan-out net never disturbs the
+    /// remaining branches.
+    #[test]
+    fn reverse_unroute_preserves_other_branches(seed in 0u64..1000, victim in 0usize..4) {
+        let dev = dev();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = fanout_spec(&dev, RowCol::new(8, 12), 4, 4, &mut rng);
+        let mut router = Router::new(&dev);
+        let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
+        router.route_fanout(&spec.source.into(), &sinks).unwrap();
+        router.reverse_unroute(&sinks[victim]).unwrap();
+        let net = router.trace(&spec.source.into()).unwrap();
+        let mut survivors: Vec<Pin> = spec.sinks.clone();
+        survivors.remove(victim);
+        let mut got = net.sinks.clone();
+        got.sort();
+        survivors.sort();
+        prop_assert_eq!(got, survivors);
+    }
+
+    /// The template router only ever uses wires matching the template
+    /// classes it was given.
+    #[test]
+    fn template_router_respects_classes(dr in 0u16..3, dc in 0u16..3) {
+        prop_assume!(dr + dc > 0);
+        let dev = dev();
+        let mut router = Router::new(&dev);
+        let mut values = Vec::new();
+        values.push(virtex::TemplateValue::OutMux);
+        for _ in 0..dr { values.push(virtex::TemplateValue::North1); }
+        for _ in 0..dc { values.push(virtex::TemplateValue::East1); }
+        values.push(virtex::TemplateValue::ClbIn);
+        let t = jroute::Template::new(values.clone());
+        let start = Pin::new(4, 4, wire::S0_YQ);
+        if router.route_template(start, wire::S0_F3, &t).is_ok() {
+            let net = router.trace(&start.into()).unwrap();
+            prop_assert_eq!(net.pips.len(), values.len());
+            // Each configured wire classifies under the template step.
+            for ((_, pip), want) in net.pips.iter().zip(values.iter()) {
+                prop_assert_eq!(virtex::template_value(pip.to), *want);
+            }
+        }
+    }
+
+    /// Long lines appear in routes only when the option is enabled.
+    #[test]
+    fn long_lines_obey_the_option(use_longs in proptest::bool::ANY, seed in 0u64..200) {
+        let dev = Device::new(Family::Xcv300);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = fanout_spec(&dev, RowCol::new(16, 24), 2, 12, &mut rng);
+        let mut router = Router::with_options(
+            &dev,
+            RouterOptions { use_long_lines: use_longs, ..Default::default() },
+        );
+        let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
+        router.route_fanout(&spec.source.into(), &sinks).unwrap();
+        if !use_longs {
+            prop_assert_eq!(router.resource_usage().longs, 0);
+        }
+    }
+}

