@@ -6,18 +6,17 @@
 //! device area, same seed) on every family member and report per-net
 //! routing effort.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::Router;
 use jroute_bench::SEED;
 use jroute_workloads::{random_netlist, NetlistParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family};
 
 fn workload(dev: &Device) -> Vec<jroute::pathfinder::NetSpec> {
     // 1 net per 24 CLBs keeps relative density constant.
     let nets = dev.dims().tiles() / 24;
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     random_netlist(
         dev,
         &NetlistParams { nets, max_fanout: 2, max_span: Some(10) },
@@ -58,7 +57,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let mut g = c.benchmark_group("e10");
     for f in [Family::Xcv50, Family::Xcv300, Family::Xcv1000] {
@@ -70,9 +69,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -7,7 +7,7 @@
 //! ports) and the monolithic [`Counter`] core, and compare construction
 //! cost and resources.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_cores::{ConstAdder, Counter, Register, RtpCore};
 use virtex::{Device, Family, RowCol};
@@ -56,7 +56,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e11");
@@ -71,9 +71,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -5,12 +5,11 @@
 //! router's speedup over its own single-thread configuration on a large
 //! netlist, and verify thread count does not change what gets routed.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::parallel::{route_parallel, ParallelConfig};
 use jroute_bench::SEED;
 use jroute_workloads::{random_netlist, NetlistParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use std::time::Instant;
 use virtex::{Device, Family};
 
@@ -19,7 +18,7 @@ fn dev() -> Device {
 }
 
 fn workload(dev: &Device, nets: usize) -> Vec<jroute::pathfinder::NetSpec> {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     random_netlist(
         dev,
         &NetlistParams { nets, max_fanout: 2, max_span: Some(12) },
@@ -55,7 +54,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let specs = workload(&dev, 60);
@@ -69,9 +68,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -7,13 +7,12 @@
 //! critical-path delay and skew of the greedy resource-sharing tree vs
 //! the timing-driven independent-branch router.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_timing::{analyze_net, route_fanout_timing_driven};
 use jroute_workloads::fanout_spec;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -21,7 +20,7 @@ fn dev() -> Device {
 }
 
 fn spec(dev: &Device, fanout: usize, seed_off: u64) -> jroute::pathfinder::NetSpec {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED + seed_off);
+    let mut rng = DetRng::seed_from_u64(SEED + seed_off);
     fanout_spec(dev, RowCol::new(16, 24), fanout, 10, &mut rng)
 }
 
@@ -67,7 +66,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e13");
@@ -86,9 +85,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

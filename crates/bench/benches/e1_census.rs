@@ -4,7 +4,7 @@
 //! for the Virtex fabric, per family member, and benchmarks the
 //! architecture-class queries the routers depend on.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use virtex::wire::{self, HEXES_PER_DIR, NUM_GCLK, NUM_LONG, SINGLES_PER_DIR};
 use virtex::{Device, Dir, Family, RowCol, Wire};
 
@@ -45,7 +45,7 @@ fn census() {
     eprintln!("long-line access columns (XCV300): every 6 CLBs ✓");
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     census();
     let dev = Device::new(Family::Xcv1000);
     let rc = RowCol::new(32, 48);
@@ -75,9 +75,9 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

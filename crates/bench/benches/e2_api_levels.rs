@@ -6,7 +6,7 @@
 //! costs the most. All four levels configure the same physical
 //! connection, the paper's worked example: S1_YQ@(5,7) -> S0F3@(6,8).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Path, Pin, Router, Template};
 use virtex::{wire, Device, Dir, Family, TemplateValue as T};
 
@@ -74,7 +74,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let mut g = c.benchmark_group("e2");
     g.bench_function("level1_manual", |b| {
@@ -95,9 +95,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -6,13 +6,12 @@
 //! nearest-first with tree reuse) and (b) each sink from scratch with no
 //! reuse, and compare segments consumed.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::maze::{self, MazeConfig, MazeScratch};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -21,7 +20,7 @@ fn dev() -> Device {
 
 /// Route with the paper's fan-out call.
 fn with_reuse(dev: &Device, fanout: usize) -> usize {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let spec = fanout_spec(dev, RowCol::new(16, 24), fanout, 8, &mut rng);
     let mut r = Router::new(dev);
     let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
@@ -36,7 +35,7 @@ fn with_reuse(dev: &Device, fanout: usize) -> usize {
 /// honest naive baseline reuses the OMUX departure segments (as repeated
 /// `route(src, sink)` calls would) but duplicates every fabric wire.
 fn without_reuse(dev: &Device, fanout: usize) -> usize {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let spec = fanout_spec(dev, RowCol::new(16, 24), fanout, 8, &mut rng);
     let mut scratch = MazeScratch::new(dev);
     let src = dev.canonicalize(spec.source.rc, spec.source.wire).unwrap();
@@ -82,7 +81,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e3");
@@ -105,9 +104,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

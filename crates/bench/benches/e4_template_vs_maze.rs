@@ -6,12 +6,11 @@
 //! strategies as fabric occupancy rises: template hit rate falls with
 //! congestion and the router falls back to the maze.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{Pin, Router};
 use jroute_bench::SEED;
 use jroute_workloads::window_netlist;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -20,7 +19,7 @@ fn dev() -> Device {
 
 /// Prefill the window with `n` routed nets, then return the router.
 fn prefilled(dev: &Device, n: usize) -> Router {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let mut r = Router::new(dev);
     let nets = window_netlist(dev, n, 8, RowCol::new(10, 16), &mut rng);
     for net in nets {
@@ -33,7 +32,7 @@ fn prefilled(dev: &Device, n: usize) -> Router {
 
 /// Probe pairs inside the window.
 fn probes(dev: &Device) -> Vec<(Pin, Pin)> {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED + 1);
+    let mut rng = DetRng::seed_from_u64(SEED + 1);
     window_netlist(dev, 10, 8, RowCol::new(10, 16), &mut rng)
         .into_iter()
         .map(|s| (s.source, s.sinks[0]))
@@ -69,7 +68,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e4");
@@ -92,9 +91,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -8,7 +8,7 @@
 //! (b) wall time against rebuilding the whole design from a blank
 //! device.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_cores::{replace_with, ConstAdder, ConstMultiplier, RtpCore, StimulusBank};
 use virtex::{Device, Family, RowCol};
@@ -65,7 +65,7 @@ fn table() {
     let _ = (&d.stim, &d.adder);
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e5");
@@ -85,9 +85,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

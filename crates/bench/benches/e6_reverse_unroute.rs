@@ -6,12 +6,11 @@
 //! measure PIPs freed vs the net's total, verifying the remaining sinks
 //! stay connected.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -19,7 +18,7 @@ fn dev() -> Device {
 }
 
 fn routed_fanout(dev: &Device, fanout: usize) -> (Router, jroute::pathfinder::NetSpec) {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let spec = fanout_spec(dev, RowCol::new(16, 24), fanout, 8, &mut rng);
     let mut r = Router::new(dev);
     let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
@@ -50,7 +49,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e6");
@@ -79,9 +78,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

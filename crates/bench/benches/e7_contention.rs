@@ -7,12 +7,11 @@
 //! double-drive is rejected, then measure the overhead of the `is_on`
 //! check and of contention-checked PIP writes vs raw JBits writes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jbits::Bitstream;
 use jroute::{RouteError, Router};
 use jroute_bench::SEED;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol, Wire};
 
 fn dev() -> Device {
@@ -21,11 +20,11 @@ fn dev() -> Device {
 
 /// Random (existing) pips in a window, many of which collide.
 fn adversarial_pips(dev: &Device, n: usize) -> Vec<(RowCol, Wire, Wire)> {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let mut out = Vec::with_capacity(n);
     let mut buf = Vec::new();
     while out.len() < n {
-        let rc = RowCol::new(rng.gen_range(8..12), rng.gen_range(8..12));
+        let rc = RowCol::new(rng.gen_range(8u16..12), rng.gen_range(8u16..12));
         let from = Wire(rng.gen_range(0..virtex::wire::NUM_LOCAL_WIRES as u16));
         buf.clear();
         dev.arch().pips_from(rc, from, &mut buf);
@@ -69,7 +68,7 @@ fn table() {
     assert_eq!(double, 0, "protection must hold under adversarial use");
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let pips = adversarial_pips(&dev, 500);
@@ -116,9 +115,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

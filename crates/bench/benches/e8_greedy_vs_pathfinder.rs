@@ -7,13 +7,12 @@
 //! (iterations, node expansions) but keeps routing where greedy starts
 //! failing.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::pathfinder::{self, NetSpec, PathFinderConfig};
 use jroute::Router;
 use jroute_bench::SEED;
 use jroute_workloads::window_netlist;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -21,7 +20,7 @@ fn dev() -> Device {
 }
 
 fn workload(dev: &Device, nets: usize) -> Vec<NetSpec> {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     window_netlist(dev, nets, 6, RowCol::new(12, 18), &mut rng)
 }
 
@@ -60,7 +59,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e8");
@@ -76,9 +75,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -7,12 +7,11 @@
 //! segments used and search effort for fan-out nets of growing span,
 //! with long lines off (the paper's initial implementation) and on.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router, RouterOptions};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -20,7 +19,7 @@ fn dev() -> Device {
 }
 
 fn route_spanning(dev: &Device, span: u16, use_longs: bool) -> (usize, usize, usize) {
-    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let mut rng = DetRng::seed_from_u64(SEED);
     let spec = fanout_spec(dev, RowCol::new(32, 48), 8, span, &mut rng);
     let mut r = Router::with_options(
         dev,
@@ -49,7 +48,7 @@ fn table() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Bench) {
     table();
     let dev = dev();
     let mut g = c.benchmark_group("e9");
@@ -64,9 +63,9 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    config = Bench::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench
 }
-criterion_main!(benches);
+bench_main!(benches);

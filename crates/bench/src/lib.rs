@@ -1,10 +1,12 @@
 //! # jroute-bench — shared helpers for the experiment harness
 //!
-//! The Criterion bench targets (`benches/e*.rs`) regenerate every
-//! experiment in DESIGN.md §4; this small library holds the helpers they
-//! share. Each bench prints the experiment's table rows (via
-//! `eprintln!`) in addition to Criterion's timing output, so
-//! EXPERIMENTS.md can be refreshed by running `cargo bench`.
+//! The bench targets (`benches/e*.rs`) regenerate every experiment in
+//! DESIGN.md §4 on the in-repo `harness` microbench driver; this small
+//! library holds the helpers they share. Each bench prints the
+//! experiment's table rows (via `eprintln!`) in addition to the timing
+//! output, and writes machine-readable `BENCH_<target>.json` under
+//! `target/bench-json/`, so EXPERIMENTS.md can be refreshed by running
+//! `cargo bench`.
 
 /// Standard seed for all experiment RNGs (reproducibility).
 pub const SEED: u64 = 0x4A52_4F55_5445; // "JROUTE"

@@ -159,11 +159,11 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
         // Fan the pending nets out over the workers.
         let chunk = pending.len().div_ceil(threads);
         let mut results: Vec<(usize, Result<ParallelNet>)> = Vec::with_capacity(pending.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in pending.chunks(chunk) {
                 let part: Vec<usize> = part.to_vec();
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut scratch = MazeScratch::new(dev);
                     part.into_iter()
                         .map(|i| (i, route_one(dev, &specs[i], snapshot, &cfg.maze, &mut scratch)))
@@ -173,8 +173,7 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
             for h in handles {
                 results.extend(h.join().expect("router worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         results.sort_by_key(|(i, _)| *i);
 
         // Sequential commit with conflict detection.

@@ -1,0 +1,278 @@
+//! # detrand — deterministic random numbers without external crates
+//!
+//! The whole workspace builds hermetically (no registry access), so the
+//! seeded generators that used to come from `rand`/`rand_chacha` live
+//! here instead. [`DetRng`] is a xoshiro256\*\* generator seeded through
+//! SplitMix64 — fast, well distributed, and *stable*: the stream produced
+//! for a given seed is part of this crate's contract, because every
+//! workload, experiment and property test in the repo is keyed on it.
+//!
+//! The API deliberately mirrors the small slice of `rand` the workspace
+//! actually used: `seed_from_u64`, `gen_range` over (inclusive) integer
+//! ranges, `gen_bool`, and the [`SliceRandom`] `choose`/`shuffle`
+//! extension trait.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// One step of the SplitMix64 stream; used to expand a 64-bit seed into
+/// full generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, seedable pseudo-random number generator
+/// (xoshiro256\*\*).
+///
+/// Not cryptographic; intended for reproducible workload generation,
+/// property testing and benchmarking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Generator fully determined by `seed`: equal seeds produce equal
+    /// streams, forever.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        // SplitMix64 expansion guarantees a non-zero xoshiro state even
+        // for seed 0.
+        DetRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly distributed bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `0..n` (Lemire's unbiased method). `n` must be
+    /// non-zero.
+    #[inline]
+    pub fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "bounded(0)");
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                m = (self.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform value from an integer range, e.g. `rng.gen_range(0..24u16)`
+    /// or `rng.gen_range(lo..=hi)`. Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard float-in-[0,1) trick.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+/// Integer range types [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.bounded(span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    // Only reachable for the full 64-bit domain.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(rng.bounded(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `choose`/`shuffle` over slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// A uniformly chosen element, or `None` if the slice is empty.
+    fn choose(&self, rng: &mut DetRng) -> Option<&Self::Item>;
+    /// Uniform (Fisher–Yates) in-place shuffle.
+    fn shuffle(&mut self, rng: &mut DetRng);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    #[inline]
+    fn choose(&self, rng: &mut DetRng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.bounded(self.len() as u64) as usize])
+        }
+    }
+
+    fn shuffle(&mut self, rng: &mut DetRng) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.bounded(i as u64 + 1) as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::seed_from_u64(43);
+        assert!((0..10).any(|_| a.next_u64() != c.next_u64()));
+    }
+
+    #[test]
+    fn stream_is_stable_across_releases() {
+        // The first outputs for seed 0 are part of the crate contract:
+        // changing them silently re-seeds every experiment in the repo.
+        let mut r = DetRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = DetRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u16..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(5usize..=9);
+            assert!((5..=9).contains(&y));
+            let z = r.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "8-value range not covered in 1000 draws");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = DetRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            // Expected 10_000 per bucket; 10 sigma ≈ 949.
+            assert!((9_000..11_000).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut r = DetRng::seed_from_u64(1);
+        assert_eq!(r.gen_range(5u8..=5), 5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = DetRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&heads), "p=0.25 gave {heads}/100000");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = DetRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut r), None);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut r).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        assert_ne!(v, orig, "50-element shuffle left slice unchanged");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+    }
+}

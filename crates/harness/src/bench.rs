@@ -1,0 +1,447 @@
+//! Minimal microbenchmark timer.
+//!
+//! The call shape mirrors the slice of `criterion` the bench suite used —
+//! [`Bench`] for `Criterion`, [`bench_group!`](crate::bench_group) /
+//! [`bench_main!`](crate::bench_main) for `criterion_group!` /
+//! `criterion_main!`, [`Bencher::iter`] and [`Bencher::iter_batched`] —
+//! but the measurement model is deliberately simple: after a warmup
+//! period sizes the per-sample iteration count, each benchmark takes
+//! `sample_size` wall-clock samples and reports min / median / mean / max
+//! nanoseconds per iteration. Results are printed as a table and written
+//! as `BENCH_<target>.json` (see [`write_report`]).
+//!
+//! Environment knobs (all optional; they override the configured values,
+//! which lets `scripts/verify.sh` smoke-run a bench in milliseconds):
+//!
+//! * `BENCH_SAMPLE_SIZE` — samples per benchmark.
+//! * `BENCH_MEASURE_MS` — total measurement budget per benchmark.
+//! * `BENCH_WARMUP_MS` — warmup budget per benchmark.
+//! * `BENCH_JSON_DIR` — output directory (default `target/bench-json`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` treats its setup output. All variants currently
+/// run setup once per timed call (setup cost is excluded from timing
+/// either way); the variant is kept so call sites read like the
+/// criterion originals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs; batching freely.
+    SmallInput,
+    /// Large inputs; batch conservatively.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Timing record for one benchmark id.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark id, e.g. `e1/pips_from_full_tile`.
+    pub id: String,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+    /// Nanoseconds per iteration, one entry per sample.
+    pub samples_ns: Vec<f64>,
+}
+
+impl Record {
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        s
+    }
+
+    /// Minimum ns/iter over the samples.
+    pub fn min_ns(&self) -> f64 {
+        self.sorted().first().copied().unwrap_or(0.0)
+    }
+
+    /// Median ns/iter over the samples.
+    pub fn median_ns(&self) -> f64 {
+        let s = self.sorted();
+        if s.is_empty() {
+            return 0.0;
+        }
+        let mid = s.len() / 2;
+        if s.len() % 2 == 0 { (s[mid - 1] + s[mid]) / 2.0 } else { s[mid] }
+    }
+
+    /// Mean ns/iter over the samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Maximum ns/iter over the samples.
+    pub fn max_ns(&self) -> f64 {
+        self.sorted().last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Human-friendly duration from nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// The benchmark driver: configuration plus collected results.
+#[derive(Debug)]
+pub struct Bench {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    records: Vec<Record>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            sample_size: 10,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(500),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Bench {
+    /// Samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warmup budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    fn effective(&self) -> (usize, Duration, Duration) {
+        (
+            env_u64("BENCH_SAMPLE_SIZE").map(|n| n.max(1) as usize).unwrap_or(self.sample_size),
+            env_u64("BENCH_MEASURE_MS").map(Duration::from_millis).unwrap_or(self.measurement),
+            env_u64("BENCH_WARMUP_MS").map(Duration::from_millis).unwrap_or(self.warm_up),
+        )
+    }
+
+    /// Run one benchmark and record its timings.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let id = id.into();
+        let (sample_size, measurement, warm_up) = self.effective();
+        let mut b = Bencher {
+            sample_size,
+            measurement,
+            warm_up,
+            iters_per_sample: 0,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let rec = Record {
+            id: id.clone(),
+            iters_per_sample: b.iters_per_sample,
+            samples_ns: b.samples_ns,
+        };
+        eprintln!(
+            "bench {:<40} median {:>12}  (min {}, mean {}, max {}, {} x {} iters)",
+            rec.id,
+            fmt_ns(rec.median_ns()),
+            fmt_ns(rec.min_ns()),
+            fmt_ns(rec.mean_ns()),
+            fmt_ns(rec.max_ns()),
+            rec.samples_ns.len(),
+            rec.iters_per_sample,
+        );
+        self.records.push(rec);
+        self
+    }
+
+    /// A group whose benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup { bench: self, prefix: name.into() }
+    }
+
+    /// Collected records, in run order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+/// A named prefix over a [`Bench`] (criterion's `BenchmarkGroup`).
+pub struct BenchGroup<'a> {
+    bench: &'a mut Bench,
+    prefix: String,
+}
+
+impl BenchGroup<'_> {
+    /// Run one benchmark under this group's prefix.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.prefix, id.into());
+        self.bench.bench_function(id, f);
+        self
+    }
+
+    /// End the group. (Kept for criterion call-shape compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Pick an iteration count so one sample consumes roughly
+    /// `measurement / sample_size`, given an estimated per-iter cost.
+    fn size_sample(&mut self, est_ns_per_iter: f64) -> u64 {
+        let budget = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = (budget / est_ns_per_iter.max(1.0)).floor() as u64;
+        self.iters_per_sample = iters.max(1);
+        self.iters_per_sample
+    }
+
+    /// Time `routine` with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget is spent (at least once)
+        // and use it to estimate the per-iteration cost.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if t0.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est = t0.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters = self.size_sample(est);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_ns = 0u128;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            warm_ns += t.elapsed().as_nanos();
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let est = warm_ns as f64 / warm_iters as f64;
+        let iters = self.size_sample(est);
+        for _ in 0..self.sample_size {
+            let mut ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                ns += t.elapsed().as_nanos();
+            }
+            self.samples_ns.push(ns as f64 / iters as f64);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Print the final table and write `BENCH_<target>.json` with every
+/// record from `groups`, into `$BENCH_JSON_DIR` (default
+/// `target/bench-json/`). Returns the path written.
+pub fn write_report(target: &str, groups: &[Bench]) -> std::path::PathBuf {
+    let dir = std::env::var("BENCH_JSON_DIR").map(std::path::PathBuf::from).unwrap_or_else(|_| {
+        // cargo runs bench binaries with cwd = the package dir; walk up
+        // to the outermost Cargo.toml (the workspace root) so reports
+        // land in the shared target/ directory.
+        if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+            return std::path::PathBuf::from(t).join("bench-json");
+        }
+        let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+        let root = cwd
+            .ancestors()
+            .filter(|a| a.join("Cargo.toml").exists())
+            .last()
+            .unwrap_or(&cwd)
+            .to_path_buf();
+        root.join("target").join("bench-json")
+    });
+    std::fs::create_dir_all(&dir).expect("create bench-json dir");
+    let path = dir.join(format!("BENCH_{target}.json"));
+
+    let mut entries = Vec::new();
+    for g in groups {
+        for r in g.records() {
+            entries.push(format!(
+                "    {{\"id\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"ns_per_iter\": {{\"min\": {:.1}, \"median\": {:.1}, \"mean\": {:.1}, \"max\": {:.1}}}}}",
+                json_escape(&r.id),
+                r.samples_ns.len(),
+                r.iters_per_sample,
+                r.min_ns(),
+                r.median_ns(),
+                r.mean_ns(),
+                r.max_ns(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_escape(target),
+        entries.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write bench json");
+    eprintln!("bench report: {}", path.display());
+    path
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`:
+///
+/// ```ignore
+/// harness::bench_group! {
+///     name = benches;
+///     config = harness::Bench::default().sample_size(10);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! bench_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Bench {
+            let mut c = $config;
+            $( $target(&mut c); )+
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::bench_group! {
+            name = $name;
+            config = $crate::Bench::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` for a bench binary, mirroring `criterion_main!`: runs
+/// every group and writes the JSON report named after the bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes flags like `--bench` to the binary; none are
+            // needed by this harness, so they are ignored.
+            let groups = vec![$($group()),+];
+            $crate::bench::write_report(env!("CARGO_CRATE_NAME"), &groups);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        Bench::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut c = quick();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let r = &c.records()[0];
+        assert_eq!(r.id, "spin");
+        assert_eq!(r.samples_ns.len(), 3);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.median_ns() > 0.0);
+        assert!(r.min_ns() <= r.median_ns() && r.median_ns() <= r.max_ns());
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(c.records()[0].samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("e0");
+        g.bench_function("noop", |b| b.iter(|| 1u32));
+        g.finish();
+        assert_eq!(c.records()[0].id, "e0/noop");
+    }
+
+    #[test]
+    fn report_is_written_and_parseable_shape() {
+        let mut c = quick();
+        c.bench_function("r", |b| b.iter(|| 2u32));
+        let dir = std::env::temp_dir().join("harness-bench-test");
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let path = write_report("unit_test", &[c]);
+        std::env::remove_var("BENCH_JSON_DIR");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"bench\": \"unit_test\""));
+        assert!(body.contains("\"id\": \"r\""));
+        assert!(body.contains("\"median\""));
+    }
+}

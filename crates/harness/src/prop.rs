@@ -1,0 +1,89 @@
+//! Seeded property-test driver.
+//!
+//! A property is a closure over a [`DetRng`]; the driver runs it for a
+//! number of independently seeded cases and, when a case panics, reports
+//! the seed that reproduces it before propagating the panic. Ordinary
+//! `assert!`/`assert_eq!` macros are the assertion language.
+//!
+//! Environment knobs:
+//!
+//! * `HARNESS_CASES` — cases per property (default
+//!   [`DEFAULT_CASES`]).
+//! * `HARNESS_SEED` — base seed; case `i` runs with `base + i`, so
+//!   replaying a reported failing seed is `HARNESS_SEED=<seed>
+//!   HARNESS_CASES=1`.
+
+use detrand::DetRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Cases per property when `HARNESS_CASES` is unset. Matches the case
+/// count the old proptest suite used, keeping `cargo test` runtime flat.
+pub const DEFAULT_CASES: u64 = 24;
+
+/// Base seed when `HARNESS_SEED` is unset ("JROUTE" in ASCII).
+pub const DEFAULT_SEED: u64 = 0x4A52_4F55_5445;
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{var} must be an unsigned integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Run `property` for the configured number of cases (see module docs).
+///
+/// The closure may `return` early to skip a case (the moral equivalent of
+/// `prop_assume!`), but should draw replacement values instead where
+/// possible so every case tests something.
+pub fn check<F: FnMut(&mut DetRng)>(name: &str, property: F) {
+    check_with(name, env_u64("HARNESS_CASES", DEFAULT_CASES), property)
+}
+
+/// [`check`] with an explicit case count (the explicit count wins over
+/// `HARNESS_CASES`); use it for properties whose cases are unusually
+/// cheap or expensive.
+pub fn check_with<F: FnMut(&mut DetRng)>(name: &str, cases: u64, mut property: F) {
+    let base = env_u64("HARNESS_SEED", DEFAULT_SEED);
+    for case in 0..cases.max(1) {
+        let seed = base.wrapping_add(case);
+        let mut rng = DetRng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            eprintln!(
+                "[harness] property '{name}' FAILED on case {case} of {cases} (seed {seed})\n\
+                 [harness] replay with: HARNESS_SEED={seed} HARNESS_CASES=1"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        check_with("counts_cases", 17, |_| ran += 1);
+        assert_eq!(ran, 17);
+    }
+
+    #[test]
+    fn cases_get_distinct_seeds() {
+        let mut firsts = Vec::new();
+        check_with("distinct_streams", 8, |rng| firsts.push(rng.next_u64()));
+        let uniq: std::collections::HashSet<_> = firsts.iter().collect();
+        assert_eq!(uniq.len(), firsts.len(), "case streams must differ");
+    }
+
+    #[test]
+    fn failing_property_propagates_panic() {
+        let result = std::panic::catch_unwind(|| {
+            check_with("always_fails", 4, |_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

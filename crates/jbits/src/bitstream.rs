@@ -31,6 +31,23 @@ impl Pip {
     }
 }
 
+impl virtex::Codec for Pip {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.to.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Pip { from: Wire::decode(input)?, to: Wire::decode(input)? })
+    }
+}
+
+impl std::fmt::Display for Pip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.from.name(), self.to.name())
+    }
+}
+
 /// Per-tile configuration: on-PIPs (sorted) and LUT contents.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct TileConfig {
@@ -243,6 +260,20 @@ mod tests {
 
     fn bs() -> Bitstream {
         Bitstream::new(&Device::new(Family::Xcv50))
+    }
+
+    #[test]
+    fn pip_codec_round_trips() {
+        use virtex::Codec;
+        for pip in [
+            Pip::new(wire::S1_YQ, wire::out(1)),
+            Pip::new(wire::out(0), wire::single(Dir::East, 2)),
+            Pip::new(Wire(0), Wire(429)),
+        ] {
+            assert_eq!(Pip::from_bytes(&pip.to_bytes()), Some(pip));
+        }
+        assert_eq!(Pip::from_bytes(&[1, 0, 0xFF, 0xFF]), None, "bad wire id");
+        assert_eq!(Pip::from_bytes(&[1, 0, 2]), None, "truncated");
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! # jroute-tests — the workspace-level test and example host
+//!
+//! The root `Cargo.toml` is a virtual workspace, so the repo-root
+//! `tests/` and `examples/` directories need a package to own them; this
+//! crate's manifest declares each of those files as an explicit
+//! `[[test]]` / `[[example]]` target. The library itself carries only
+//! shared constants so the package has a buildable root target.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Standard base seed for test RNGs, matching `jroute_bench::SEED`
+/// ("JROUTE" in ASCII) so tests and benches draw from related streams.
+pub const SEED: u64 = 0x4A52_4F55_5445;

@@ -1,0 +1,309 @@
+//! Hand-rolled binary and text encodings for the architecture types.
+//!
+//! The workspace builds hermetically (no registry crates), so the serde
+//! derives these types used to carry are replaced by a small explicit
+//! [`Codec`] trait: a fixed-width little-endian binary form, plus
+//! `FromStr` parsers for the types with an established `Display` form
+//! (`Family`, `RowCol`, `Wire` names, `Segment`). Every impl is
+//! round-trip-tested below; external tools can rely on both formats
+//! being stable.
+
+use crate::family::Family;
+use crate::geometry::{Dims, Dir, RowCol};
+use crate::segment::Segment;
+use crate::template::TemplateValue;
+use crate::wire::Wire;
+
+/// Stable binary encode/decode.
+///
+/// `decode` consumes its bytes from the front of `input` and returns
+/// `None` on truncated or invalid data, leaving `input` unspecified.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+
+    /// Encoding as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a value that must occupy `bytes` exactly.
+    fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
+        let v = Self::decode(&mut bytes)?;
+        bytes.is_empty().then_some(v)
+    }
+}
+
+fn take_u8(input: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = input.split_first()?;
+    *input = rest;
+    Some(b)
+}
+
+fn take_u16(input: &mut &[u8]) -> Option<u16> {
+    let (bytes, rest) = input.split_first_chunk::<2>()?;
+    *input = rest;
+    Some(u16::from_le_bytes(*bytes))
+}
+
+impl Codec for Dir {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let i = take_u8(input)?;
+        (i < 4).then(|| Dir::from_index(i as usize))
+    }
+}
+
+impl Codec for Family {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let idx = Family::ALL.iter().position(|f| f == self).expect("family in ALL");
+        out.push(idx as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Family::ALL.get(take_u8(input)? as usize).copied()
+    }
+}
+
+impl Codec for RowCol {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.row.to_le_bytes());
+        out.extend_from_slice(&self.col.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(RowCol::new(take_u16(input)?, take_u16(input)?))
+    }
+}
+
+impl Codec for Dims {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.cols.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Dims::new(take_u16(input)?, take_u16(input)?))
+    }
+}
+
+impl Codec for Wire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let id = take_u16(input)?;
+        ((id as usize) < crate::wire::NUM_LOCAL_WIRES).then_some(Wire(id))
+    }
+}
+
+impl Codec for Segment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rc.encode(out);
+        self.wire.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(Segment { rc: RowCol::decode(input)?, wire: Wire::decode(input)? })
+    }
+}
+
+/// All template values, in encoding-tag order. The order is part of the
+/// binary format; append only.
+pub const TEMPLATE_VALUES: [TemplateValue; 16] = [
+    TemplateValue::North1,
+    TemplateValue::East1,
+    TemplateValue::South1,
+    TemplateValue::West1,
+    TemplateValue::North6,
+    TemplateValue::East6,
+    TemplateValue::South6,
+    TemplateValue::West6,
+    TemplateValue::LongH,
+    TemplateValue::LongV,
+    TemplateValue::OutMux,
+    TemplateValue::ClbIn,
+    TemplateValue::ClbOut,
+    TemplateValue::Direct,
+    TemplateValue::Feedback,
+    TemplateValue::Global,
+];
+
+impl Codec for TemplateValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let idx = TEMPLATE_VALUES.iter().position(|t| t == self).expect("template in table");
+        out.push(idx as u8);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        TEMPLATE_VALUES.get(take_u8(input)? as usize).copied()
+    }
+}
+
+/// Error for the text parsers below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    what: &'static str,
+    input: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {:?}", self.what, self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_err(what: &'static str, input: &str) -> ParseError {
+    ParseError { what, input: input.to_string() }
+}
+
+impl std::str::FromStr for Family {
+    type Err = ParseError;
+
+    /// Inverse of [`Family::name`], e.g. `"XCV300"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Family::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(s.trim()))
+            .ok_or_else(|| parse_err("family name", s))
+    }
+}
+
+impl std::str::FromStr for RowCol {
+    type Err = ParseError;
+
+    /// Inverse of the `Display` form `(row,col)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .trim()
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| parse_err("tile coordinate", s))?;
+        let (r, c) = body.split_once(',').ok_or_else(|| parse_err("tile coordinate", s))?;
+        Ok(RowCol::new(
+            r.trim().parse().map_err(|_| parse_err("tile row", s))?,
+            c.trim().parse().map_err(|_| parse_err("tile column", s))?,
+        ))
+    }
+}
+
+impl std::str::FromStr for Wire {
+    type Err = ParseError;
+
+    /// Inverse of [`Wire::name`], e.g. `"S1_YQ"` or `"SINGLE_E[5]"`.
+    /// The id space is small (430 names), so a scan suffices.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let want = s.trim();
+        Wire::all().find(|w| w.name() == want).ok_or_else(|| parse_err("wire name", s))
+    }
+}
+
+impl std::str::FromStr for Segment {
+    type Err = ParseError;
+
+    /// Inverse of the `Display` form `WIRE@(row,col)`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (wire, rc) = s.trim().rsplit_once('@').ok_or_else(|| parse_err("segment", s))?;
+        Ok(Segment { rc: rc.parse()?, wire: wire.parse()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes), Some(v), "binary round trip");
+    }
+
+    #[test]
+    fn binary_round_trips_every_dir_family_template() {
+        for d in Dir::ALL {
+            round_trip(d);
+        }
+        for f in Family::ALL {
+            round_trip(f);
+        }
+        for t in TEMPLATE_VALUES {
+            round_trip(t);
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_every_wire() {
+        for w in Wire::all() {
+            round_trip(w);
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_geometry_and_segments() {
+        for f in Family::ALL {
+            round_trip(f.dims());
+        }
+        for rc in [RowCol::new(0, 0), RowCol::new(15, 23), RowCol::new(300, 7)] {
+            round_trip(rc);
+            round_trip(Segment { rc, wire: Wire(41) });
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_invalid_input() {
+        assert_eq!(RowCol::from_bytes(&[1, 0, 2]), None, "truncated");
+        assert_eq!(Dir::from_bytes(&[9]), None, "bad dir tag");
+        assert_eq!(Family::from_bytes(&[200]), None, "bad family tag");
+        assert_eq!(TemplateValue::from_bytes(&[16]), None, "bad template tag");
+        assert_eq!(Wire::from_bytes(&[0xFF, 0xFF]), None, "wire id out of range");
+        assert_eq!(RowCol::from_bytes(&[1, 0, 2, 0, 3]), None, "trailing bytes");
+    }
+
+    #[test]
+    fn concatenated_stream_decodes_in_order() {
+        let a = Segment { rc: RowCol::new(3, 4), wire: Wire(7) };
+        let b = Segment { rc: RowCol::new(60, 90), wire: Wire(429) };
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(Segment::decode(&mut input), Some(a));
+        assert_eq!(Segment::decode(&mut input), Some(b));
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn text_round_trips_display_forms() {
+        for f in Family::ALL {
+            assert_eq!(f.to_string().parse::<Family>().unwrap(), f);
+        }
+        assert_eq!("xcv50".parse::<Family>().unwrap(), Family::Xcv50);
+        for rc in [RowCol::new(0, 0), RowCol::new(12, 34)] {
+            assert_eq!(rc.to_string().parse::<RowCol>().unwrap(), rc);
+        }
+        for w in Wire::all().step_by(17) {
+            assert_eq!(w.name().parse::<Wire>().unwrap(), w);
+        }
+        let seg = Segment { rc: RowCol::new(5, 9), wire: Wire(100) };
+        assert_eq!(seg.to_string().parse::<Segment>().unwrap(), seg);
+    }
+
+    #[test]
+    fn text_parsers_reject_garbage() {
+        assert!("XCV9000".parse::<Family>().is_err());
+        assert!("5,9".parse::<RowCol>().is_err());
+        assert!("(5;9)".parse::<RowCol>().is_err());
+        assert!("NOT_A_WIRE".parse::<Wire>().is_err());
+        assert!("S0_YQ(5,9)".parse::<Segment>().is_err());
+    }
+}

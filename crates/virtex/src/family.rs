@@ -7,10 +7,9 @@
 //! future work).
 
 use crate::geometry::Dims;
-use serde::{Deserialize, Serialize};
 
 /// A member of the (simulated) Virtex family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// 16 x 24 CLBs — the smallest Virtex array (XCV50-class).
     Xcv50,

@@ -4,10 +4,9 @@
 //! *north*, columns increase to the *east* (the convention used by the
 //! JRoute paper's `(row, col)` call signatures).
 
-use serde::{Deserialize, Serialize};
 
 /// One of the four routing directions of the Virtex general routing fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dir {
     /// Increasing row.
     North,
@@ -76,7 +75,7 @@ impl Dir {
 }
 
 /// Coordinates of one CLB tile: `(row, col)`, both 0-based.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowCol {
     /// Row index, increasing to the north.
     pub row: u16,
@@ -129,7 +128,7 @@ impl std::fmt::Display for RowCol {
 }
 
 /// Array dimensions of a device, in CLBs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dims {
     /// Number of CLB rows.
     pub rows: u16,

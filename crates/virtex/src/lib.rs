@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod arch;
+pub mod codec;
 pub mod device;
 pub mod family;
 pub mod geometry;
@@ -30,6 +31,7 @@ pub mod template;
 pub mod wire;
 
 pub use arch::Arch;
+pub use codec::Codec;
 pub use device::Device;
 pub use family::Family;
 pub use geometry::{Dims, Dir, RowCol};

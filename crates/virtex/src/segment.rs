@@ -19,11 +19,10 @@
 
 use crate::geometry::{Dims, Dir, RowCol};
 use crate::wire::{self, Wire, WireKind, HEX_SPAN, LONG_ACCESS, NUM_LOCAL_WIRES};
-use serde::{Deserialize, Serialize};
 
 /// A canonical wire segment: the globally unique identity of one routing
 /// resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Segment {
     /// Tile owning the resource (origin tile of travelling wires).
     pub rc: RowCol,

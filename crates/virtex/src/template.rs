@@ -10,11 +10,10 @@
 
 use crate::geometry::Dir;
 use crate::wire::{Wire, WireKind};
-use serde::{Deserialize, Serialize};
 
 /// A direction + resource-type class of wires, used to steer the
 /// template-based router without naming specific resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TemplateValue {
     /// Any single wire travelling north (paper: `NORTH1`).
     North1,

@@ -36,7 +36,6 @@
 //! id space collision-free; the alias relationship is identical.
 
 use crate::geometry::Dir;
-use serde::{Deserialize, Serialize};
 
 /// Number of OMUX outputs per CLB.
 pub const NUM_OUT: usize = 8;
@@ -85,7 +84,7 @@ pub const NUM_LOCAL_WIRES: usize = 430;
 ///
 /// Construct via the `out`, `single`, `hex`, … helpers or the named
 /// constants (`S1_YQ`, …); decode via [`Wire::kind`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Wire(pub u16);
 
 /// Decoded form of a [`Wire`].

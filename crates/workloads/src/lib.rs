@@ -3,7 +3,8 @@
 //!
 //! Deterministic (seeded) generators producing the net lists and RTR
 //! scenarios used by the experiment suite (DESIGN.md §4). All generators
-//! take a `ChaCha8Rng` so every experiment is reproducible bit-for-bit.
+//! take a seeded [`detrand::DetRng`] so every experiment is reproducible
+//! bit-for-bit without any external crates.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -2,9 +2,7 @@
 
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use detrand::{DetRng, SliceRandom};
 use virtex::wire::{self, slice_in_pin};
 use virtex::{Device, RowCol};
 
@@ -47,12 +45,12 @@ fn in_pins(rc: RowCol) -> Vec<Pin> {
     v
 }
 
-fn random_tile(dev: &Device, rng: &mut ChaCha8Rng) -> RowCol {
+fn random_tile(dev: &Device, rng: &mut DetRng) -> RowCol {
     let d = dev.dims();
     RowCol::new(rng.gen_range(0..d.rows), rng.gen_range(0..d.cols))
 }
 
-fn tile_near(dev: &Device, around: RowCol, span: u16, rng: &mut ChaCha8Rng) -> RowCol {
+fn tile_near(dev: &Device, around: RowCol, span: u16, rng: &mut DetRng) -> RowCol {
     let d = dev.dims();
     let lo_r = around.row.saturating_sub(span);
     let hi_r = (around.row + span).min(d.rows - 1);
@@ -63,7 +61,7 @@ fn tile_near(dev: &Device, around: RowCol, span: u16, rng: &mut ChaCha8Rng) -> R
 
 /// Generate `params.nets` nets with globally distinct source pins and
 /// distinct sink pins.
-pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut ChaCha8Rng) -> Vec<NetSpec> {
+pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut DetRng) -> Vec<NetSpec> {
     let mut used_src = std::collections::HashSet::new();
     let mut used_sink = std::collections::HashSet::new();
     let mut specs = Vec::with_capacity(params.nets);
@@ -104,7 +102,7 @@ pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut ChaCha8Rng
 }
 
 /// Point-to-point pairs (fanout 1), convenience wrapper.
-pub fn random_pairs(dev: &Device, n: usize, rng: &mut ChaCha8Rng) -> Vec<(Pin, Pin)> {
+pub fn random_pairs(dev: &Device, n: usize, rng: &mut DetRng) -> Vec<(Pin, Pin)> {
     random_netlist(dev, &NetlistParams { nets: n, max_fanout: 1, max_span: None }, rng)
         .into_iter()
         .map(|s| {
@@ -121,7 +119,7 @@ pub fn window_netlist(
     nets: usize,
     window: u16,
     origin: RowCol,
-    rng: &mut ChaCha8Rng,
+    rng: &mut DetRng,
 ) -> Vec<NetSpec> {
     let mut used_src = std::collections::HashSet::new();
     let mut used_sink = std::collections::HashSet::new();
@@ -158,11 +156,10 @@ pub fn window_netlist(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use virtex::Family;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> DetRng {
+        DetRng::seed_from_u64(seed)
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use virtex::wire::{self, slice_in_pin};
 use virtex::{Device, RowCol};
 
@@ -15,7 +14,7 @@ pub fn fanout_spec(
     source: RowCol,
     fanout: usize,
     span: u16,
-    rng: &mut ChaCha8Rng,
+    rng: &mut DetRng,
 ) -> NetSpec {
     let d = dev.dims();
     let src = Pin::at(source, wire::slice_out(0, wire::slice_out_pin::YQ));
@@ -74,13 +73,12 @@ pub fn pipeline_placements(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use virtex::Family;
 
     #[test]
     fn fanout_spec_produces_requested_fanout() {
         let dev = Device::new(Family::Xcv50);
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let spec = fanout_spec(&dev, RowCol::new(8, 12), 16, 5, &mut rng);
         assert_eq!(spec.sinks.len(), 16);
         let uniq: std::collections::HashSet<_> = spec.sinks.iter().collect();

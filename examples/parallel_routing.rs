@@ -6,14 +6,13 @@
 
 use jroute::parallel::{route_parallel, ParallelConfig};
 use jroute_workloads::{random_netlist, NetlistParams};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use detrand::DetRng;
 use std::time::Instant;
 use virtex::{Device, Family};
 
 fn main() {
     let device = Device::new(Family::Xcv1000); // 64x96 CLBs
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut rng = DetRng::seed_from_u64(7);
     let specs = random_netlist(
         &device,
         &NetlistParams { nets: 150, max_fanout: 2, max_span: Some(12) },

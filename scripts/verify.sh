@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point (see ROADMAP.md).
+#
+# The workspace is hermetic: every dependency is an in-repo path crate,
+# so everything here must succeed with networking disabled. The script
+# builds release, runs the full test suite (unit + the workspace-level
+# integration/property/RTR suites hosted by crates/tests), then
+# smoke-runs one microbench (emitting machine-readable JSON under
+# target/bench-json/) and one example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> bench smoke: e1_census (tiny budgets via BENCH_* env)"
+BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
+    cargo bench --offline --bench e1_census
+test -s target/bench-json/BENCH_e1_census.json
+echo "    wrote target/bench-json/BENCH_e1_census.json"
+
+echo "==> example smoke: quickstart"
+cargo run --release --offline --example quickstart
+
+echo "verify: OK"
