@@ -1,0 +1,316 @@
+//! Bench regression comparator.
+//!
+//! Diffs the medians in freshly generated `target/bench-json/BENCH_*.json`
+//! reports against the checked-in baselines under `bench-baseline/` and
+//! exits non-zero when any benchmark regressed by more than the threshold
+//! (`BENCH_REGRESSION_PCT`, default 25%).
+//!
+//! ```text
+//! cargo run -p jroute-bench --bin compare
+//! cargo run -p jroute-bench --bin compare -- --baseline DIR --current DIR
+//! ```
+//!
+//! `scripts/verify.sh` runs this behind `BENCH_BASELINE=1` after
+//! regenerating the benches the baseline covers. Only bench files present
+//! in *both* directories are compared; a baseline with no counterpart is
+//! reported but does not fail the run (partial bench runs are normal).
+//! Comparing zero files is an error (exit 2) — it means the bench step
+//! did not produce output where the comparator looked.
+
+use jroute_obs::json::{self, Value};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default regression threshold, percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One benchmark id compared between baseline and current.
+#[derive(Debug, PartialEq)]
+struct Row {
+    id: String,
+    base_median_ns: f64,
+    cur_median_ns: Option<f64>,
+    /// Percent change in the median, current vs baseline (positive =
+    /// slower).
+    delta_pct: Option<f64>,
+    /// Percent change in the per-run minimum sample. The minimum is far
+    /// less sensitive to scheduler noise than the median, so a real
+    /// regression moves both while a noisy run usually moves only the
+    /// median.
+    min_delta_pct: Option<f64>,
+}
+
+impl Row {
+    /// Regression = both the median and the min moved past the
+    /// threshold. Requiring the min too keeps noisy-but-unchanged
+    /// benchmarks from failing the gate.
+    fn is_regression(&self, threshold_pct: f64) -> bool {
+        self.delta_pct.is_some_and(|d| d > threshold_pct)
+            && self.min_delta_pct.is_none_or(|d| d > threshold_pct)
+    }
+}
+
+/// Extract `(id, median_ns, min_ns)` triples from a `BENCH_*.json`
+/// document.
+fn medians(doc: &Value) -> Vec<(String, f64, Option<f64>)> {
+    let mut out = Vec::new();
+    let Some(results) = doc.get("results").and_then(Value::as_arr) else {
+        return out;
+    };
+    for r in results {
+        let id = r.get("id").and_then(Value::as_str);
+        let ns = r.get("ns_per_iter");
+        let med = ns.and_then(|n| n.get("median")).and_then(Value::as_f64);
+        let min = ns.and_then(|n| n.get("min")).and_then(Value::as_f64);
+        if let (Some(id), Some(med)) = (id, med) {
+            out.push((id.to_string(), med, min));
+        }
+    }
+    out
+}
+
+/// Compare every id in `base` against `cur`.
+fn compare_docs(base: &Value, cur: &Value) -> Vec<Row> {
+    let cur_medians = medians(cur);
+    medians(base)
+        .into_iter()
+        .map(|(id, base_med, base_min)| {
+            let cur = cur_medians.iter().find(|(i, _, _)| *i == id);
+            let cur_med = cur.map(|(_, m, _)| *m);
+            let pct = |b: f64, c: f64| if b == 0.0 { 0.0 } else { (c - b) / b * 100.0 };
+            let delta = cur_med.map(|c| pct(base_med, c));
+            let min_delta = match (base_min, cur.and_then(|(_, _, m)| *m)) {
+                (Some(b), Some(c)) => Some(pct(b, c)),
+                _ => None,
+            };
+            Row {
+                id,
+                base_median_ns: base_med,
+                cur_median_ns: cur_med,
+                delta_pct: delta,
+                min_delta_pct: min_delta,
+            }
+        })
+        .collect()
+}
+
+fn load(path: &Path) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    json::parse(&text)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Workspace root: the outermost ancestor holding a `Cargo.toml`
+/// (mirrors `harness::bench::write_report`).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .filter(|a| a.join("Cargo.toml").exists())
+        .last()
+        .unwrap_or(&cwd)
+        .to_path_buf()
+}
+
+fn threshold_pct() -> f64 {
+    std::env::var("BENCH_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD_PCT)
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut baseline_dir = root.join("bench-baseline");
+    let mut current_dir = std::env::var("BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| root.join("target").join("bench-json"));
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_dir = PathBuf::from(args.next().expect("--baseline needs a dir"))
+            }
+            "--current" => {
+                current_dir = PathBuf::from(args.next().expect("--current needs a dir"))
+            }
+            other => {
+                eprintln!("compare: unknown argument {other:?}");
+                eprintln!("usage: compare [--baseline DIR] [--current DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let threshold = threshold_pct();
+
+    let mut baselines: Vec<PathBuf> = match std::fs::read_dir(&baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("compare: cannot read baseline dir {}: {e}", baseline_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    baselines.sort();
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut skipped_files = 0usize;
+    let mut missing_ids = 0usize;
+
+    eprintln!(
+        "compare: baseline {} vs current {} (threshold {threshold:.0}%)",
+        baseline_dir.display(),
+        current_dir.display()
+    );
+    for base_path in &baselines {
+        let name = base_path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let cur_path = current_dir.join(name);
+        if !cur_path.exists() {
+            eprintln!("  {name}: no current report — skipped (run its bench to compare)");
+            skipped_files += 1;
+            continue;
+        }
+        let (Some(base), Some(cur)) = (load(base_path), load(&cur_path)) else {
+            eprintln!("compare: {name}: unparseable JSON");
+            return ExitCode::from(2);
+        };
+        for row in compare_docs(&base, &cur) {
+            match (row.cur_median_ns, row.delta_pct) {
+                (Some(cur_med), Some(delta)) => {
+                    compared += 1;
+                    let verdict = if row.is_regression(threshold) {
+                        regressions += 1;
+                        "REGRESSION"
+                    } else if delta < -threshold {
+                        "improved"
+                    } else {
+                        "ok"
+                    };
+                    let min_note = row
+                        .min_delta_pct
+                        .map(|d| format!(" (min {d:+.1}%)"))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "  {:<44} {:>12} -> {:>12}  {:>+8.1}%  {}{}",
+                        row.id,
+                        fmt_ns(row.base_median_ns),
+                        fmt_ns(cur_med),
+                        delta,
+                        verdict,
+                        min_note
+                    );
+                }
+                _ => {
+                    missing_ids += 1;
+                    eprintln!("  {:<44} missing from current report", row.id);
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "compare: {compared} compared, {regressions} regression(s), \
+         {skipped_files} baseline file(s) skipped, {missing_ids} id(s) missing"
+    );
+    if compared == 0 {
+        eprintln!("compare: nothing compared — did the bench step write into {}?", current_dir.display());
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64, f64)]) -> Value {
+        let results = entries
+            .iter()
+            .map(|(id, med, min)| {
+                format!(
+                    "{{\"id\": \"{id}\", \"samples\": 3, \"iters_per_sample\": 1, \
+                     \"ns_per_iter\": {{\"min\": {min}, \"median\": {med}, \"mean\": 1.0, \"max\": 9.0}}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        json::parse(&format!("{{\"bench\": \"t\", \"results\": [{results}]}}")).unwrap()
+    }
+
+    #[test]
+    fn medians_extract_id_median_and_min() {
+        let d = doc(&[("e1/a", 100.0, 90.0), ("e1/b", 250.0, 200.0)]);
+        assert_eq!(
+            medians(&d),
+            vec![
+                ("e1/a".into(), 100.0, Some(90.0)),
+                ("e1/b".into(), 250.0, Some(200.0))
+            ]
+        );
+    }
+
+    #[test]
+    fn compare_flags_only_above_threshold() {
+        let base = doc(&[("a", 100.0, 90.0), ("b", 100.0, 90.0), ("c", 100.0, 90.0)]);
+        let cur = doc(&[("a", 120.0, 108.0), ("b", 130.0, 117.0), ("c", 60.0, 54.0)]);
+        let rows = compare_docs(&base, &cur);
+        assert!(!rows[0].is_regression(25.0), "+20% is inside a 25% threshold");
+        assert!(rows[1].is_regression(25.0), "+30% in both median and min regresses");
+        assert!(!rows[2].is_regression(25.0), "improvements never fail");
+        assert!((rows[1].delta_pct.unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_median_with_steady_min_is_not_a_regression() {
+        // Median ballooned (+50%) but the best sample is unchanged: a
+        // loaded machine, not a slower program.
+        let base = doc(&[("a", 100.0, 90.0)]);
+        let cur = doc(&[("a", 150.0, 91.0)]);
+        let rows = compare_docs(&base, &cur);
+        assert!(!rows[0].is_regression(25.0));
+        // ...whereas without min data the median alone decides.
+        assert!(
+            Row { min_delta_pct: None, ..compare_docs(&base, &cur).remove(0) }
+                .is_regression(25.0)
+        );
+    }
+
+    #[test]
+    fn missing_current_id_is_reported_not_compared() {
+        let base = doc(&[("a", 100.0, 90.0), ("gone", 50.0, 40.0)]);
+        let cur = doc(&[("a", 100.0, 90.0)]);
+        let rows = compare_docs(&base, &cur);
+        assert_eq!(rows[1].cur_median_ns, None);
+        assert!(!rows[1].is_regression(0.0));
+    }
+
+    #[test]
+    fn zero_baseline_median_never_divides_by_zero() {
+        let base = doc(&[("z", 0.0, 0.0)]);
+        let cur = doc(&[("z", 10.0, 10.0)]);
+        let rows = compare_docs(&base, &cur);
+        assert_eq!(rows[0].delta_pct, Some(0.0));
+    }
+}

@@ -50,6 +50,8 @@ pub mod trace;
 pub mod unroute;
 
 pub use endpoint::{EndPoint, Pin, PortId};
+pub use jroute_obs as obs;
+pub use jroute_obs::Recorder;
 pub use error::{NetId, Result, RouteError};
 pub use net::{Net, NetDb};
 pub use path::Path;

@@ -19,6 +19,7 @@
 //! allocates nothing after warm-up.
 
 use jbits::Pip;
+use jroute_obs::Recorder;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use virtex::segment::Tap;
@@ -179,15 +180,36 @@ pub fn search(
     starts: &[(Segment, u32)],
     goal: Segment,
     cfg: &MazeConfig,
+    blocked: impl FnMut(Segment) -> bool,
+    extra_cost: impl FnMut(Segment) -> u32,
+    scratch: &mut MazeScratch,
+) -> Option<MazeResult> {
+    search_obs(dev, starts, goal, cfg, blocked, extra_cost, scratch, &Recorder::disabled())
+}
+
+/// [`search`] with telemetry: one `maze.search` span per call (its note
+/// is the node-expansion count), plus nodes-expanded / open-list
+/// histograms and counters. A disabled recorder reduces to plain
+/// `search` at the cost of a handful of local integer increments.
+#[allow(clippy::too_many_arguments)] // mirrors `search` + the recorder
+pub fn search_obs(
+    dev: &Device,
+    starts: &[(Segment, u32)],
+    goal: Segment,
+    cfg: &MazeConfig,
     mut blocked: impl FnMut(Segment) -> bool,
     mut extra_cost: impl FnMut(Segment) -> u32,
     scratch: &mut MazeScratch,
+    obs: &Recorder,
 ) -> Option<MazeResult> {
+    let mut span = obs.span("maze.search");
     let dims = dev.dims();
     let arch = dev.arch();
     scratch.begin();
     let goal_idx = goal.index(dims);
 
+    let mut pushes = 0u64;
+    let mut pops = 0u64;
     let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
     for &(seg, c0) in starts {
         let i = seg.index(dims);
@@ -198,16 +220,29 @@ pub fn search(
                 PrevEntry { prev: NO_PREV, rc: seg.rc, from: seg.wire, to: seg.wire },
             );
             heap.push(Reverse((c0 + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc), i as u32)));
+            pushes += 1;
         }
     }
 
     let mut taps: Vec<Tap> = Vec::with_capacity(4);
     let mut fanout: Vec<Wire> = Vec::with_capacity(40);
     let mut expanded = 0usize;
+    let finish = |expanded: usize, pushes: u64, pops: u64, span: &mut jroute_obs::Span, found: bool| {
+        span.note(expanded as u64);
+        obs.count("maze.searches", 1);
+        if !found {
+            obs.count("maze.search_failures", 1);
+        }
+        obs.count("maze.open_pushes", pushes);
+        obs.count("maze.open_pops", pops);
+        obs.record("maze.nodes_expanded", expanded as u64);
+    };
 
     while let Some(Reverse((f, idx))) = heap.pop() {
+        pops += 1;
         let idx = idx as usize;
         if idx == goal_idx {
+            finish(expanded, pushes, pops, &mut span, true);
             return Some(reconstruct(dims, scratch, idx, expanded));
         }
         let seg = Segment::from_index(idx, dims);
@@ -218,6 +253,7 @@ pub fn search(
         }
         expanded += 1;
         if expanded > cfg.max_nodes {
+            finish(expanded, pushes, pops, &mut span, false);
             return None;
         }
 
@@ -253,10 +289,12 @@ pub fn search(
                         PrevEntry { prev: idx as u32, rc: tap.rc, from: tap.wire, to },
                     );
                     heap.push(Reverse((ng + HEURISTIC_WEIGHT * heuristic(dev, next, goal.rc), ni as u32)));
+                    pushes += 1;
                 }
             }
         }
     }
+    finish(expanded, pushes, pops, &mut span, false);
     None
 }
 

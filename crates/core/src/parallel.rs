@@ -22,6 +22,7 @@ use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
 use crate::pathfinder::NetSpec;
 use jbits::Pip;
+use jroute_obs::Recorder;
 use virtex::{Device, RowCol, Segment};
 
 /// Options for the parallel router.
@@ -98,6 +99,7 @@ fn route_one(
     snapshot: &Occupancy,
     cfg: &MazeConfig,
     scratch: &mut MazeScratch,
+    obs: &Recorder,
 ) -> Result<ParallelNet> {
     let dims = dev.dims();
     let src_seg = dev
@@ -114,7 +116,7 @@ fn route_one(
         if snapshot.get(goal.index(dims)) {
             return Err(RouteError::ResourceInUse { segment: goal, owner: None });
         }
-        let r = maze::search(
+        let r = maze::search_obs(
             dev,
             &starts,
             goal,
@@ -125,6 +127,7 @@ fn route_one(
             },
             |_| 0,
             scratch,
+            obs,
         )
         .ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
         for seg in &r.segments {
@@ -142,6 +145,22 @@ fn route_one(
 /// The returned nets are mutually contention-free; `failed` lists nets
 /// for which no route existed under the final committed state.
 pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> ParallelResult {
+    route_parallel_obs(dev, specs, cfg, &Recorder::disabled())
+}
+
+/// [`route_parallel`] with observability: a `parallel.route` span over the
+/// whole run, one `parallel.worker` span per worker thread per round (note
+/// = nets attempted), `parallel.conflicts` / `parallel.commits` counters,
+/// and a `parallel.net_attempts` histogram capturing how many rounds each
+/// net needed (retries = attempts − 1).
+pub fn route_parallel_obs(
+    dev: &Device,
+    specs: &[NetSpec],
+    cfg: &ParallelConfig,
+    obs: &Recorder,
+) -> ParallelResult {
+    let mut run_span = obs.span("parallel.route");
+    run_span.note(specs.len() as u64);
     let dims = dev.dims();
     let space = dev.segment_space();
     let mut committed = Occupancy::new(space);
@@ -151,10 +170,16 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
     let mut rounds = 0usize;
     let mut conflicts = 0usize;
     let mut stalled = 0usize;
+    let mut attempts: Vec<u64> = vec![0; specs.len()];
     let threads = cfg.threads.max(1);
 
     while !pending.is_empty() && stalled < cfg.max_stalled_rounds {
         rounds += 1;
+        let mut round_span = obs.span("parallel.round");
+        round_span.note(pending.len() as u64);
+        for &i in &pending {
+            attempts[i] += 1;
+        }
         let snapshot = &committed;
         // Fan the pending nets out over the workers.
         let chunk = pending.len().div_ceil(threads);
@@ -163,10 +188,25 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
             let mut handles = Vec::new();
             for part in pending.chunks(chunk) {
                 let part: Vec<usize> = part.to_vec();
+                let worker_obs = obs.clone();
                 handles.push(scope.spawn(move || {
+                    let mut span = worker_obs.span("parallel.worker");
+                    span.note(part.len() as u64);
                     let mut scratch = MazeScratch::new(dev);
                     part.into_iter()
-                        .map(|i| (i, route_one(dev, &specs[i], snapshot, &cfg.maze, &mut scratch)))
+                        .map(|i| {
+                            (
+                                i,
+                                route_one(
+                                    dev,
+                                    &specs[i],
+                                    snapshot,
+                                    &cfg.maze,
+                                    &mut scratch,
+                                    &worker_obs,
+                                ),
+                            )
+                        })
                         .collect::<Vec<_>>()
                 }));
             }
@@ -188,6 +228,7 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
                         .any(|seg| committed.get(seg.index(dims)));
                     if clash {
                         conflicts += 1;
+                        obs.count("parallel.conflicts", 1);
                         next_pending.push(i);
                     } else {
                         for seg in &net.segments {
@@ -199,11 +240,13 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
                             committed.set(src.index(dims));
                         }
                         done[i] = Some(net);
+                        obs.count("parallel.commits", 1);
                         progressed = true;
                     }
                 }
                 Err(_) => {
                     failed.push(i);
+                    obs.count("parallel.nets_failed", 1);
                     progressed = true;
                 }
             }
@@ -213,6 +256,11 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
     }
     failed.extend(pending);
     failed.sort_unstable();
+    for &n in attempts.iter().filter(|&&n| n > 0) {
+        obs.record("parallel.net_attempts", n);
+    }
+    obs.count("parallel.rounds", rounds as u64);
+    run_span.note(rounds as u64);
     ParallelResult { nets: done.into_iter().flatten().collect(), failed, rounds, conflicts }
 }
 

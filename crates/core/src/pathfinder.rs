@@ -18,6 +18,7 @@ use crate::endpoint::Pin;
 use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
 use jbits::{Bitstream, Pip};
+use jroute_obs::Recorder;
 use virtex::{Device, RowCol, Segment};
 
 /// One net to route: a source pin and its sinks.
@@ -95,6 +96,20 @@ pub fn route_all(
     specs: &[NetSpec],
     cfg: &PathFinderConfig,
 ) -> Result<PathFinderResult> {
+    route_all_obs(dev, specs, cfg, &Recorder::disabled())
+}
+
+/// [`route_all`] with observability: emits a `pathfinder.route_all` span,
+/// per-iteration `pathfinder.overused` events (the congestion curve), a
+/// `pathfinder.converged` event on success, and per-search maze metrics.
+pub fn route_all_obs(
+    dev: &Device,
+    specs: &[NetSpec],
+    cfg: &PathFinderConfig,
+    obs: &Recorder,
+) -> Result<PathFinderResult> {
+    let mut span = obs.span("pathfinder.route_all");
+    span.note(specs.len() as u64);
     let space = dev.segment_space();
     let mut occ: Vec<u16> = vec![0; space];
     let mut hist: Vec<u32> = vec![0; space];
@@ -106,10 +121,12 @@ pub fn route_all(
     let mut iterations = 0usize;
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
+        obs.count("pathfinder.iterations", 1);
         let mut any_failure = false;
         for (i, spec) in specs.iter().enumerate() {
             // Rip up the previous route of this net.
             if let Some(old) = routes[i].take() {
+                obs.count("pathfinder.ripups", 1);
                 for seg in &old.segments {
                     occ[seg.index(dev.dims())] -= 1;
                 }
@@ -126,7 +143,7 @@ pub fn route_all(
                 let goal = dev
                     .canonicalize(sink.rc, sink.wire)
                     .ok_or(RouteError::NoSuchWire { rc: sink.rc, wire: sink.wire })?;
-                let result = maze::search(
+                let result = maze::search_obs(
                     dev,
                     &starts,
                     goal,
@@ -137,6 +154,7 @@ pub fn route_all(
                         hist[idx] + occ[idx] as u32 * pres_fac
                     },
                     &mut scratch,
+                    obs,
                 );
                 let Some(r) = result else {
                     failed = true;
@@ -169,7 +187,10 @@ pub fn route_all(
                 hist[idx] += cfg.hist_cost;
             }
         }
+        obs.event("pathfinder.overused", overused as u64);
+        obs.record("pathfinder.iter_overuse", overused as u64);
         if overused == 0 && !any_failure && routes.iter().all(|r| r.is_some()) {
+            obs.event("pathfinder.converged", iterations as u64);
             let nets = routes.into_iter().map(|r| r.expect("all routed")).collect();
             return Ok(PathFinderResult {
                 nets,
@@ -183,6 +204,7 @@ pub fn route_all(
     }
 
     let overused = occ.iter().filter(|&&o| o > 1).count();
+    obs.count("pathfinder.budget_exhausted", 1);
     let nets = routes.into_iter().flatten().collect();
     Ok(PathFinderResult { nets, legal: false, iterations, nodes_expanded, overused })
 }

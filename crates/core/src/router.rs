@@ -35,6 +35,8 @@ use crate::templates_db;
 use crate::trace::{self, Hop, TracedNet};
 use crate::unroute;
 use jbits::{Bitstream, Pip};
+use jroute_obs::{Recorder, Report};
+use std::sync::Arc;
 use virtex::segment::Tap;
 use virtex::{template_value, Device, RowCol, Segment, Wire};
 
@@ -68,6 +70,21 @@ pub struct Remembered {
     pub sink: EndPoint,
 }
 
+/// Forwards raw-JBits configuration traffic into the recorder, so even
+/// writes made behind the router's back (via [`Router::bits_mut`]) show
+/// up in the telemetry.
+struct PipTap(Recorder);
+
+impl jbits::ConfigObserver for PipTap {
+    fn pip_set(&self, _rc: RowCol, _pip: Pip) {
+        self.0.count("jbits.pips_set", 1);
+    }
+
+    fn pip_cleared(&self, _rc: RowCol, _pip: Pip) {
+        self.0.count("jbits.pips_cleared", 1);
+    }
+}
+
 /// The JRoute router for one device.
 pub struct Router {
     device: Device,
@@ -78,17 +95,20 @@ pub struct Router {
     opts: RouterOptions,
     stats: RouterStats,
     remembered: Vec<Remembered>,
+    obs: Recorder,
 }
 
 impl Router {
-    /// Router over a blank configuration of `device`.
+    /// Router over a blank configuration of `device`. The observability
+    /// recorder starts in the `JROUTE_OBS` environment state (disabled
+    /// unless `JROUTE_OBS=1`); see [`Router::set_recorder`].
     pub fn new(device: &Device) -> Self {
         Self::with_options(device, RouterOptions::default())
     }
 
     /// Router with explicit options.
     pub fn with_options(device: &Device, opts: RouterOptions) -> Self {
-        Router {
+        let mut r = Router {
             device: *device,
             bits: Bitstream::new(device),
             nets: NetDb::new(),
@@ -97,7 +117,40 @@ impl Router {
             opts,
             stats: RouterStats::default(),
             remembered: Vec::new(),
+            obs: Recorder::disabled(),
+        };
+        r.set_recorder(Recorder::from_env());
+        r
+    }
+
+    /// The router's observability recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Install a recorder (e.g. `Recorder::enabled()` to start
+    /// collecting). An enabled recorder also taps raw JBits writes via
+    /// the bitstream's [`jbits::ConfigObserver`] hook; a disabled one
+    /// detaches the tap so the hot path is back to a `None` branch.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
+        if self.obs.is_enabled() {
+            self.bits.set_observer(Some(Arc::new(PipTap(self.obs.clone()))));
+        } else {
+            self.bits.set_observer(None);
         }
+    }
+
+    /// Snapshot the telemetry collected so far, with the cumulative
+    /// [`RouterStats`] gauges and the live resource census published
+    /// into it (so the JSON export is self-contained).
+    pub fn obs_report(&self) -> Report {
+        let mut report = self.obs.report();
+        if report.enabled {
+            self.stats.publish(&mut report);
+            self.resource_usage().publish(&mut report);
+        }
+        report
     }
 
     /// The device being routed.
@@ -228,6 +281,7 @@ impl Router {
     /// user decides the path). This can be useful in cases where there is
     /// a real time constraint..."*
     pub fn route_pip(&mut self, rc: RowCol, from: Wire, to: Wire) -> Result<()> {
+        let _span = self.obs.span("router.route_pip");
         let from_seg = self.seg(rc, from)?;
         let net = self.net_for_source(Pin::at(rc, from), from_seg)?;
         self.route_pip_on_net(net, rc, from, to)?;
@@ -330,6 +384,8 @@ impl Router {
 
     /// Route an explicit [`Path`]: turn on all the connections it defines.
     pub fn route_path(&mut self, path: &Path) -> Result<()> {
+        let mut span = self.obs.span("router.route_path");
+        span.note(path.wires().len() as u64);
         let wires = path.wires();
         if wires.is_empty() {
             return Ok(());
@@ -364,6 +420,8 @@ impl Router {
         end_wire: Wire,
         template: &Template,
     ) -> Result<()> {
+        let mut span = self.obs.span("router.route_template");
+        span.note(template.len() as u64);
         let start_seg = self.seg(start.rc, start.wire)?;
         let end_rc = template
             .end_tile(start.rc, self.device.dims())
@@ -459,6 +517,7 @@ impl Router {
     /// (`route(EndPoint, EndPoint)`). Tries the predefined templates
     /// first, then falls back to the maze router, per §3.1.
     pub fn route(&mut self, source: &EndPoint, sink: &EndPoint) -> Result<()> {
+        let _span = self.obs.span("router.route");
         let src_pins = self.resolve(source)?;
         let sink_pins = self.resolve(sink)?;
         let src = src_pins[0];
@@ -478,6 +537,8 @@ impl Router {
     /// of increasing distance from the source. For each sink, the router
     /// attempts to reuse the previous paths as much as possible."*
     pub fn route_fanout(&mut self, source: &EndPoint, sinks: &[EndPoint]) -> Result<()> {
+        let mut span = self.obs.span("router.route_fanout");
+        span.note(sinks.len() as u64);
         let src_pins = self.resolve(source)?;
         let src = src_pins[0];
         // Resolve all sinks, keeping their endpoint for port memory.
@@ -505,6 +566,8 @@ impl Router {
     /// `sources[i] -> sinks[i]` for every `i`. *"the user would not need
     /// to connect each bit of the bus"* (§3.1).
     pub fn route_bus(&mut self, sources: &[EndPoint], sinks: &[EndPoint]) -> Result<()> {
+        let mut span = self.obs.span("router.route_bus");
+        span.note(sources.len() as u64);
         if sources.len() != sinks.len() {
             return Err(RouteError::BusWidthMismatch {
                 sources: sources.len(),
@@ -566,7 +629,7 @@ impl Router {
         let result = {
             let nets = &self.nets;
             let bits = &self.bits;
-            maze::search(
+            maze::search_obs(
                 &self.device,
                 &starts,
                 goal,
@@ -577,6 +640,7 @@ impl Router {
                 },
                 |_| 0,
                 &mut self.scratch,
+                &self.obs,
             )
         };
         let result = result.ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
@@ -604,11 +668,13 @@ impl Router {
     /// (`unroute(EndPoint source)`). Returns the number of PIPs cleared.
     /// Port-level connection intents are remembered for reconnection.
     pub fn unroute(&mut self, source: &EndPoint) -> Result<usize> {
+        let mut span = self.obs.span("router.unroute");
         let pins = self.resolve(source)?;
         let seg = self.seg(pins[0].rc, pins[0].wire)?;
         self.remember_intents_of(seg);
         let n = unroute::unroute_forward(&mut self.bits, &mut self.nets, seg)?;
         self.stats.pips_cleared += n;
+        span.note(n as u64);
         Ok(n)
     }
 
@@ -616,6 +682,7 @@ impl Router {
     /// (`reverseUnroute(EndPoint sink)`). Returns the number of PIPs
     /// cleared.
     pub fn reverse_unroute(&mut self, sink: &EndPoint) -> Result<usize> {
+        let mut span = self.obs.span("router.reverse_unroute");
         let pins = self.resolve(sink)?;
         let mut total = 0usize;
         for pin in pins {
@@ -623,6 +690,7 @@ impl Router {
             total += unroute::reverse_unroute(&mut self.bits, &mut self.nets, seg)?;
         }
         self.stats.pips_cleared += total;
+        span.note(total as u64);
         Ok(total)
     }
 
@@ -683,18 +751,24 @@ impl Router {
 
     /// Trace a source to all of its sinks; the entire net is returned.
     pub fn trace(&self, source: &EndPoint) -> Result<TracedNet> {
+        let mut span = self.obs.span("router.trace");
         let pins = self.resolve(source)?;
         let seg = self.seg(pins[0].rc, pins[0].wire)?;
-        Ok(trace::trace(&self.bits, seg))
+        let net = trace::trace(&self.bits, seg);
+        span.note(net.segments.len() as u64);
+        Ok(net)
     }
 
     /// Trace a sink back to its source; only the branch leading to the
     /// sink is returned.
     pub fn reverse_trace(&self, sink: &EndPoint) -> Result<(Vec<Hop>, Segment)> {
+        let mut span = self.obs.span("router.reverse_trace");
         let pins = self.resolve(sink)?;
         let seg = self.seg(pins[0].rc, pins[0].wire)?;
-        trace::reverse_trace(&self.bits, seg)
-            .ok_or(RouteError::NoSuchNet { segment: seg })
+        let (hops, src) = trace::reverse_trace(&self.bits, seg)
+            .ok_or(RouteError::NoSuchNet { segment: seg })?;
+        span.note(hops.len() as u64);
+        Ok((hops, src))
     }
 }
 

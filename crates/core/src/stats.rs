@@ -5,6 +5,7 @@
 //! maintains and the per-class usage census.
 
 use crate::net::NetDb;
+use jroute_obs::Report;
 use virtex::WireKind;
 
 /// Cumulative router activity counters.
@@ -28,6 +29,23 @@ pub struct RouterStats {
     pub maze_fallbacks: usize,
     /// Contention errors raised (each one is a protected device, §3.4).
     pub contention_rejections: usize,
+}
+
+impl RouterStats {
+    /// Publish every counter into an observability report snapshot under
+    /// the `router.` prefix. The stats are cumulative gauges, so
+    /// publishing overwrites (it never double-counts across snapshots).
+    pub fn publish(&self, report: &mut Report) {
+        report.set_counter("router.pips_set", self.pips_set as u64);
+        report.set_counter("router.pips_cleared", self.pips_cleared as u64);
+        report.set_counter("router.nets_created", self.nets_created as u64);
+        report.set_counter("router.maze_searches", self.maze_searches as u64);
+        report.set_counter("router.maze_nodes_expanded", self.maze_nodes_expanded as u64);
+        report.set_counter("router.template_attempts", self.template_attempts as u64);
+        report.set_counter("router.template_successes", self.template_successes as u64);
+        report.set_counter("router.maze_fallbacks", self.maze_fallbacks as u64);
+        report.set_counter("router.contention_rejections", self.contention_rejections as u64);
+    }
 }
 
 /// Segments in use, bucketed by resource class.
@@ -62,12 +80,41 @@ impl ResourceUsage {
         let mut u = ResourceUsage::default();
         for net in db.iter() {
             u.bump(net.source.wire.kind());
-            for &(rc, pip) in &net.pips {
-                let _ = rc;
+            for &(_, pip) in &net.pips {
                 u.bump(pip.to.kind());
             }
         }
         u
+    }
+
+    /// Per-class change from `baseline` to `self` (telemetry snapshots
+    /// diff the census before/after a routing phase this way).
+    pub fn diff(&self, baseline: &ResourceUsage) -> ResourceDelta {
+        let d = |a: usize, b: usize| a as i64 - b as i64;
+        ResourceDelta {
+            outs: d(self.outs, baseline.outs),
+            singles: d(self.singles, baseline.singles),
+            hexes: d(self.hexes, baseline.hexes),
+            longs: d(self.longs, baseline.longs),
+            directs: d(self.directs, baseline.directs),
+            feedbacks: d(self.feedbacks, baseline.feedbacks),
+            clb_pins: d(self.clb_pins, baseline.clb_pins),
+            gclks: d(self.gclks, baseline.gclks),
+        }
+    }
+
+    /// Publish the census into an observability report under the
+    /// `resources.` prefix.
+    pub fn publish(&self, report: &mut Report) {
+        report.set_counter("resources.outs", self.outs as u64);
+        report.set_counter("resources.singles", self.singles as u64);
+        report.set_counter("resources.hexes", self.hexes as u64);
+        report.set_counter("resources.longs", self.longs as u64);
+        report.set_counter("resources.directs", self.directs as u64);
+        report.set_counter("resources.feedbacks", self.feedbacks as u64);
+        report.set_counter("resources.clb_pins", self.clb_pins as u64);
+        report.set_counter("resources.gclks", self.gclks as u64);
+        report.set_counter("resources.total", self.total() as u64);
     }
 
     fn bump(&mut self, kind: WireKind) {
@@ -83,6 +130,57 @@ impl ResourceUsage {
             WireKind::SliceIn { .. } | WireKind::SliceOut { .. } => self.clb_pins += 1,
             WireKind::Gclk(_) => self.gclks += 1,
         }
+    }
+}
+
+/// Signed per-class change between two [`ResourceUsage`] censuses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the resource classes of paper §2
+pub struct ResourceDelta {
+    pub outs: i64,
+    pub singles: i64,
+    pub hexes: i64,
+    pub longs: i64,
+    pub directs: i64,
+    pub feedbacks: i64,
+    pub clb_pins: i64,
+    pub gclks: i64,
+}
+
+impl ResourceDelta {
+    /// Net change in segments used.
+    pub fn total(&self) -> i64 {
+        self.outs
+            + self.singles
+            + self.hexes
+            + self.longs
+            + self.directs
+            + self.feedbacks
+            + self.clb_pins
+            + self.gclks
+    }
+
+    /// Whether nothing changed.
+    pub fn is_zero(&self) -> bool {
+        *self == ResourceDelta::default()
+    }
+}
+
+impl std::fmt::Display for ResourceDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "outs={:+} singles={:+} hexes={:+} longs={:+} directs={:+} feedbacks={:+} pins={:+} gclks={:+} (total {:+})",
+            self.outs,
+            self.singles,
+            self.hexes,
+            self.longs,
+            self.directs,
+            self.feedbacks,
+            self.clb_pins,
+            self.gclks,
+            self.total()
+        )
     }
 }
 
@@ -153,5 +251,34 @@ mod tests {
         let s = RouterStats::default();
         assert_eq!(s.pips_set, 0);
         assert_eq!(s, RouterStats::default());
+    }
+
+    #[test]
+    fn resource_diff_is_signed_per_class() {
+        let before = ResourceUsage { outs: 2, singles: 5, hexes: 1, ..Default::default() };
+        let after = ResourceUsage { outs: 3, singles: 2, hexes: 1, gclks: 1, ..Default::default() };
+        let d = after.diff(&before);
+        assert_eq!(d.outs, 1);
+        assert_eq!(d.singles, -3);
+        assert_eq!(d.hexes, 0);
+        assert_eq!(d.gclks, 1);
+        assert_eq!(d.total(), -1);
+        assert!(!d.is_zero());
+        assert!(after.diff(&after).is_zero());
+        assert!(d.to_string().contains("singles=-3"));
+        assert!(d.to_string().contains("outs=+1"));
+    }
+
+    #[test]
+    fn publish_writes_cumulative_gauges_idempotently() {
+        let mut rep = Report::default();
+        let stats = RouterStats { pips_set: 7, ..Default::default() };
+        stats.publish(&mut rep);
+        stats.publish(&mut rep); // gauges overwrite, never accumulate
+        assert_eq!(rep.counter("router.pips_set"), Some(7));
+        let usage = ResourceUsage { hexes: 3, ..Default::default() };
+        usage.publish(&mut rep);
+        assert_eq!(rep.counter("resources.hexes"), Some(3));
+        assert_eq!(rep.counter("resources.total"), Some(3));
     }
 }

@@ -11,8 +11,24 @@
 
 use crate::error::JBitsError;
 use crate::frame::{lut_frame, pip_frame, FrameTracker};
+use std::sync::Arc;
 use virtex::segment::Tap;
 use virtex::{Device, RowCol, Segment, Wire};
+
+/// Observer hook for configuration writes.
+///
+/// JBits stays dependency-free, so instead of depending on an
+/// observability crate the bitstream accepts an optional callback object;
+/// higher layers (the `jroute` router's recorder) install one to count
+/// PIP traffic. Callbacks fire only for writes that actually change a
+/// bit, after the change is applied. With no observer installed the cost
+/// is a branch on a `None`.
+pub trait ConfigObserver: Send + Sync {
+    /// A PIP transitioned off → on at `rc`.
+    fn pip_set(&self, rc: RowCol, pip: Pip);
+    /// A PIP transitioned on → off at `rc`.
+    fn pip_cleared(&self, rc: RowCol, pip: Pip);
+}
 
 /// One programmable interconnect point at a tile: drive `to` from `from`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -70,6 +86,7 @@ pub struct Bitstream {
     tiles: Vec<TileConfig>,
     frames: FrameTracker,
     on_pips: usize,
+    observer: Option<Arc<dyn ConfigObserver>>,
 }
 
 impl Bitstream {
@@ -80,7 +97,19 @@ impl Bitstream {
             tiles: vec![TileConfig::default(); device.dims().tiles()],
             frames: FrameTracker::new(),
             on_pips: 0,
+            observer: None,
         }
+    }
+
+    /// Install (or replace) the configuration-write observer. Pass
+    /// `None` to detach.
+    pub fn set_observer(&mut self, observer: Option<Arc<dyn ConfigObserver>>) {
+        self.observer = observer;
+    }
+
+    /// Whether an observer is currently attached.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// The device this configuration belongs to.
@@ -124,6 +153,9 @@ impl Bitstream {
                 self.tiles[idx].pips.insert(pos, pip);
                 self.frames.touch(pip_frame(rc, to));
                 self.on_pips += 1;
+                if let Some(o) = &self.observer {
+                    o.pip_set(rc, pip);
+                }
                 Ok(true)
             }
         }
@@ -138,6 +170,9 @@ impl Bitstream {
                 self.tiles[idx].pips.remove(pos);
                 self.frames.touch(pip_frame(rc, to));
                 self.on_pips -= 1;
+                if let Some(o) = &self.observer {
+                    o.pip_cleared(rc, Pip::new(from, to));
+                }
                 Ok(true)
             }
             Err(_) => Ok(false),
@@ -383,6 +418,39 @@ mod tests {
         assert_eq!(b.frames().dirty_count(), 1, "same column + word share a frame");
         b.set_pip(RowCol::new(5, 8), wire::S1_YQ, wire::out(1)).unwrap();
         assert_eq!(b.frames().dirty_count(), 2);
+    }
+
+    #[test]
+    fn observer_sees_only_real_transitions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Tally {
+            set: AtomicUsize,
+            cleared: AtomicUsize,
+        }
+        impl ConfigObserver for Tally {
+            fn pip_set(&self, _rc: RowCol, _pip: Pip) {
+                self.set.fetch_add(1, Ordering::Relaxed);
+            }
+            fn pip_cleared(&self, _rc: RowCol, _pip: Pip) {
+                self.cleared.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut b = bs();
+        let tally = Arc::new(Tally::default());
+        b.set_observer(Some(tally.clone()));
+        assert!(b.has_observer());
+        let rc = RowCol::new(5, 7);
+        b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap(); // no-op: already on
+        b.clear_pip(rc, wire::S1_YQ, wire::out(1)).unwrap();
+        b.clear_pip(rc, wire::S1_YQ, wire::out(1)).unwrap(); // no-op: already off
+        assert_eq!(tally.set.load(Ordering::Relaxed), 1);
+        assert_eq!(tally.cleared.load(Ordering::Relaxed), 1);
+        // Detach: further writes are unobserved.
+        b.set_observer(None);
+        b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap();
+        assert_eq!(tally.set.load(Ordering::Relaxed), 1);
     }
 
     #[test]

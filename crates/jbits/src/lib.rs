@@ -24,7 +24,7 @@ pub mod error;
 pub mod frame;
 pub mod readback;
 
-pub use bitstream::{Bitstream, Pip};
+pub use bitstream::{Bitstream, ConfigObserver, Pip};
 pub use error::JBitsError;
 pub use frame::{FrameAddr, FrameTracker};
 pub use readback::{diff, snapshot, Change, Snapshot};

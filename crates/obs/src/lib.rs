@@ -1,0 +1,454 @@
+//! # jroute-obs — a hermetic tracing/metrics layer for the router stack
+//!
+//! The paper's §3.5 debug support (`trace`/`reverseTrace`, BoardScope) is
+//! about *seeing* what the run-time router did to the device; this crate
+//! is the same idea applied to the router's own internals. It provides:
+//!
+//! * [`Recorder`] — a cloneable handle that is either **disabled** (every
+//!   operation is a branch on a `None` and nothing else — no clock reads,
+//!   no allocation, no locking) or **enabled** (an `Arc`-shared collector
+//!   guarded by a mutex, safe to use from `std::thread::scope` workers);
+//! * [`Span`] — an RAII guard measuring one operation with monotonic
+//!   timing; spans nest per thread, so the finished records form a tree
+//!   (`route` → `maze.search` → …) that [`Report::span_tree`] renders;
+//! * typed counters and log2-bucketed [`Histogram`]s with p50/p90/p99
+//!   summaries ([`hist`]);
+//! * a human-readable [`Report`] table and a hand-rolled JSON exporter
+//!   ([`json`]) writing `target/obs-json/OBS_<run>.json` in the same
+//!   style as the `harness::bench` reports.
+//!
+//! The crate is zero-dependency and `forbid(unsafe_code)`, matching the
+//! workspace's hermetic-build policy.
+//!
+//! ```
+//! use jroute_obs::Recorder;
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let mut outer = rec.span("request");
+//!     let _inner = rec.span("lookup");
+//!     rec.count("cache.miss", 1);
+//!     rec.record("payload.bytes", 512);
+//!     outer.note(1); // arbitrary payload, e.g. items handled
+//! }
+//! let report = rec.report();
+//! assert_eq!(report.counter("cache.miss"), Some(1));
+//! assert_eq!(report.span_count("lookup"), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod json;
+pub mod report;
+
+pub use hist::Histogram;
+pub use report::{HistRow, Report, SpanStat};
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Raw-span retention cap: beyond this the tree view saturates (aggregate
+/// per-name statistics keep counting) and `spans_dropped` records how
+/// many records were shed. Bounds memory on long bench runs.
+pub const MAX_SPANS: usize = 16_384;
+
+/// Event retention cap, same policy as [`MAX_SPANS`].
+pub const MAX_EVENTS: usize = 16_384;
+
+/// Environment variable consulted by [`Recorder::from_env`].
+pub const OBS_ENV: &str = "JROUTE_OBS";
+
+/// One finished span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"router.route"`.
+    pub name: &'static str,
+    /// Discriminates recording threads (dense ids in creation order).
+    pub thread: u64,
+    /// Nesting depth within the recording thread at start time.
+    pub depth: u16,
+    /// Start, in nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Caller-supplied payload (see [`Span::note`]); 0 by default.
+    pub note: u64,
+}
+
+/// One point-in-time event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Static event name, e.g. `"pathfinder.overused"`.
+    pub name: &'static str,
+    /// Nanoseconds since the recorder was created.
+    pub at_ns: u64,
+    /// Event value (an iteration's congestion count, a worker id, …).
+    pub value: u64,
+}
+
+#[derive(Default)]
+struct Collector {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+    span_stats: BTreeMap<&'static str, SpanStat>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    spans_dropped: u64,
+    events_dropped: u64,
+}
+
+struct Shared {
+    epoch: Instant,
+    state: Mutex<Collector>,
+}
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        if id.get() == u64::MAX {
+            id.set(NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed));
+        }
+        id.get()
+    })
+}
+
+/// Handle to the observability collector. Cloning is cheap (an `Arc`
+/// clone when enabled, a copy of `None` when disabled) and all clones
+/// feed the same collector, which is how `std::thread::scope` workers
+/// report into the run's aggregate.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Shared>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Recorder({})", if self.inner.is_some() { "enabled" } else { "disabled" })
+    }
+}
+
+impl Recorder {
+    /// A recorder on which every operation is a no-op. This is the
+    /// default state: hot router paths pay one `Option` branch and
+    /// nothing else (verified by the E2 bench-regression gate).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder with a fresh collector.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Shared {
+                epoch: Instant::now(),
+                state: Mutex::new(Collector::default()),
+            })),
+        }
+    }
+
+    /// Enabled iff `JROUTE_OBS` is set to `1`, `true`, `on` or `yes`.
+    pub fn from_env() -> Self {
+        match std::env::var(OBS_ENV) {
+            Ok(v) if matches!(v.trim(), "1" | "true" | "on" | "yes") => Self::enabled(),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Whether this recorder collects anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a span. Disabled recorders return an inert guard without
+    /// reading the clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { live: None },
+            Some(shared) => {
+                let depth = DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v.saturating_add(1));
+                    v
+                });
+                Span {
+                    live: Some(SpanLive {
+                        shared: Arc::clone(shared),
+                        name,
+                        thread: thread_id(),
+                        depth,
+                        start: Instant::now(),
+                        note: 0,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(shared) = &self.inner {
+            if delta != 0 {
+                *shared.state.lock().unwrap().counters.entry(name).or_insert(0) += delta;
+            }
+        }
+    }
+
+    /// Record `value` into the histogram `name`.
+    #[inline]
+    pub fn record(&self, name: &'static str, value: u64) {
+        if let Some(shared) = &self.inner {
+            shared.state.lock().unwrap().hists.entry(name).or_default().record(value);
+        }
+    }
+
+    /// Record a duration (as nanoseconds) into the histogram `name`. By
+    /// convention latency histogram names end in `_ns`.
+    #[inline]
+    pub fn record_duration(&self, name: &'static str, d: Duration) {
+        self.record(name, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record a point-in-time event with a value.
+    #[inline]
+    pub fn event(&self, name: &'static str, value: u64) {
+        if let Some(shared) = &self.inner {
+            let at_ns = shared.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let mut st = shared.state.lock().unwrap();
+            if st.events.len() < MAX_EVENTS {
+                st.events.push(EventRecord { name, at_ns, value });
+            } else {
+                st.events_dropped += 1;
+            }
+        }
+    }
+
+    /// Snapshot everything collected so far into a [`Report`]. The
+    /// collector keeps accumulating; call [`Recorder::reset`] to start a
+    /// fresh window.
+    pub fn report(&self) -> Report {
+        match &self.inner {
+            None => Report::default(),
+            Some(shared) => {
+                let st = shared.state.lock().unwrap();
+                Report {
+                    enabled: true,
+                    counters: st.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                    hists: st
+                        .hists
+                        .iter()
+                        .map(|(k, h)| HistRow { name: k.to_string(), hist: h.clone() })
+                        .collect(),
+                    span_stats: st
+                        .span_stats
+                        .iter()
+                        .map(|(k, s)| (k.to_string(), s.clone()))
+                        .collect(),
+                    spans: st.spans.clone(),
+                    events: st.events.clone(),
+                    spans_dropped: st.spans_dropped,
+                    events_dropped: st.events_dropped,
+                }
+            }
+        }
+    }
+
+    /// Drop everything collected so far (the epoch is retained, so
+    /// timestamps stay monotonic across windows).
+    pub fn reset(&self) {
+        if let Some(shared) = &self.inner {
+            *shared.state.lock().unwrap() = Collector::default();
+        }
+    }
+}
+
+struct SpanLive {
+    shared: Arc<Shared>,
+    name: &'static str,
+    thread: u64,
+    depth: u16,
+    start: Instant,
+    note: u64,
+}
+
+/// RAII span guard returned by [`Recorder::span`]. Dropping it records
+/// the span; an inert guard (disabled recorder) does nothing.
+pub struct Span {
+    live: Option<SpanLive>,
+}
+
+impl Span {
+    /// Attach a payload to the span record (items routed, segments
+    /// visited, worker index, …). Last call wins.
+    #[inline]
+    pub fn note(&mut self, value: u64) {
+        if let Some(live) = &mut self.live {
+            live.note = value;
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur = live.start.elapsed();
+        DEPTH.with(|d| d.set(live.depth));
+        let rec = SpanRecord {
+            name: live.name,
+            thread: live.thread,
+            depth: live.depth,
+            start_ns: live
+                .start
+                .duration_since(live.shared.epoch)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64,
+            dur_ns: dur.as_nanos().min(u128::from(u64::MAX)) as u64,
+            note: live.note,
+        };
+        let mut st = live.shared.state.lock().unwrap();
+        let stat = st.span_stats.entry(live.name).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(rec.dur_ns);
+        stat.max_ns = stat.max_ns.max(rec.dur_ns);
+        if st.spans.len() < MAX_SPANS {
+            st.spans.push(rec);
+        } else {
+            st.spans_dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        {
+            let mut s = rec.span("noop");
+            assert!(!s.is_recording());
+            s.note(7);
+        }
+        rec.count("c", 3);
+        rec.record("h", 9);
+        rec.event("e", 1);
+        let rep = rec.report();
+        assert!(!rep.enabled);
+        assert!(rep.counters.is_empty() && rep.spans.is_empty() && rep.events.is_empty());
+    }
+
+    #[test]
+    fn counters_histograms_events_accumulate() {
+        let rec = Recorder::enabled();
+        rec.count("pips", 2);
+        rec.count("pips", 3);
+        rec.record("lat_ns", 100);
+        rec.record("lat_ns", 200);
+        rec.event("iter", 42);
+        let rep = rec.report();
+        assert_eq!(rep.counter("pips"), Some(5));
+        let h = rep.hist("lat_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(rep.events.len(), 1);
+        assert_eq!(rep.events[0].value, 42);
+    }
+
+    #[test]
+    fn spans_nest_per_thread() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("outer");
+            {
+                let mut b = rec.span("inner");
+                b.note(11);
+            }
+            let _c = rec.span("sibling");
+        }
+        let rep = rec.report();
+        let inner = rep.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = rep.spans.iter().find(|s| s.name == "outer").unwrap();
+        let sibling = rep.spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(sibling.depth, 1);
+        assert_eq!(inner.note, 11);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        // Depth unwound fully.
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn scoped_threads_report_into_one_aggregate() {
+        let rec = Recorder::enabled();
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let mut s = rec.span("worker");
+                    s.note(w);
+                    rec.count("work", 1);
+                });
+            }
+        });
+        let rep = rec.report();
+        assert_eq!(rep.counter("work"), Some(4));
+        assert_eq!(rep.span_count("worker"), 4);
+        let threads: std::collections::HashSet<u64> =
+            rep.spans.iter().map(|s| s.thread).collect();
+        assert_eq!(threads.len(), 4, "each worker gets its own thread id");
+    }
+
+    #[test]
+    fn span_cap_sheds_raw_records_but_keeps_stats() {
+        let rec = Recorder::enabled();
+        for _ in 0..(MAX_SPANS + 10) {
+            let _s = rec.span("tick");
+        }
+        let rep = rec.report();
+        assert_eq!(rep.spans.len(), MAX_SPANS);
+        assert_eq!(rep.spans_dropped, 10);
+        assert_eq!(rep.span_count("tick"), (MAX_SPANS + 10) as u64);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_recording() {
+        let rec = Recorder::enabled();
+        rec.count("a", 1);
+        rec.reset();
+        rec.count("b", 2);
+        let rep = rec.report();
+        assert_eq!(rep.counter("a"), None);
+        assert_eq!(rep.counter("b"), Some(2));
+    }
+
+    #[test]
+    fn from_env_respects_flag_values() {
+        // Sequential within one test to avoid env races with other tests.
+        std::env::set_var(OBS_ENV, "1");
+        assert!(Recorder::from_env().is_enabled());
+        std::env::set_var(OBS_ENV, "0");
+        assert!(!Recorder::from_env().is_enabled());
+        std::env::remove_var(OBS_ENV);
+        assert!(!Recorder::from_env().is_enabled());
+    }
+}

@@ -1,0 +1,61 @@
+//! Observability tour: route a fan-out net on the largest Virtex part
+//! with the recorder attached, then inspect what the router did — the
+//! span tree, the counter/histogram table, the resource-census delta —
+//! and export the machine-readable `OBS_observe_route.json`.
+//!
+//! Run with: `cargo run --example observe_route`
+//!
+//! The recorder here is attached explicitly with
+//! [`jroute::Recorder::enabled`]; in normal use, setting `JROUTE_OBS=1`
+//! enables it on every `Router::new` without touching code.
+
+use jroute::obs::json;
+use jroute::{EndPoint, Pin, Recorder, Router};
+use virtex::{wire, Device, Family};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::new(Family::Xcv1000); // 64x96 CLBs
+    println!(
+        "device: {} ({}x{} CLBs)",
+        device.family(),
+        device.dims().rows,
+        device.dims().cols
+    );
+
+    let mut router = Router::new(&device);
+    router.set_recorder(Recorder::enabled());
+    let usage_before = router.resource_usage();
+
+    // A wide fan-out net across the die: one source, five sinks.
+    let src: EndPoint = Pin::new(30, 40, wire::S0_YQ).into();
+    let sinks: Vec<EndPoint> = vec![
+        Pin::new(30, 50, wire::S0_F3).into(),
+        Pin::new(36, 44, wire::S1_F1).into(),
+        Pin::new(24, 38, wire::slice_in(0, wire::slice_in_pin::G2)).into(),
+        Pin::new(33, 30, wire::slice_in(1, wire::slice_in_pin::F2)).into(),
+        Pin::new(40, 48, wire::slice_in(0, wire::slice_in_pin::F1)).into(),
+    ];
+    router.route_fanout(&src, &sinks)?;
+    let net = router.trace(&src)?;
+    println!(
+        "routed fan-out: {} sinks, {} PIPs, {} segments\n",
+        net.sinks.len(),
+        net.pips.len(),
+        net.segments.len()
+    );
+
+    // What did that cost? The census delta shows which wire classes the
+    // net consumed (§2's resource taxonomy).
+    let delta = router.resource_usage().diff(&usage_before);
+    println!("resource delta: {delta}\n");
+
+    // Every API call, maze search and JBits write was recorded.
+    let report = router.obs_report();
+    println!("span tree (who called what, and how long it took):");
+    print!("{}", report.span_tree());
+    println!("\n{report}");
+
+    let path = json::export(&report, "observe_route")?;
+    println!("exported: {}", path.display());
+    Ok(())
+}

@@ -66,5 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cleared = router.unroute(&src)?;
     println!("unrouted:           {cleared} PIPs cleared, device blank again");
     assert_eq!(router.bits().on_pip_count(), 0);
+
+    // With JROUTE_OBS=1 the router recorded every call above; dump the
+    // telemetry and export it for machine consumption.
+    if router.recorder().is_enabled() {
+        let report = router.obs_report();
+        println!("\n{report}");
+        let path = jroute::obs::json::export(&report, "quickstart")?;
+        println!("obs export: {}", path.display());
+    }
     Ok(())
 }

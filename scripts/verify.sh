@@ -22,7 +22,25 @@ BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
 test -s target/bench-json/BENCH_e1_census.json
 echo "    wrote target/bench-json/BENCH_e1_census.json"
 
-echo "==> example smoke: quickstart"
-cargo run --release --offline --example quickstart
+echo "==> example smoke: quickstart (with observability enabled)"
+rm -f target/obs-json/OBS_quickstart.json
+JROUTE_OBS=1 cargo run --release --offline --example quickstart
+test -s target/obs-json/OBS_quickstart.json
+echo "    wrote target/obs-json/OBS_quickstart.json"
+OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
+    cargo test -q --offline -p jroute-tests --test observability \
+    exported_quickstart_json_is_valid_when_pointed_at
+
+# Opt-in bench regression gate: regenerate the benches the checked-in
+# baseline covers, then diff medians against bench-baseline/ (threshold
+# BENCH_REGRESSION_PCT, default 25%).
+if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
+    echo "==> bench regression gate: e1 + e2 vs bench-baseline/"
+    BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
+        cargo bench --offline --bench e1_census
+    BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
+        cargo bench --offline --bench e2_api_levels
+    cargo run --release --offline -p jroute-bench --bin compare
+fi
 
 echo "verify: OK"

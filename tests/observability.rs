@@ -1,0 +1,191 @@
+//! Observability integration tests: §3.5 trace edge cases with the
+//! recorder attached, and the shape of the exported `OBS_*.json`.
+//!
+//! The trace tools work purely from the configuration bitstream
+//! (readback), so these tests exercise them against state the router's
+//! net database never saw — raw JBits writes, blank devices, and a
+//! hand-configured PIP cycle — while asserting the spans they emit.
+
+use jroute::obs::json::{self, Value};
+use jroute::obs::Recorder;
+use jroute::{EndPoint, Pin, Router};
+use virtex::{wire, Device, Dir, Family, RowCol, Segment};
+
+fn observed_router(device: &Device) -> Router {
+    let mut r = Router::new(device);
+    r.set_recorder(Recorder::enabled());
+    r
+}
+
+/// The recorded note of the most recent span named `name`.
+fn span_note(r: &Router, name: &str) -> Option<u64> {
+    r.obs_report().spans.iter().rev().find(|s| s.name == name).map(|s| s.note)
+}
+
+#[test]
+fn trace_reads_nets_configured_by_raw_bitstream_writes() {
+    let device = Device::new(Family::Xcv50);
+    let mut r = observed_router(&device);
+
+    // Configure the paper's §3.1 worked example purely at the JBits
+    // level: the router's NetDb knows nothing about this net.
+    let bits = r.bits_mut();
+    bits.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+    bits.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+    bits.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+        .unwrap();
+    bits.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+    assert_eq!(r.nets().iter().count(), 0, "nothing was routed through the API");
+
+    let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+    let net = r.trace(&src).unwrap();
+    assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
+    assert_eq!(net.segments.len(), 5);
+
+    // The span records the visited-segment count, and the raw writes
+    // were themselves observed through the jbits hook.
+    assert_eq!(span_note(&r, "router.trace"), Some(5));
+    assert_eq!(r.obs_report().counter("jbits.pips_set"), Some(4));
+
+    // reverse_trace from the sink agrees, and its span counts hops.
+    let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+    let (hops, found) = r.reverse_trace(&sink).unwrap();
+    assert_eq!(hops.len(), 4);
+    assert_eq!(found, device.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap());
+    assert_eq!(span_note(&r, "router.reverse_trace"), Some(4));
+}
+
+#[test]
+fn trace_of_unrouted_source_is_just_the_source() {
+    let device = Device::new(Family::Xcv50);
+    let r = {
+        let mut r = Router::new(&device);
+        r.set_recorder(Recorder::enabled());
+        r
+    };
+    let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+    let net = r.trace(&src).unwrap();
+    assert_eq!(net.segments.len(), 1);
+    assert!(net.pips.is_empty());
+    assert!(net.sinks.is_empty());
+    assert_eq!(span_note(&r, "router.trace"), Some(1));
+}
+
+/// Hand-configure a PIP loop by walking the architecture graph from
+/// `start` until a candidate PIP leads back to a segment already on the
+/// path, then turning every PIP along that loop on. Returns the segments
+/// on the configured path.
+fn configure_cycle(r: &mut Router, start: Segment) -> Vec<Segment> {
+    let device = *r.device();
+    let arch = device.arch();
+    let mut path = vec![start];
+    let mut cur = start;
+    let mut fanout = Vec::new();
+    let mut taps = Vec::new();
+    for _ in 0..64 {
+        taps.clear();
+        virtex::segment::taps(device.dims(), cur, &mut taps);
+        // Prefer a back edge (closing the cycle); otherwise extend.
+        let mut step = None;
+        'tap: for tap in &taps {
+            fanout.clear();
+            arch.pips_from(tap.rc, tap.wire, &mut fanout);
+            for &to in &fanout {
+                let Some(next) = device.canonicalize(tap.rc, to) else { continue };
+                if path.contains(&next) {
+                    step = Some((tap.rc, tap.wire, to, next, true));
+                    break 'tap;
+                }
+                if step.is_none() && !to.is_clb_input() {
+                    step = Some((tap.rc, tap.wire, to, next, false));
+                }
+            }
+        }
+        let (rc, from, to, next, closes) = step.expect("walk dead-ended before closing a cycle");
+        r.bits_mut().set_pip(rc, from, to).unwrap();
+        if closes {
+            return path;
+        }
+        path.push(next);
+        cur = next;
+    }
+    panic!("no cycle found within 64 steps of {start}");
+}
+
+#[test]
+fn forward_trace_terminates_on_hand_set_pip_cycles() {
+    let device = Device::new(Family::Xcv50);
+    let mut r = observed_router(&device);
+    let start = device.canonicalize(RowCol::new(10, 10), wire::out(2)).unwrap();
+    let path = configure_cycle(&mut r, start);
+    assert!(path.len() >= 2, "a cycle needs at least two segments");
+
+    // The BFS must terminate (its seen-set breaks the loop) and visit
+    // every segment on the cycle exactly once.
+    let src: EndPoint = Pin::new(start.rc.row, start.rc.col, start.wire).into();
+    let net = r.trace(&src).unwrap();
+    assert_eq!(net.segments.len(), path.len());
+    assert_eq!(span_note(&r, "router.trace"), Some(path.len() as u64));
+}
+
+#[test]
+fn obs_report_json_export_has_the_documented_shape() {
+    let device = Device::new(Family::Xcv50);
+    let mut r = observed_router(&device);
+    let src: EndPoint = Pin::new(8, 8, wire::S0_YQ).into();
+    let sinks: Vec<EndPoint> =
+        vec![Pin::new(8, 12, wire::S0_F3).into(), Pin::new(11, 9, wire::S1_F1).into()];
+    r.route_fanout(&src, &sinks).unwrap();
+
+    let dir = std::env::temp_dir().join("jroute-obs-shape-test");
+    let path = json::export_to(&r.obs_report(), "shape_test", &dir).unwrap();
+    let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).expect("valid JSON");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(doc.get("run").and_then(Value::as_str), Some("shape_test"));
+    assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
+    let counters = doc.get("counters").expect("counters object");
+    assert!(counters.get("router.pips_set").and_then(Value::as_f64).unwrap() >= 1.0);
+    assert!(counters.get("jbits.pips_set").is_some(), "bitstream tap publishes");
+    assert!(counters.get("resources.total").is_some(), "census gauges publish");
+    let hists = doc.get("histograms").expect("histograms object");
+    let expanded = hists.get("maze.nodes_expanded").expect("maze histogram");
+    assert!(expanded.get("count").and_then(Value::as_f64).unwrap() >= 1.0);
+    let spans = doc.get("spans").expect("spans object");
+    assert!(spans.get("router.route_fanout").is_some());
+    assert!(spans.get("maze.search").is_some());
+    assert!(doc.get("events").and_then(Value::as_arr).is_some());
+}
+
+/// Shape-check an `OBS_*.json` file produced by a real example run.
+/// `scripts/verify.sh` runs the quickstart example with `JROUTE_OBS=1`
+/// and then points this test at the export via `OBS_SHAPE_CHECK`; without
+/// the variable the test passes vacuously (the in-process export shape
+/// is covered above).
+#[test]
+fn exported_quickstart_json_is_valid_when_pointed_at() {
+    let Ok(path) = std::env::var("OBS_SHAPE_CHECK") else { return };
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("OBS_SHAPE_CHECK={path}: {e}"));
+    let doc = json::parse(&body).expect("exported file must be valid JSON");
+    assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
+    assert!(doc.get("run").and_then(Value::as_str).is_some());
+    let spans = doc.get("spans").and_then(Value::as_obj).expect("spans object");
+    assert!(!spans.is_empty(), "a routed example must have recorded spans");
+    assert!(doc.get("counters").and_then(Value::as_obj).is_some());
+}
+
+#[test]
+fn disabled_recorder_reports_nothing() {
+    let device = Device::new(Family::Xcv50);
+    let mut r = Router::new(&device);
+    r.set_recorder(Recorder::disabled());
+    let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
+    let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
+    r.route(&src, &sink).unwrap();
+    let rep = r.obs_report();
+    assert!(!rep.enabled);
+    assert!(rep.spans.is_empty());
+    assert_eq!(rep.counter("router.pips_set"), None);
+    assert!(!r.bits().has_observer(), "disabled recorder detaches the jbits tap");
+}
