@@ -6,11 +6,11 @@
 //! device area, same seed) on every family member and report per-net
 //! routing effort.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::Router;
 use jroute_bench::SEED;
 use jroute_workloads::{random_netlist, NetlistParams};
-use detrand::DetRng;
 use virtex::{Device, Family};
 
 fn workload(dev: &Device) -> Vec<jroute::pathfinder::NetSpec> {
@@ -19,7 +19,11 @@ fn workload(dev: &Device) -> Vec<jroute::pathfinder::NetSpec> {
     let mut rng = DetRng::seed_from_u64(SEED);
     random_netlist(
         dev,
-        &NetlistParams { nets, max_fanout: 2, max_span: Some(10) },
+        &NetlistParams {
+            nets,
+            max_fanout: 2,
+            max_span: Some(10),
+        },
         &mut rng,
     )
 }

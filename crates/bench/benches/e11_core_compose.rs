@@ -40,7 +40,10 @@ fn monolithic(dev: &Device, width: usize) -> Router {
 
 fn table() {
     eprintln!("\n=== E11: composed counter (reg+adder via ports) vs monolithic (paper §4) ===");
-    eprintln!("{:<8} | {:>10} {:>10} | {:>10} {:>10}", "width", "comp-pips", "comp-segs", "mono-pips", "mono-segs");
+    eprintln!(
+        "{:<8} | {:>10} {:>10} | {:>10} {:>10}",
+        "width", "comp-pips", "comp-segs", "mono-pips", "mono-segs"
+    );
     let dev = dev();
     for width in [4usize, 8, 16] {
         let rc = composed(&dev, width);

@@ -5,11 +5,11 @@
 //! router's speedup over its own single-thread configuration on a large
 //! netlist, and verify thread count does not change what gets routed.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::parallel::{route_parallel, ParallelConfig};
 use jroute_bench::SEED;
 use jroute_workloads::{random_netlist, NetlistParams};
-use detrand::DetRng;
 use std::time::Instant;
 use virtex::{Device, Family};
 
@@ -21,7 +21,11 @@ fn workload(dev: &Device, nets: usize) -> Vec<jroute::pathfinder::NetSpec> {
     let mut rng = DetRng::seed_from_u64(SEED);
     random_netlist(
         dev,
-        &NetlistParams { nets, max_fanout: 2, max_span: Some(12) },
+        &NetlistParams {
+            nets,
+            max_fanout: 2,
+            max_span: Some(12),
+        },
         &mut rng,
     )
 }
@@ -36,7 +40,10 @@ fn table() {
     let specs = workload(&dev, 120);
     let mut base = None;
     for threads in [1usize, 2, 4, 8] {
-        let cfg = ParallelConfig { threads, ..Default::default() };
+        let cfg = ParallelConfig {
+            threads,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let r = route_parallel(&dev, &specs, &cfg);
         let dt = t0.elapsed().as_secs_f64();
@@ -60,9 +67,16 @@ fn bench(c: &mut Bench) {
     let specs = workload(&dev, 60);
     let mut g = c.benchmark_group("e12");
     for threads in [1usize, 4, 8] {
-        let cfg = ParallelConfig { threads, ..Default::default() };
+        let cfg = ParallelConfig {
+            threads,
+            ..Default::default()
+        };
         g.bench_function(format!("route_parallel_{threads}t"), |b| {
-            b.iter_batched(|| (), |_| route_parallel(&dev, &specs, &cfg), BatchSize::PerIteration)
+            b.iter_batched(
+                || (),
+                |_| route_parallel(&dev, &specs, &cfg),
+                BatchSize::PerIteration,
+            )
         });
     }
     g.finish();

@@ -7,12 +7,12 @@
 //! critical-path delay and skew of the greedy resource-sharing tree vs
 //! the timing-driven independent-branch router.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_timing::{analyze_net, route_fanout_timing_driven};
 use jroute_workloads::fanout_spec;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -29,7 +29,10 @@ fn greedy(dev: &Device, fanout: usize, seed_off: u64) -> (u64, u64, usize) {
     let mut r = Router::new(dev);
     let sinks: Vec<EndPoint> = s.sinks.iter().map(|&p| p.into()).collect();
     r.route_fanout(&s.source.into(), &sinks).unwrap();
-    let t = analyze_net(r.bits(), dev.canonicalize(s.source.rc, s.source.wire).unwrap());
+    let t = analyze_net(
+        r.bits(),
+        dev.canonicalize(s.source.rc, s.source.wire).unwrap(),
+    );
     (t.max_delay(), t.skew(), r.bits().on_pip_count())
 }
 
@@ -38,7 +41,10 @@ fn timing_driven(dev: &Device, fanout: usize, seed_off: u64) -> (u64, u64, usize
     let mut r = Router::new(dev);
     let sinks: Vec<EndPoint> = s.sinks.iter().map(|&p| p.into()).collect();
     route_fanout_timing_driven(&mut r, &s.source.into(), &sinks).unwrap();
-    let t = analyze_net(r.bits(), dev.canonicalize(s.source.rc, s.source.wire).unwrap());
+    let t = analyze_net(
+        r.bits(),
+        dev.canonicalize(s.source.rc, s.source.wire).unwrap(),
+    );
     (t.max_delay(), t.skew(), r.bits().on_pip_count())
 }
 
@@ -72,7 +78,11 @@ fn bench(c: &mut Bench) {
     let mut g = c.benchmark_group("e13");
     for fanout in [4usize, 12] {
         g.bench_function(format!("greedy_fanout_{fanout}"), |b| {
-            b.iter_batched(|| (), |_| greedy(&dev, fanout, fanout as u64), BatchSize::PerIteration)
+            b.iter_batched(
+                || (),
+                |_| greedy(&dev, fanout, fanout as u64),
+                BatchSize::PerIteration,
+            )
         });
         g.bench_function(format!("timing_driven_fanout_{fanout}"), |b| {
             b.iter_batched(

@@ -41,7 +41,10 @@ fn census() {
     let access: Vec<u16> = (0..dev.dims().cols)
         .filter(|&c| dev.wire_exists(RowCol::new(3, c), wire::long_h(0)))
         .collect();
-    assert!(access.windows(2).all(|w| w[1] - w[0] == 6), "longs accessible every 6 blocks");
+    assert!(
+        access.windows(2).all(|w| w[1] - w[0] == 6),
+        "longs accessible every 6 blocks"
+    );
     eprintln!("long-line access columns (XCV300): every 6 CLBs ✓");
 }
 

@@ -16,9 +16,17 @@ fn fresh() -> Router {
 
 fn level1(r: &mut Router) {
     r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
-    r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
-    r.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0)).unwrap();
-    r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+    r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5))
+        .unwrap();
+    r.route_rc(
+        5,
+        8,
+        wire::single_end(Dir::East, 5),
+        wire::single(Dir::North, 0),
+    )
+    .unwrap();
+    r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3)
+        .unwrap();
 }
 
 fn level2(r: &mut Router) {
@@ -59,8 +67,14 @@ fn table() {
         ("1 manual route(r,c,f,t)", Box::new(level1)),
         ("2 route(Path)", Box::new(level2)),
         ("3 route(Template)", Box::new(level3)),
-        ("4 auto (templates)", Box::new(|r: &mut Router| level4(r, true))),
-        ("4 auto (maze only)", Box::new(|r: &mut Router| level4(r, false))),
+        (
+            "4 auto (templates)",
+            Box::new(|r: &mut Router| level4(r, true)),
+        ),
+        (
+            "4 auto (maze only)",
+            Box::new(|r: &mut Router| level4(r, false)),
+        ),
     ];
     for (name, f) in runs {
         let mut r = fresh();

@@ -6,12 +6,12 @@
 //! nearest-first with tree reuse) and (b) each sink from scratch with no
 //! reuse, and compare segments consumed.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::maze::{self, MazeConfig, MazeScratch};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -65,7 +65,10 @@ fn without_reuse(dev: &Device, fanout: usize) -> usize {
 
 fn table() {
     eprintln!("\n=== E3: fan-out — segments used, reuse vs per-sink (paper §3.1) ===");
-    eprintln!("{:<8} {:>12} {:>12} {:>9}", "fanout", "route_fanout", "per-sink", "saving");
+    eprintln!(
+        "{:<8} {:>12} {:>12} {:>9}",
+        "fanout", "route_fanout", "per-sink", "saving"
+    );
     let dev = dev();
     for fanout in [2usize, 4, 8, 16, 32] {
         let a = with_reuse(&dev, fanout);
@@ -87,11 +90,7 @@ fn bench(c: &mut Bench) {
     let mut g = c.benchmark_group("e3");
     for fanout in [4usize, 16] {
         g.bench_function(format!("route_fanout_{fanout}"), |b| {
-            b.iter_batched(
-                || (),
-                |_| with_reuse(&dev, fanout),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| (), |_| with_reuse(&dev, fanout), BatchSize::SmallInput)
         });
         g.bench_function(format!("per_sink_{fanout}"), |b| {
             b.iter_batched(

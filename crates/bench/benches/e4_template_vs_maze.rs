@@ -6,11 +6,11 @@
 //! strategies as fabric occupancy rises: template hit rate falls with
 //! congestion and the router falls back to the maze.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{Pin, Router};
 use jroute_bench::SEED;
 use jroute_workloads::window_netlist;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {

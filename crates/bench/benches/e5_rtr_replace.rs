@@ -38,7 +38,12 @@ fn build(dev: &Device, k: u8) -> Design {
     let p: Vec<EndPoint> = mul.p_ports().iter().map(|&p| p.into()).collect();
     let d: Vec<EndPoint> = adder.a_ports().iter().map(|&p| p.into()).collect();
     router.route_bus(&p, &d).unwrap();
-    Design { router, stim, mul, adder }
+    Design {
+        router,
+        stim,
+        mul,
+        adder,
+    }
 }
 
 fn table() {
@@ -52,16 +57,25 @@ fn table() {
     // Replacement cost in frames.
     replace_with(&mut d.mul, &mut d.router, |m| m.set_constant(11)).unwrap();
     let replace_frames = d.router.bits_mut().frames_mut().take().len();
-    assert!(d.router.remembered().is_empty(), "connections must be re-made");
+    assert!(
+        d.router.remembered().is_empty(),
+        "connections must be re-made"
+    );
 
     eprintln!("{:<28} {:>8}", "action", "frames");
     eprintln!("{:<28} {:>8}", "full design configuration", full_frames);
-    eprintln!("{:<28} {:>8}", "replace multiplier (K=3→11)", replace_frames);
+    eprintln!(
+        "{:<28} {:>8}",
+        "replace multiplier (K=3→11)", replace_frames
+    );
     eprintln!(
         "replacement touches {:.0}% of the full-configuration frames",
         100.0 * replace_frames as f64 / full_frames as f64
     );
-    assert!(replace_frames < full_frames, "partial reconfig must be cheaper");
+    assert!(
+        replace_frames < full_frames,
+        "partial reconfig must be cheaper"
+    );
     let _ = (&d.stim, &d.adder);
 }
 

@@ -6,11 +6,11 @@
 //! measure PIPs freed vs the net's total, verifying the remaining sinks
 //! stay connected.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -40,7 +40,14 @@ fn table() {
         let freed = r.reverse_unroute(&victim).unwrap();
         let traced = r.trace(&spec.source.into()).unwrap();
         let intact = traced.sinks.len();
-        eprintln!("{:<8} {:>10} {:>14} {:>13}/{:<2}", fanout, total, freed, intact, fanout - 1);
+        eprintln!(
+            "{:<8} {:>10} {:>14} {:>13}/{:<2}",
+            fanout,
+            total,
+            freed,
+            intact,
+            fanout - 1
+        );
         assert_eq!(intact, fanout - 1, "other branches must survive");
         assert!(freed < total, "branch removal must not clear the whole net");
         // The freed resources are reusable: route the sink again.

@@ -7,11 +7,11 @@
 //! double-drive is rejected, then measure the overhead of the `is_on`
 //! check and of contention-checked PIP writes vs raw JBits writes.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jbits::Bitstream;
 use jroute::{RouteError, Router};
 use jroute_bench::SEED;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol, Wire};
 
 fn dev() -> Device {
@@ -52,7 +52,10 @@ fn table() {
     }
     eprintln!("manual connections attempted: {}", pips.len());
     eprintln!("accepted: {ok}  contention-rejected: {contention}  other: {other}");
-    assert!(contention > 0, "the adversarial workload must provoke contention");
+    assert!(
+        contention > 0,
+        "the adversarial workload must provoke contention"
+    );
     // Invariant: after the storm, no segment is double-driven.
     let mut double = 0usize;
     for rc in dev.dims().iter_tiles() {

@@ -7,12 +7,12 @@
 //! (iterations, node expansions) but keeps routing where greedy starts
 //! failing.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::pathfinder::{self, NetSpec, PathFinderConfig};
 use jroute::Router;
 use jroute_bench::SEED;
 use jroute_workloads::window_netlist;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {

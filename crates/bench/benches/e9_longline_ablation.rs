@@ -7,11 +7,11 @@
 //! segments used and search effort for fan-out nets of growing span,
 //! with long lines off (the paper's initial implementation) and on.
 
+use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::{EndPoint, Router, RouterOptions};
 use jroute_bench::SEED;
 use jroute_workloads::fanout_spec;
-use detrand::DetRng;
 use virtex::{Device, Family, RowCol};
 
 fn dev() -> Device {
@@ -23,7 +23,10 @@ fn route_spanning(dev: &Device, span: u16, use_longs: bool) -> (usize, usize, us
     let spec = fanout_spec(dev, RowCol::new(32, 48), 8, span, &mut rng);
     let mut r = Router::with_options(
         dev,
-        RouterOptions { use_long_lines: use_longs, ..Default::default() },
+        RouterOptions {
+            use_long_lines: use_longs,
+            ..Default::default()
+        },
     );
     let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
     r.route_fanout(&spec.source.into(), &sinks).unwrap();
@@ -54,10 +57,18 @@ fn bench(c: &mut Bench) {
     let mut g = c.benchmark_group("e9");
     for span in [8u16, 24] {
         g.bench_function(format!("longs_off_span_{span}"), |b| {
-            b.iter_batched(|| (), |_| route_spanning(&dev, span, false), BatchSize::PerIteration)
+            b.iter_batched(
+                || (),
+                |_| route_spanning(&dev, span, false),
+                BatchSize::PerIteration,
+            )
         });
         g.bench_function(format!("longs_on_span_{span}"), |b| {
-            b.iter_batched(|| (), |_| route_spanning(&dev, span, true), BatchSize::PerIteration)
+            b.iter_batched(
+                || (),
+                |_| route_spanning(&dev, span, true),
+                BatchSize::PerIteration,
+            )
         });
     }
     g.finish();

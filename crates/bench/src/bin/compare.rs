@@ -8,7 +8,14 @@
 //! ```text
 //! cargo run -p jroute-bench --bin compare
 //! cargo run -p jroute-bench --bin compare -- --baseline DIR --current DIR
+//! cargo run -p jroute-bench --bin compare -- --record
 //! ```
+//!
+//! `--record` refreshes the baselines instead of comparing: every
+//! `BENCH_*.json` in the current directory is copied into the baseline
+//! directory (replacing any file of the same name, leaving others
+//! untouched). Run it after an intentional performance change, then
+//! commit the refreshed `bench-baseline/`.
 //!
 //! `scripts/verify.sh` runs this behind `BENCH_BASELINE=1` after
 //! regenerating the benches the baseline covers. Only bench files present
@@ -122,6 +129,26 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Copy every `BENCH_*.json` report from `current_dir` into
+/// `baseline_dir`, creating it if needed. Returns the file names copied
+/// (sorted); existing baselines not present in `current_dir` are kept.
+fn record(current_dir: &Path, baseline_dir: &Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(baseline_dir)?;
+    let mut copied = Vec::new();
+    for entry in std::fs::read_dir(current_dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            std::fs::copy(&path, baseline_dir.join(name))?;
+            copied.push(name.to_string());
+        }
+    }
+    copied.sort();
+    Ok(copied)
+}
+
 fn threshold_pct() -> f64 {
     std::env::var("BENCH_REGRESSION_PCT")
         .ok()
@@ -136,21 +163,47 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|_| root.join("target").join("bench-json"));
 
+    let mut record_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--baseline" => {
                 baseline_dir = PathBuf::from(args.next().expect("--baseline needs a dir"))
             }
-            "--current" => {
-                current_dir = PathBuf::from(args.next().expect("--current needs a dir"))
-            }
+            "--current" => current_dir = PathBuf::from(args.next().expect("--current needs a dir")),
+            "--record" => record_mode = true,
             other => {
                 eprintln!("compare: unknown argument {other:?}");
-                eprintln!("usage: compare [--baseline DIR] [--current DIR]");
+                eprintln!("usage: compare [--baseline DIR] [--current DIR] [--record]");
                 return ExitCode::from(2);
             }
         }
+    }
+    if record_mode {
+        return match record(&current_dir, &baseline_dir) {
+            Ok(copied) if copied.is_empty() => {
+                eprintln!(
+                    "compare --record: no BENCH_*.json in {} — run the benches first",
+                    current_dir.display()
+                );
+                ExitCode::from(2)
+            }
+            Ok(copied) => {
+                for name in &copied {
+                    eprintln!("  recorded {name}");
+                }
+                eprintln!(
+                    "compare --record: {} baseline(s) refreshed into {}",
+                    copied.len(),
+                    baseline_dir.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("compare --record: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let threshold = threshold_pct();
 
@@ -164,7 +217,10 @@ fn main() -> ExitCode {
             })
             .collect(),
         Err(e) => {
-            eprintln!("compare: cannot read baseline dir {}: {e}", baseline_dir.display());
+            eprintln!(
+                "compare: cannot read baseline dir {}: {e}",
+                baseline_dir.display()
+            );
             return ExitCode::from(2);
         }
     };
@@ -181,7 +237,10 @@ fn main() -> ExitCode {
         current_dir.display()
     );
     for base_path in &baselines {
-        let name = base_path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?");
         let cur_path = current_dir.join(name);
         if !cur_path.exists() {
             eprintln!("  {name}: no current report — skipped (run its bench to compare)");
@@ -231,7 +290,10 @@ fn main() -> ExitCode {
          {skipped_files} baseline file(s) skipped, {missing_ids} id(s) missing"
     );
     if compared == 0 {
-        eprintln!("compare: nothing compared — did the bench step write into {}?", current_dir.display());
+        eprintln!(
+            "compare: nothing compared — did the bench step write into {}?",
+            current_dir.display()
+        );
         return ExitCode::from(2);
     }
     if regressions > 0 {
@@ -276,8 +338,14 @@ mod tests {
         let base = doc(&[("a", 100.0, 90.0), ("b", 100.0, 90.0), ("c", 100.0, 90.0)]);
         let cur = doc(&[("a", 120.0, 108.0), ("b", 130.0, 117.0), ("c", 60.0, 54.0)]);
         let rows = compare_docs(&base, &cur);
-        assert!(!rows[0].is_regression(25.0), "+20% is inside a 25% threshold");
-        assert!(rows[1].is_regression(25.0), "+30% in both median and min regresses");
+        assert!(
+            !rows[0].is_regression(25.0),
+            "+20% is inside a 25% threshold"
+        );
+        assert!(
+            rows[1].is_regression(25.0),
+            "+30% in both median and min regresses"
+        );
         assert!(!rows[2].is_regression(25.0), "improvements never fail");
         assert!((rows[1].delta_pct.unwrap() - 30.0).abs() < 1e-9);
     }
@@ -291,10 +359,11 @@ mod tests {
         let rows = compare_docs(&base, &cur);
         assert!(!rows[0].is_regression(25.0));
         // ...whereas without min data the median alone decides.
-        assert!(
-            Row { min_delta_pct: None, ..compare_docs(&base, &cur).remove(0) }
-                .is_regression(25.0)
-        );
+        assert!(Row {
+            min_delta_pct: None,
+            ..compare_docs(&base, &cur).remove(0)
+        }
+        .is_regression(25.0));
     }
 
     #[test]
@@ -304,6 +373,48 @@ mod tests {
         let rows = compare_docs(&base, &cur);
         assert_eq!(rows[1].cur_median_ns, None);
         assert!(!rows[1].is_regression(0.0));
+    }
+
+    #[test]
+    fn record_copies_bench_reports_and_keeps_unrelated_baselines() {
+        let tmp =
+            std::env::temp_dir().join(format!("jroute-compare-record-{}", std::process::id()));
+        let cur = tmp.join("cur");
+        let base = tmp.join("base");
+        std::fs::create_dir_all(&cur).unwrap();
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::write(cur.join("BENCH_e4.json"), "{\"bench\": \"e4\"}").unwrap();
+        std::fs::write(cur.join("BENCH_e12.json"), "{\"bench\": \"e12\"}").unwrap();
+        std::fs::write(cur.join("OBS_run.json"), "{}").unwrap(); // not a bench report
+        std::fs::write(base.join("BENCH_e2.json"), "{\"bench\": \"old\"}").unwrap();
+        std::fs::write(base.join("BENCH_e4.json"), "{\"bench\": \"stale\"}").unwrap();
+
+        let copied = record(&cur, &base).unwrap();
+        assert_eq!(
+            copied,
+            vec!["BENCH_e12.json".to_string(), "BENCH_e4.json".to_string()]
+        );
+        // Refreshed in place...
+        let e4 = std::fs::read_to_string(base.join("BENCH_e4.json")).unwrap();
+        assert!(e4.contains("\"e4\""));
+        // ...new file landed, unrelated baseline kept, non-bench ignored.
+        assert!(base.join("BENCH_e12.json").exists());
+        assert!(base.join("BENCH_e2.json").exists());
+        assert!(!base.join("OBS_run.json").exists());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn record_creates_the_baseline_dir_and_reports_empty_input() {
+        let tmp =
+            std::env::temp_dir().join(format!("jroute-compare-record-mk-{}", std::process::id()));
+        let cur = tmp.join("cur");
+        std::fs::create_dir_all(&cur).unwrap();
+        let base = tmp.join("base"); // does not exist yet
+        let copied = record(&cur, &base).unwrap();
+        assert!(copied.is_empty());
+        assert!(base.is_dir(), "--record should create the baseline dir");
+        std::fs::remove_dir_all(&tmp).ok();
     }
 
     #[test]

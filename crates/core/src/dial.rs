@@ -1,0 +1,261 @@
+//! Bucketed Dial queue for the maze router's open list.
+//!
+//! A* over the segment graph pops keys in (nearly) monotone order and the
+//! per-edge cost deltas are small integers (wire costs are single digits;
+//! only congestion penalties are large). Dial's algorithm exploits this: a
+//! ring of `NUM_BUCKETS` FIFO-ish buckets indexed by `priority - base`
+//! makes push and pop O(1) instead of the `BinaryHeap`'s O(log n), and the
+//! queue allocates nothing after warm-up. Priorities further than the ring
+//! spans (congestion-inflated entries) overflow into a spill vector and
+//! are redistributed when the ring drains — rare by construction, since
+//! the ring is sized well beyond any uncongested edge delta.
+//!
+//! Weighted A* (`f = g + W·h`) is not strictly monotone, so a push may
+//! name a priority below `base`; it is clamped into the current bucket.
+//! That only reorders expansion — path costs are always read from the
+//! recorded `g`, and the maze router's closed set (with reopening on
+//! cost improvement) keeps clamped entries from expanding twice.
+
+/// Ring size: covers every uncongested edge delta (max wire cost ≈ 20 on
+/// the largest family member, times the heuristic weight) with two orders
+/// of margin.
+const NUM_BUCKETS: usize = 256;
+
+/// Monotone integer priority queue of `(priority, item)` pairs.
+#[derive(Debug)]
+pub struct DialQueue {
+    buckets: Vec<Vec<u32>>,
+    /// Entries with `priority >= base + NUM_BUCKETS`, kept as pairs.
+    overflow: Vec<(u32, u32)>,
+    /// Minimum priority in `overflow` (`u32::MAX` when empty); the walk
+    /// in [`DialQueue::pop`] drains the overflow the moment `base`
+    /// reaches it, so overflow entries never pop out of order.
+    overflow_min: u32,
+    /// Priority of the bucket under the cursor.
+    base: u32,
+    cursor: usize,
+    /// Items in the ring (excluding overflow).
+    ring_len: usize,
+}
+
+impl Default for DialQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DialQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        DialQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            overflow_min: u32::MAX,
+            base: 0,
+            cursor: 0,
+            ring_len: 0,
+        }
+    }
+
+    /// Remove every entry and rewind to priority 0. Bucket capacity is
+    /// retained, so a queue reused across searches stops allocating.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.overflow_min = u32::MAX;
+        self.base = 0;
+        self.cursor = 0;
+        self.ring_len = 0;
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queue `item` at `priority`. Priorities below the current pop
+    /// position are clamped to it (see module docs).
+    pub fn push(&mut self, priority: u32, item: u32) {
+        let delta = priority.saturating_sub(self.base) as usize;
+        if delta < NUM_BUCKETS {
+            self.buckets[(self.cursor + delta) % NUM_BUCKETS].push(item);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push((priority, item));
+            self.overflow_min = self.overflow_min.min(priority);
+        }
+    }
+
+    /// Pop an entry with the minimum priority (ties in unspecified
+    /// order), returning `(priority, item)`. The returned priority is the
+    /// pop position — for clamped entries it may be below the priority
+    /// they were pushed with.
+    pub fn pop(&mut self) -> Option<(u32, u32)> {
+        if self.ring_len == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            // Jump straight to the overflow's minimum priority.
+            self.base = self.overflow_min;
+            self.cursor = 0;
+            self.drain_overflow_window();
+        }
+        // Walk the ring to the next non-empty bucket. Total walk work is
+        // bounded by the priority range actually spanned, not by pops.
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor = (self.cursor + 1) % NUM_BUCKETS;
+            self.base += 1;
+            if self.base == self.overflow_min {
+                // Overflow entries are reaching the window; pull them in
+                // before they can be overtaken by farther ring entries.
+                self.drain_overflow_window();
+            }
+        }
+        let item = self.buckets[self.cursor].pop().expect("non-empty bucket");
+        self.ring_len -= 1;
+        Some((self.base, item))
+    }
+
+    /// Move every overflow entry within `[base, base + NUM_BUCKETS)` into
+    /// the ring and recompute `overflow_min` over what remains.
+    fn drain_overflow_window(&mut self) {
+        let mut new_min = u32::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (p, item) = self.overflow[i];
+            let delta = p.saturating_sub(self.base) as usize;
+            if delta < NUM_BUCKETS {
+                self.buckets[(self.cursor + delta) % NUM_BUCKETS].push(item);
+                self.ring_len += 1;
+                self.overflow.swap_remove(i);
+            } else {
+                new_min = new_min.min(p);
+                i += 1;
+            }
+        }
+        self.overflow_min = new_min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut q = DialQueue::new();
+        for (p, it) in [(5u32, 50u32), (1, 10), (3, 30), (1, 11), (0, 0)] {
+            q.push(p, it);
+        }
+        let mut popped = Vec::new();
+        while let Some((p, it)) = q.pop() {
+            popped.push((p, it));
+        }
+        let prios: Vec<u32> = popped.iter().map(|&(p, _)| p).collect();
+        assert_eq!(prios, vec![0, 1, 1, 3, 5]);
+        let mut items: Vec<u32> = popped.iter().map(|&(_, it)| it).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 10, 11, 30, 50]);
+    }
+
+    #[test]
+    fn matches_a_binary_heap_on_monotone_random_sequences() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Deterministic xorshift so the test needs no RNG dependency.
+        let mut state = 0x9e3779b9u32;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let mut q = DialQueue::new();
+        let mut h: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        let mut floor = 0u32; // pops so far are >= floor: push monotonically
+        for step in 0..4000 {
+            if step % 3 != 2 || h.is_empty() {
+                // Mostly-small deltas with occasional congestion spikes.
+                let delta = if rng() % 50 == 0 {
+                    rng() % 20_000
+                } else {
+                    rng() % 40
+                };
+                let p = floor + delta;
+                q.push(p, step);
+                h.push(Reverse(p));
+            } else {
+                let (pq, _) = q.pop().expect("same length");
+                let Reverse(ph) = h.pop().unwrap();
+                assert_eq!(pq, ph, "step {step}");
+                floor = ph;
+            }
+        }
+        while let Some(Reverse(ph)) = h.pop() {
+            assert_eq!(q.pop().map(|(p, _)| p), Some(ph));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn below_base_pushes_are_clamped_not_lost() {
+        let mut q = DialQueue::new();
+        q.push(10, 1);
+        assert_eq!(q.pop(), Some((10, 1)));
+        // base is now 10; an inconsistent-heuristic push below it...
+        q.push(4, 2);
+        // ...comes back immediately at the clamped position.
+        assert_eq!(q.pop(), Some((10, 2)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_entries_survive_redistribution() {
+        let mut q = DialQueue::new();
+        q.push(3, 1);
+        q.push(100_000, 2); // far overflow
+        q.push(100_004, 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((3, 1)));
+        assert_eq!(q.pop(), Some((100_000, 2)));
+        assert_eq!(q.pop(), Some((100_004, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_not_overtaken_by_farther_ring_entries() {
+        // An overflow entry whose priority comes into the ring window as
+        // base advances must pop before ring entries beyond it.
+        let mut q = DialQueue::new();
+        q.push(0, 1);
+        q.push(300, 2); // overflow at push time (window is [0, 256))
+        assert_eq!(q.pop(), Some((0, 1)));
+        q.push(310, 3); // in-ring now that entries below exist? No: delta 310 >= 256 -> overflow too
+        q.push(100, 4);
+        assert_eq!(q.pop(), Some((100, 4)));
+        // Window now reaches past 300: the old overflow entry must come
+        // first, then 310.
+        assert_eq!(q.pop(), Some((300, 2)));
+        assert_eq!(q.pop(), Some((310, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_for_reuse() {
+        let mut q = DialQueue::new();
+        q.push(7, 1);
+        q.push(90_000, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        q.push(0, 9);
+        assert_eq!(q.pop(), Some((0, 9)));
+    }
+}

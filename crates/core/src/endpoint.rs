@@ -21,7 +21,10 @@ impl Pin {
     /// `new Pin(row, col, wire)`.
     #[inline]
     pub const fn new(row: u16, col: u16, wire: Wire) -> Self {
-        Pin { rc: RowCol::new(row, col), wire }
+        Pin {
+            rc: RowCol::new(row, col),
+            wire,
+        }
     }
 
     /// Pin from an existing coordinate.

@@ -24,7 +24,10 @@ pub enum RouteError {
         owner: Option<NetId>,
     },
     /// A resource on the requested path is already in use by another net.
-    ResourceInUse { segment: Segment, owner: Option<NetId> },
+    ResourceInUse {
+        segment: Segment,
+        owner: Option<NetId>,
+    },
     /// The low-level configuration layer rejected the operation.
     JBits(JBitsError),
     /// Two consecutive path wires cannot be connected anywhere the first
@@ -74,7 +77,12 @@ impl std::fmt::Display for RouteError {
             }
             RouteError::JBits(e) => write!(f, "configuration error: {e}"),
             RouteError::PathDisconnected { at, from, to } => {
-                write!(f, "path break at {at}: {} cannot reach {}", from.name(), to.name())
+                write!(
+                    f,
+                    "path break at {at}: {} cannot reach {}",
+                    from.name(),
+                    to.name()
+                )
             }
             RouteError::TemplateExhausted => {
                 f.write_str("no available resource combination follows the template")
@@ -118,18 +126,29 @@ mod tests {
 
     #[test]
     fn errors_display_usefully() {
-        let seg = Segment { rc: RowCol::new(1, 2), wire: wire::out(3) };
-        let e = RouteError::Contention { segment: seg, owner: Some(NetId(7)) };
+        let seg = Segment {
+            rc: RowCol::new(1, 2),
+            wire: wire::out(3),
+        };
+        let e = RouteError::Contention {
+            segment: seg,
+            owner: Some(NetId(7)),
+        };
         let s = e.to_string();
         assert!(s.contains("contention") && s.contains("net 7"), "{s}");
-        let e = RouteError::BusWidthMismatch { sources: 8, sinks: 4 };
+        let e = RouteError::BusWidthMismatch {
+            sources: 8,
+            sinks: 4,
+        };
         assert!(e.to_string().contains("8 sources vs 4 sinks"));
     }
 
     #[test]
     fn jbits_errors_convert() {
-        let e: RouteError =
-            JBitsError::BadTile { rc: RowCol::new(0, 0) }.into();
+        let e: RouteError = JBitsError::BadTile {
+            rc: RowCol::new(0, 0),
+        }
+        .into();
         assert!(matches!(e, RouteError::JBits(_)));
         assert!(std::error::Error::source(&e).is_some());
     }

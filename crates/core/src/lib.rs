@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dial;
 pub mod endpoint;
 pub mod error;
 pub mod maze;
@@ -50,9 +51,9 @@ pub mod trace;
 pub mod unroute;
 
 pub use endpoint::{EndPoint, Pin, PortId};
+pub use error::{NetId, Result, RouteError};
 pub use jroute_obs as obs;
 pub use jroute_obs::Recorder;
-pub use error::{NetId, Result, RouteError};
 pub use net::{Net, NetDb};
 pub use path::Path;
 pub use ports::{Port, PortDb, PortDir};

@@ -18,12 +18,11 @@
 //! space) is epoch-stamped and reused across searches, so a search
 //! allocates nothing after warm-up.
 
+use crate::dial::DialQueue;
 use jbits::Pip;
 use jroute_obs::Recorder;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use virtex::segment::Tap;
-use virtex::{Device, RowCol, Segment, Wire, WireKind};
+use virtex::{Device, RowCol, SegIdx, Segment, Wire, WireKind};
 
 /// Tuning knobs for a maze search.
 #[derive(Debug, Clone)]
@@ -39,7 +38,10 @@ pub struct MazeConfig {
 
 impl Default for MazeConfig {
     fn default() -> Self {
-        MazeConfig { use_long_lines: false, max_nodes: 2_000_000 }
+        MazeConfig {
+            use_long_lines: false,
+            max_nodes: 2_000_000,
+        }
     }
 }
 
@@ -78,34 +80,63 @@ fn heuristic(dev: &Device, seg: Segment, goal: RowCol) -> u32 {
         WireKind::Hex { dir, .. } => {
             let mid = seg.rc.step(dir, 3, dev.dims()).unwrap_or(seg.rc);
             let end = seg.rc.step(dir, 6, dev.dims()).unwrap_or(seg.rc);
-            seg.rc.manhattan(goal).min(mid.manhattan(goal)).min(end.manhattan(goal))
+            seg.rc
+                .manhattan(goal)
+                .min(mid.manhattan(goal))
+                .min(end.manhattan(goal))
         }
         WireKind::LongH(_) => {
             // Reachable every 6 columns along its row.
             let dr = seg.rc.row.abs_diff(goal.row) as u32;
-            dr + (goal.col % virtex::wire::LONG_ACCESS).min(
-                virtex::wire::LONG_ACCESS - goal.col % virtex::wire::LONG_ACCESS,
-            ) as u32
+            dr + (goal.col % virtex::wire::LONG_ACCESS)
+                .min(virtex::wire::LONG_ACCESS - goal.col % virtex::wire::LONG_ACCESS)
+                as u32
         }
         WireKind::LongV(_) => {
             let dc = seg.rc.col.abs_diff(goal.col) as u32;
-            dc + (goal.row % virtex::wire::LONG_ACCESS).min(
-                virtex::wire::LONG_ACCESS - goal.row % virtex::wire::LONG_ACCESS,
-            ) as u32
+            dc + (goal.row % virtex::wire::LONG_ACCESS)
+                .min(virtex::wire::LONG_ACCESS - goal.row % virtex::wire::LONG_ACCESS)
+                as u32
         }
         _ => seg.rc.manhattan(goal),
     }
 }
 
-/// Reusable search state sized for one device.
+/// Reusable search state sized for one device: epoch-stamped best-cost /
+/// predecessor arrays over the dense segment index plus the bucketed
+/// open list, all reset in O(1) per search.
+///
+/// The per-segment record is two all-zero `u64` words so both arrays are
+/// allocated as untouched zero pages (`vec![0; n]` lowers to
+/// `alloc_zeroed`): constructing a scratch for a large device costs
+/// microseconds and physical memory proportional to the region searches
+/// actually explore, not to the full segment space. That matters to the
+/// parallel router, where every worker owns a scratch per round — an
+/// eagerly-written map would charge each worker tens of megabytes of
+/// memory traffic before it routed anything. Packing also keeps the hot
+/// relax test (`seen` + `cost`) to a single cache line per neighbour,
+/// which dominates on fabrics whose scratch overflows the cache.
+///
+/// `meta` holds `stamp << 32 | cost` with `stamp = (epoch << 1) |
+/// closed`; a slot is live iff `stamp >> 1 == epoch`. The `closed` bit
+/// replaces the classic stale-heap-entry test — the Dial queue clamps
+/// below-base priorities, so a popped priority says nothing about
+/// whether the entry is outdated, but "already expanded and not improved
+/// since" does (recording an improvement clears the bit, reopening the
+/// node). `link` holds the bit-packed predecessor record.
 #[derive(Debug)]
 pub struct MazeScratch {
     epoch: u32,
-    stamp: Vec<u32>,
-    cost: Vec<u32>,
-    prev: Vec<PrevEntry>,
+    /// `(epoch << 1 | closed) << 32 | cost`.
+    meta: Vec<u64>,
+    /// Packed [`PrevEntry`]: `prev[0:24] rc.row[24:34] rc.col[34:44]
+    /// from[44:54] to[54:64]`.
+    link: Vec<u64>,
+    open: DialQueue,
 }
 
+/// Predecessor record for one search node: the PIP that entered it and
+/// the node it was entered from.
 #[derive(Debug, Clone, Copy)]
 struct PrevEntry {
     prev: u32,
@@ -114,42 +145,104 @@ struct PrevEntry {
     to: Wire,
 }
 
-const NO_PREV: u32 = u32::MAX;
+impl PrevEntry {
+    #[inline]
+    fn pack(self) -> u64 {
+        debug_assert!(self.from.0 < 1 << 10 && self.to.0 < 1 << 10);
+        self.prev as u64
+            | (self.rc.row as u64) << 24
+            | (self.rc.col as u64) << 34
+            | (self.from.0 as u64) << 44
+            | (self.to.0 as u64) << 54
+    }
+
+    #[inline]
+    fn unpack(w: u64) -> Self {
+        PrevEntry {
+            prev: w as u32 & NO_PREV,
+            rc: RowCol::new((w >> 24) as u16 & 0x3FF, (w >> 34) as u16 & 0x3FF),
+            from: Wire((w >> 44) as u16 & 0x3FF),
+            to: Wire((w >> 54) as u16),
+        }
+    }
+}
+
+/// Sentinel predecessor index of a search start. 24 bits are plenty for
+/// every segment space (16.7 M slots; the XCV1000 has 2.6 M) and leave
+/// room to pack the whole predecessor record into one word.
+const NO_PREV: u32 = (1 << 24) - 1;
+
+/// Epochs use 31 bits of the stamp half-word; wrap rewrites the stamps.
+const EPOCH_MAX: u32 = u32::MAX >> 1;
 
 impl MazeScratch {
     /// Scratch sized for `dev`'s segment space.
     pub fn new(dev: &Device) -> Self {
-        let n = dev.segment_space();
+        let n = dev.seg_space().len();
+        let dims = dev.dims();
+        assert!(n < NO_PREV as usize, "segment space exceeds packed index");
+        assert!(
+            dims.rows < 1 << 10 && dims.cols < 1 << 10,
+            "tile coordinates exceed packed field"
+        );
         MazeScratch {
             epoch: 0,
-            stamp: vec![0; n],
-            cost: vec![0; n],
-            prev: vec![
-                PrevEntry { prev: NO_PREV, rc: RowCol::new(0, 0), from: Wire(0), to: Wire(0) };
-                n
-            ],
+            meta: vec![0; n],
+            link: vec![0; n],
+            open: DialQueue::new(),
         }
     }
 
     #[inline]
     fn begin(&mut self) {
         self.epoch += 1;
-        if self.epoch == u32::MAX {
-            self.stamp.fill(0);
+        if self.epoch > EPOCH_MAX {
+            self.meta.fill(0);
             self.epoch = 1;
+        }
+        self.open.clear();
+    }
+
+    #[inline]
+    fn seen(&self, i: SegIdx) -> bool {
+        (self.meta[i.as_usize()] >> 33) as u32 == self.epoch
+    }
+
+    #[inline]
+    fn cost(&self, i: SegIdx) -> u32 {
+        if self.seen(i) {
+            self.meta[i.as_usize()] as u32
+        } else {
+            u32::MAX
         }
     }
 
+    /// Record an improved cost, (re)opening the node.
     #[inline]
-    fn seen(&self, i: usize) -> bool {
-        self.stamp[i] == self.epoch
+    fn record(&mut self, i: SegIdx, cost: u32, prev: PrevEntry) {
+        let i = i.as_usize();
+        self.meta[i] = (self.epoch as u64) << 33 | cost as u64;
+        self.link[i] = prev.pack();
     }
 
+    /// Close `i` for expansion; returns `false` if it was already closed
+    /// at its current cost.
     #[inline]
-    fn record(&mut self, i: usize, cost: u32, prev: PrevEntry) {
-        self.stamp[i] = self.epoch;
-        self.cost[i] = cost;
-        self.prev[i] = prev;
+    fn close(&mut self, i: SegIdx) -> bool {
+        let e = &mut self.meta[i.as_usize()];
+        let closed = (self.epoch as u64) << 1 | 1;
+        if *e >> 32 == closed {
+            return false;
+        }
+        *e = closed << 32 | *e & 0xFFFF_FFFF;
+        true
+    }
+
+    /// Predecessor record of a live node (the reconstruction walk).
+    #[inline]
+    fn prev_of(&self, i: SegIdx) -> PrevEntry {
+        debug_assert!(self.seen(i), "path nodes are recorded");
+        PrevEntry::unpack(self.link[i.as_usize()])
     }
 }
 
@@ -184,7 +277,16 @@ pub fn search(
     extra_cost: impl FnMut(Segment) -> u32,
     scratch: &mut MazeScratch,
 ) -> Option<MazeResult> {
-    search_obs(dev, starts, goal, cfg, blocked, extra_cost, scratch, &Recorder::disabled())
+    search_obs(
+        dev,
+        starts,
+        goal,
+        cfg,
+        blocked,
+        extra_cost,
+        scratch,
+        &Recorder::disabled(),
+    )
 }
 
 /// [`search`] with telemetry: one `maze.search` span per call (its note
@@ -204,22 +306,29 @@ pub fn search_obs(
 ) -> Option<MazeResult> {
     let mut span = obs.span("maze.search");
     let dims = dev.dims();
+    let space = dev.seg_space();
     let arch = dev.arch();
     scratch.begin();
-    let goal_idx = goal.index(dims);
+    let goal_idx = space.index(goal);
 
     let mut pushes = 0u64;
     let mut pops = 0u64;
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
     for &(seg, c0) in starts {
-        let i = seg.index(dims);
-        if !scratch.seen(i) || scratch.cost[i] > c0 {
+        let i = space.index(seg);
+        if !scratch.seen(i) || scratch.cost(i) > c0 {
             scratch.record(
                 i,
                 c0,
-                PrevEntry { prev: NO_PREV, rc: seg.rc, from: seg.wire, to: seg.wire },
+                PrevEntry {
+                    prev: NO_PREV,
+                    rc: seg.rc,
+                    from: seg.wire,
+                    to: seg.wire,
+                },
             );
-            heap.push(Reverse((c0 + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc), i as u32)));
+            scratch
+                .open
+                .push(c0 + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc), i.0);
             pushes += 1;
         }
     }
@@ -227,30 +336,32 @@ pub fn search_obs(
     let mut taps: Vec<Tap> = Vec::with_capacity(4);
     let mut fanout: Vec<Wire> = Vec::with_capacity(40);
     let mut expanded = 0usize;
-    let finish = |expanded: usize, pushes: u64, pops: u64, span: &mut jroute_obs::Span, found: bool| {
-        span.note(expanded as u64);
-        obs.count("maze.searches", 1);
-        if !found {
-            obs.count("maze.search_failures", 1);
-        }
-        obs.count("maze.open_pushes", pushes);
-        obs.count("maze.open_pops", pops);
-        obs.record("maze.nodes_expanded", expanded as u64);
-    };
+    let finish =
+        |expanded: usize, pushes: u64, pops: u64, span: &mut jroute_obs::Span, found: bool| {
+            span.note(expanded as u64);
+            obs.count("maze.searches", 1);
+            if !found {
+                obs.count("maze.search_failures", 1);
+            }
+            obs.count("maze.open_pushes", pushes);
+            obs.count("maze.open_pops", pops);
+            obs.record("maze.nodes_expanded", expanded as u64);
+        };
 
-    while let Some(Reverse((f, idx))) = heap.pop() {
+    while let Some((_, raw)) = scratch.open.pop() {
         pops += 1;
-        let idx = idx as usize;
+        let idx = SegIdx(raw);
         if idx == goal_idx {
             finish(expanded, pushes, pops, &mut span, true);
-            return Some(reconstruct(dims, scratch, idx, expanded));
+            return Some(reconstruct(space, scratch, idx, expanded));
         }
-        let seg = Segment::from_index(idx, dims);
-        let g = scratch.cost[idx];
-        // Stale heap entry check: f may exceed the recorded best.
-        if f > g + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc) {
+        // Skip entries already expanded at their current (or better)
+        // cost; an improved record reopens the node.
+        if !scratch.close(idx) {
             continue;
         }
+        let seg = space.segment(idx);
+        let g = scratch.cost(idx);
         expanded += 1;
         if expanded > cfg.max_nodes {
             finish(expanded, pushes, pops, &mut span, false);
@@ -265,8 +376,10 @@ pub fn search_obs(
             arch.pips_from(tap.rc, tap.wire, &mut fanout);
             for &to in &fanout {
                 // Only the goal pin may be a CLB input.
-                let Some(next) = dev.canonicalize(tap.rc, to) else { continue };
-                let ni = next.index(dims);
+                let Some(next) = dev.canonicalize(tap.rc, to) else {
+                    continue;
+                };
+                let ni = space.index(next);
                 if ni == idx {
                     continue;
                 }
@@ -282,13 +395,20 @@ pub fn search_obs(
                     continue;
                 }
                 let ng = g + wire_cost(dev, next.wire) + extra_cost(next);
-                if !scratch.seen(ni) || scratch.cost[ni] > ng {
+                if !scratch.seen(ni) || scratch.cost(ni) > ng {
                     scratch.record(
                         ni,
                         ng,
-                        PrevEntry { prev: idx as u32, rc: tap.rc, from: tap.wire, to },
+                        PrevEntry {
+                            prev: idx.0,
+                            rc: tap.rc,
+                            from: tap.wire,
+                            to,
+                        },
                     );
-                    heap.push(Reverse((ng + HEURISTIC_WEIGHT * heuristic(dev, next, goal.rc), ni as u32)));
+                    scratch
+                        .open
+                        .push(ng + HEURISTIC_WEIGHT * heuristic(dev, next, goal.rc), ni.0);
                     pushes += 1;
                 }
             }
@@ -299,27 +419,32 @@ pub fn search_obs(
 }
 
 fn reconstruct(
-    dims: virtex::Dims,
+    space: virtex::SegSpace,
     scratch: &MazeScratch,
-    goal_idx: usize,
+    goal_idx: SegIdx,
     expanded: usize,
 ) -> MazeResult {
     let mut pips = Vec::new();
     let mut segments = Vec::new();
     let mut idx = goal_idx;
-    let cost = scratch.cost[goal_idx];
+    let cost = scratch.cost(goal_idx);
     loop {
-        let e = scratch.prev[idx];
+        let e = scratch.prev_of(idx);
         if e.prev == NO_PREV {
             break;
         }
-        segments.push(Segment::from_index(idx, dims));
+        segments.push(space.segment(idx));
         pips.push((e.rc, Pip::new(e.from, e.to)));
-        idx = e.prev as usize;
+        idx = SegIdx(e.prev);
     }
     pips.reverse();
     segments.reverse();
-    MazeResult { pips, segments, cost, nodes_expanded: expanded }
+    MazeResult {
+        pips,
+        segments,
+        cost,
+        nodes_expanded: expanded,
+    }
 }
 
 #[cfg(test)]
@@ -391,8 +516,14 @@ mod tests {
             .iter()
             .filter(|s| matches!(s.wire.kind(), WireKind::Single { .. }))
             .count();
-        assert!(hexes >= 3, "expected hex usage on a 32-CLB route, got {hexes}");
-        assert!(hexes >= singles, "hexes should dominate: {hexes} vs {singles}");
+        assert!(
+            hexes >= 3,
+            "expected hex usage on a 32-CLB route, got {hexes}"
+        );
+        assert!(
+            hexes >= singles,
+            "hexes should dominate: {hexes} vs {singles}"
+        );
     }
 
     #[test]

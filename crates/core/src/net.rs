@@ -10,7 +10,7 @@ use crate::endpoint::Pin;
 use crate::error::{NetId, Result, RouteError};
 use jbits::Pip;
 use std::collections::HashMap;
-use virtex::{RowCol, Segment};
+use virtex::{segment, RowCol, SegSpace, SegVec, Segment};
 
 /// One routed net: a source, the PIPs configured for it, and its sinks.
 #[derive(Debug, Clone)]
@@ -41,38 +41,58 @@ impl Net {
 }
 
 /// The net database: nets, their resources, and global segment ownership.
-#[derive(Debug, Default)]
+///
+/// Ownership is stored densely over the device's [`SegSpace`]: `owner` /
+/// `is_used` are O(1) array reads on the maze router's hot blocked-check
+/// path, and releasing a net touches only the segments it owned.
+#[derive(Debug)]
 pub struct NetDb {
     nets: HashMap<NetId, Net>,
-    by_source: HashMap<Segment, NetId>,
-    /// Segment -> owning net. Present for the source segment and for the
+    /// Source segment -> net rooted there (dense over the segment space).
+    by_source: SegVec<Option<NetId>>,
+    /// Segment -> owning net. Set for the source segment and for the
     /// target segment of every net PIP.
-    occ: HashMap<Segment, NetId>,
+    occ: SegVec<Option<NetId>>,
+    /// Number of `Some` slots in `occ` (kept so `used_segments` stays
+    /// O(1)).
+    used: usize,
     next: u32,
 }
 
 impl NetDb {
-    /// Empty net database.
-    pub fn new() -> Self {
-        Self::default()
+    /// Empty net database over the segment space of one device.
+    pub fn new(space: SegSpace) -> Self {
+        NetDb {
+            nets: HashMap::new(),
+            by_source: SegVec::new(space, None),
+            occ: SegVec::new(space, None),
+            used: 0,
+            next: 0,
+        }
+    }
+
+    /// The segment space this database covers.
+    #[inline]
+    pub fn space(&self) -> SegSpace {
+        self.occ.space()
     }
 
     /// Net that owns `seg`, if any.
     #[inline]
     pub fn owner(&self, seg: Segment) -> Option<NetId> {
-        self.occ.get(&seg).copied()
+        self.occ[self.space().index(seg)]
     }
 
     /// Whether `seg` is currently used by any net.
     #[inline]
     pub fn is_used(&self, seg: Segment) -> bool {
-        self.occ.contains_key(&seg)
+        self.owner(seg).is_some()
     }
 
     /// Net rooted at source segment `seg`.
     #[inline]
     pub fn net_at_source(&self, seg: Segment) -> Option<NetId> {
-        self.by_source.get(&seg).copied()
+        self.by_source[self.space().index(seg)]
     }
 
     /// Look up a net.
@@ -100,10 +120,14 @@ impl NetDb {
     /// [`RouteError::ResourceInUse`] if the source segment belongs to
     /// another net — use [`NetDb::net_at_source`] to extend instead.
     pub fn create(&mut self, source_pin: Pin, seg: Segment) -> Result<NetId> {
-        if let Some(owner) = self.occ.get(&seg) {
+        let idx = self.space().index(seg);
+        if let Some(owner) = self.occ[idx] {
             // Rooting a second net at the same source is a user error;
             // extending the existing net is the supported operation.
-            return Err(RouteError::ResourceInUse { segment: seg, owner: Some(*owner) });
+            return Err(RouteError::ResourceInUse {
+                segment: seg,
+                owner: Some(owner),
+            });
         }
         let id = NetId(self.next);
         self.next += 1;
@@ -118,17 +142,29 @@ impl NetDb {
                 intents: Vec::new(),
             },
         );
-        self.by_source.insert(seg, id);
-        self.occ.insert(seg, id);
+        self.by_source[idx] = Some(id);
+        self.occupy(seg, id);
         Ok(id)
     }
 
     /// Record a PIP configured for net `id`, claiming the PIP's target
     /// segment. Fails if the target belongs to a different net.
+    ///
+    /// `target` must be the canonical segment of `(rc, pip.to)` — the
+    /// caller has usually just canonicalized it to check drive legality,
+    /// so it is passed in rather than re-derived.
     pub fn add_pip(&mut self, id: NetId, rc: RowCol, pip: Pip, target: Segment) -> Result<()> {
-        match self.occ.get(&target) {
-            Some(&owner) if owner != id => {
-                return Err(RouteError::Contention { segment: target, owner: Some(owner) })
+        debug_assert_eq!(
+            segment::canonicalize(self.space().dims(), rc, pip.to),
+            Some(target),
+            "add_pip target must canonicalize from (rc, pip.to)"
+        );
+        match self.owner(target) {
+            Some(owner) if owner != id => {
+                return Err(RouteError::Contention {
+                    segment: target,
+                    owner: Some(owner),
+                })
             }
             _ => {}
         }
@@ -139,7 +175,7 @@ impl NetDb {
         if !net.pips.iter().any(|&(r, p)| r == rc && p == pip) {
             net.pips.push((rc, pip));
         }
-        self.occ.insert(target, id);
+        self.occupy(target, id);
         Ok(())
     }
 
@@ -170,12 +206,14 @@ impl NetDb {
     /// Remove one PIP from net `id`, releasing its target segment.
     /// Returns `true` if the PIP was recorded for the net.
     pub fn remove_pip(&mut self, id: NetId, rc: RowCol, pip: Pip, target: Segment) -> bool {
-        let Some(net) = self.nets.get_mut(&id) else { return false };
+        let Some(net) = self.nets.get_mut(&id) else {
+            return false;
+        };
         let Some(pos) = net.pips.iter().position(|&(r, p)| r == rc && p == pip) else {
             return false;
         };
         net.pips.remove(pos);
-        self.occ.remove(&target);
+        self.release(target);
         true
     }
 
@@ -188,17 +226,65 @@ impl NetDb {
 
     /// Delete an entire net, releasing every segment it owned. Returns the
     /// net's PIPs so the caller can clear them from the bitstream.
+    ///
+    /// Cost is proportional to the net's own size (source + one release
+    /// per PIP target), not to the number of segments in the database.
     pub fn remove_net(&mut self, id: NetId) -> Option<Net> {
         let net = self.nets.remove(&id)?;
-        self.by_source.remove(&net.source);
-        self.occ.retain(|_, owner| *owner != id);
+        let space = self.space();
+        let src = space.index(net.source);
+        if self.by_source[src] == Some(id) {
+            self.by_source[src] = None;
+        }
+        self.release_owned(net.source, id);
+        for &(rc, pip) in &net.pips {
+            if let Some(target) = segment::canonicalize(space.dims(), rc, pip.to) {
+                self.release_owned(target, id);
+            }
+        }
         Some(net)
     }
 
     /// Total segments currently owned across all nets (the paper's
     /// "routing resources used" metric for E3).
     pub fn used_segments(&self) -> usize {
-        self.occ.len()
+        self.used
+    }
+
+    /// Iterate every owned segment as `(Segment, NetId)` — the dense
+    /// census walk behind `stats::ResourceUsage`.
+    pub fn iter_used(&self) -> impl Iterator<Item = (Segment, NetId)> + '_ {
+        let space = self.space();
+        self.occ
+            .iter()
+            .filter_map(move |(idx, v)| v.map(|id| (space.segment(idx), id)))
+    }
+
+    /// Mark `seg` owned by `id`.
+    fn occupy(&mut self, seg: Segment, id: NetId) {
+        let idx = self.space().index(seg);
+        if self.occ[idx].is_none() {
+            self.used += 1;
+        }
+        self.occ[idx] = Some(id);
+    }
+
+    /// Release `seg` regardless of owner.
+    fn release(&mut self, seg: Segment) {
+        let idx = self.space().index(seg);
+        if self.occ[idx].take().is_some() {
+            self.used -= 1;
+        }
+    }
+
+    /// Release `seg` only if `id` owns it (two PIPs of one net may share a
+    /// target; the second release must not clobber the accounting).
+    fn release_owned(&mut self, seg: Segment, id: NetId) {
+        let idx = self.space().index(seg);
+        if self.occ[idx] == Some(id) {
+            self.occ[idx] = None;
+            self.used -= 1;
+        }
     }
 }
 
@@ -208,12 +294,19 @@ mod tests {
     use virtex::{wire, Dir};
 
     fn seg(r: u16, c: u16, w: virtex::Wire) -> Segment {
-        Segment { rc: RowCol::new(r, c), wire: w }
+        Segment {
+            rc: RowCol::new(r, c),
+            wire: w,
+        }
+    }
+
+    fn db() -> NetDb {
+        NetDb::new(SegSpace::new(virtex::Dims::new(16, 24)))
     }
 
     #[test]
     fn create_claims_source_segment() {
-        let mut db = NetDb::new();
+        let mut db = db();
         let src = Pin::new(5, 7, wire::S1_YQ);
         let s = seg(5, 7, wire::S1_YQ);
         let id = db.create(src, s).unwrap();
@@ -227,9 +320,13 @@ mod tests {
 
     #[test]
     fn add_pip_claims_target_and_conflicts_are_contention() {
-        let mut db = NetDb::new();
-        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
-        let b = db.create(Pin::new(1, 0, wire::S1_YQ), seg(1, 0, wire::S1_YQ)).unwrap();
+        let mut db = db();
+        let a = db
+            .create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ))
+            .unwrap();
+        let b = db
+            .create(Pin::new(1, 0, wire::S1_YQ), seg(1, 0, wire::S1_YQ))
+            .unwrap();
         let shared = seg(0, 0, wire::single(Dir::East, 3));
         let pip = Pip::new(wire::out(0), wire::single(Dir::East, 3));
         db.add_pip(a, RowCol::new(0, 0), pip, shared).unwrap();
@@ -241,27 +338,43 @@ mod tests {
 
     #[test]
     fn remove_pip_releases_segment() {
-        let mut db = NetDb::new();
-        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
+        let mut db = db();
+        let a = db
+            .create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ))
+            .unwrap();
         let target = seg(0, 0, wire::out(3));
         let pip = Pip::new(wire::S0_YQ, wire::out(3));
         db.add_pip(a, RowCol::new(0, 0), pip, target).unwrap();
         assert!(db.is_used(target));
         assert!(db.remove_pip(a, RowCol::new(0, 0), pip, target));
         assert!(!db.is_used(target));
-        assert!(!db.remove_pip(a, RowCol::new(0, 0), pip, target), "double remove");
+        assert!(
+            !db.remove_pip(a, RowCol::new(0, 0), pip, target),
+            "double remove"
+        );
     }
 
     #[test]
     fn remove_net_releases_everything() {
-        let mut db = NetDb::new();
+        let mut db = db();
         let src = seg(0, 0, wire::S0_YQ);
         let a = db.create(Pin::new(0, 0, wire::S0_YQ), src).unwrap();
         let t1 = seg(0, 0, wire::out(3));
         let t2 = seg(0, 0, wire::single(Dir::East, 1));
-        db.add_pip(a, RowCol::new(0, 0), Pip::new(wire::S0_YQ, wire::out(3)), t1).unwrap();
-        db.add_pip(a, RowCol::new(0, 0), Pip::new(wire::out(3), wire::single(Dir::East, 1)), t2)
-            .unwrap();
+        db.add_pip(
+            a,
+            RowCol::new(0, 0),
+            Pip::new(wire::S0_YQ, wire::out(3)),
+            t1,
+        )
+        .unwrap();
+        db.add_pip(
+            a,
+            RowCol::new(0, 0),
+            Pip::new(wire::out(3), wire::single(Dir::East, 1)),
+            t2,
+        )
+        .unwrap();
         db.add_sink(a, Pin::new(0, 1, wire::S0_F3));
         assert_eq!(db.used_segments(), 3);
         let net = db.remove_net(a).unwrap();
@@ -274,8 +387,10 @@ mod tests {
 
     #[test]
     fn sinks_are_deduplicated() {
-        let mut db = NetDb::new();
-        let a = db.create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ)).unwrap();
+        let mut db = db();
+        let a = db
+            .create(Pin::new(0, 0, wire::S0_YQ), seg(0, 0, wire::S0_YQ))
+            .unwrap();
         let sink = Pin::new(3, 3, wire::S0_F3);
         db.add_sink(a, sink);
         db.add_sink(a, sink);

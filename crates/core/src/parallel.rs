@@ -5,25 +5,29 @@
 //! this module implements the natural HPC extension: route many nets
 //! concurrently (experiment E12).
 //!
-//! The scheme is *optimistic parallel routing with sequential commit*:
+//! The scheme is *optimistic parallel routing with a lock-free claim
+//! table*:
 //!
-//! 1. each round, worker threads route their share of the pending nets
-//!    against an immutable snapshot of the committed occupancy (maze
-//!    search is read-only and dominates runtime);
-//! 2. the main thread commits candidate paths in net order; a path that
-//!    touches a segment committed earlier in the same round is discarded
-//!    and its net deferred to the next round.
+//! 1. each round, worker threads route their share of the pending nets;
+//!    the maze search treats segments claimed by **other** nets as
+//!    blocked, reading the shared claim table live;
+//! 2. as soon as a sink is reached the worker claims the new segments by
+//!    compare-and-swap on the per-segment owner word. A lost CAS means
+//!    another net grabbed the segment mid-search: the worker rolls back
+//!    every claim it made for the net and defers it to the next round.
 //!
-//! The committed configuration is therefore always contention-free — the
-//! JRoute §3.4 invariant — and the result is equivalent to some
-//! sequential routing order.
+//! There is no commit barrier — a net is committed the moment its last
+//! claim lands, and its claims immediately steer every other in-flight
+//! search away. The committed configuration is always contention-free —
+//! the JRoute §3.4 invariant — and equivalent to some sequential routing
+//! order (the order in which final claims landed).
 
-use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
 use crate::pathfinder::NetSpec;
 use jbits::Pip;
 use jroute_obs::Recorder;
-use virtex::{Device, RowCol, Segment};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use virtex::{Device, RowCol, SegIdx, SegVec, Segment};
 
 /// Options for the parallel router.
 #[derive(Debug, Clone)]
@@ -39,7 +43,9 @@ pub struct ParallelConfig {
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             maze: MazeConfig::default(),
             max_stalled_rounds: 3,
         }
@@ -70,74 +76,175 @@ pub struct ParallelResult {
     pub conflicts: usize,
 }
 
-/// Dense occupancy bitmap over the segment space.
-#[derive(Clone)]
-struct Occupancy {
-    words: Vec<u64>,
+/// Sentinel owner word for an unclaimed segment.
+const FREE: u32 = u32::MAX;
+
+/// Lock-free per-segment owner table shared by all workers.
+///
+/// Each slot holds the claiming net's index or [`FREE`]. Only the CAS's
+/// atomicity matters — no other data is published through a claim — so
+/// relaxed ordering is sufficient throughout.
+///
+/// The maze search probes `blocked_for` for every neighbour it touches,
+/// so reads vastly outnumber claims. A compact occupancy bitmap (one bit
+/// per segment, 512 segments per cache line) answers the common
+/// "unclaimed" case without touching the owner table, which is dozens of
+/// megabytes on the largest family members and would miss cache on
+/// nearly every probe. The bitmap is advisory — a stale bit only costs
+/// one owner-table read (set) or one failed claim CAS (clear); the CAS
+/// on the owner word is what enforces exclusivity.
+struct ClaimTable {
+    table: SegVec<AtomicU32>,
+    /// `bits[i / 64] & (1 << (i % 64))` mirrors `table[i] != FREE`.
+    bits: Vec<AtomicU64>,
 }
 
-impl Occupancy {
-    fn new(space: usize) -> Self {
-        Occupancy { words: vec![0; space.div_ceil(64)] }
+impl ClaimTable {
+    fn new(space: virtex::SegSpace) -> Self {
+        ClaimTable {
+            table: SegVec::from_fn(space, || AtomicU32::new(FREE)),
+            bits: (0..space.len().div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
     }
 
+    /// Whether `idx` is claimed by a net other than `id`.
     #[inline]
-    fn get(&self, idx: usize) -> bool {
-        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    fn blocked_for(&self, idx: SegIdx, id: u32) -> bool {
+        let i = idx.as_usize();
+        if self.bits[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) == 0 {
+            return false;
+        }
+        let cur = self.table[idx].load(Ordering::Relaxed);
+        cur != FREE && cur != id
     }
 
+    /// Claim `idx` for `id`. Succeeds if the slot was free or already
+    /// ours (a net may reach the same segment through several branches).
     #[inline]
-    fn set(&mut self, idx: usize) {
-        self.words[idx / 64] |= 1 << (idx % 64);
+    fn try_claim(&self, idx: SegIdx, id: u32) -> bool {
+        match self.table[idx].compare_exchange(FREE, id, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => {
+                let i = idx.as_usize();
+                self.bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
+                true
+            }
+            Err(cur) => cur == id,
+        }
+    }
+
+    /// Roll back a claim owned by `id` (no-op if not ours). A concurrent
+    /// re-claim between the owner CAS and the bit clear can drop the
+    /// new claimant's bit — benign, see the type docs.
+    #[inline]
+    fn release(&self, idx: SegIdx, id: u32) {
+        if self.table[idx]
+            .compare_exchange(id, FREE, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            let i = idx.as_usize();
+            self.bits[i / 64].fetch_and(!(1 << (i % 64)), Ordering::Relaxed);
+        }
     }
 }
 
-/// Route one net against a fixed occupancy snapshot.
+/// Per-net outcome of one routing attempt within a round.
+enum Outcome {
+    /// Routed and claimed; the net is committed.
+    Committed(Box<ParallelNet>),
+    /// Lost a claim race, found a needed segment claimed by another net,
+    /// or the search came up empty (possibly blocked by in-flight claims
+    /// that later roll back) — retry next round.
+    Deferred,
+    /// The net names a nonexistent wire — permanent.
+    Failed,
+}
+
+/// Route one net, validating and claiming against the live claim table.
+///
+/// On success every segment of the net (including its source) is claimed
+/// before returning, so the net is committed with no further
+/// coordination. On deferral or failure all claims made here are rolled
+/// back.
 fn route_one(
     dev: &Device,
     spec: &NetSpec,
-    snapshot: &Occupancy,
+    id: u32,
+    claims: &ClaimTable,
     cfg: &MazeConfig,
     scratch: &mut MazeScratch,
     obs: &Recorder,
-) -> Result<ParallelNet> {
-    let dims = dev.dims();
-    let src_seg = dev
-        .canonicalize(spec.source.rc, spec.source.wire)
-        .ok_or(RouteError::NoSuchWire { rc: spec.source.rc, wire: spec.source.wire })?;
-    let mut net = ParallelNet { spec: spec.clone(), pips: Vec::new(), segments: Vec::new() };
+) -> Outcome {
+    let space = dev.seg_space();
+    let Some(src_seg) = dev.canonicalize(spec.source.rc, spec.source.wire) else {
+        return Outcome::Failed;
+    };
+    // Newly-claimed indices, for rollback on deferral.
+    let mut newly: Vec<SegIdx> = Vec::new();
+    let claim = |idx: SegIdx, newly: &mut Vec<SegIdx>| {
+        if claims.try_claim(idx, id) {
+            newly.push(idx);
+            true
+        } else {
+            false
+        }
+    };
+    let rollback = |newly: &[SegIdx]| {
+        for &idx in newly {
+            claims.release(idx, id);
+        }
+    };
+    if !claim(space.index(src_seg), &mut newly) {
+        return Outcome::Deferred; // source segment owned by another net
+    }
+    let mut net = ParallelNet {
+        spec: spec.clone(),
+        pips: Vec::new(),
+        segments: Vec::new(),
+    };
     let mut starts = vec![(src_seg, 0u32)];
-    // Segments claimed by this net within this search (self-reuse is fine).
-    let mut own: std::collections::HashSet<usize> = std::collections::HashSet::new();
     for sink in &spec.sinks {
-        let goal = dev
-            .canonicalize(sink.rc, sink.wire)
-            .ok_or(RouteError::NoSuchWire { rc: sink.rc, wire: sink.wire })?;
-        if snapshot.get(goal.index(dims)) {
-            return Err(RouteError::ResourceInUse { segment: goal, owner: None });
+        let Some(goal) = dev.canonicalize(sink.rc, sink.wire) else {
+            rollback(&newly);
+            return Outcome::Failed;
+        };
+        if claims.blocked_for(space.index(goal), id) {
+            rollback(&newly);
+            return Outcome::Deferred;
         }
         let r = maze::search_obs(
             dev,
             &starts,
             goal,
             cfg,
-            |seg| {
-                let idx = seg.index(dims);
-                snapshot.get(idx) && !own.contains(&idx)
-            },
+            |seg| claims.blocked_for(space.index(seg), id),
             |_| 0,
             scratch,
             obs,
-        )
-        .ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
+        );
+        let Some(r) = r else {
+            // May be a true dead end or a transient block by claims that
+            // later roll back — defer; the stall counter bounds retries.
+            rollback(&newly);
+            return Outcome::Deferred;
+        };
+        // Claim the new branch immediately: other workers' searches see
+        // these segments as blocked from here on.
+        for seg in &r.segments {
+            if !claim(space.index(*seg), &mut newly) {
+                // Another net won the segment mid-search.
+                rollback(&newly);
+                return Outcome::Deferred;
+            }
+        }
         for seg in &r.segments {
             starts.push((*seg, 0));
-            own.insert(seg.index(dims));
             net.segments.push(*seg);
         }
         net.pips.extend_from_slice(&r.pips);
     }
-    Ok(net)
+    Outcome::Committed(Box::new(net))
 }
 
 /// Route `specs` using `cfg.threads` workers.
@@ -161,9 +268,11 @@ pub fn route_parallel_obs(
 ) -> ParallelResult {
     let mut run_span = obs.span("parallel.route");
     run_span.note(specs.len() as u64);
-    let dims = dev.dims();
-    let space = dev.segment_space();
-    let mut committed = Occupancy::new(space);
+    debug_assert!(
+        specs.len() < FREE as usize,
+        "net index must fit the owner word"
+    );
+    let claims = ClaimTable::new(dev.seg_space());
     let mut done: Vec<Option<ParallelNet>> = vec![None; specs.len()];
     let mut pending: Vec<usize> = (0..specs.len()).collect();
     let mut failed: Vec<usize> = Vec::new();
@@ -180,10 +289,12 @@ pub fn route_parallel_obs(
         for &i in &pending {
             attempts[i] += 1;
         }
-        let snapshot = &committed;
-        // Fan the pending nets out over the workers.
+        // Fan the pending nets out over the workers. Each worker claims
+        // segments as it routes, so nets commit mid-round and later
+        // searches (on every thread) steer around them.
+        let claims_ref = &claims;
         let chunk = pending.len().div_ceil(threads);
-        let mut results: Vec<(usize, Result<ParallelNet>)> = Vec::with_capacity(pending.len());
+        let mut results: Vec<(usize, Outcome)> = Vec::with_capacity(pending.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for part in pending.chunks(chunk) {
@@ -200,7 +311,8 @@ pub fn route_parallel_obs(
                                 route_one(
                                     dev,
                                     &specs[i],
-                                    snapshot,
+                                    i as u32,
+                                    claims_ref,
                                     &cfg.maze,
                                     &mut scratch,
                                     &worker_obs,
@@ -216,35 +328,21 @@ pub fn route_parallel_obs(
         });
         results.sort_by_key(|(i, _)| *i);
 
-        // Sequential commit with conflict detection.
         let mut next_pending = Vec::new();
         let mut progressed = false;
         for (i, res) in results {
             match res {
-                Ok(net) => {
-                    let clash = net
-                        .segments
-                        .iter()
-                        .any(|seg| committed.get(seg.index(dims)));
-                    if clash {
-                        conflicts += 1;
-                        obs.count("parallel.conflicts", 1);
-                        next_pending.push(i);
-                    } else {
-                        for seg in &net.segments {
-                            committed.set(seg.index(dims));
-                        }
-                        if let Some(src) =
-                            dev.canonicalize(net.spec.source.rc, net.spec.source.wire)
-                        {
-                            committed.set(src.index(dims));
-                        }
-                        done[i] = Some(net);
-                        obs.count("parallel.commits", 1);
-                        progressed = true;
-                    }
+                Outcome::Committed(net) => {
+                    done[i] = Some(*net);
+                    obs.count("parallel.commits", 1);
+                    progressed = true;
                 }
-                Err(_) => {
+                Outcome::Deferred => {
+                    conflicts += 1;
+                    obs.count("parallel.conflicts", 1);
+                    next_pending.push(i);
+                }
+                Outcome::Failed => {
                     failed.push(i);
                     obs.count("parallel.nets_failed", 1);
                     progressed = true;
@@ -261,7 +359,12 @@ pub fn route_parallel_obs(
     }
     obs.count("parallel.rounds", rounds as u64);
     run_span.note(rounds as u64);
-    ParallelResult { nets: done.into_iter().flatten().collect(), failed, rounds, conflicts }
+    ParallelResult {
+        nets: done.into_iter().flatten().collect(),
+        failed,
+        rounds,
+        conflicts,
+    }
 }
 
 #[cfg(test)]
@@ -291,7 +394,10 @@ mod tests {
     fn parallel_routes_everything_sequential_can() {
         let dev = dev();
         let specs = grid_specs(10);
-        let cfg = ParallelConfig { threads: 4, ..Default::default() };
+        let cfg = ParallelConfig {
+            threads: 4,
+            ..Default::default()
+        };
         let r = route_parallel(&dev, &specs, &cfg);
         assert!(r.failed.is_empty(), "failed: {:?}", r.failed);
         assert_eq!(r.nets.len(), 10);
@@ -301,7 +407,10 @@ mod tests {
     fn committed_nets_are_mutually_disjoint() {
         let dev = dev();
         let specs = grid_specs(12);
-        let cfg = ParallelConfig { threads: 3, ..Default::default() };
+        let cfg = ParallelConfig {
+            threads: 3,
+            ..Default::default()
+        };
         let r = route_parallel(&dev, &specs, &cfg);
         let mut seen = std::collections::HashSet::new();
         for net in &r.nets {
@@ -315,8 +424,22 @@ mod tests {
     fn single_thread_matches_multi_thread_coverage() {
         let dev = dev();
         let specs = grid_specs(8);
-        let seq = route_parallel(&dev, &specs, &ParallelConfig { threads: 1, ..Default::default() });
-        let par = route_parallel(&dev, &specs, &ParallelConfig { threads: 4, ..Default::default() });
+        let seq = route_parallel(
+            &dev,
+            &specs,
+            &ParallelConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = route_parallel(
+            &dev,
+            &specs,
+            &ParallelConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(seq.nets.len(), par.nets.len());
         assert_eq!(seq.failed, par.failed);
     }
@@ -325,7 +448,14 @@ mod tests {
     fn result_applies_cleanly_to_a_bitstream() {
         let dev = dev();
         let specs = grid_specs(6);
-        let r = route_parallel(&dev, &specs, &ParallelConfig { threads: 2, ..Default::default() });
+        let r = route_parallel(
+            &dev,
+            &specs,
+            &ParallelConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
         let mut bits = jbits::Bitstream::new(&dev);
         for net in &r.nets {
             for &(rc, pip) in &net.pips {

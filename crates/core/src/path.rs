@@ -24,12 +24,18 @@ pub struct Path {
 impl Path {
     /// Path starting at `(row, col)` through `wires`, in order.
     pub fn new(row: u16, col: u16, wires: impl Into<Vec<Wire>>) -> Self {
-        Path { start: RowCol::new(row, col), wires: wires.into() }
+        Path {
+            start: RowCol::new(row, col),
+            wires: wires.into(),
+        }
     }
 
     /// Path starting at an existing coordinate.
     pub fn from_rc(start: RowCol, wires: impl Into<Vec<Wire>>) -> Self {
-        Path { start, wires: wires.into() }
+        Path {
+            start,
+            wires: wires.into(),
+        }
     }
 
     /// The starting tile.

@@ -19,7 +19,84 @@ use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
 use jbits::{Bitstream, Pip};
 use jroute_obs::Recorder;
-use virtex::{Device, RowCol, Segment};
+use virtex::{Device, RowCol, SegIdx, SegSpace, SegVec, Segment, StampedSegVec};
+
+/// Dense per-segment congestion state that persists across rip-up
+/// iterations.
+///
+/// PathFinder's accounting step used to rescan the whole segment space
+/// every iteration; since only segments whose occupancy changed (or that
+/// were already overused) can need a history bump, this tracks a touched
+/// set and walks `prev overused ∪ touched` instead — work proportional
+/// to routing activity, not device size (ROADMAP E9/E10).
+#[derive(Debug)]
+struct Congestion {
+    /// Nets currently occupying each segment.
+    present: SegVec<u16>,
+    /// Accumulated history cost (grows while a segment stays overused).
+    history: SegVec<u32>,
+    /// Segments overused at the last [`Congestion::account`] call.
+    overused: Vec<SegIdx>,
+    /// Segments whose occupancy changed since the last account.
+    touched: Vec<SegIdx>,
+    /// Dedup marker for `touched` (O(1) epoch reset per iteration).
+    touched_mark: StampedSegVec<()>,
+}
+
+impl Congestion {
+    fn new(space: SegSpace) -> Self {
+        Congestion {
+            present: SegVec::new(space, 0),
+            history: SegVec::new(space, 0),
+            overused: Vec::new(),
+            touched: Vec::new(),
+            touched_mark: StampedSegVec::new(space),
+        }
+    }
+
+    fn touch(&mut self, idx: SegIdx) {
+        if self.touched_mark.set_once(idx, ()) {
+            self.touched.push(idx);
+        }
+    }
+
+    fn occupy(&mut self, idx: SegIdx) {
+        self.present[idx] += 1;
+        self.touch(idx);
+    }
+
+    fn release(&mut self, idx: SegIdx) {
+        self.present[idx] -= 1;
+        self.touch(idx);
+    }
+
+    fn cost(&self, idx: SegIdx, pres_fac: u32) -> u32 {
+        self.history[idx] + self.present[idx] as u32 * pres_fac
+    }
+
+    /// End-of-iteration accounting: bump history on every overused
+    /// segment and return how many there are. Only segments that were
+    /// overused last round or touched since can qualify, so only those
+    /// are visited.
+    fn account(&mut self, hist_cost: u32) -> usize {
+        for &idx in &self.overused {
+            if !self.touched_mark.is_set(idx) {
+                self.touched.push(idx);
+            }
+        }
+        let mut still = Vec::new();
+        for &idx in &self.touched {
+            if self.present[idx] > 1 {
+                self.history[idx] += hist_cost;
+                still.push(idx);
+            }
+        }
+        self.overused = still;
+        self.touched.clear();
+        self.touched_mark.clear();
+        self.overused.len()
+    }
+}
 
 /// One net to route: a source pin and its sinks.
 #[derive(Debug, Clone)]
@@ -33,7 +110,10 @@ pub struct NetSpec {
 impl NetSpec {
     /// Net from `source` to `sinks`.
     pub fn new(source: Pin, sinks: impl Into<Vec<Pin>>) -> Self {
-        NetSpec { source, sinks: sinks.into() }
+        NetSpec {
+            source,
+            sinks: sinks.into(),
+        }
     }
 }
 
@@ -110,9 +190,8 @@ pub fn route_all_obs(
 ) -> Result<PathFinderResult> {
     let mut span = obs.span("pathfinder.route_all");
     span.note(specs.len() as u64);
-    let space = dev.segment_space();
-    let mut occ: Vec<u16> = vec![0; space];
-    let mut hist: Vec<u32> = vec![0; space];
+    let space = dev.seg_space();
+    let mut cong = Congestion::new(space);
     let mut scratch = MazeScratch::new(dev);
     let mut routes: Vec<Option<RoutedNet>> = vec![None; specs.len()];
     let mut pres_fac = cfg.pres_fac;
@@ -128,31 +207,37 @@ pub fn route_all_obs(
             if let Some(old) = routes[i].take() {
                 obs.count("pathfinder.ripups", 1);
                 for seg in &old.segments {
-                    occ[seg.index(dev.dims())] -= 1;
+                    cong.release(space.index(*seg));
                 }
             }
             // Re-route, sink by sink, reusing the tree.
-            let src_seg = dev
-                .canonicalize(spec.source.rc, spec.source.wire)
-                .ok_or(RouteError::NoSuchWire { rc: spec.source.rc, wire: spec.source.wire })?;
-            let mut net =
-                RoutedNet { spec: spec.clone(), pips: Vec::new(), segments: Vec::new() };
+            let src_seg = dev.canonicalize(spec.source.rc, spec.source.wire).ok_or(
+                RouteError::NoSuchWire {
+                    rc: spec.source.rc,
+                    wire: spec.source.wire,
+                },
+            )?;
+            let mut net = RoutedNet {
+                spec: spec.clone(),
+                pips: Vec::new(),
+                segments: Vec::new(),
+            };
             let mut starts = vec![(src_seg, 0u32)];
             let mut failed = false;
             for sink in &spec.sinks {
                 let goal = dev
                     .canonicalize(sink.rc, sink.wire)
-                    .ok_or(RouteError::NoSuchWire { rc: sink.rc, wire: sink.wire })?;
+                    .ok_or(RouteError::NoSuchWire {
+                        rc: sink.rc,
+                        wire: sink.wire,
+                    })?;
                 let result = maze::search_obs(
                     dev,
                     &starts,
                     goal,
                     &cfg.maze,
                     |_| false, // overuse allowed; congestion is priced
-                    |seg| {
-                        let idx = seg.index(dev.dims());
-                        hist[idx] + occ[idx] as u32 * pres_fac
-                    },
+                    |seg| cong.cost(space.index(seg), pres_fac),
                     &mut scratch,
                     obs,
                 );
@@ -174,19 +259,13 @@ pub fn route_all_obs(
                 continue;
             }
             for seg in &net.segments {
-                occ[seg.index(dev.dims())] += 1;
+                cong.occupy(space.index(*seg));
             }
             routes[i] = Some(net);
         }
 
-        // Congestion accounting.
-        let mut overused = 0usize;
-        for idx in 0..space {
-            if occ[idx] > 1 {
-                overused += 1;
-                hist[idx] += cfg.hist_cost;
-            }
-        }
+        // Congestion accounting over prev-overused ∪ touched only.
+        let overused = cong.account(cfg.hist_cost);
         obs.event("pathfinder.overused", overused as u64);
         obs.record("pathfinder.iter_overuse", overused as u64);
         if overused == 0 && !any_failure && routes.iter().all(|r| r.is_some()) {
@@ -203,10 +282,18 @@ pub fn route_all_obs(
         pres_fac = pres_fac.saturating_mul(cfg.pres_growth);
     }
 
-    let overused = occ.iter().filter(|&&o| o > 1).count();
+    // `account` ran at the end of the final iteration, so the residual
+    // overuse is exactly the surviving overused set.
+    let overused = cong.overused.len();
     obs.count("pathfinder.budget_exhausted", 1);
     let nets = routes.into_iter().flatten().collect();
-    Ok(PathFinderResult { nets, legal: false, iterations, nodes_expanded, overused })
+    Ok(PathFinderResult {
+        nets,
+        legal: false,
+        iterations,
+        nodes_expanded,
+        overused,
+    })
 }
 
 /// Program a legal PathFinder result into a bitstream.
@@ -216,7 +303,10 @@ pub fn route_all_obs(
 pub fn apply(result: &PathFinderResult, bits: &mut Bitstream) -> Result<()> {
     if !result.legal {
         return Err(RouteError::Contention {
-            segment: Segment { rc: RowCol::new(0, 0), wire: virtex::Wire(0) },
+            segment: Segment {
+                rc: RowCol::new(0, 0),
+                wire: virtex::Wire(0),
+            },
             owner: None,
         });
     }
@@ -287,7 +377,10 @@ mod tests {
             .map(|i| {
                 NetSpec::new(
                     Pin::new(4, 4 + i, wire::S1_YQ),
-                    vec![Pin::new(6, 6 + i, wire::S0_F3), Pin::new(7, 4 + i, wire::S1_F1)],
+                    vec![
+                        Pin::new(6, 6 + i, wire::S0_F3),
+                        Pin::new(7, 4 + i, wire::S1_F1),
+                    ],
                 )
             })
             .collect();

@@ -59,7 +59,12 @@ impl PortDb {
         targets: Vec<EndPoint>,
     ) -> PortId {
         let id = PortId(self.ports.len() as u32);
-        self.ports.push(Port { name: name.into(), group: group.into(), dir, targets });
+        self.ports.push(Port {
+            name: name.into(),
+            group: group.into(),
+            dir,
+            targets,
+        });
         id
     }
 
@@ -82,8 +87,10 @@ impl PortDb {
     /// Rebind a port to new targets (e.g. after replacing the core it
     /// belongs to). Returns the old targets.
     pub fn rebind(&mut self, id: PortId, targets: Vec<EndPoint>) -> Result<Vec<EndPoint>> {
-        let port =
-            self.ports.get_mut(id.0 as usize).ok_or(RouteError::UnboundPort { port: id.0 })?;
+        let port = self
+            .ports
+            .get_mut(id.0 as usize)
+            .ok_or(RouteError::UnboundPort { port: id.0 })?;
         Ok(std::mem::replace(&mut port.targets, targets))
     }
 
@@ -120,7 +127,9 @@ impl PortDb {
                     // resolve to hardware.
                     return Err(RouteError::UnboundPort { port: id.0 });
                 }
-                let port = self.port(*id).ok_or(RouteError::UnboundPort { port: id.0 })?;
+                let port = self
+                    .port(*id)
+                    .ok_or(RouteError::UnboundPort { port: id.0 })?;
                 if port.targets.is_empty() {
                     return Err(RouteError::UnboundPort { port: id.0 });
                 }
@@ -162,7 +171,12 @@ mod tests {
                 vec![Pin::new(0, bit, wire::S0_YQ).into()],
             ));
         }
-        db.define("cin", "carry", PortDir::Input, vec![Pin::new(0, 0, wire::S0_F3).into()]);
+        db.define(
+            "cin",
+            "carry",
+            PortDir::Input,
+            vec![Pin::new(0, 0, wire::S0_F3).into()],
+        );
         assert_eq!(db.get_ports("sum"), ids);
         assert_eq!(db.get_ports("carry").len(), 1);
         assert!(db.get_ports("nope").is_empty());
@@ -173,8 +187,12 @@ mod tests {
     fn resolve_flattens_port_hierarchies() {
         // Inner core port -> outer core port, as §3.2 describes.
         let mut db = PortDb::new();
-        let inner =
-            db.define("q", "inner", PortDir::Output, vec![Pin::new(2, 3, wire::S1_YQ).into()]);
+        let inner = db.define(
+            "q",
+            "inner",
+            PortDir::Output,
+            vec![Pin::new(2, 3, wire::S1_YQ).into()],
+        );
         let outer = db.define("out", "outer", PortDir::Output, vec![inner.into()]);
         let mut pins = Vec::new();
         db.resolve(&outer.into(), &mut pins).unwrap();
@@ -207,7 +225,9 @@ mod tests {
             PortDir::Input,
             vec![Pin::new(0, 0, wire::S0_F3).into()],
         );
-        let old = db.rebind(p, vec![Pin::new(9, 9, wire::S0_F3).into()]).unwrap();
+        let old = db
+            .rebind(p, vec![Pin::new(9, 9, wire::S0_F3).into()])
+            .unwrap();
         assert_eq!(old, vec![EndPoint::Pin(Pin::new(0, 0, wire::S0_F3))]);
         let mut pins = Vec::new();
         db.resolve(&p.into(), &mut pins).unwrap();

@@ -55,7 +55,11 @@ pub struct RouterOptions {
 
 impl Default for RouterOptions {
     fn default() -> Self {
-        RouterOptions { use_long_lines: false, use_templates_first: true, max_maze_nodes: 2_000_000 }
+        RouterOptions {
+            use_long_lines: false,
+            use_templates_first: true,
+            max_maze_nodes: 2_000_000,
+        }
     }
 }
 
@@ -111,7 +115,7 @@ impl Router {
         let mut r = Router {
             device: *device,
             bits: Bitstream::new(device),
-            nets: NetDb::new(),
+            nets: NetDb::new(device.seg_space()),
             ports: PortDb::new(),
             scratch: MazeScratch::new(device),
             opts,
@@ -135,7 +139,8 @@ impl Router {
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.obs = rec;
         if self.obs.is_enabled() {
-            self.bits.set_observer(Some(Arc::new(PipTap(self.obs.clone()))));
+            self.bits
+                .set_observer(Some(Arc::new(PipTap(self.obs.clone()))));
         } else {
             self.bits.set_observer(None);
         }
@@ -201,11 +206,16 @@ impl Router {
     }
 
     fn seg(&self, rc: RowCol, wire: Wire) -> Result<Segment> {
-        self.device.canonicalize(rc, wire).ok_or(RouteError::NoSuchWire { rc, wire })
+        self.device
+            .canonicalize(rc, wire)
+            .ok_or(RouteError::NoSuchWire { rc, wire })
     }
 
     fn maze_config(&self) -> MazeConfig {
-        MazeConfig { use_long_lines: self.opts.use_long_lines, max_nodes: self.opts.max_maze_nodes }
+        MazeConfig {
+            use_long_lines: self.opts.use_long_lines,
+            max_nodes: self.opts.max_maze_nodes,
+        }
     }
 
     // ----------------------------------------------------------------
@@ -254,8 +264,7 @@ impl Router {
         };
         let pending: Vec<Remembered> = match filter {
             Some(id) => {
-                let (take, keep) =
-                    self.remembered.drain(..).partition(|r| mentions(r, id));
+                let (take, keep) = self.remembered.drain(..).partition(|r| mentions(r, id));
                 self.remembered = keep;
                 take
             }
@@ -311,7 +320,10 @@ impl Router {
         if let Some(owner) = self.nets.owner(target) {
             if owner != net {
                 self.stats.contention_rejections += 1;
-                return Err(RouteError::Contention { segment: target, owner: Some(owner) });
+                return Err(RouteError::Contention {
+                    segment: target,
+                    owner: Some(owner),
+                });
             }
         }
         // Bitstream-level check: the segment must not be driven by any
@@ -401,7 +413,11 @@ impl Router {
                 .iter()
                 .find(|t| arch.pip_exists(t.rc, t.wire, next))
                 .copied()
-                .ok_or(RouteError::PathDisconnected { at: cur.rc, from: cur.wire, to: next })?;
+                .ok_or(RouteError::PathDisconnected {
+                    at: cur.rc,
+                    from: cur.wire,
+                    to: next,
+                })?;
             self.route_pip_on_net(net, hop.rc, hop.wire, next)?;
             cur = self.seg(hop.rc, next)?;
         }
@@ -477,7 +493,9 @@ impl Router {
                     if template_value(to) != want {
                         continue;
                     }
-                    let Some(next) = r.device.canonicalize(tap.rc, to) else { continue };
+                    let Some(next) = r.device.canonicalize(tap.rc, to) else {
+                        continue;
+                    };
                     let is_goal = next == goal;
                     if rest.is_empty() != is_goal {
                         // Must land exactly on the goal with the last step.
@@ -502,7 +520,15 @@ impl Router {
         }
         let mut acc = Vec::with_capacity(template.len());
         let mut budget = TEMPLATE_BUDGET;
-        if recur(self, start, goal, template.values(), net, &mut acc, &mut budget) {
+        if recur(
+            self,
+            start,
+            goal,
+            template.values(),
+            net,
+            &mut acc,
+            &mut budget,
+        ) {
             Some(acc)
         } else {
             None
@@ -585,13 +611,19 @@ impl Router {
         let goal = self.seg(sink.rc, sink.wire)?;
         if let Some(owner) = self.nets.owner(goal) {
             if owner != net {
-                return Err(RouteError::ResourceInUse { segment: goal, owner: Some(owner) });
+                return Err(RouteError::ResourceInUse {
+                    segment: goal,
+                    owner: Some(owner),
+                });
             }
             return Ok(()); // already reached by this net
         }
         if self.bits.is_segment_driven(goal) {
             self.stats.contention_rejections += 1;
-            return Err(RouteError::Contention { segment: goal, owner: None });
+            return Err(RouteError::Contention {
+                segment: goal,
+                owner: None,
+            });
         }
         let src_seg = self.seg(src.rc, src.wire)?;
 
@@ -643,7 +675,10 @@ impl Router {
                 &self.obs,
             )
         };
-        let result = result.ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
+        let result = result.ok_or(RouteError::Unroutable {
+            from: src_seg,
+            to: goal,
+        })?;
         self.stats.maze_nodes_expanded += result.nodes_expanded;
         self.commit_pips(net, &result.pips)?;
         self.nets.add_sink(net, sink);
@@ -715,7 +750,11 @@ impl Router {
     }
 
     fn remember_intents_of(&mut self, source: Segment) {
-        let Some(id) = self.nets.net_at_source(source).or_else(|| self.nets.owner(source)) else {
+        let Some(id) = self
+            .nets
+            .net_at_source(source)
+            .or_else(|| self.nets.owner(source))
+        else {
             return;
         };
         if let Some(net) = self.nets.net(id) {
@@ -765,8 +804,8 @@ impl Router {
         let mut span = self.obs.span("router.reverse_trace");
         let pins = self.resolve(sink)?;
         let seg = self.seg(pins[0].rc, pins[0].wire)?;
-        let (hops, src) = trace::reverse_trace(&self.bits, seg)
-            .ok_or(RouteError::NoSuchNet { segment: seg })?;
+        let (hops, src) =
+            trace::reverse_trace(&self.bits, seg).ok_or(RouteError::NoSuchNet { segment: seg })?;
         span.note(hops.len() as u64);
         Ok((hops, src))
     }
@@ -786,15 +825,27 @@ mod tests {
         // §3.1 worked example, verbatim.
         let mut r = router();
         r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
-        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        r.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0)).unwrap();
-        r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        r.route_rc(
+            5,
+            8,
+            wire::single_end(Dir::East, 5),
+            wire::single(Dir::North, 0),
+        )
+        .unwrap();
+        r.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3)
+            .unwrap();
         assert_eq!(r.stats().pips_set, 4);
         assert_eq!(r.nets().len(), 1);
         let net = r.trace(&Pin::new(5, 7, wire::S1_YQ).into()).unwrap();
         assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
-        assert!(r.is_on(RowCol::new(5, 7), wire::single(Dir::East, 5)).unwrap());
-        assert!(!r.is_on(RowCol::new(5, 7), wire::single(Dir::East, 6)).unwrap());
+        assert!(r
+            .is_on(RowCol::new(5, 7), wire::single(Dir::East, 5))
+            .unwrap());
+        assert!(!r
+            .is_on(RowCol::new(5, 7), wire::single(Dir::East, 6))
+            .unwrap());
     }
 
     #[test]
@@ -829,7 +880,8 @@ mod tests {
     fn level3_template_route_matches_paper_example() {
         let mut r = router();
         let t = Template::new(vec![T::OutMux, T::East1, T::North1, T::ClbIn]);
-        r.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap();
+        r.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t)
+            .unwrap();
         let net = r.trace(&Pin::new(5, 7, wire::S1_YQ).into()).unwrap();
         assert_eq!(net.sinks, vec![Pin::new(6, 8, wire::S0_F3)]);
         // Template route uses exactly template-length pips.
@@ -841,11 +893,15 @@ mod tests {
         let mut r = router();
         // A template demanding a LONGH step from a non-access tile fails.
         let t = Template::new(vec![T::OutMux, T::LongH, T::ClbIn]);
-        let err = r.route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap_err();
+        let err = r
+            .route_template(Pin::new(5, 7, wire::S1_YQ), wire::S0_F3, &t)
+            .unwrap_err();
         assert!(matches!(err, RouteError::TemplateExhausted));
         // Walking off the chip is detected before searching.
         let t = Template::new(vec![T::OutMux, T::South6, T::ClbIn]);
-        let err = r.route_template(Pin::new(2, 7, wire::S1_YQ), wire::S0_F3, &t).unwrap_err();
+        let err = r
+            .route_template(Pin::new(2, 7, wire::S1_YQ), wire::S0_F3, &t)
+            .unwrap_err();
         assert!(matches!(err, RouteError::TemplateOffChip));
     }
 
@@ -895,14 +951,22 @@ mod tests {
     #[test]
     fn level6_bus_routes_pairwise_and_checks_width() {
         let mut r = router();
-        let sources: Vec<EndPoint> =
-            (0..4).map(|i| Pin::new(2 + i, 2, wire::S0_YQ).into()).collect();
-        let sinks: Vec<EndPoint> =
-            (0..4).map(|i| Pin::new(2 + i, 6, wire::S0_F3).into()).collect();
+        let sources: Vec<EndPoint> = (0..4)
+            .map(|i| Pin::new(2 + i, 2, wire::S0_YQ).into())
+            .collect();
+        let sinks: Vec<EndPoint> = (0..4)
+            .map(|i| Pin::new(2 + i, 6, wire::S0_F3).into())
+            .collect();
         r.route_bus(&sources, &sinks).unwrap();
         assert_eq!(r.nets().len(), 4);
         let err = r.route_bus(&sources, &sinks[..2]).unwrap_err();
-        assert!(matches!(err, RouteError::BusWidthMismatch { sources: 4, sinks: 2 }));
+        assert!(matches!(
+            err,
+            RouteError::BusWidthMismatch {
+                sources: 4,
+                sinks: 2
+            }
+        ));
     }
 
     #[test]
@@ -910,14 +974,19 @@ mod tests {
         // §3.4: driving an in-use wire throws.
         let mut r = router();
         r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
-        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        r.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
         // S0_X (k=0) also reaches OUT[0] and OUT[2]... use another driver
         // of SINGLE_E[5]: OUT[1] is its OMUX driver; drive from a hex tap
         // instead must be refused.
         let mut drivers = Vec::new();
-        r.device().arch().pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
+        r.device()
+            .arch()
+            .pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
         let other = drivers.into_iter().find(|w| *w != wire::out(1)).unwrap();
-        let err = r.route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5)).unwrap_err();
+        let err = r
+            .route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5))
+            .unwrap_err();
         assert!(matches!(err, RouteError::Contention { .. }));
         assert_eq!(r.stats().contention_rejections, 1);
     }
@@ -927,12 +996,18 @@ mod tests {
         // Configure a driver behind the router's back; the router must
         // still refuse to double-drive.
         let mut r = router();
-        r.bits_mut().set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        r.bits_mut()
+            .set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
         r.route_rc(5, 7, wire::S1_YQ, wire::out(1)).unwrap();
         let mut drivers = Vec::new();
-        r.device().arch().pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
+        r.device()
+            .arch()
+            .pips_into(RowCol::new(5, 7), wire::single(Dir::East, 5), &mut drivers);
         let other = drivers.into_iter().find(|w| *w != wire::out(1)).unwrap();
-        let err = r.route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5)).unwrap_err();
+        let err = r
+            .route_pip(RowCol::new(5, 7), other, wire::single(Dir::East, 5))
+            .unwrap_err();
         assert!(matches!(err, RouteError::Contention { .. }));
     }
 
@@ -976,8 +1051,9 @@ mod tests {
         r.unroute(&out_port.into()).unwrap();
         assert_eq!(r.bits().on_pip_count(), 0);
         assert_eq!(r.remembered().len(), 1);
-        let reconnected =
-            r.rebind_port(out_port, vec![Pin::new(4, 2, wire::S1_YQ).into()]).unwrap();
+        let reconnected = r
+            .rebind_port(out_port, vec![Pin::new(4, 2, wire::S1_YQ).into()])
+            .unwrap();
         assert_eq!(reconnected, 1);
         assert!(r.remembered().is_empty());
         let net = r.trace(&out_port.into()).unwrap();
@@ -992,7 +1068,12 @@ mod tests {
         r.route(&src, &sink).unwrap();
         let (hops, found) = r.reverse_trace(&sink).unwrap();
         assert!(!hops.is_empty());
-        assert_eq!(found, r.device().canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap());
+        assert_eq!(
+            found,
+            r.device()
+                .canonicalize(RowCol::new(5, 7), wire::S1_YQ)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -40,11 +40,17 @@ impl RouterStats {
         report.set_counter("router.pips_cleared", self.pips_cleared as u64);
         report.set_counter("router.nets_created", self.nets_created as u64);
         report.set_counter("router.maze_searches", self.maze_searches as u64);
-        report.set_counter("router.maze_nodes_expanded", self.maze_nodes_expanded as u64);
+        report.set_counter(
+            "router.maze_nodes_expanded",
+            self.maze_nodes_expanded as u64,
+        );
         report.set_counter("router.template_attempts", self.template_attempts as u64);
         report.set_counter("router.template_successes", self.template_successes as u64);
         report.set_counter("router.maze_fallbacks", self.maze_fallbacks as u64);
-        report.set_counter("router.contention_rejections", self.contention_rejections as u64);
+        report.set_counter(
+            "router.contention_rejections",
+            self.contention_rejections as u64,
+        );
     }
 }
 
@@ -75,14 +81,13 @@ impl ResourceUsage {
             + self.gclks
     }
 
-    /// Census over a net database.
+    /// Census over a net database: one bucket bump per owned canonical
+    /// segment, straight off the dense occupancy (each segment counts
+    /// once even when several of a net's branches reach it).
     pub fn from_netdb(db: &NetDb) -> Self {
         let mut u = ResourceUsage::default();
-        for net in db.iter() {
-            u.bump(net.source.wire.kind());
-            for &(_, pip) in &net.pips {
-                u.bump(pip.to.kind());
-            }
+        for (seg, _) in db.iter_used() {
+            u.bump(seg.wire.kind());
         }
         u
     }
@@ -211,30 +216,42 @@ mod tests {
 
     #[test]
     fn census_buckets_by_class() {
-        let mut db = NetDb::new();
+        let mut db = NetDb::new(virtex::SegSpace::new(virtex::Dims::new(16, 24)));
         let src = Pin::new(0, 0, wire::S0_YQ);
-        let s = Segment { rc: RowCol::new(0, 0), wire: wire::S0_YQ };
+        let s = Segment {
+            rc: RowCol::new(0, 0),
+            wire: wire::S0_YQ,
+        };
         let id = db.create(src, s).unwrap();
         let rc = RowCol::new(0, 0);
         db.add_pip(
             id,
             rc,
             Pip::new(wire::S0_YQ, wire::out(3)),
-            Segment { rc, wire: wire::out(3) },
+            Segment {
+                rc,
+                wire: wire::out(3),
+            },
         )
         .unwrap();
         db.add_pip(
             id,
             rc,
             Pip::new(wire::out(3), wire::single(Dir::East, 1)),
-            Segment { rc, wire: wire::single(Dir::East, 1) },
+            Segment {
+                rc,
+                wire: wire::single(Dir::East, 1),
+            },
         )
         .unwrap();
         db.add_pip(
             id,
             rc,
             Pip::new(wire::out(3), wire::hex(Dir::North, 4)),
-            Segment { rc, wire: wire::hex(Dir::North, 4) },
+            Segment {
+                rc,
+                wire: wire::hex(Dir::North, 4),
+            },
         )
         .unwrap();
         let u = ResourceUsage::from_netdb(&db);
@@ -255,8 +272,19 @@ mod tests {
 
     #[test]
     fn resource_diff_is_signed_per_class() {
-        let before = ResourceUsage { outs: 2, singles: 5, hexes: 1, ..Default::default() };
-        let after = ResourceUsage { outs: 3, singles: 2, hexes: 1, gclks: 1, ..Default::default() };
+        let before = ResourceUsage {
+            outs: 2,
+            singles: 5,
+            hexes: 1,
+            ..Default::default()
+        };
+        let after = ResourceUsage {
+            outs: 3,
+            singles: 2,
+            hexes: 1,
+            gclks: 1,
+            ..Default::default()
+        };
         let d = after.diff(&before);
         assert_eq!(d.outs, 1);
         assert_eq!(d.singles, -3);
@@ -272,11 +300,17 @@ mod tests {
     #[test]
     fn publish_writes_cumulative_gauges_idempotently() {
         let mut rep = Report::default();
-        let stats = RouterStats { pips_set: 7, ..Default::default() };
+        let stats = RouterStats {
+            pips_set: 7,
+            ..Default::default()
+        };
         stats.publish(&mut rep);
         stats.publish(&mut rep); // gauges overwrite, never accumulate
         assert_eq!(rep.counter("router.pips_set"), Some(7));
-        let usage = ResourceUsage { hexes: 3, ..Default::default() };
+        let usage = ResourceUsage {
+            hexes: 3,
+            ..Default::default()
+        };
         usage.publish(&mut rep);
         assert_eq!(rep.counter("resources.hexes"), Some(3));
         assert_eq!(rep.counter("resources.total"), Some(3));

@@ -20,7 +20,9 @@ pub struct Template {
 impl Template {
     /// Template over the given values, in traversal order.
     pub fn new(values: impl Into<Vec<TemplateValue>>) -> Self {
-        Template { values: values.into() }
+        Template {
+            values: values.into(),
+        }
     }
 
     /// The template values.
@@ -95,7 +97,14 @@ mod tests {
 
     #[test]
     fn displacement_mixes_hexes_and_singles() {
-        let t = Template::new(vec![T::OutMux, T::North6, T::North6, T::South1, T::East6, T::ClbIn]);
+        let t = Template::new(vec![
+            T::OutMux,
+            T::North6,
+            T::North6,
+            T::South1,
+            T::East6,
+            T::ClbIn,
+        ]);
         assert_eq!(t.displacement(), (11, 6));
     }
 

@@ -33,12 +33,7 @@ fn axis_steps(delta: i32, pos: Dir, neg: Dir, out: &mut Vec<TemplateValue>) {
 /// Prefixes `OUTMUX` when the source is a logic-block output pin and
 /// appends `CLBIN` when the sink is an input pin, so the templates run
 /// end-to-end. Candidates are returned cheapest-first (fewest steps).
-pub fn candidates(
-    src_rc: RowCol,
-    src_wire: Wire,
-    dst_rc: RowCol,
-    dst_wire: Wire,
-) -> Vec<Template> {
+pub fn candidates(src_rc: RowCol, src_wire: Wire, dst_rc: RowCol, dst_wire: Wire) -> Vec<Template> {
     let dr = dst_rc.row as i32 - src_rc.row as i32;
     let dc = dst_rc.col as i32 - src_rc.col as i32;
     let from_output = src_wire.is_clb_output();
@@ -171,12 +166,27 @@ mod tests {
 
     #[test]
     fn local_deltas_offer_feedback_and_direct() {
-        let same = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 4), wire::S0_F3);
+        let same = candidates(
+            RowCol::new(4, 4),
+            wire::S0_YQ,
+            RowCol::new(4, 4),
+            wire::S0_F3,
+        );
         assert_eq!(same[0].values(), [T::Feedback, T::ClbIn]);
-        let east = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 5), wire::S0_F3);
+        let east = candidates(
+            RowCol::new(4, 4),
+            wire::S0_YQ,
+            RowCol::new(4, 5),
+            wire::S0_F3,
+        );
         assert_eq!(east[0].values(), [T::Direct, T::ClbIn]);
         // But a west neighbour has no direct connect.
-        let west = candidates(RowCol::new(4, 4), wire::S0_YQ, RowCol::new(4, 3), wire::S0_F3);
+        let west = candidates(
+            RowCol::new(4, 4),
+            wire::S0_YQ,
+            RowCol::new(4, 3),
+            wire::S0_F3,
+        );
         assert!(west.iter().all(|t| t.values().first() != Some(&T::Direct)));
     }
 
@@ -196,7 +206,12 @@ mod tests {
 
     #[test]
     fn candidates_are_distinct() {
-        let c = candidates(RowCol::new(0, 0), wire::S0_YQ, RowCol::new(5, 5), wire::S0_F3);
+        let c = candidates(
+            RowCol::new(0, 0),
+            wire::S0_YQ,
+            RowCol::new(5, 5),
+            wire::S0_F3,
+        );
         for (i, a) in c.iter().enumerate() {
             for b in &c[i + 1..] {
                 assert_ne!(a, b);

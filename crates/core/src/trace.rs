@@ -54,7 +54,9 @@ pub fn trace(bits: &Bitstream, source: Segment) -> TracedNet {
                     continue;
                 }
                 net.pips.push((tap.rc, *pip));
-                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else {
+                    continue;
+                };
                 if pip.to.is_clb_input() {
                     let pin = Pin::at(tap.rc, pip.to);
                     if !net.sinks.contains(&pin) {
@@ -110,11 +112,22 @@ mod tests {
     fn example_route() -> (Bitstream, Segment) {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
             .unwrap();
-        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        b.set_pip(
+            RowCol::new(5, 8),
+            wire::single_end(Dir::East, 5),
+            wire::single(Dir::North, 0),
+        )
+        .unwrap();
+        b.set_pip(
+            RowCol::new(6, 8),
+            wire::single_end(Dir::North, 0),
+            wire::S0_F3,
+        )
+        .unwrap();
         let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
         (b, src)
     }
@@ -135,7 +148,8 @@ mod tests {
         let (mut b, src) = example_route();
         // Branch at OUT[1]: also drive SINGLE_N[4] from (5,7)
         // (pattern: OUT[1] drives north singles {3, 11, 19}).
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3))
+            .unwrap();
         let net = trace(&b, src);
         assert_eq!(net.pips.len(), 5);
         assert_eq!(net.segments.len(), 6);
@@ -144,7 +158,8 @@ mod tests {
     #[test]
     fn reverse_trace_finds_only_the_stem() {
         let (mut b, src) = example_route();
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3))
+            .unwrap();
         let dev = *b.device();
         let sink = dev.canonicalize(RowCol::new(6, 8), wire::S0_F3).unwrap();
         let (hops, found_src) = reverse_trace(&b, sink).unwrap();

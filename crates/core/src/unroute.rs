@@ -27,7 +27,12 @@ fn fanout_degree(bits: &Bitstream, seg: Segment) -> usize {
     let mut taps: Vec<Tap> = Vec::with_capacity(4);
     virtex::segment::taps(bits.device().dims(), seg, &mut taps);
     taps.iter()
-        .map(|t| bits.pips_at(t.rc).iter().filter(|p| p.from == t.wire).count())
+        .map(|t| {
+            bits.pips_at(t.rc)
+                .iter()
+                .filter(|p| p.from == t.wire)
+                .count()
+        })
         .sum()
 }
 
@@ -83,7 +88,9 @@ pub fn reverse_unroute(bits: &mut Bitstream, nets: &mut NetDb, sink: Segment) ->
         if let Some(id) = owner {
             nets.remove_pip(id, rc, pip, cur);
         }
-        let Some(driver) = dev.canonicalize(rc, pip.from) else { break };
+        let Some(driver) = dev.canonicalize(rc, pip.from) else {
+            break;
+        };
         // Stop at a fan-out point: the driver still feeds other wires.
         if fanout_degree(bits, driver) > 0 {
             break;
@@ -119,15 +126,23 @@ mod tests {
     fn example() -> (Bitstream, NetDb, Segment) {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        let mut nets = NetDb::new();
+        let mut nets = NetDb::new(dev.seg_space());
         let src_pin = Pin::new(5, 7, wire::S1_YQ);
         let src = dev.canonicalize(src_pin.rc, src_pin.wire).unwrap();
         let id = nets.create(src_pin, src).unwrap();
         let steps: [(RowCol, virtex::Wire, virtex::Wire); 4] = [
             (RowCol::new(5, 7), wire::S1_YQ, wire::out(1)),
             (RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)),
-            (RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0)),
-            (RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3),
+            (
+                RowCol::new(5, 8),
+                wire::single_end(Dir::East, 5),
+                wire::single(Dir::North, 0),
+            ),
+            (
+                RowCol::new(6, 8),
+                wire::single_end(Dir::North, 0),
+                wire::S0_F3,
+            ),
         ];
         for (rc, f, t) in steps {
             b.set_pip(rc, f, t).unwrap();
@@ -145,7 +160,11 @@ mod tests {
         let (mut b, mut nets, src) = example();
         let n = unroute_forward(&mut b, &mut nets, src).unwrap();
         assert_eq!(n, 4);
-        assert_eq!(snapshot(&b), blank, "unroute must return device to prior state");
+        assert_eq!(
+            snapshot(&b),
+            blank,
+            "unroute must return device to prior state"
+        );
         assert!(nets.is_empty());
         assert_eq!(nets.used_segments(), 0);
         // Unrouting again reports there is no net.
@@ -176,7 +195,11 @@ mod tests {
         let id = nets.net_at_source(src).unwrap();
         let branch: [(RowCol, virtex::Wire, virtex::Wire); 2] = [
             (RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)),
-            (RowCol::new(6, 7), wire::single_end(Dir::North, 3), wire::slice_in(1, 8)),
+            (
+                RowCol::new(6, 7),
+                wire::single_end(Dir::North, 3),
+                wire::slice_in(1, 8),
+            ),
         ];
         for (rc, f, t) in branch {
             b.set_pip(rc, f, t).unwrap();
@@ -219,9 +242,11 @@ mod tests {
         // Configure with raw JBits only (no net records), then unroute.
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        let mut nets = NetDb::new();
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
+            .unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        let mut nets = NetDb::new(dev.seg_space());
         let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
         let n = unroute_forward(&mut b, &mut nets, src).unwrap();
         assert_eq!(n, 2);

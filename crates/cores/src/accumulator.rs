@@ -26,7 +26,12 @@ impl Accumulator {
     /// Accumulator of `width` bits at `origin`, clocked by `GCLK[gclk]`.
     pub fn new(width: usize, gclk: usize, origin: RowCol) -> Self {
         assert!(width > 0 && width <= 32);
-        Accumulator { width, gclk, origin, state: CoreState::new() }
+        Accumulator {
+            width,
+            gclk,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -92,7 +97,11 @@ impl RtpCore for Accumulator {
             self.state.record_lut(rc, 0, 0);
             router.bits_mut().set_lut(rc, 0, 1, carry)?;
             self.state.record_lut(rc, 0, 1);
-            router.route_pip(rc, wire::gclk(self.gclk), wire::slice_in(0, slice_in_pin::CLK))?;
+            router.route_pip(
+                rc,
+                wire::gclk(self.gclk),
+                wire::slice_in(0, slice_in_pin::CLK),
+            )?;
             // Accumulator feedback into input 1 of both LUTs.
             let xq: EndPoint = Pin::at(rc, wire::slice_out(0, slice_out_pin::XQ)).into();
             router.route_fanout(
@@ -129,13 +138,13 @@ impl RtpCore for Accumulator {
                 ]
             })
             .collect();
-        self.state.define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
+        self.state
+            .define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
         let acc_targets: Vec<Vec<EndPoint>> = (0..self.width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "acc", PortDir::Output, acc_targets)?;
+        self.state
+            .define_or_rebind_group(router, "acc", PortDir::Output, acc_targets)?;
         self.state.set_placed(true);
         Ok(())
     }

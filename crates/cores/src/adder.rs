@@ -25,7 +25,12 @@ impl ConstAdder {
     /// Adder computing `a + constant` over `width` bits at `origin`.
     pub fn new(width: usize, constant: u64, origin: RowCol) -> Self {
         assert!(width > 0 && width <= 64);
-        ConstAdder { width, constant, origin, state: CoreState::new() }
+        ConstAdder {
+            width,
+            constant,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -134,13 +139,13 @@ impl RtpCore for ConstAdder {
                 ]
             })
             .collect();
-        self.state.define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
+        self.state
+            .define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
         let sum_targets: Vec<Vec<EndPoint>> = (0..self.width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::X)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::X)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "sum", PortDir::Output, sum_targets)?;
+        self.state
+            .define_or_rebind_group(router, "sum", PortDir::Output, sum_targets)?;
         let cin = self.rc(0);
         self.state.define_or_rebind_group(
             router,
@@ -156,7 +161,9 @@ impl RtpCore for ConstAdder {
             router,
             "cout",
             PortDir::Output,
-            vec![vec![Pin::at(cout, wire::slice_out(0, slice_out_pin::Y)).into()]],
+            vec![vec![
+                Pin::at(cout, wire::slice_out(0, slice_out_pin::Y)).into()
+            ]],
         )?;
         self.state.set_placed(true);
         Ok(())

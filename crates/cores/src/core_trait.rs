@@ -140,7 +140,10 @@ impl CoreState {
             }
         }
         for (rc, slice, lut) in self.luts.drain(..) {
-            router.bits_mut().set_lut(rc, slice, lut, 0).map_err(RouteError::JBits)?;
+            router
+                .bits_mut()
+                .set_lut(rc, slice, lut, 0)
+                .map_err(RouteError::JBits)?;
         }
         self.placed = false;
         Ok(())
@@ -152,8 +155,7 @@ impl CoreState {
 /// (remembered via the upstream nets). Call before removing/relocating.
 pub fn detach(core: &dyn RtpCore, router: &mut Router) -> Result<()> {
     let state = core.state();
-    let groups: Vec<(String, PortDir)> =
-        state.groups().map(|(g, d)| (g.to_string(), d)).collect();
+    let groups: Vec<(String, PortDir)> = state.groups().map(|(g, d)| (g.to_string(), d)).collect();
     for (group, dir) in groups {
         for &id in state.get_ports(&group) {
             let ep: EndPoint = id.into();
@@ -162,7 +164,9 @@ pub fn detach(core: &dyn RtpCore, router: &mut Router) -> Result<()> {
                 PortDir::Input => router.unroute_sink(&ep).map(|_| ()),
             };
             match r {
-                Ok(()) | Err(RouteError::NoSuchNet { .. }) | Err(RouteError::UnboundPort { .. }) => {}
+                Ok(())
+                | Err(RouteError::NoSuchNet { .. })
+                | Err(RouteError::UnboundPort { .. }) => {}
                 Err(e) => return Err(e),
             }
         }

@@ -27,7 +27,12 @@ impl Counter {
     /// Counter of `width` bits at `origin`, clocked by `GCLK[gclk]`.
     pub fn new(width: usize, gclk: usize, origin: RowCol) -> Self {
         assert!(width > 0 && width <= 32);
-        Counter { width, gclk, origin, state: CoreState::new() }
+        Counter {
+            width,
+            gclk,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -86,7 +91,11 @@ impl RtpCore for Counter {
             router.bits_mut().set_lut(rc, 0, 1, carry)?;
             self.state.record_lut(rc, 0, 1);
             // Clock the F flip-flop.
-            router.route_pip(rc, wire::gclk(self.gclk), wire::slice_in(0, slice_in_pin::CLK))?;
+            router.route_pip(
+                rc,
+                wire::gclk(self.gclk),
+                wire::slice_in(0, slice_in_pin::CLK),
+            )?;
             // Feedback: XQ back into both LUTs' input 1 (the §4 "output
             // fed back to one input" wiring, found by the auto-router).
             let xq: EndPoint = Pin::at(rc, wire::slice_out(0, slice_out_pin::XQ)).into();
@@ -112,11 +121,10 @@ impl RtpCore for Counter {
         self.state
             .record_internal_net(Pin::at(self.rc(0), wire::gclk(self.gclk)).into());
         let q_targets: Vec<Vec<EndPoint>> = (0..self.width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
+        self.state
+            .define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
         self.state.set_placed(true);
         Ok(())
     }

@@ -49,12 +49,18 @@ pub struct Floorplan {
 impl Floorplan {
     /// Empty floorplan for a device of the given dimensions.
     pub fn new(dims: Dims) -> Self {
-        Floorplan { dims, regions: Vec::new() }
+        Floorplan {
+            dims,
+            regions: Vec::new(),
+        }
     }
 
     /// Occupied CLB count.
     pub fn occupied_clbs(&self) -> usize {
-        self.regions.iter().map(|(_, r)| r.rows as usize * r.cols as usize).sum()
+        self.regions
+            .iter()
+            .map(|(_, r)| r.rows as usize * r.cols as usize)
+            .sum()
     }
 
     /// All current regions.
@@ -89,7 +95,11 @@ impl Floorplan {
     pub fn place(&mut self, id: RegionId, rows: u16, cols: u16) -> Option<RowCol> {
         for r in 0..self.dims.rows.saturating_sub(rows - 1) {
             for c in 0..self.dims.cols.saturating_sub(cols - 1) {
-                let region = Region { origin: RowCol::new(r, c), rows, cols };
+                let region = Region {
+                    origin: RowCol::new(r, c),
+                    rows,
+                    cols,
+                };
                 if self.claim(id, region) {
                     return Some(region.origin);
                 }
@@ -112,11 +122,31 @@ mod tests {
 
     #[test]
     fn overlap_detection_covers_edges() {
-        let a = Region { origin: RowCol::new(2, 2), rows: 4, cols: 4 };
-        let touching = Region { origin: RowCol::new(6, 2), rows: 2, cols: 2 };
-        let inside = Region { origin: RowCol::new(3, 3), rows: 1, cols: 1 };
-        let corner = Region { origin: RowCol::new(5, 5), rows: 3, cols: 3 };
-        let apart = Region { origin: RowCol::new(10, 10), rows: 2, cols: 2 };
+        let a = Region {
+            origin: RowCol::new(2, 2),
+            rows: 4,
+            cols: 4,
+        };
+        let touching = Region {
+            origin: RowCol::new(6, 2),
+            rows: 2,
+            cols: 2,
+        };
+        let inside = Region {
+            origin: RowCol::new(3, 3),
+            rows: 1,
+            cols: 1,
+        };
+        let corner = Region {
+            origin: RowCol::new(5, 5),
+            rows: 3,
+            cols: 3,
+        };
+        let apart = Region {
+            origin: RowCol::new(10, 10),
+            rows: 2,
+            cols: 2,
+        };
         assert!(!a.overlaps(&touching), "edge-adjacent is not overlap");
         assert!(a.overlaps(&inside));
         assert!(a.overlaps(&corner));
@@ -138,10 +168,41 @@ mod tests {
     #[test]
     fn claims_respect_occupancy_and_bounds() {
         let mut fp = Floorplan::new(DIMS);
-        assert!(fp.claim(0, Region { origin: RowCol::new(0, 0), rows: 4, cols: 4 }));
-        assert!(!fp.claim(1, Region { origin: RowCol::new(2, 2), rows: 4, cols: 4 }));
-        assert!(!fp.claim(1, Region { origin: RowCol::new(14, 22), rows: 4, cols: 4 }), "off-chip");
-        assert!(fp.claim(1, Region { origin: RowCol::new(4, 0), rows: 4, cols: 4 }));
+        assert!(fp.claim(
+            0,
+            Region {
+                origin: RowCol::new(0, 0),
+                rows: 4,
+                cols: 4
+            }
+        ));
+        assert!(!fp.claim(
+            1,
+            Region {
+                origin: RowCol::new(2, 2),
+                rows: 4,
+                cols: 4
+            }
+        ));
+        assert!(
+            !fp.claim(
+                1,
+                Region {
+                    origin: RowCol::new(14, 22),
+                    rows: 4,
+                    cols: 4
+                }
+            ),
+            "off-chip"
+        );
+        assert!(fp.claim(
+            1,
+            Region {
+                origin: RowCol::new(4, 0),
+                rows: 4,
+                cols: 4
+            }
+        ));
     }
 
     #[test]

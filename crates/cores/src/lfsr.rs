@@ -26,7 +26,12 @@ impl Lfsr {
     /// LFSR of `width` bits at `origin`, clocked by `GCLK[gclk]`.
     pub fn new(width: usize, gclk: usize, origin: RowCol) -> Self {
         assert!((2..=32).contains(&width));
-        Lfsr { width, gclk, origin, state: CoreState::new() }
+        Lfsr {
+            width,
+            gclk,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -78,7 +83,11 @@ impl RtpCore for Lfsr {
             };
             router.bits_mut().set_lut(rc, 0, 0, mask)?;
             self.state.record_lut(rc, 0, 0);
-            router.route_pip(rc, wire::gclk(self.gclk), wire::slice_in(0, slice_in_pin::CLK))?;
+            router.route_pip(
+                rc,
+                wire::gclk(self.gclk),
+                wire::slice_in(0, slice_in_pin::CLK),
+            )?;
         }
         self.state
             .record_internal_net(Pin::at(self.rc(0), wire::gclk(self.gclk)).into());
@@ -101,11 +110,10 @@ impl RtpCore for Lfsr {
             }
         }
         let q_targets: Vec<Vec<EndPoint>> = (0..w)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
+        self.state
+            .define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
         self.state.set_placed(true);
         Ok(())
     }

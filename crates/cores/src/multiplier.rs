@@ -35,7 +35,12 @@ impl ConstMultiplier {
     pub fn new(constant: u8, out_width: usize, origin: RowCol) -> Self {
         assert!(constant < 16, "constant is 4 bits");
         assert!(out_width > 0 && out_width <= 8);
-        ConstMultiplier { constant, out_width, origin, state: CoreState::new() }
+        ConstMultiplier {
+            constant,
+            out_width,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// The run-time parameter.
@@ -105,19 +110,18 @@ impl RtpCore for ConstMultiplier {
             .map(|i| {
                 (0..self.out_width)
                     .map(|bit| {
-                        Pin::at(self.rc(bit), wire::slice_in(0, slice_in_pin::F1 + i as u8))
-                            .into()
+                        Pin::at(self.rc(bit), wire::slice_in(0, slice_in_pin::F1 + i as u8)).into()
                     })
                     .collect()
             })
             .collect();
-        self.state.define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
+        self.state
+            .define_or_rebind_group(router, "a", PortDir::Input, a_targets)?;
         let p_targets: Vec<Vec<EndPoint>> = (0..self.out_width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::X)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::X)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "p", PortDir::Output, p_targets)?;
+        self.state
+            .define_or_rebind_group(router, "p", PortDir::Output, p_targets)?;
         self.state.set_placed(true);
         Ok(())
     }

@@ -20,7 +20,12 @@ impl Register {
     /// Register of `width` bits at `origin`, clocked by `GCLK[gclk]`.
     pub fn new(width: usize, gclk: usize, origin: RowCol) -> Self {
         assert!(width > 0);
-        Register { width, gclk, origin, state: CoreState::new() }
+        Register {
+            width,
+            gclk,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -70,22 +75,24 @@ impl RtpCore for Register {
             let rc = self.rc(bit);
             router.bits_mut().set_lut(rc, 0, 0, buffer_mask(0))?;
             self.state.record_lut(rc, 0, 0);
-            router.route_pip(rc, wire::gclk(self.gclk), wire::slice_in(0, slice_in_pin::CLK))?;
+            router.route_pip(
+                rc,
+                wire::gclk(self.gclk),
+                wire::slice_in(0, slice_in_pin::CLK),
+            )?;
         }
         self.state
             .record_internal_net(Pin::at(self.rc(0), wire::gclk(self.gclk)).into());
         let d_targets: Vec<Vec<EndPoint>> = (0..self.width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_in(0, slice_in_pin::F1)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_in(0, slice_in_pin::F1)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "d", PortDir::Input, d_targets)?;
+        self.state
+            .define_or_rebind_group(router, "d", PortDir::Input, d_targets)?;
         let q_targets: Vec<Vec<EndPoint>> = (0..self.width)
-            .map(|bit| {
-                vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()]
-            })
+            .map(|bit| vec![Pin::at(self.rc(bit), wire::slice_out(0, slice_out_pin::XQ)).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
+        self.state
+            .define_or_rebind_group(router, "q", PortDir::Output, q_targets)?;
         self.state.set_placed(true);
         Ok(())
     }

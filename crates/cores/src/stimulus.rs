@@ -21,7 +21,11 @@ pub struct StimulusBank {
 impl StimulusBank {
     /// Bank of `width` bits at `origin`.
     pub fn new(width: usize, origin: RowCol) -> Self {
-        StimulusBank { width, origin, state: CoreState::new() }
+        StimulusBank {
+            width,
+            origin,
+            state: CoreState::new(),
+        }
     }
 
     /// Bit width.
@@ -67,7 +71,8 @@ impl RtpCore for StimulusBank {
         let targets = (0..self.width)
             .map(|bit| vec![self.driver_pin(bit).into()])
             .collect();
-        self.state.define_or_rebind_group(router, "out", PortDir::Output, targets)?;
+        self.state
+            .define_or_rebind_group(router, "out", PortDir::Output, targets)?;
         self.state.set_placed(true);
         Ok(())
     }

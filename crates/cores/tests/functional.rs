@@ -18,7 +18,10 @@ fn force_value(sim: &mut Simulator<'_>, stim: &StimulusBank, value: u64) {
     for bit in 0..stim.width() {
         let pin = stim.driver_pin(bit);
         sim.force(
-            LogicSource::Yq { rc: pin.rc, slice: 1 },
+            LogicSource::Yq {
+                rc: pin.rc,
+                slice: 1,
+            },
             (value >> bit) & 1 == 1,
         );
     }
@@ -67,7 +70,11 @@ fn counter_counts() {
     assert_eq!(read_xq_bits(&sim, &sites), 0);
     for expect in 1..=20u64 {
         sim.step().unwrap();
-        assert_eq!(read_xq_bits(&sim, &sites), expect & 0xF, "after {expect} edges");
+        assert_eq!(
+            read_xq_bits(&sim, &sites),
+            expect & 0xF,
+            "after {expect} edges"
+        );
     }
 }
 
@@ -107,12 +114,20 @@ fn register_chain_is_a_shift_register() {
     stim.implement(&mut r).unwrap();
     r1.implement(&mut r).unwrap();
     r2.implement(&mut r).unwrap();
-    r.route(&stim.out_ports()[0].into(), &r1.d_ports()[0].into()).unwrap();
-    r.route(&r1.q_ports()[0].into(), &r2.d_ports()[0].into()).unwrap();
+    r.route(&stim.out_ports()[0].into(), &r1.d_ports()[0].into())
+        .unwrap();
+    r.route(&r1.q_ports()[0].into(), &r2.d_ports()[0].into())
+        .unwrap();
 
     let mut sim = Simulator::new(r.bits());
-    let q1 = LogicSource::Xq { rc: r1.bit_site(0), slice: 0 };
-    let q2 = LogicSource::Xq { rc: r2.bit_site(0), slice: 0 };
+    let q1 = LogicSource::Xq {
+        rc: r1.bit_site(0),
+        slice: 0,
+    };
+    let q2 = LogicSource::Xq {
+        rc: r2.bit_site(0),
+        slice: 0,
+    };
     force_value(&mut sim, &stim, 1);
     sim.step().unwrap();
     assert_eq!(sim.read(q1), Ok(true));
@@ -152,7 +167,11 @@ fn core_relocation_reconnects_automatically() {
     for a in [0u64, 7, 15] {
         let mut sim = Simulator::new(r.bits());
         force_value(&mut sim, &stim, a);
-        assert_eq!(read_x_bits(&sim, &sites), (a + 1) & 0xF, "a={a} after relocation");
+        assert_eq!(
+            read_x_bits(&sim, &sites),
+            (a + 1) & 0xF,
+            "a={a} after relocation"
+        );
     }
 }
 
@@ -177,7 +196,11 @@ fn paper_section4_counter_from_adder_composition() {
     let mut sim = Simulator::new(r.bits());
     for expect in 1..=18u64 {
         sim.step().unwrap();
-        assert_eq!(read_xq_bits(&sim, &sites), expect & 0xF, "after {expect} edges");
+        assert_eq!(
+            read_xq_bits(&sim, &sites),
+            expect & 0xF,
+            "after {expect} edges"
+        );
     }
 }
 
@@ -202,7 +225,11 @@ fn accumulator_accumulates() {
     for step in 1..=8u64 {
         sim.step().unwrap();
         expect = (expect + 5) & 0x3F;
-        assert_eq!(read_xq_bits(&sim, &sites), expect, "after {step} steps of +5");
+        assert_eq!(
+            read_xq_bits(&sim, &sites),
+            expect,
+            "after {step} steps of +5"
+        );
     }
 }
 

@@ -227,7 +227,10 @@ mod tests {
         for _ in 0..1000 {
             seen[r.gen_range(0usize..8)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "8-value range not covered in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "8-value range not covered in 1000 draws"
+        );
     }
 
     #[test]
@@ -239,7 +242,10 @@ mod tests {
         }
         for c in counts {
             // Expected 10_000 per bucket; 10 sigma ≈ 949.
-            assert!((9_000..11_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -255,7 +261,10 @@ mod tests {
         assert!((0..100).all(|_| !r.gen_bool(0.0)));
         assert!((0..100).all(|_| r.gen_bool(1.0)));
         let heads = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
-        assert!((23_000..27_000).contains(&heads), "p=0.25 gave {heads}/100000");
+        assert!(
+            (23_000..27_000).contains(&heads),
+            "p=0.25 gave {heads}/100000"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl Record {
             return 0.0;
         }
         let mid = s.len() / 2;
-        if s.len() % 2 == 0 { (s[mid - 1] + s[mid]) / 2.0 } else { s[mid] }
+        if s.len() % 2 == 0 {
+            (s[mid - 1] + s[mid]) / 2.0
+        } else {
+            s[mid]
+        }
     }
 
     /// Mean ns/iter over the samples.
@@ -140,14 +144,24 @@ impl Bench {
 
     fn effective(&self) -> (usize, Duration, Duration) {
         (
-            env_u64("BENCH_SAMPLE_SIZE").map(|n| n.max(1) as usize).unwrap_or(self.sample_size),
-            env_u64("BENCH_MEASURE_MS").map(Duration::from_millis).unwrap_or(self.measurement),
-            env_u64("BENCH_WARMUP_MS").map(Duration::from_millis).unwrap_or(self.warm_up),
+            env_u64("BENCH_SAMPLE_SIZE")
+                .map(|n| n.max(1) as usize)
+                .unwrap_or(self.sample_size),
+            env_u64("BENCH_MEASURE_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(self.measurement),
+            env_u64("BENCH_WARMUP_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(self.warm_up),
         )
     }
 
     /// Run one benchmark and record its timings.
-    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let id = id.into();
         let (sample_size, measurement, warm_up) = self.effective();
         let mut b = Bencher {
@@ -179,7 +193,10 @@ impl Bench {
 
     /// A group whose benchmark ids are prefixed with `name/`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
-        BenchGroup { bench: self, prefix: name.into() }
+        BenchGroup {
+            bench: self,
+            prefix: name.into(),
+        }
     }
 
     /// Collected records, in run order.
@@ -196,7 +213,11 @@ pub struct BenchGroup<'a> {
 
 impl BenchGroup<'_> {
     /// Run one benchmark under this group's prefix.
-    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let id = format!("{}/{}", self.prefix, id.into());
         self.bench.bench_function(id, f);
         self
@@ -246,7 +267,8 @@ impl Bencher {
             for _ in 0..iters {
                 black_box(routine());
             }
-            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
     }
 
@@ -300,22 +322,24 @@ fn json_escape(s: &str) -> String {
 /// record from `groups`, into `$BENCH_JSON_DIR` (default
 /// `target/bench-json/`). Returns the path written.
 pub fn write_report(target: &str, groups: &[Bench]) -> std::path::PathBuf {
-    let dir = std::env::var("BENCH_JSON_DIR").map(std::path::PathBuf::from).unwrap_or_else(|_| {
-        // cargo runs bench binaries with cwd = the package dir; walk up
-        // to the outermost Cargo.toml (the workspace root) so reports
-        // land in the shared target/ directory.
-        if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
-            return std::path::PathBuf::from(t).join("bench-json");
-        }
-        let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
-        let root = cwd
-            .ancestors()
-            .filter(|a| a.join("Cargo.toml").exists())
-            .last()
-            .unwrap_or(&cwd)
-            .to_path_buf();
-        root.join("target").join("bench-json")
-    });
+    let dir = std::env::var("BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            // cargo runs bench binaries with cwd = the package dir; walk up
+            // to the outermost Cargo.toml (the workspace root) so reports
+            // land in the shared target/ directory.
+            if let Ok(t) = std::env::var("CARGO_TARGET_DIR") {
+                return std::path::PathBuf::from(t).join("bench-json");
+            }
+            let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+            let root = cwd
+                .ancestors()
+                .filter(|a| a.join("Cargo.toml").exists())
+                .last()
+                .unwrap_or(&cwd)
+                .to_path_buf();
+            root.join("target").join("bench-json")
+        });
     std::fs::create_dir_all(&dir).expect("create bench-json dir");
     let path = dir.join(format!("BENCH_{target}.json"));
 

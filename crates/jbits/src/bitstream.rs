@@ -54,7 +54,10 @@ impl virtex::Codec for Pip {
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
-        Some(Pip { from: Wire::decode(input)?, to: Wire::decode(input)? })
+        Some(Pip {
+            from: Wire::decode(input)?,
+            to: Wire::decode(input)?,
+        })
     }
 }
 
@@ -76,7 +79,8 @@ pub(crate) struct TileConfig {
 impl TileConfig {
     #[inline]
     fn find(&self, pip: Pip) -> Result<usize, usize> {
-        self.pips.binary_search_by(|p| (p.to, p.from).cmp(&(pip.to, pip.from)))
+        self.pips
+            .binary_search_by(|p| (p.to, p.from).cmp(&(pip.to, pip.from)))
     }
 }
 
@@ -318,7 +322,10 @@ mod tests {
         assert!(!b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
         assert!(b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
         assert!(b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
-        assert!(!b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap(), "idempotent set");
+        assert!(
+            !b.set_pip(rc, wire::S1_YQ, wire::out(1)).unwrap(),
+            "idempotent set"
+        );
         assert_eq!(b.on_pip_count(), 1);
         assert!(b.clear_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
         assert!(!b.get_pip(rc, wire::S1_YQ, wire::out(1)).unwrap());
@@ -333,11 +340,17 @@ mod tests {
         let err = b.set_pip(rc, wire::S1_YQ, wire::out(4)).unwrap_err();
         assert!(matches!(err, JBitsError::NoSuchPip { .. }));
         // Off-chip tile.
-        let err = b.set_pip(RowCol::new(99, 0), wire::S1_YQ, wire::out(1)).unwrap_err();
+        let err = b
+            .set_pip(RowCol::new(99, 0), wire::S1_YQ, wire::out(1))
+            .unwrap_err();
         assert!(matches!(err, JBitsError::BadTile { .. }));
         // Wire that doesn't exist at the edge.
         let err = b
-            .set_pip(RowCol::new(15, 0), wire::out(0), wire::single(Dir::North, 2))
+            .set_pip(
+                RowCol::new(15, 0),
+                wire::out(0),
+                wire::single(Dir::North, 2),
+            )
             .unwrap_err();
         assert!(matches!(err, JBitsError::NoSuchWire { .. }));
     }
@@ -346,14 +359,21 @@ mod tests {
     fn segment_driver_found_via_drive_taps() {
         let mut b = bs();
         let rc = RowCol::new(5, 7);
-        b.set_pip(rc, wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        let seg = b.device().canonicalize(rc, wire::single(Dir::East, 5)).unwrap();
+        b.set_pip(rc, wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        let seg = b
+            .device()
+            .canonicalize(rc, wire::single(Dir::East, 5))
+            .unwrap();
         assert!(b.is_segment_driven(seg));
         let (drc, pip) = b.segment_driver(seg).unwrap();
         assert_eq!(drc, rc);
         assert_eq!(pip, Pip::new(wire::out(1), wire::single(Dir::East, 5)));
         // An undriven segment.
-        let other = b.device().canonicalize(rc, wire::single(Dir::East, 6)).unwrap();
+        let other = b
+            .device()
+            .canonicalize(rc, wire::single(Dir::East, 6))
+            .unwrap();
         assert!(!b.is_segment_driven(other));
     }
 
@@ -367,7 +387,10 @@ mod tests {
         let target = wire::single(Dir::North, 2);
         let mut drivers = Vec::new();
         dev.arch().pips_into(rc, target, &mut drivers);
-        assert!(drivers.len() >= 2, "need two distinct drivers for this test");
+        assert!(
+            drivers.len() >= 2,
+            "need two distinct drivers for this test"
+        );
         b.set_pip(rc, drivers[0], target).unwrap();
         b.set_pip(rc, drivers[1], target).unwrap();
         let seg = dev.canonicalize(rc, target).unwrap();
@@ -413,10 +436,17 @@ mod tests {
     fn frame_accounting_tracks_touched_columns() {
         let mut b = bs();
         b.frames_mut().take();
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(RowCol::new(9, 7), wire::S1_YQ, wire::out(1)).unwrap(); // same frame
-        assert_eq!(b.frames().dirty_count(), 1, "same column + word share a frame");
-        b.set_pip(RowCol::new(5, 8), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
+            .unwrap();
+        b.set_pip(RowCol::new(9, 7), wire::S1_YQ, wire::out(1))
+            .unwrap(); // same frame
+        assert_eq!(
+            b.frames().dirty_count(),
+            1,
+            "same column + word share a frame"
+        );
+        b.set_pip(RowCol::new(5, 8), wire::S1_YQ, wire::out(1))
+            .unwrap();
         assert_eq!(b.frames().dirty_count(), 2);
     }
 

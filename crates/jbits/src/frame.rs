@@ -38,13 +38,19 @@ pub struct FrameAddr {
 /// together, as in real devices).
 #[inline]
 pub fn pip_frame(rc: RowCol, to: Wire) -> FrameAddr {
-    FrameAddr { col: rc.col, word: to.0 / 32 }
+    FrameAddr {
+        col: rc.col,
+        word: to.0 / 32,
+    }
 }
 
 /// Frame containing a LUT's configuration bits.
 #[inline]
 pub fn lut_frame(rc: RowCol, slice: u8, lut: u8) -> FrameAddr {
-    FrameAddr { col: rc.col, word: WORDS_PER_TILE + (slice * 2 + lut) as u16 / 2 }
+    FrameAddr {
+        col: rc.col,
+        word: WORDS_PER_TILE + (slice * 2 + lut) as u16 / 2,
+    }
 }
 
 /// Total number of frames in a full-device configuration.

@@ -24,14 +24,24 @@ pub enum Change {
     /// PIP present in `before` but not `after`.
     PipRemoved { rc: RowCol, pip: Pip },
     /// LUT value changed.
-    LutChanged { rc: RowCol, slice: u8, lut: u8, before: u16, after: u16 },
+    LutChanged {
+        rc: RowCol,
+        slice: u8,
+        lut: u8,
+        before: u16,
+        after: u16,
+    },
 }
 
 /// Capture the current configuration.
 pub fn snapshot(bits: &Bitstream) -> Snapshot {
     Snapshot {
         dims: bits.device().dims(),
-        tiles: bits.tiles().iter().map(|t| (t.pips.clone(), t.luts)).collect(),
+        tiles: bits
+            .tiles()
+            .iter()
+            .map(|t| (t.pips.clone(), t.luts))
+            .collect(),
     }
 }
 
@@ -98,7 +108,8 @@ mod tests {
     #[test]
     fn identical_snapshots_diff_empty() {
         let mut b = Bitstream::new(&Device::new(Family::Xcv50));
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
+            .unwrap();
         let s1 = snapshot(&b);
         let s2 = snapshot(&b);
         assert_eq!(s1, s2);
@@ -113,7 +124,8 @@ mod tests {
         let before = snapshot(&b);
 
         b.clear_pip(rc, wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(rc, wire::out(1), wire::single(Dir::East, 5)).unwrap();
+        b.set_pip(rc, wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
         b.set_lut(rc, 1, 0, 0x00FF).unwrap();
         let after = snapshot(&b);
 
@@ -140,7 +152,8 @@ mod tests {
     fn diff_is_antisymmetric() {
         let mut b = Bitstream::new(&Device::new(Family::Xcv50));
         let before = snapshot(&b);
-        b.set_pip(RowCol::new(2, 2), wire::S0_YQ, wire::out(3)).unwrap();
+        b.set_pip(RowCol::new(2, 2), wire::S0_YQ, wire::out(3))
+            .unwrap();
         let after = snapshot(&b);
         let fwd = diff(&before, &after);
         let rev = diff(&after, &before);

@@ -102,7 +102,16 @@ pub fn to_json(report: &Report, run: &str) -> String {
     s.push_str(&events.join(",\n"));
     s.push_str("\n  ],\n");
     s.push_str(&format!("  \"spans_dropped\": {},\n", report.spans_dropped));
-    s.push_str(&format!("  \"events_dropped\": {}\n", report.events_dropped));
+    s.push_str(&format!(
+        "  \"events_dropped\": {},\n",
+        report.events_dropped
+    ));
+    // A truncated document's raw span/event lists are incomplete (the
+    // aggregates above are not); consumers must not treat them as total.
+    s.push_str(&format!(
+        "  \"truncated\": {}\n",
+        report.spans_dropped > 0 || report.events_dropped > 0
+    ));
     s.push_str("}\n");
     s
 }
@@ -129,11 +138,7 @@ pub fn default_dir() -> PathBuf {
 }
 
 /// Write `OBS_<run>.json` into `dir`, returning the path written.
-pub fn export_to(
-    report: &Report,
-    run: &str,
-    dir: &std::path::Path,
-) -> std::io::Result<PathBuf> {
+pub fn export_to(report: &Report, run: &str, dir: &std::path::Path) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("OBS_{run}.json"));
     std::fs::write(&path, to_json(report, run))?;
@@ -211,7 +216,10 @@ impl Value {
 /// Parse a JSON document. Returns `None` on any syntax error or trailing
 /// garbage.
 pub fn parse(text: &str) -> Option<Value> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -406,7 +414,11 @@ mod tests {
         assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
         let counters = doc.get("counters").unwrap();
         assert_eq!(counters.get("router.pips_set").unwrap().as_f64(), Some(4.0));
-        let hist = doc.get("histograms").unwrap().get("maze.search_ns").unwrap();
+        let hist = doc
+            .get("histograms")
+            .unwrap()
+            .get("maze.search_ns")
+            .unwrap();
         assert_eq!(hist.get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(hist.get("max").unwrap().as_f64(), Some(12_345.0));
         let span = doc.get("spans").unwrap().get("router.route").unwrap();
@@ -414,6 +426,21 @@ mod tests {
         let events = doc.get("events").unwrap().as_arr().unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].get("value").unwrap().as_f64(), Some(9.0));
+        assert_eq!(doc.get("truncated"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn shed_spans_flag_the_export_as_truncated() {
+        let rec = Recorder::enabled();
+        for _ in 0..(crate::MAX_SPANS + 3) {
+            rec.span("tick");
+        }
+        let rep = rec.report();
+        let doc = parse(&to_json(&rep, "cap")).expect("valid JSON");
+        assert_eq!(doc.get("truncated"), Some(&Value::Bool(true)));
+        assert_eq!(doc.get("spans_dropped").unwrap().as_f64(), Some(3.0));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("obs.spans_shed").unwrap().as_f64(), Some(3.0));
     }
 
     #[test]
@@ -438,8 +465,13 @@ mod tests {
         let doc = parse(text).unwrap();
         let results = doc.get("results").unwrap().as_arr().unwrap();
         assert_eq!(results.len(), 1);
-        let med =
-            results[0].get("ns_per_iter").unwrap().get("median").unwrap().as_f64().unwrap();
+        let med = results[0]
+            .get("ns_per_iter")
+            .unwrap()
+            .get("median")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert_eq!(med, 2.0);
     }
 

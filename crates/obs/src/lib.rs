@@ -134,7 +134,15 @@ pub struct Recorder {
 
 impl std::fmt::Debug for Recorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Recorder({})", if self.inner.is_some() { "enabled" } else { "disabled" })
+        write!(
+            f,
+            "Recorder({})",
+            if self.inner.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        )
     }
 }
 
@@ -201,7 +209,13 @@ impl Recorder {
     pub fn count(&self, name: &'static str, delta: u64) {
         if let Some(shared) = &self.inner {
             if delta != 0 {
-                *shared.state.lock().unwrap().counters.entry(name).or_insert(0) += delta;
+                *shared
+                    .state
+                    .lock()
+                    .unwrap()
+                    .counters
+                    .entry(name)
+                    .or_insert(0) += delta;
             }
         }
     }
@@ -210,7 +224,14 @@ impl Recorder {
     #[inline]
     pub fn record(&self, name: &'static str, value: u64) {
         if let Some(shared) = &self.inner {
-            shared.state.lock().unwrap().hists.entry(name).or_default().record(value);
+            shared
+                .state
+                .lock()
+                .unwrap()
+                .hists
+                .entry(name)
+                .or_default()
+                .record(value);
         }
     }
 
@@ -245,11 +266,18 @@ impl Recorder {
                 let st = shared.state.lock().unwrap();
                 Report {
                     enabled: true,
-                    counters: st.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                    counters: st
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), *v))
+                        .collect(),
                     hists: st
                         .hists
                         .iter()
-                        .map(|(k, h)| HistRow { name: k.to_string(), hist: h.clone() })
+                        .map(|(k, h)| HistRow {
+                            name: k.to_string(),
+                            hist: h.clone(),
+                        })
                         .collect(),
                     span_stats: st
                         .span_stats
@@ -331,7 +359,10 @@ impl Drop for Span {
         if st.spans.len() < MAX_SPANS {
             st.spans.push(rec);
         } else {
+            // Shed loudly: the counter surfaces in every report and the
+            // JSON export flags the run as truncated.
             st.spans_dropped += 1;
+            *st.counters.entry("obs.spans_shed").or_insert(0) += 1;
         }
     }
 }
@@ -413,8 +444,7 @@ mod tests {
         let rep = rec.report();
         assert_eq!(rep.counter("work"), Some(4));
         assert_eq!(rep.span_count("worker"), 4);
-        let threads: std::collections::HashSet<u64> =
-            rep.spans.iter().map(|s| s.thread).collect();
+        let threads: std::collections::HashSet<u64> = rep.spans.iter().map(|s| s.thread).collect();
         assert_eq!(threads.len(), 4, "each worker gets its own thread id");
     }
 
@@ -428,6 +458,8 @@ mod tests {
         assert_eq!(rep.spans.len(), MAX_SPANS);
         assert_eq!(rep.spans_dropped, 10);
         assert_eq!(rep.span_count("tick"), (MAX_SPANS + 10) as u64);
+        // Shedding is not silent: it shows up as a counter too.
+        assert_eq!(rep.counter("obs.spans_shed"), Some(10));
     }
 
     #[test]

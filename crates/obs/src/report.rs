@@ -60,7 +60,10 @@ pub struct Report {
 impl Report {
     /// Counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
     }
 
     /// Insert or overwrite a counter (used to publish externally-held
@@ -82,7 +85,10 @@ impl Report {
 
     /// Aggregate stats for a span name.
     pub fn span_stat(&self, name: &str) -> Option<&SpanStat> {
-        self.span_stats.iter().find(|(k, _)| k == name).map(|(_, s)| s)
+        self.span_stats
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, s)| s)
     }
 
     /// How many spans finished under `name`.
@@ -99,8 +105,7 @@ impl Report {
         threads.sort_unstable();
         threads.dedup();
         for t in threads {
-            let mut spans: Vec<&SpanRecord> =
-                self.spans.iter().filter(|s| s.thread == t).collect();
+            let mut spans: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.thread == t).collect();
             spans.sort_by_key(|s| (s.start_ns, s.depth));
             out.push_str(&format!("thread {t}:\n"));
             for s in spans {
@@ -109,13 +114,20 @@ impl Report {
                     "",
                     s.name,
                     fmt_ns(s.dur_ns as f64),
-                    if s.note != 0 { format!("note={}", s.note) } else { "-".to_string() },
+                    if s.note != 0 {
+                        format!("note={}", s.note)
+                    } else {
+                        "-".to_string()
+                    },
                     indent = 2 + 2 * s.depth as usize,
                 ));
             }
         }
         if self.spans_dropped > 0 {
-            out.push_str(&format!("({} spans dropped past the cap)\n", self.spans_dropped));
+            out.push_str(&format!(
+                "({} spans dropped past the cap)\n",
+                self.spans_dropped
+            ));
         }
         out
     }
@@ -225,8 +237,14 @@ mod tests {
     #[test]
     fn span_tree_indents_children() {
         let tree = sample().span_tree();
-        let a_line = tree.lines().find(|l| l.trim_start().starts_with("a ")).unwrap();
-        let b_line = tree.lines().find(|l| l.trim_start().starts_with("b ")).unwrap();
+        let a_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("a "))
+            .unwrap();
+        let b_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("b "))
+            .unwrap();
         let indent = |l: &str| l.len() - l.trim_start().len();
         assert!(indent(b_line) > indent(a_line), "tree:\n{tree}");
         assert!(b_line.contains("note=3"));

@@ -61,7 +61,9 @@ pub fn segment_arrivals(bits: &Bitstream, source: Segment) -> HashMap<Segment, u
                 if pip.from != tap.wire || pip.to.is_clb_input() {
                     continue;
                 }
-                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else {
+                    continue;
+                };
                 let t = at + PIP_DELAY_PS + wire_delay_ps(next.wire);
                 let entry = arrival.entry(next).or_insert(u64::MAX);
                 if *entry > t {
@@ -97,7 +99,9 @@ pub fn analyze_net(bits: &Bitstream, source: Segment) -> NetTiming {
                 if pip.from != tap.wire {
                     continue;
                 }
-                let Some(next) = dev.canonicalize(tap.rc, pip.to) else { continue };
+                let Some(next) = dev.canonicalize(tap.rc, pip.to) else {
+                    continue;
+                };
                 let t = at + PIP_DELAY_PS + wire_delay_ps(next.wire);
                 if pip.to.is_clb_input() {
                     sink_delays.push((Pin::at(tap.rc, pip.to), t));
@@ -122,11 +126,22 @@ mod tests {
     fn example() -> (Bitstream, Segment) {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
             .unwrap();
-        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        b.set_pip(
+            RowCol::new(5, 8),
+            wire::single_end(Dir::East, 5),
+            wire::single(Dir::North, 0),
+        )
+        .unwrap();
+        b.set_pip(
+            RowCol::new(6, 8),
+            wire::single_end(Dir::North, 0),
+            wire::S0_F3,
+        )
+        .unwrap();
         let src = dev.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap();
         (b, src)
     }
@@ -147,9 +162,14 @@ mod tests {
     fn fanout_branches_have_independent_arrivals() {
         let (mut b, src) = example();
         // Short branch: OUT[1] also drives SINGLE_N[3] to a local pin.
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3)).unwrap();
-        b.set_pip(RowCol::new(6, 7), wire::single_end(Dir::North, 3), wire::slice_in(1, 8))
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::North, 3))
             .unwrap();
+        b.set_pip(
+            RowCol::new(6, 7),
+            wire::single_end(Dir::North, 3),
+            wire::slice_in(1, 8),
+        )
+        .unwrap();
         let t = analyze_net(&b, src);
         assert_eq!(t.fanout(), 2);
         assert!(t.skew() > 0, "branches of different length must skew");

@@ -55,7 +55,8 @@ mod tests {
     #[test]
     fn hexes_beat_singles_per_clb() {
         assert!(
-            delay_per_clb_ps(wire::hex(Dir::North, 0)) < delay_per_clb_ps(wire::single(Dir::North, 0)),
+            delay_per_clb_ps(wire::hex(Dir::North, 0))
+                < delay_per_clb_ps(wire::single(Dir::North, 0)),
             "hex per-CLB delay must undercut singles"
         );
     }

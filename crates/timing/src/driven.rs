@@ -43,9 +43,15 @@ pub fn route_fanout_timing_driven(
     let src = router.resolve(source)?[0];
     let src_seg = dev
         .canonicalize(src.rc, src.wire)
-        .ok_or(RouteError::NoSuchWire { rc: src.rc, wire: src.wire })?;
+        .ok_or(RouteError::NoSuchWire {
+            rc: src.rc,
+            wire: src.wire,
+        })?;
     let mut scratch = MazeScratch::new(&dev);
-    let cfg = MazeConfig { use_long_lines: router.options().use_long_lines, ..Default::default() };
+    let cfg = MazeConfig {
+        use_long_lines: router.options().use_long_lines,
+        ..Default::default()
+    };
     let mut pips_configured = 0usize;
 
     // Resolve all sink pins first and route the most critical (farthest)
@@ -59,7 +65,10 @@ pub fn route_fanout_timing_driven(
     for pin in pins {
         let goal = dev
             .canonicalize(pin.rc, pin.wire)
-            .ok_or(RouteError::NoSuchWire { rc: pin.rc, wire: pin.wire })?;
+            .ok_or(RouteError::NoSuchWire {
+                rc: pin.rc,
+                wire: pin.wire,
+            })?;
         // The sink itself must be free (the maze never blocks its goal).
         if router.nets().owner(goal).is_some() || router.bits().is_segment_driven(goal) {
             return Err(RouteError::ResourceInUse {
@@ -89,13 +98,14 @@ pub fn route_fanout_timing_driven(
                 },
                 // Delay-weighted cost: a PIP plus the wire's per-CLB
                 // delay, in the same scaled units as the start costs.
-                |seg: Segment| {
-                    ((PIP_DELAY_PS + delay_per_clb_ps(seg.wire)) / PS_PER_COST) as u32
-                },
+                |seg: Segment| ((PIP_DELAY_PS + delay_per_clb_ps(seg.wire)) / PS_PER_COST) as u32,
                 &mut scratch,
             )
         }
-        .ok_or(RouteError::Unroutable { from: src_seg, to: goal })?;
+        .ok_or(RouteError::Unroutable {
+            from: src_seg,
+            to: goal,
+        })?;
         for (rc, pip) in &result.pips {
             router.route_pip(*rc, pip.from, pip.to)?;
             pips_configured += 1;
@@ -135,8 +145,11 @@ mod tests {
         // resource-sharing one.
         let dev = Device::new(Family::Xcv300);
         let src_pin = Pin::new(8, 8, wire::S0_YQ);
-        let sink_pins =
-            [Pin::new(8, 20, wire::S0_F3), Pin::new(20, 8, wire::S1_F1), Pin::new(18, 18, wire::slice_in(0, 1))];
+        let sink_pins = [
+            Pin::new(8, 20, wire::S0_F3),
+            Pin::new(20, 8, wire::S1_F1),
+            Pin::new(18, 18, wire::slice_in(0, 1)),
+        ];
         let sinks: Vec<EndPoint> = sink_pins.iter().map(|&p| p.into()).collect();
 
         let mut greedy = Router::new(&dev);

@@ -98,7 +98,10 @@ impl Arch {
                     let di = d.index();
                     // OUT[j] drives singles {3j+2d, +8, +16} (mod 24) ...
                     for off in [0usize, 8, 16] {
-                        push(wire::single(d, (3 * j + 2 * di + off) % SINGLES_PER_DIR), out);
+                        push(
+                            wire::single(d, (3 * j + 2 * di + off) % SINGLES_PER_DIR),
+                            out,
+                        );
                     }
                     // ... and hexes {j+d, +4, +8} (mod 12), at their origin.
                     for off in [0usize, 4, 8] {
@@ -265,7 +268,10 @@ impl Arch {
     pub fn drive_taps(&self, seg: Segment, out: &mut Vec<Tap>) {
         match seg.wire.kind() {
             WireKind::Hex { dir, idx } => {
-                out.push(Tap { rc: seg.rc, wire: seg.wire });
+                out.push(Tap {
+                    rc: seg.rc,
+                    wire: seg.wire,
+                });
                 if hex_is_bidir(idx) {
                     out.push(Tap {
                         rc: seg.rc.step_unchecked(dir, wire::HEX_SPAN),
@@ -276,7 +282,10 @@ impl Arch {
             WireKind::LongH(_) | WireKind::LongV(_) => {
                 segment::taps(self.dims, seg, out);
             }
-            _ => out.push(Tap { rc: seg.rc, wire: seg.wire }),
+            _ => out.push(Tap {
+                rc: seg.rc,
+                wire: seg.wire,
+            }),
         }
     }
 
@@ -284,7 +293,9 @@ impl Arch {
     /// report the full row/column span).
     pub fn wire_length(&self, wire: Wire) -> u16 {
         match wire.kind() {
-            WireKind::Single { .. } | WireKind::SingleEnd { .. } | WireKind::DirectE(_)
+            WireKind::Single { .. }
+            | WireKind::SingleEnd { .. }
+            | WireKind::DirectE(_)
             | WireKind::DirectWEnd(_) => 1,
             WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => {
                 wire::HEX_SPAN
@@ -354,7 +365,11 @@ mod tests {
             wire::single(Dir::North, 0)
         ));
         // "SingleSouth[0]" at (6,8) is our SINGLE_N_END[0].
-        assert!(a.pip_exists(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3));
+        assert!(a.pip_exists(
+            RowCol::new(6, 8),
+            wire::single_end(Dir::North, 0),
+            wire::S0_F3
+        ));
     }
 
     #[test]
@@ -437,13 +452,22 @@ mod tests {
         for j in 0..NUM_OUT {
             for w in pips(rc, wire::out(j)) {
                 if let WireKind::HexEnd { idx, .. } = w.kind() {
-                    assert!(hex_is_bidir(idx), "OUT drove endpoint of unidirectional hex");
+                    assert!(
+                        hex_is_bidir(idx),
+                        "OUT drove endpoint of unidirectional hex"
+                    );
                 }
             }
         }
         // drive_taps reports both ends for bidir, one for unidir.
-        let bidir = Segment { rc, wire: wire::hex(Dir::East, 4) };
-        let unidir = Segment { rc, wire: wire::hex(Dir::East, 5) };
+        let bidir = Segment {
+            rc,
+            wire: wire::hex(Dir::East, 4),
+        };
+        let unidir = Segment {
+            rc,
+            wire: wire::hex(Dir::East, 5),
+        };
         let mut t = Vec::new();
         a.drive_taps(bidir, &mut t);
         assert_eq!(t.len(), 2);
@@ -458,8 +482,7 @@ mod tests {
         for d in Dir::ALL {
             for i in 0..SINGLES_PER_DIR {
                 let target = wire::single(d, i);
-                let drivable =
-                    (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
+                let drivable = (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
                 assert!(drivable, "no OMUX drives {}", target.name());
             }
         }
@@ -471,8 +494,7 @@ mod tests {
         for d in Dir::ALL {
             for i in 0..HEXES_PER_DIR {
                 let target = wire::hex(d, i);
-                let drivable =
-                    (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
+                let drivable = (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
                 assert!(drivable, "no OMUX drives {}", target.name());
             }
         }
@@ -483,8 +505,7 @@ mod tests {
         let rc = RowCol::new(6, 6);
         for i in 0..NUM_LONG {
             for target in [wire::long_h(i), wire::long_v(i)] {
-                let drivable =
-                    (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
+                let drivable = (0..NUM_OUT).any(|j| pips(rc, wire::out(j)).contains(&target));
                 assert!(drivable, "no OMUX drives {}", target.name());
             }
         }
@@ -497,8 +518,7 @@ mod tests {
             for pin in 0..INPUTS_PER_SLICE as u8 {
                 let target = wire::slice_in(slice, pin);
                 let reachable = Dir::ALL.iter().any(|&d| {
-                    (0..SINGLES_PER_DIR)
-                        .any(|i| pips(rc, wire::single_end(d, i)).contains(&target))
+                    (0..SINGLES_PER_DIR).any(|i| pips(rc, wire::single_end(d, i)).contains(&target))
                 });
                 assert!(reachable, "no arriving single drives {}", target.name());
             }
@@ -548,7 +568,10 @@ mod tests {
     #[test]
     fn source_taps_of_a_single_is_its_far_end() {
         let a = arch();
-        let seg = Segment { rc: RowCol::new(5, 7), wire: wire::single(Dir::East, 5) };
+        let seg = Segment {
+            rc: RowCol::new(5, 7),
+            wire: wire::single(Dir::East, 5),
+        };
         let mut t = Vec::new();
         a.source_taps(seg, &mut t);
         assert_eq!(t.len(), 1);

@@ -64,7 +64,10 @@ impl Codec for Dir {
 
 impl Codec for Family {
     fn encode(&self, out: &mut Vec<u8>) {
-        let idx = Family::ALL.iter().position(|f| f == self).expect("family in ALL");
+        let idx = Family::ALL
+            .iter()
+            .position(|f| f == self)
+            .expect("family in ALL");
         out.push(idx as u8);
     }
 
@@ -113,7 +116,10 @@ impl Codec for Segment {
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
-        Some(Segment { rc: RowCol::decode(input)?, wire: Wire::decode(input)? })
+        Some(Segment {
+            rc: RowCol::decode(input)?,
+            wire: Wire::decode(input)?,
+        })
     }
 }
 
@@ -140,7 +146,10 @@ pub const TEMPLATE_VALUES: [TemplateValue; 16] = [
 
 impl Codec for TemplateValue {
     fn encode(&self, out: &mut Vec<u8>) {
-        let idx = TEMPLATE_VALUES.iter().position(|t| t == self).expect("template in table");
+        let idx = TEMPLATE_VALUES
+            .iter()
+            .position(|t| t == self)
+            .expect("template in table");
         out.push(idx as u8);
     }
 
@@ -165,7 +174,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn parse_err(what: &'static str, input: &str) -> ParseError {
-    ParseError { what, input: input.to_string() }
+    ParseError {
+        what,
+        input: input.to_string(),
+    }
 }
 
 impl std::str::FromStr for Family {
@@ -190,7 +202,9 @@ impl std::str::FromStr for RowCol {
             .strip_prefix('(')
             .and_then(|t| t.strip_suffix(')'))
             .ok_or_else(|| parse_err("tile coordinate", s))?;
-        let (r, c) = body.split_once(',').ok_or_else(|| parse_err("tile coordinate", s))?;
+        let (r, c) = body
+            .split_once(',')
+            .ok_or_else(|| parse_err("tile coordinate", s))?;
         Ok(RowCol::new(
             r.trim().parse().map_err(|_| parse_err("tile row", s))?,
             c.trim().parse().map_err(|_| parse_err("tile column", s))?,
@@ -205,7 +219,9 @@ impl std::str::FromStr for Wire {
     /// The id space is small (430 names), so a scan suffices.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let want = s.trim();
-        Wire::all().find(|w| w.name() == want).ok_or_else(|| parse_err("wire name", s))
+        Wire::all()
+            .find(|w| w.name() == want)
+            .ok_or_else(|| parse_err("wire name", s))
     }
 }
 
@@ -214,8 +230,14 @@ impl std::str::FromStr for Segment {
 
     /// Inverse of the `Display` form `WIRE@(row,col)`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (wire, rc) = s.trim().rsplit_once('@').ok_or_else(|| parse_err("segment", s))?;
-        Ok(Segment { rc: rc.parse()?, wire: wire.parse()? })
+        let (wire, rc) = s
+            .trim()
+            .rsplit_once('@')
+            .ok_or_else(|| parse_err("segment", s))?;
+        Ok(Segment {
+            rc: rc.parse()?,
+            wire: wire.parse()?,
+        })
     }
 }
 
@@ -265,14 +287,24 @@ mod tests {
         assert_eq!(Dir::from_bytes(&[9]), None, "bad dir tag");
         assert_eq!(Family::from_bytes(&[200]), None, "bad family tag");
         assert_eq!(TemplateValue::from_bytes(&[16]), None, "bad template tag");
-        assert_eq!(Wire::from_bytes(&[0xFF, 0xFF]), None, "wire id out of range");
+        assert_eq!(
+            Wire::from_bytes(&[0xFF, 0xFF]),
+            None,
+            "wire id out of range"
+        );
         assert_eq!(RowCol::from_bytes(&[1, 0, 2, 0, 3]), None, "trailing bytes");
     }
 
     #[test]
     fn concatenated_stream_decodes_in_order() {
-        let a = Segment { rc: RowCol::new(3, 4), wire: Wire(7) };
-        let b = Segment { rc: RowCol::new(60, 90), wire: Wire(429) };
+        let a = Segment {
+            rc: RowCol::new(3, 4),
+            wire: Wire(7),
+        };
+        let b = Segment {
+            rc: RowCol::new(60, 90),
+            wire: Wire(429),
+        };
         let mut buf = Vec::new();
         a.encode(&mut buf);
         b.encode(&mut buf);
@@ -294,7 +326,10 @@ mod tests {
         for w in Wire::all().step_by(17) {
             assert_eq!(w.name().parse::<Wire>().unwrap(), w);
         }
-        let seg = Segment { rc: RowCol::new(5, 9), wire: Wire(100) };
+        let seg = Segment {
+            rc: RowCol::new(5, 9),
+            wire: Wire(100),
+        };
         assert_eq!(seg.to_string().parse::<Segment>().unwrap(), seg);
     }
 

@@ -4,6 +4,7 @@ use crate::arch::Arch;
 use crate::family::Family;
 use crate::geometry::{Dims, RowCol};
 use crate::segment::{self, Segment};
+use crate::segspace::SegSpace;
 use crate::wire::{Wire, NUM_LOCAL_WIRES};
 
 /// A (simulated) Virtex device: geometry plus architecture description.
@@ -19,7 +20,10 @@ pub struct Device {
 impl Device {
     /// Create a device of the given family.
     pub fn new(family: Family) -> Self {
-        Device { family, arch: Arch::new(family.dims()) }
+        Device {
+            family,
+            arch: Arch::new(family.dims()),
+        }
     }
 
     #[inline]
@@ -45,6 +49,14 @@ impl Device {
     #[inline]
     pub fn segment_space(&self) -> usize {
         self.dims().tiles() * NUM_LOCAL_WIRES
+    }
+
+    /// The dense canonical-segment index space of this device; the
+    /// substrate for [`SegVec`](crate::segspace::SegVec)-backed router
+    /// state.
+    #[inline]
+    pub fn seg_space(&self) -> SegSpace {
+        SegSpace::new(self.dims())
     }
 
     /// Resolve a local `(tile, wire)` name to its canonical segment.
@@ -77,7 +89,9 @@ mod tests {
     #[test]
     fn canonicalize_delegates() {
         let dev = Device::new(Family::Xcv50);
-        let seg = dev.canonicalize(RowCol::new(5, 8), wire::single_end(Dir::East, 5)).unwrap();
+        let seg = dev
+            .canonicalize(RowCol::new(5, 8), wire::single_end(Dir::East, 5))
+            .unwrap();
         assert_eq!(seg.rc, RowCol::new(5, 7));
         assert!(dev.wire_exists(RowCol::new(5, 7), wire::single(Dir::East, 5)));
         assert!(!dev.wire_exists(RowCol::new(15, 0), wire::single(Dir::North, 0)));

@@ -4,7 +4,6 @@
 //! *north*, columns increase to the *east* (the convention used by the
 //! JRoute paper's `(row, col)` call signatures).
 
-
 /// One of the four routing directions of the Virtex general routing fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dir {
@@ -158,7 +157,10 @@ impl Dims {
     /// Inverse of [`Dims::tile_index`].
     #[inline]
     pub const fn tile_at(self, index: usize) -> RowCol {
-        RowCol::new((index / self.cols as usize) as u16, (index % self.cols as usize) as u16)
+        RowCol::new(
+            (index / self.cols as usize) as u16,
+            (index % self.cols as usize) as u16,
+        )
     }
 
     /// Whether `rc` lies on this device.

@@ -27,6 +27,7 @@ pub mod device;
 pub mod family;
 pub mod geometry;
 pub mod segment;
+pub mod segspace;
 pub mod template;
 pub mod wire;
 
@@ -36,5 +37,6 @@ pub use device::Device;
 pub use family::Family;
 pub use geometry::{Dims, Dir, RowCol};
 pub use segment::{Segment, Tap};
+pub use segspace::{SegIdx, SegSpace, SegVec, StampedSegVec};
 pub use template::{template_value, TemplateValue};
 pub use wire::{Wire, WireKind};

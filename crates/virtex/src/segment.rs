@@ -106,13 +106,22 @@ pub fn canonicalize(dims: Dims, rc: RowCol, wire: Wire) -> Option<Segment> {
             rc: rc.step_unchecked(dir.opposite(), HEX_SPAN),
             wire: wire::hex(dir, idx as usize),
         },
-        WireKind::LongH(_) => Segment { rc: RowCol::new(rc.row, 0), wire },
-        WireKind::LongV(_) => Segment { rc: RowCol::new(0, rc.col), wire },
+        WireKind::LongH(_) => Segment {
+            rc: RowCol::new(rc.row, 0),
+            wire,
+        },
+        WireKind::LongV(_) => Segment {
+            rc: RowCol::new(0, rc.col),
+            wire,
+        },
         WireKind::DirectWEnd(idx) => Segment {
             rc: rc.step_unchecked(Dir::West, 1),
             wire: wire::direct_e(idx as usize),
         },
-        WireKind::Gclk(_) => Segment { rc: RowCol::new(0, 0), wire },
+        WireKind::Gclk(_) => Segment {
+            rc: RowCol::new(0, 0),
+            wire,
+        },
         _ => Segment { rc, wire },
     };
     debug_assert!(is_canonical(dims, seg), "non-canonical result {seg}");
@@ -151,7 +160,10 @@ pub struct Tap {
 ///
 /// Taps are appended to `out` (workhorse-buffer style; the caller clears).
 pub fn taps(dims: Dims, seg: Segment, out: &mut Vec<Tap>) {
-    debug_assert!(is_canonical(dims, seg), "taps() wants canonical input, got {seg}");
+    debug_assert!(
+        is_canonical(dims, seg),
+        "taps() wants canonical input, got {seg}"
+    );
     let rc = seg.rc;
     match seg.wire.kind() {
         WireKind::Single { dir, idx } => {
@@ -175,14 +187,20 @@ pub fn taps(dims: Dims, seg: Segment, out: &mut Vec<Tap>) {
         WireKind::LongH(_) => {
             let mut c = 0;
             while c < dims.cols {
-                out.push(Tap { rc: RowCol::new(rc.row, c), wire: seg.wire });
+                out.push(Tap {
+                    rc: RowCol::new(rc.row, c),
+                    wire: seg.wire,
+                });
                 c += LONG_ACCESS;
             }
         }
         WireKind::LongV(_) => {
             let mut r = 0;
             while r < dims.rows {
-                out.push(Tap { rc: RowCol::new(r, rc.col), wire: seg.wire });
+                out.push(Tap {
+                    rc: RowCol::new(r, rc.col),
+                    wire: seg.wire,
+                });
                 r += LONG_ACCESS;
             }
         }
@@ -197,7 +215,10 @@ pub fn taps(dims: Dims, seg: Segment, out: &mut Vec<Tap>) {
             // Global clocks surface at every tile; callers that only need
             // a specific tile should not enumerate this.
             for t in dims.iter_tiles() {
-                out.push(Tap { rc: t, wire: seg.wire });
+                out.push(Tap {
+                    rc: t,
+                    wire: seg.wire,
+                });
             }
         }
         _ => out.push(Tap { rc, wire: seg.wire }),
@@ -207,7 +228,7 @@ pub fn taps(dims: Dims, seg: Segment, out: &mut Vec<Tap>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{SINGLES_PER_DIR, HEXES_PER_DIR};
+    use crate::wire::{HEXES_PER_DIR, SINGLES_PER_DIR};
 
     const DIMS: Dims = Dims::new(16, 24);
 
@@ -239,10 +260,22 @@ mod tests {
     #[test]
     fn edge_wires_do_not_exist() {
         // A north single at the top row has no far end.
-        assert!(!wire_exists(DIMS, RowCol::new(15, 0), wire::single(Dir::North, 0)));
+        assert!(!wire_exists(
+            DIMS,
+            RowCol::new(15, 0),
+            wire::single(Dir::North, 0)
+        ));
         // A hex needs its whole 6-CLB span on chip.
-        assert!(!wire_exists(DIMS, RowCol::new(11, 0), wire::hex(Dir::North, 0)));
-        assert!(wire_exists(DIMS, RowCol::new(9, 0), wire::hex(Dir::North, 0)));
+        assert!(!wire_exists(
+            DIMS,
+            RowCol::new(11, 0),
+            wire::hex(Dir::North, 0)
+        ));
+        assert!(wire_exists(
+            DIMS,
+            RowCol::new(9, 0),
+            wire::hex(Dir::North, 0)
+        ));
         // Long lines only at access tiles.
         assert!(wire_exists(DIMS, RowCol::new(3, 6), wire::long_h(0)));
         assert!(!wire_exists(DIMS, RowCol::new(3, 7), wire::long_h(0)));

@@ -133,10 +133,22 @@ mod tests {
         // template_value is total, so just spot-check the mapping.
         assert_eq!(template_value(wire::out(3)), TemplateValue::OutMux);
         assert_eq!(template_value(wire::S0_F3), TemplateValue::ClbIn);
-        assert_eq!(template_value(wire::single(Dir::North, 5)), TemplateValue::North1);
-        assert_eq!(template_value(wire::single_end(Dir::North, 5)), TemplateValue::North1);
-        assert_eq!(template_value(wire::hex(Dir::West, 2)), TemplateValue::West6);
-        assert_eq!(template_value(wire::hex_mid(Dir::West, 2)), TemplateValue::West6);
+        assert_eq!(
+            template_value(wire::single(Dir::North, 5)),
+            TemplateValue::North1
+        );
+        assert_eq!(
+            template_value(wire::single_end(Dir::North, 5)),
+            TemplateValue::North1
+        );
+        assert_eq!(
+            template_value(wire::hex(Dir::West, 2)),
+            TemplateValue::West6
+        );
+        assert_eq!(
+            template_value(wire::hex_mid(Dir::West, 2)),
+            TemplateValue::West6
+        );
         assert_eq!(template_value(wire::long_h(0)), TemplateValue::LongH);
         assert_eq!(template_value(wire::gclk(1)), TemplateValue::Global);
     }

@@ -271,7 +271,10 @@ impl Wire {
             _ if v < BASE_SLICE_OUT => WireKind::Out(v as u8),
             _ if v < BASE_SLICE_IN => {
                 let o = v - BASE_SLICE_OUT;
-                WireKind::SliceOut { slice: (o / 4) as u8, pin: (o % 4) as u8 }
+                WireKind::SliceOut {
+                    slice: (o / 4) as u8,
+                    pin: (o % 4) as u8,
+                }
             }
             _ if v < BASE_SINGLE => {
                 let o = v - BASE_SLICE_IN;
@@ -360,8 +363,9 @@ impl Wire {
                 format!("S{slice}_{p}")
             }
             WireKind::SliceIn { slice, pin } => {
-                let p = ["F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "BX", "BY", "CLK",
-                    "CE", "SR"][pin as usize];
+                let p = [
+                    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "BX", "BY", "CLK", "CE", "SR",
+                ][pin as usize];
                 format!("S{slice}_{p}")
             }
             WireKind::Single { dir, idx } => format!("SINGLE_{}[{idx}]", d(dir)),
@@ -430,8 +434,20 @@ mod tests {
 
     #[test]
     fn paper_example_constants_decode() {
-        assert_eq!(S1_YQ.kind(), WireKind::SliceOut { slice: 1, pin: slice_out_pin::YQ });
-        assert_eq!(S0_F3.kind(), WireKind::SliceIn { slice: 0, pin: slice_in_pin::F3 });
+        assert_eq!(
+            S1_YQ.kind(),
+            WireKind::SliceOut {
+                slice: 1,
+                pin: slice_out_pin::YQ
+            }
+        );
+        assert_eq!(
+            S0_F3.kind(),
+            WireKind::SliceIn {
+                slice: 0,
+                pin: slice_in_pin::F3
+            }
+        );
         assert!(S0_F3.is_clb_input());
         assert!(S1_YQ.is_clb_output());
         assert!(!S1_YQ.is_clb_input());
@@ -449,7 +465,15 @@ mod tests {
     fn resource_census_matches_paper_section_2() {
         // "There are 24 single length lines in each of the four directions."
         let singles = Wire::all()
-            .filter(|w| matches!(w.kind(), WireKind::Single { dir: Dir::North, .. }))
+            .filter(|w| {
+                matches!(
+                    w.kind(),
+                    WireKind::Single {
+                        dir: Dir::North,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(singles, 24);
         // "Only 12 [hexes] in each direction can be accessed by any given
@@ -459,11 +483,17 @@ mod tests {
             .count();
         assert_eq!(hexes, 12);
         // "There are also 12 long lines that run horizontal, or vertical."
-        let longs_h = Wire::all().filter(|w| matches!(w.kind(), WireKind::LongH(_))).count();
-        let longs_v = Wire::all().filter(|w| matches!(w.kind(), WireKind::LongV(_))).count();
+        let longs_h = Wire::all()
+            .filter(|w| matches!(w.kind(), WireKind::LongH(_)))
+            .count();
+        let longs_v = Wire::all()
+            .filter(|w| matches!(w.kind(), WireKind::LongV(_)))
+            .count();
         assert_eq!((longs_h, longs_v), (12, 12));
         // "four dedicated global nets"
-        let gclks = Wire::all().filter(|w| matches!(w.kind(), WireKind::Gclk(_))).count();
+        let gclks = Wire::all()
+            .filter(|w| matches!(w.kind(), WireKind::Gclk(_)))
+            .count();
         assert_eq!(gclks, 4);
     }
 }

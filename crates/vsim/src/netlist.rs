@@ -70,20 +70,22 @@ impl Netlist {
                 if !pip.to.is_clb_input() {
                     continue;
                 }
-                let WireKind::SliceIn { slice, pin } = pip.to.kind() else { continue };
+                let WireKind::SliceIn { slice, pin } = pip.to.kind() else {
+                    continue;
+                };
                 // Walk back from the pin's driver wire to a logic source.
-                let Some(mut cur) = dev.canonicalize(rc, pip.from) else { continue };
+                let Some(mut cur) = dev.canonicalize(rc, pip.from) else {
+                    continue;
+                };
                 let src = loop {
                     if let Some(s) = source_of_segment(cur) {
                         break Some(s);
                     }
                     match bits.segment_driver(cur) {
-                        Some((drc, dpip)) => {
-                            match dev.canonicalize(drc, dpip.from) {
-                                Some(next) => cur = next,
-                                None => break None,
-                            }
-                        }
+                        Some((drc, dpip)) => match dev.canonicalize(drc, dpip.from) {
+                            Some(next) => cur = next,
+                            None => break None,
+                        },
                         None => break None,
                     }
                 };
@@ -120,11 +122,22 @@ mod tests {
     fn extracts_the_paper_example_connection() {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
-        b.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+        b.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
             .unwrap();
-        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        b.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+            .unwrap();
+        b.set_pip(
+            RowCol::new(5, 8),
+            wire::single_end(Dir::East, 5),
+            wire::single(Dir::North, 0),
+        )
+        .unwrap();
+        b.set_pip(
+            RowCol::new(6, 8),
+            wire::single_end(Dir::North, 0),
+            wire::S0_F3,
+        )
+        .unwrap();
         let nl = Netlist::extract(&b);
         assert_eq!(nl.len(), 1);
         let pin = InputPin {
@@ -134,7 +147,10 @@ mod tests {
         };
         assert_eq!(
             nl.source(pin),
-            Some(LogicSource::Yq { rc: RowCol::new(5, 7), slice: 1 })
+            Some(LogicSource::Yq {
+                rc: RowCol::new(5, 7),
+                slice: 1
+            })
         );
     }
 
@@ -143,7 +159,12 @@ mod tests {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
         // Drive an input from a single that nothing drives.
-        b.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
+        b.set_pip(
+            RowCol::new(6, 8),
+            wire::single_end(Dir::North, 0),
+            wire::S0_F3,
+        )
+        .unwrap();
         let nl = Netlist::extract(&b);
         assert!(nl.is_empty());
     }
@@ -152,8 +173,12 @@ mod tests {
     fn gclk_sources_are_recognised() {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
-        b.set_pip(RowCol::new(3, 3), wire::gclk(2), wire::slice_in(0, wire::slice_in_pin::CLK))
-            .unwrap();
+        b.set_pip(
+            RowCol::new(3, 3),
+            wire::gclk(2),
+            wire::slice_in(0, wire::slice_in_pin::CLK),
+        )
+        .unwrap();
         let nl = Netlist::extract(&b);
         let pin = InputPin {
             rc: RowCol::new(3, 3),

@@ -72,7 +72,13 @@ impl<'a> Simulator<'a> {
                 LogicSource::Gclk(_) => {}
             }
         }
-        Simulator { bits, netlist, ff: HashMap::new(), forces: HashMap::new(), active }
+        Simulator {
+            bits,
+            netlist,
+            ff: HashMap::new(),
+            forces: HashMap::new(),
+            active,
+        }
     }
 
     /// The extracted netlist.
@@ -147,8 +153,16 @@ impl<'a> Simulator<'a> {
                 if !visiting.insert(src) {
                     return Err(SimError::CombinationalLoop { at: rc, slice });
                 }
-                let lut = if matches!(src, LogicSource::X { .. }) { 0u8 } else { 1u8 };
-                let base = if lut == 0 { slice_in_pin::F1 } else { slice_in_pin::G1 };
+                let lut = if matches!(src, LogicSource::X { .. }) {
+                    0u8
+                } else {
+                    1u8
+                };
+                let base = if lut == 0 {
+                    slice_in_pin::F1
+                } else {
+                    slice_in_pin::G1
+                };
                 let mut addr = 0usize;
                 for bit in 0..4u8 {
                     if self.input(rc, slice, base + bit, visiting)? {
@@ -168,19 +182,35 @@ impl<'a> Simulator<'a> {
         let mut next: Vec<(FfKey, bool)> = Vec::new();
         for &(rc, slice) in &self.active {
             // Clocked at all?
-            if self.netlist.source(InputPin { rc, slice, pin: slice_in_pin::CLK }).is_none() {
+            if self
+                .netlist
+                .source(InputPin {
+                    rc,
+                    slice,
+                    pin: slice_in_pin::CLK,
+                })
+                .is_none()
+            {
                 continue;
             }
             let mut visiting = HashSet::new();
             // Clock enable (default on) and synchronous reset.
-            let ce = match self.netlist.source(InputPin { rc, slice, pin: slice_in_pin::CE }) {
+            let ce = match self.netlist.source(InputPin {
+                rc,
+                slice,
+                pin: slice_in_pin::CE,
+            }) {
                 Some(src) => self.value(src, &mut visiting)?,
                 None => true,
             };
             if !ce {
                 continue;
             }
-            let sr = match self.netlist.source(InputPin { rc, slice, pin: slice_in_pin::SR }) {
+            let sr = match self.netlist.source(InputPin {
+                rc,
+                slice,
+                pin: slice_in_pin::SR,
+            }) {
                 Some(src) => self.value(src, &mut visiting)?,
                 None => false,
             };
@@ -229,15 +259,22 @@ mod tests {
         // inverted = 0x5555.
         b.set_lut(rc, 0, 0, 0x5555).unwrap();
         // Clock.
-        b.set_pip(rc, wire::gclk(0), wire::slice_in(0, slice_in_pin::CLK)).unwrap();
+        b.set_pip(rc, wire::gclk(0), wire::slice_in(0, slice_in_pin::CLK))
+            .unwrap();
         // Route XQ (slice 0, k=1) back to F1 via OMUX and a single loop:
         // S0_XQ -> OUT[1] -> SINGLE_E[5] -> (4,5) -> SINGLE_W[...] back.
         // Simpler: use the feedback wire: S0_XQ (k=1) -> FEEDBACK[1] ->
         // inputs {16,17,18} = S1_F4/S1_G1/S1_G2... those are slice-1 pins,
         // so instead drive slice 1 and observe there? For this test we
         // take the general-routing loop:
-        b.set_pip(rc, wire::slice_out(0, wire::slice_out_pin::XQ), wire::out(1)).unwrap();
-        b.set_pip(rc, wire::out(1), wire::single(virtex::Dir::East, 5)).unwrap();
+        b.set_pip(
+            rc,
+            wire::slice_out(0, wire::slice_out_pin::XQ),
+            wire::out(1),
+        )
+        .unwrap();
+        b.set_pip(rc, wire::out(1), wire::single(virtex::Dir::East, 5))
+            .unwrap();
         // At (4,5) bounce back west: SINGLE_E_END[5] -> SINGLE_W[i].
         // Pattern: single_end(E,5) drives west singles {(5+19+3)%24, (5+7+3)%24} = {3, 15}.
         b.set_pip(
@@ -250,9 +287,20 @@ mod tests {
         // Pin 4 is S0_G1 — not F1. Pins {4,5,6,7} are G inputs; use G-LUT
         // instead: make the toggle on G: Y = !G1, YQ loops back.
         b.set_lut(rc, 0, 1, 0x5555).unwrap();
-        b.clear_pip(rc, wire::slice_out(0, wire::slice_out_pin::XQ), wire::out(1)).unwrap();
-        b.set_pip(rc, wire::slice_out(0, wire::slice_out_pin::YQ), wire::out(3)).unwrap();
-        b.set_pip(rc, wire::out(3), wire::single(virtex::Dir::East, 11)).unwrap();
+        b.clear_pip(
+            rc,
+            wire::slice_out(0, wire::slice_out_pin::XQ),
+            wire::out(1),
+        )
+        .unwrap();
+        b.set_pip(
+            rc,
+            wire::slice_out(0, wire::slice_out_pin::YQ),
+            wire::out(3),
+        )
+        .unwrap();
+        b.set_pip(rc, wire::out(3), wire::single(virtex::Dir::East, 11))
+            .unwrap();
         // single_end(E,11) at (4,5) drives west singles {(11+19+3)%24,(11+7+3)%24} = {9,21}.
         b.set_pip(
             RowCol::new(4, 5),
@@ -271,29 +319,56 @@ mod tests {
         let dev = Device::new(Family::Xcv50);
         let mut b = Bitstream::new(&dev);
         let rc = RowCol::new(4, 4);
-        b.set_pip(rc, wire::gclk(0), wire::slice_in(0, slice_in_pin::CLK)).unwrap();
-        b.set_pip(rc, wire::gclk(0), wire::slice_in(1, slice_in_pin::CLK)).unwrap();
+        b.set_pip(rc, wire::gclk(0), wire::slice_in(0, slice_in_pin::CLK))
+            .unwrap();
+        b.set_pip(rc, wire::gclk(0), wire::slice_in(1, slice_in_pin::CLK))
+            .unwrap();
         // YQ of slice 0 -> OUT[3] -> east single -> bounce west -> some
         // G input of slice 0 or 1.
-        b.set_pip(rc, wire::slice_out(0, wire::slice_out_pin::YQ), wire::out(3)).unwrap();
+        b.set_pip(
+            rc,
+            wire::slice_out(0, wire::slice_out_pin::YQ),
+            wire::out(3),
+        )
+        .unwrap();
         let mut fan = Vec::new();
         dev.arch().pips_from(rc, wire::out(3), &mut fan);
         let east = *fan
             .iter()
-            .find(|w| matches!(w.kind(), virtex::WireKind::Single { dir: virtex::Dir::East, .. }))
+            .find(|w| {
+                matches!(
+                    w.kind(),
+                    virtex::WireKind::Single {
+                        dir: virtex::Dir::East,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         b.set_pip(rc, wire::out(3), east).unwrap();
-        let virtex::WireKind::Single { idx, .. } = east.kind() else { unreachable!() };
+        let virtex::WireKind::Single { idx, .. } = east.kind() else {
+            unreachable!()
+        };
         let end = wire::single_end(virtex::Dir::East, idx as usize);
         let far = RowCol::new(4, 5);
         fan.clear();
         dev.arch().pips_from(far, end, &mut fan);
         let west = *fan
             .iter()
-            .find(|w| matches!(w.kind(), virtex::WireKind::Single { dir: virtex::Dir::West, .. }))
+            .find(|w| {
+                matches!(
+                    w.kind(),
+                    virtex::WireKind::Single {
+                        dir: virtex::Dir::West,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         b.set_pip(far, end, west).unwrap();
-        let virtex::WireKind::Single { idx: widx, .. } = west.kind() else { unreachable!() };
+        let virtex::WireKind::Single { idx: widx, .. } = west.kind() else {
+            unreachable!()
+        };
         let wend = wire::single_end(virtex::Dir::West, widx as usize);
         fan.clear();
         dev.arch().pips_from(rc, wend, &mut fan);
@@ -306,7 +381,11 @@ mod tests {
             })
             .expect("an arriving single drives some G input");
         b.set_pip(rc, wend, g_in).unwrap();
-        let virtex::WireKind::SliceIn { slice: tslice, pin: tpin } = g_in.kind() else {
+        let virtex::WireKind::SliceIn {
+            slice: tslice,
+            pin: tpin,
+        } = g_in.kind()
+        else {
             unreachable!()
         };
         // G-LUT of the target slice: output = NOT(selected input bit).
@@ -352,7 +431,10 @@ mod tests {
     fn forced_sources_override_logic() {
         let b = toggle_config();
         let mut sim = Simulator::new(&b);
-        let src = LogicSource::Yq { rc: RowCol::new(4, 4), slice: 0 };
+        let src = LogicSource::Yq {
+            rc: RowCol::new(4, 4),
+            slice: 0,
+        };
         sim.force(src, true);
         assert_eq!(sim.read(src), Ok(true));
         sim.unforce(src);
@@ -367,15 +449,26 @@ mod tests {
         let mut b = Bitstream::new(&dev);
         let rc = RowCol::new(4, 4);
         // Route X (slice 0, k=0) out and back to an F/G input.
-        b.set_pip(rc, wire::slice_out(0, wire::slice_out_pin::X), wire::out(0)).unwrap();
+        b.set_pip(rc, wire::slice_out(0, wire::slice_out_pin::X), wire::out(0))
+            .unwrap();
         let mut fan = Vec::new();
         dev.arch().pips_from(rc, wire::out(0), &mut fan);
         let east = *fan
             .iter()
-            .find(|w| matches!(w.kind(), virtex::WireKind::Single { dir: virtex::Dir::East, .. }))
+            .find(|w| {
+                matches!(
+                    w.kind(),
+                    virtex::WireKind::Single {
+                        dir: virtex::Dir::East,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         b.set_pip(rc, wire::out(0), east).unwrap();
-        let virtex::WireKind::Single { idx, .. } = east.kind() else { unreachable!() };
+        let virtex::WireKind::Single { idx, .. } = east.kind() else {
+            unreachable!()
+        };
         let end = wire::single_end(virtex::Dir::East, idx as usize);
         let far = RowCol::new(4, 5);
         fan.clear();
@@ -386,13 +479,21 @@ mod tests {
             .iter()
             .copied()
             .filter(|w| {
-                matches!(w.kind(), virtex::WireKind::Single { dir: virtex::Dir::West, .. })
+                matches!(
+                    w.kind(),
+                    virtex::WireKind::Single {
+                        dir: virtex::Dir::West,
+                        ..
+                    }
+                )
             })
             .collect();
         let mut chosen = None;
         let mut back = Vec::new();
         for west in wests {
-            let virtex::WireKind::Single { idx: widx, .. } = west.kind() else { unreachable!() };
+            let virtex::WireKind::Single { idx: widx, .. } = west.kind() else {
+                unreachable!()
+            };
             let wend = wire::single_end(virtex::Dir::West, widx as usize);
             back.clear();
             dev.arch().pips_from(rc, wend, &mut back);
@@ -417,7 +518,11 @@ mod tests {
         // to 1 and assert no loop. We only assert the loop in the
         // closing case.
         let lut = if pin >= slice_in_pin::G1 { 1u8 } else { 0u8 };
-        let bit = if lut == 1 { pin - slice_in_pin::G1 } else { pin - slice_in_pin::F1 };
+        let bit = if lut == 1 {
+            pin - slice_in_pin::G1
+        } else {
+            pin - slice_in_pin::F1
+        };
         let mut mask = 0u16;
         for addr in 0..16u16 {
             if (addr >> bit) & 1 == 1 {
@@ -443,7 +548,11 @@ mod tests {
         let mut sim = Simulator::new(&b);
         let rc = RowCol::new(0, 0);
         assert_eq!(
-            sim.read_pin(InputPin { rc, slice: 0, pin: slice_in_pin::F1 }),
+            sim.read_pin(InputPin {
+                rc,
+                slice: 0,
+                pin: slice_in_pin::F1
+            }),
             Ok(false)
         );
         sim.set_ff(rc, 0, 0, true);

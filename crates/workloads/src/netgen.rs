@@ -1,8 +1,8 @@
 //! Random net-list generation.
 
+use detrand::{DetRng, SliceRandom};
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
-use detrand::{DetRng, SliceRandom};
 use virtex::wire::{self, slice_in_pin};
 use virtex::{Device, RowCol};
 
@@ -20,7 +20,11 @@ pub struct NetlistParams {
 
 impl Default for NetlistParams {
     fn default() -> Self {
-        NetlistParams { nets: 20, max_fanout: 1, max_span: None }
+        NetlistParams {
+            nets: 20,
+            max_fanout: 1,
+            max_span: None,
+        }
     }
 }
 
@@ -68,9 +72,14 @@ pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut DetRng) ->
     let mut guard = 0usize;
     while specs.len() < params.nets {
         guard += 1;
-        assert!(guard < params.nets * 1000, "netlist generation starved — device too small");
+        assert!(
+            guard < params.nets * 1000,
+            "netlist generation starved — device too small"
+        );
         let src_rc = random_tile(dev, rng);
-        let Some(&src) = out_pins(src_rc).choose(rng) else { continue };
+        let Some(&src) = out_pins(src_rc).choose(rng) else {
+            continue;
+        };
         if !used_src.insert(src) {
             continue;
         }
@@ -85,7 +94,9 @@ pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut DetRng) ->
                 if rc == src_rc {
                     continue;
                 }
-                let Some(&sink) = in_pins(rc).choose(rng) else { continue };
+                let Some(&sink) = in_pins(rc).choose(rng) else {
+                    continue;
+                };
                 if used_sink.insert(sink) {
                     sinks.push(sink);
                     break;
@@ -103,13 +114,21 @@ pub fn random_netlist(dev: &Device, params: &NetlistParams, rng: &mut DetRng) ->
 
 /// Point-to-point pairs (fanout 1), convenience wrapper.
 pub fn random_pairs(dev: &Device, n: usize, rng: &mut DetRng) -> Vec<(Pin, Pin)> {
-    random_netlist(dev, &NetlistParams { nets: n, max_fanout: 1, max_span: None }, rng)
-        .into_iter()
-        .map(|s| {
-            let sink = s.sinks[0];
-            (s.source, sink)
-        })
-        .collect()
+    random_netlist(
+        dev,
+        &NetlistParams {
+            nets: n,
+            max_fanout: 1,
+            max_span: None,
+        },
+        rng,
+    )
+    .into_iter()
+    .map(|s| {
+        let sink = s.sinks[0];
+        (s.source, sink)
+    })
+    .collect()
 }
 
 /// Nets crammed into a `window`-sized square region — the congestion
@@ -127,7 +146,10 @@ pub fn window_netlist(
     let mut guard = 0usize;
     while specs.len() < nets {
         guard += 1;
-        assert!(guard < nets * 2000, "window netlist starved — window too small for {nets} nets");
+        assert!(
+            guard < nets * 2000,
+            "window netlist starved — window too small for {nets} nets"
+        );
         let src_rc = RowCol::new(
             origin.row + rng.gen_range(0..window),
             origin.col + rng.gen_range(0..window),
@@ -139,8 +161,12 @@ pub fn window_netlist(
         if src_rc == sink_rc {
             continue;
         }
-        let Some(&src) = out_pins(src_rc).choose(rng) else { continue };
-        let Some(&sink) = in_pins(sink_rc).choose(rng) else { continue };
+        let Some(&src) = out_pins(src_rc).choose(rng) else {
+            continue;
+        };
+        let Some(&sink) = in_pins(sink_rc).choose(rng) else {
+            continue;
+        };
         if !used_src.insert(src) {
             continue;
         }
@@ -165,7 +191,11 @@ mod tests {
     #[test]
     fn netlists_are_deterministic_per_seed() {
         let dev = Device::new(Family::Xcv50);
-        let p = NetlistParams { nets: 10, max_fanout: 3, max_span: Some(6) };
+        let p = NetlistParams {
+            nets: 10,
+            max_fanout: 3,
+            max_span: Some(6),
+        };
         let a = random_netlist(&dev, &p, &mut rng(42));
         let b = random_netlist(&dev, &p, &mut rng(42));
         assert_eq!(a.len(), b.len());
@@ -180,7 +210,11 @@ mod tests {
     #[test]
     fn sources_and_sinks_are_disjoint_pins() {
         let dev = Device::new(Family::Xcv50);
-        let p = NetlistParams { nets: 30, max_fanout: 4, max_span: None };
+        let p = NetlistParams {
+            nets: 30,
+            max_fanout: 4,
+            max_span: None,
+        };
         let nl = random_netlist(&dev, &p, &mut rng(7));
         let mut srcs = std::collections::HashSet::new();
         let mut sinks = std::collections::HashSet::new();
@@ -195,7 +229,11 @@ mod tests {
     #[test]
     fn max_span_bounds_bounding_boxes() {
         let dev = Device::new(Family::Xcv50);
-        let p = NetlistParams { nets: 20, max_fanout: 2, max_span: Some(3) };
+        let p = NetlistParams {
+            nets: 20,
+            max_fanout: 2,
+            max_span: Some(3),
+        };
         for n in random_netlist(&dev, &p, &mut rng(1)) {
             for s in &n.sinks {
                 assert!(s.rc.row.abs_diff(n.source.rc.row) <= 3);

@@ -1,9 +1,9 @@
 //! Higher-level experiment scenarios: fan-out nets and data-flow
 //! pipeline placements.
 
+use detrand::DetRng;
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
-use detrand::DetRng;
 use virtex::wire::{self, slice_in_pin};
 use virtex::{Device, RowCol};
 
@@ -24,10 +24,8 @@ pub fn fanout_spec(
     while sinks.len() < fanout {
         guard += 1;
         assert!(guard < fanout * 1000, "fanout spec starved");
-        let r = source.row.saturating_sub(span)
-            ..=(source.row + span).min(d.rows - 1);
-        let c = source.col.saturating_sub(span)
-            ..=(source.col + span).min(d.cols - 1);
+        let r = source.row.saturating_sub(span)..=(source.row + span).min(d.rows - 1);
+        let c = source.col.saturating_sub(span)..=(source.col + span).min(d.cols - 1);
         let rc = RowCol::new(rng.gen_range(r), rng.gen_range(c));
         if rc == source {
             continue;
@@ -89,7 +87,10 @@ mod tests {
     fn pipeline_placements_fit_or_fail() {
         let dev = Device::new(Family::Xcv50); // 16x24
         let p = pipeline_placements(&dev, 3, (4, 1), RowCol::new(2, 2), 5).unwrap();
-        assert_eq!(p, vec![RowCol::new(2, 2), RowCol::new(2, 8), RowCol::new(2, 14)]);
+        assert_eq!(
+            p,
+            vec![RowCol::new(2, 2), RowCol::new(2, 8), RowCol::new(2, 14)]
+        );
         assert!(pipeline_placements(&dev, 5, (4, 1), RowCol::new(2, 2), 5).is_none());
         assert!(pipeline_placements(&dev, 1, (20, 1), RowCol::new(2, 2), 5).is_none());
     }

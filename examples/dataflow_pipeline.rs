@@ -23,11 +23,20 @@ fn eval(router: &Router, stim: &StimulusBank, adder: &ConstAdder, a: u64) -> u64
     let mut sim = Simulator::new(router.bits());
     for bit in 0..stim.width() {
         let pin = stim.driver_pin(bit);
-        sim.force(LogicSource::Yq { rc: pin.rc, slice: 1 }, (a >> bit) & 1 == 1);
+        sim.force(
+            LogicSource::Yq {
+                rc: pin.rc,
+                slice: 1,
+            },
+            (a >> bit) & 1 == 1,
+        );
     }
     (0..adder.width()).fold(0u64, |acc, j| {
         let v = sim
-            .read(LogicSource::X { rc: adder.sum_site(j), slice: 0 })
+            .read(LogicSource::X {
+                rc: adder.sum_site(j),
+                slice: 0,
+            })
             .expect("combinational sum");
         acc | (v as u64) << j
     })
@@ -64,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         router.remembered().len()
     );
     for a in 0..16u64 {
-        assert_eq!(eval(&router, &stim, &add, a), (a * 5 + 9) & 0xFF, "a={a} after move");
+        assert_eq!(
+            eval(&router, &stim, &add, a),
+            (a * 5 + 9) & 0xFF,
+            "a={a} after move"
+        );
     }
     println!("pipeline still computes f(a) = a*5 + 9 after relocation");
     Ok(())

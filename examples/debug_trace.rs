@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // isOn (§3.4).
     let probe = net.segments[1];
-    println!("\nis_on({}, {}) = {}", probe.rc, probe.wire.name(), router.is_on(probe.rc, probe.wire)?);
+    println!(
+        "\nis_on({}, {}) = {}",
+        probe.rc,
+        probe.wire.name(),
+        router.is_on(probe.rc, probe.wire)?
+    );
 
     // Readback diff: exactly what changed on the device?
     let after = snapshot(router.bits());

@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example parallel_routing`
 
+use detrand::DetRng;
 use jroute::parallel::{route_parallel, ParallelConfig};
 use jroute_workloads::{random_netlist, NetlistParams};
-use detrand::DetRng;
 use std::time::Instant;
 use virtex::{Device, Family};
 
@@ -15,14 +15,26 @@ fn main() {
     let mut rng = DetRng::seed_from_u64(7);
     let specs = random_netlist(
         &device,
-        &NetlistParams { nets: 150, max_fanout: 2, max_span: Some(12) },
+        &NetlistParams {
+            nets: 150,
+            max_fanout: 2,
+            max_span: Some(12),
+        },
         &mut rng,
     );
-    println!("{} nets on {} ({} CLBs)", specs.len(), device.family(), device.dims().tiles());
+    println!(
+        "{} nets on {} ({} CLBs)",
+        specs.len(),
+        device.family(),
+        device.dims().tiles()
+    );
 
     let mut baseline = None;
     for threads in [1usize, 2, 4, 8] {
-        let cfg = ParallelConfig { threads, ..Default::default() };
+        let cfg = ParallelConfig {
+            threads,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let result = route_parallel(&device, &specs, &cfg);
         let dt = t0.elapsed().as_secs_f64();

@@ -11,7 +11,12 @@ use virtex::{wire, Device, Dir, Family, TemplateValue as T};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::new(Family::Xcv50); // 16x24 CLBs
-    println!("device: {} ({}x{} CLBs)", device.family(), device.dims().rows, device.dims().cols);
+    println!(
+        "device: {} ({}x{} CLBs)",
+        device.family(),
+        device.dims().rows,
+        device.dims().cols
+    );
 
     // ------------------------------------------------------------------
     // Level 1 — single connections: the user decides the path.
@@ -21,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     router.route_rc(5, 7, wire::out(1), wire::single(Dir::East, 5))?;
     // The paper calls this wire "SingleWest[5]" at (5,8): the east-going
     // single arriving from (5,7).
-    router.route_rc(5, 8, wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))?;
+    router.route_rc(
+        5,
+        8,
+        wire::single_end(Dir::East, 5),
+        wire::single(Dir::North, 0),
+    )?;
     router.route_rc(6, 8, wire::single_end(Dir::North, 0), wire::S0_F3)?;
     println!("level 1 (manual):   {} PIPs", router.stats().pips_set);
     let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
@@ -43,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
     router.route_path(&path)?;
-    println!("level 2 (path):     {} sinks traced", router.trace(&src)?.sinks.len());
+    println!(
+        "level 2 (path):     {} sinks traced",
+        router.trace(&src)?.sinks.len()
+    );
     router.unroute(&src)?;
 
     // ------------------------------------------------------------------
@@ -60,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
     router.route(&src, &sink)?;
     let net = router.trace(&src)?;
-    println!("level 4 (auto):     {} PIPs, {} segments", net.pips.len(), net.segments.len());
+    println!(
+        "level 4 (auto):     {} PIPs, {} segments",
+        net.pips.len(),
+        net.segments.len()
+    );
 
     // And back off again: RTR needs an unrouter (§3.3).
     let cleared = router.unroute(&src)?;

@@ -16,11 +16,20 @@ fn product(router: &Router, stim: &StimulusBank, mul: &ConstMultiplier, a: u64) 
     let mut sim = Simulator::new(router.bits());
     for bit in 0..stim.width() {
         let pin = stim.driver_pin(bit);
-        sim.force(LogicSource::Yq { rc: pin.rc, slice: 1 }, (a >> bit) & 1 == 1);
+        sim.force(
+            LogicSource::Yq {
+                rc: pin.rc,
+                slice: 1,
+            },
+            (a >> bit) & 1 == 1,
+        );
     }
     (0..mul.out_width()).fold(0u64, |acc, j| {
         let v = sim
-            .read(LogicSource::X { rc: mul.product_site(j), slice: 0 })
+            .read(LogicSource::X {
+                rc: mul.product_site(j),
+                slice: 0,
+            })
             .expect("combinational product");
         acc | (v as u64) << j
     })
@@ -40,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     router.route_bus(&outs, &ins)?;
     router.bits_mut().frames_mut().take(); // end the build transaction
 
-    println!("connected: {} PIPs, {}", router.stats().pips_set, router.resource_usage());
+    println!(
+        "connected: {} PIPs, {}",
+        router.stats().pips_set,
+        router.resource_usage()
+    );
     for a in [2u64, 7, 15] {
         println!("  {a} * 3 = {}", product(&router, &stim, &mul, a));
         assert_eq!(product(&router, &stim, &mul, a), a * 3);
@@ -51,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     replace_with(&mut mul, &mut router, |m| m.set_constant(11))?;
     let frames = router.bits_mut().frames_mut().take().len();
     println!("replaced K=3 with K=11: {frames} configuration frames touched");
-    assert!(router.remembered().is_empty(), "connections re-made automatically");
+    assert!(
+        router.remembered().is_empty(),
+        "connections re-made automatically"
+    );
 
     for a in [2u64, 7, 15] {
         println!("  {a} * 11 = {}", product(&router, &stim, &mul, a));

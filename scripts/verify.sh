@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -35,11 +38,11 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
 # baseline covers, then diff medians against bench-baseline/ (threshold
 # BENCH_REGRESSION_PCT, default 25%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1 + e2 vs bench-baseline/"
-    BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
-        cargo bench --offline --bench e1_census
-    BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
-        cargo bench --offline --bench e2_api_levels
+    echo "==> bench regression gate: e1 + e2 + e4 + e12 vs bench-baseline/"
+    for bench in e1_census e2_api_levels e4_template_vs_maze e12_parallel; do
+        BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
+            cargo bench --offline --bench "$bench"
+    done
     cargo run --release --offline -p jroute-bench --bin compare
 fi
 

@@ -1,13 +1,13 @@
 //! Cross-crate integration tests: the full stack (virtex + jbits +
 //! jroute + cores + vsim) exercised together.
 
+use detrand::DetRng;
 use jbits::{diff, snapshot};
-use jroute::pathfinder::{self, PathFinderConfig};
 use jroute::parallel::{route_parallel, ParallelConfig};
+use jroute::pathfinder::{self, PathFinderConfig};
 use jroute::{EndPoint, Pin, PortDir, RouteError, Router};
 use jroute_cores::{relocate, ConstAdder, Counter, Register, RtpCore, StimulusBank};
 use jroute_workloads::{random_netlist, NetlistParams};
-use detrand::DetRng;
 use virtex::{wire, Device, Family, RowCol};
 use vsim::{LogicSource, Simulator};
 
@@ -60,13 +60,23 @@ fn counter_register_system_runs_in_vsim() {
     for step in 1..=10u64 {
         sim.step().unwrap();
         let count = (0..3).fold(0u64, |acc, b| {
-            acc | (sim.read(LogicSource::Xq { rc: ctr.bit_site(b), slice: 0 }).unwrap() as u64)
+            acc | (sim
+                .read(LogicSource::Xq {
+                    rc: ctr.bit_site(b),
+                    slice: 0,
+                })
+                .unwrap() as u64)
                 << b
         });
         assert_eq!(count, step % 8);
         // The register lags the counter by one cycle.
         let lagged = (0..3).fold(0u64, |acc, b| {
-            acc | (sim.read(LogicSource::Xq { rc: reg.bit_site(b), slice: 0 }).unwrap() as u64)
+            acc | (sim
+                .read(LogicSource::Xq {
+                    rc: reg.bit_site(b),
+                    slice: 0,
+                })
+                .unwrap() as u64)
                 << b
         });
         assert_eq!(lagged, (step - 1) % 8, "register holds previous count");
@@ -79,7 +89,11 @@ fn pathfinder_result_traces_end_to_end() {
     let mut rng = DetRng::seed_from_u64(11);
     let specs = random_netlist(
         &dev,
-        &NetlistParams { nets: 12, max_fanout: 2, max_span: Some(8) },
+        &NetlistParams {
+            nets: 12,
+            max_fanout: 2,
+            max_span: Some(8),
+        },
         &mut rng,
     );
     let result = pathfinder::route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
@@ -88,7 +102,9 @@ fn pathfinder_result_traces_end_to_end() {
     pathfinder::apply(&result, &mut bits).unwrap();
     // Every net must trace from its source to exactly its sinks.
     for net in &result.nets {
-        let src = dev.canonicalize(net.spec.source.rc, net.spec.source.wire).unwrap();
+        let src = dev
+            .canonicalize(net.spec.source.rc, net.spec.source.wire)
+            .unwrap();
         let traced = jroute::trace::trace(&bits, src);
         let mut want: Vec<Pin> = net.spec.sinks.clone();
         want.sort();
@@ -104,7 +120,11 @@ fn parallel_and_pathfinder_agree_with_router_on_light_load() {
     let mut rng = DetRng::seed_from_u64(21);
     let specs = random_netlist(
         &dev,
-        &NetlistParams { nets: 8, max_fanout: 1, max_span: Some(6) },
+        &NetlistParams {
+            nets: 8,
+            max_fanout: 1,
+            max_span: Some(6),
+        },
         &mut rng,
     );
     // Sequential router.
@@ -116,7 +136,14 @@ fn parallel_and_pathfinder_agree_with_router_on_light_load() {
         }
     }
     // Parallel router.
-    let par = route_parallel(&dev, &specs, &ParallelConfig { threads: 4, ..Default::default() });
+    let par = route_parallel(
+        &dev,
+        &specs,
+        &ParallelConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
     assert_eq!(seq_ok, 8);
     assert_eq!(par.nets.len(), 8);
     assert!(par.failed.is_empty());
@@ -132,10 +159,18 @@ fn port_hierarchy_spans_cores() {
     let mut adder = ConstAdder::new(1, 1, RowCol::new(2, 8));
     stim.implement(&mut r).unwrap();
     adder.implement(&mut r).unwrap();
-    let outer_in =
-        r.define_port("sys_in", "system", PortDir::Input, vec![adder.a_ports()[0].into()]);
-    let outer_out =
-        r.define_port("sys_src", "system", PortDir::Output, vec![stim.out_ports()[0].into()]);
+    let outer_in = r.define_port(
+        "sys_in",
+        "system",
+        PortDir::Input,
+        vec![adder.a_ports()[0].into()],
+    );
+    let outer_out = r.define_port(
+        "sys_src",
+        "system",
+        PortDir::Output,
+        vec![stim.out_ports()[0].into()],
+    );
     r.route(&outer_out.into(), &outer_in.into()).unwrap();
     let traced = r.trace(&outer_out.into()).unwrap();
     // The adder's `a` port binds two pins (F1 and G1).
@@ -148,15 +183,24 @@ fn router_refuses_contention_with_foreign_configuration() {
     let mut r = Router::new(&dev);
     // A foreign tool (raw JBits) drives a single.
     r.bits_mut()
-        .set_pip(RowCol::new(4, 4), wire::out(0), wire::single(virtex::Dir::East, 2))
+        .set_pip(
+            RowCol::new(4, 4),
+            wire::out(0),
+            wire::single(virtex::Dir::East, 2),
+        )
         .unwrap();
     // The router's auto-route must not use that wire as a target, and a
     // manual route driving it must be rejected.
     let mut drivers = Vec::new();
-    dev.arch().pips_into(RowCol::new(4, 4), wire::single(virtex::Dir::East, 2), &mut drivers);
+    dev.arch().pips_into(
+        RowCol::new(4, 4),
+        wire::single(virtex::Dir::East, 2),
+        &mut drivers,
+    );
     let other = drivers.into_iter().find(|w| *w != wire::out(0)).unwrap();
-    let err =
-        r.route_pip(RowCol::new(4, 4), other, wire::single(virtex::Dir::East, 2)).unwrap_err();
+    let err = r
+        .route_pip(RowCol::new(4, 4), other, wire::single(virtex::Dir::East, 2))
+        .unwrap_err();
     assert!(matches!(err, RouteError::Contention { .. }));
 }
 
@@ -168,7 +212,10 @@ fn routing_works_on_every_family_member() {
         // them also keeps the search tractable on the 64x96 member.
         let mut r = Router::with_options(
             &dev,
-            jroute::RouterOptions { use_long_lines: true, ..Default::default() },
+            jroute::RouterOptions {
+                use_long_lines: true,
+                ..Default::default()
+            },
         );
         let rows = dev.dims().rows;
         let cols = dev.dims().cols;
@@ -193,13 +240,24 @@ fn relocation_is_idempotent_over_many_moves() {
     r.route_bus(&s, &a).unwrap();
     for (row, col) in [(6u16, 12u16), (10, 20), (4, 30), (2, 8)] {
         relocate(&mut adder, &mut r, RowCol::new(row, col)).unwrap();
-        assert!(r.remembered().is_empty(), "move to ({row},{col}) left dangling connections");
+        assert!(
+            r.remembered().is_empty(),
+            "move to ({row},{col}) left dangling connections"
+        );
         let traced = r.trace(&s[0]).unwrap();
-        assert_eq!(traced.sinks.len(), 2, "F1+G1 of bit 0 after move to ({row},{col})");
+        assert_eq!(
+            traced.sinks.len(),
+            2,
+            "F1+G1 of bit 0 after move to ({row},{col})"
+        );
         // Net bookkeeping must agree with the bitstream exactly: the sum
         // of recorded net pips equals the configured on-PIP count.
         let recorded: usize = r.nets().iter().map(|n| n.pips.len()).sum();
-        assert_eq!(recorded, r.bits().on_pip_count(), "netdb/bitstream drift at ({row},{col})");
+        assert_eq!(
+            recorded,
+            r.bits().on_pip_count(),
+            "netdb/bitstream drift at ({row},{col})"
+        );
     }
 }
 

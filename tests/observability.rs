@@ -19,7 +19,12 @@ fn observed_router(device: &Device) -> Router {
 
 /// The recorded note of the most recent span named `name`.
 fn span_note(r: &Router, name: &str) -> Option<u64> {
-    r.obs_report().spans.iter().rev().find(|s| s.name == name).map(|s| s.note)
+    r.obs_report()
+        .spans
+        .iter()
+        .rev()
+        .find(|s| s.name == name)
+        .map(|s| s.note)
 }
 
 #[test]
@@ -30,12 +35,27 @@ fn trace_reads_nets_configured_by_raw_bitstream_writes() {
     // Configure the paper's §3.1 worked example purely at the JBits
     // level: the router's NetDb knows nothing about this net.
     let bits = r.bits_mut();
-    bits.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1)).unwrap();
-    bits.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5)).unwrap();
-    bits.set_pip(RowCol::new(5, 8), wire::single_end(Dir::East, 5), wire::single(Dir::North, 0))
+    bits.set_pip(RowCol::new(5, 7), wire::S1_YQ, wire::out(1))
         .unwrap();
-    bits.set_pip(RowCol::new(6, 8), wire::single_end(Dir::North, 0), wire::S0_F3).unwrap();
-    assert_eq!(r.nets().iter().count(), 0, "nothing was routed through the API");
+    bits.set_pip(RowCol::new(5, 7), wire::out(1), wire::single(Dir::East, 5))
+        .unwrap();
+    bits.set_pip(
+        RowCol::new(5, 8),
+        wire::single_end(Dir::East, 5),
+        wire::single(Dir::North, 0),
+    )
+    .unwrap();
+    bits.set_pip(
+        RowCol::new(6, 8),
+        wire::single_end(Dir::North, 0),
+        wire::S0_F3,
+    )
+    .unwrap();
+    assert_eq!(
+        r.nets().iter().count(),
+        0,
+        "nothing was routed through the API"
+    );
 
     let src: EndPoint = Pin::new(5, 7, wire::S1_YQ).into();
     let net = r.trace(&src).unwrap();
@@ -51,7 +71,10 @@ fn trace_reads_nets_configured_by_raw_bitstream_writes() {
     let sink: EndPoint = Pin::new(6, 8, wire::S0_F3).into();
     let (hops, found) = r.reverse_trace(&sink).unwrap();
     assert_eq!(hops.len(), 4);
-    assert_eq!(found, device.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap());
+    assert_eq!(
+        found,
+        device.canonicalize(RowCol::new(5, 7), wire::S1_YQ).unwrap()
+    );
     assert_eq!(span_note(&r, "router.reverse_trace"), Some(4));
 }
 
@@ -91,7 +114,9 @@ fn configure_cycle(r: &mut Router, start: Segment) -> Vec<Segment> {
             fanout.clear();
             arch.pips_from(tap.rc, tap.wire, &mut fanout);
             for &to in &fanout {
-                let Some(next) = device.canonicalize(tap.rc, to) else { continue };
+                let Some(next) = device.canonicalize(tap.rc, to) else {
+                    continue;
+                };
                 if path.contains(&next) {
                     step = Some((tap.rc, tap.wire, to, next, true));
                     break 'tap;
@@ -116,7 +141,9 @@ fn configure_cycle(r: &mut Router, start: Segment) -> Vec<Segment> {
 fn forward_trace_terminates_on_hand_set_pip_cycles() {
     let device = Device::new(Family::Xcv50);
     let mut r = observed_router(&device);
-    let start = device.canonicalize(RowCol::new(10, 10), wire::out(2)).unwrap();
+    let start = device
+        .canonicalize(RowCol::new(10, 10), wire::out(2))
+        .unwrap();
     let path = configure_cycle(&mut r, start);
     assert!(path.len() >= 2, "a cycle needs at least two segments");
 
@@ -133,8 +160,10 @@ fn obs_report_json_export_has_the_documented_shape() {
     let device = Device::new(Family::Xcv50);
     let mut r = observed_router(&device);
     let src: EndPoint = Pin::new(8, 8, wire::S0_YQ).into();
-    let sinks: Vec<EndPoint> =
-        vec![Pin::new(8, 12, wire::S0_F3).into(), Pin::new(11, 9, wire::S1_F1).into()];
+    let sinks: Vec<EndPoint> = vec![
+        Pin::new(8, 12, wire::S0_F3).into(),
+        Pin::new(11, 9, wire::S1_F1).into(),
+    ];
     r.route_fanout(&src, &sinks).unwrap();
 
     let dir = std::env::temp_dir().join("jroute-obs-shape-test");
@@ -145,9 +174,21 @@ fn obs_report_json_export_has_the_documented_shape() {
     assert_eq!(doc.get("run").and_then(Value::as_str), Some("shape_test"));
     assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
     let counters = doc.get("counters").expect("counters object");
-    assert!(counters.get("router.pips_set").and_then(Value::as_f64).unwrap() >= 1.0);
-    assert!(counters.get("jbits.pips_set").is_some(), "bitstream tap publishes");
-    assert!(counters.get("resources.total").is_some(), "census gauges publish");
+    assert!(
+        counters
+            .get("router.pips_set")
+            .and_then(Value::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+    assert!(
+        counters.get("jbits.pips_set").is_some(),
+        "bitstream tap publishes"
+    );
+    assert!(
+        counters.get("resources.total").is_some(),
+        "census gauges publish"
+    );
     let hists = doc.get("histograms").expect("histograms object");
     let expanded = hists.get("maze.nodes_expanded").expect("maze histogram");
     assert!(expanded.get("count").and_then(Value::as_f64).unwrap() >= 1.0);
@@ -164,14 +205,22 @@ fn obs_report_json_export_has_the_documented_shape() {
 /// is covered above).
 #[test]
 fn exported_quickstart_json_is_valid_when_pointed_at() {
-    let Ok(path) = std::env::var("OBS_SHAPE_CHECK") else { return };
-    let body = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("OBS_SHAPE_CHECK={path}: {e}"));
+    let Ok(path) = std::env::var("OBS_SHAPE_CHECK") else {
+        return;
+    };
+    let body =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("OBS_SHAPE_CHECK={path}: {e}"));
     let doc = json::parse(&body).expect("exported file must be valid JSON");
     assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
     assert!(doc.get("run").and_then(Value::as_str).is_some());
-    let spans = doc.get("spans").and_then(Value::as_obj).expect("spans object");
-    assert!(!spans.is_empty(), "a routed example must have recorded spans");
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_obj)
+        .expect("spans object");
+    assert!(
+        !spans.is_empty(),
+        "a routed example must have recorded spans"
+    );
     assert!(doc.get("counters").and_then(Value::as_obj).is_some());
 }
 
@@ -187,5 +236,8 @@ fn disabled_recorder_reports_nothing() {
     assert!(!rep.enabled);
     assert!(rep.spans.is_empty());
     assert_eq!(rep.counter("router.pips_set"), None);
-    assert!(!r.bits().has_observer(), "disabled recorder detaches the jbits tap");
+    assert!(
+        !r.bits().has_observer(),
+        "disabled recorder detaches the jbits tap"
+    );
 }

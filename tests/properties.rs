@@ -44,7 +44,12 @@ fn pips_connect_existing_wires() {
         let mut fan = Vec::new();
         dev.arch().pips_from(rc, w, &mut fan);
         for to in fan {
-            assert!(dev.wire_exists(rc, to), "{} -> {} at {rc}", w.name(), to.name());
+            assert!(
+                dev.wire_exists(rc, to),
+                "{} -> {} at {rc}",
+                w.name(),
+                to.name()
+            );
         }
     });
 }
@@ -78,7 +83,9 @@ fn route_unroute_restores_state() {
         let pairs = random_pairs(&dev, 3, &mut pair_rng);
         let mut router = Router::new(&dev);
         // Pre-route one net to make the baseline non-trivial.
-        router.route(&pairs[0].0.into(), &pairs[0].1.into()).unwrap();
+        router
+            .route(&pairs[0].0.into(), &pairs[0].1.into())
+            .unwrap();
         let baseline = jbits::snapshot(router.bits());
         if router.route(&pairs[1].0.into(), &pairs[1].1.into()).is_ok() {
             router.unroute(&pairs[1].0.into()).unwrap();
@@ -143,7 +150,11 @@ fn template_router_respects_classes() {
         // dr + dc must be positive; redraw dc when both come up zero so
         // every case still tests something (the old prop_assume!).
         let dr = rng.gen_range(0u16..3);
-        let dc = if dr == 0 { rng.gen_range(1u16..3) } else { rng.gen_range(0u16..3) };
+        let dc = if dr == 0 {
+            rng.gen_range(1u16..3)
+        } else {
+            rng.gen_range(0u16..3)
+        };
         let dev = dev();
         let mut router = Router::new(&dev);
         let mut values = Vec::new();
@@ -168,6 +179,135 @@ fn template_router_respects_classes() {
     });
 }
 
+/// The dense `NetDb` occupancy (SegVec over the segment space) behaves
+/// exactly like a sparse `HashMap<Segment, NetId>` reference model under
+/// random create / add_pip / remove_pip / remove_net sequences: same
+/// accept/reject decisions, same owners, same used-segment count.
+#[test]
+fn netdb_matches_sparse_reference_model() {
+    harness::check("netdb_matches_sparse_reference_model", |rng| {
+        use std::collections::HashMap;
+        use virtex::Segment;
+
+        let dev = dev();
+        let mut db = jroute::NetDb::new(dev.seg_space());
+        let mut model: HashMap<Segment, jroute::NetId> = HashMap::new();
+        // Live nets mirrored outside the db: (id, source, recorded pips).
+        type PipRec = (RowCol, jbits::Pip, Segment);
+        let mut nets: Vec<(jroute::NetId, Segment, Vec<PipRec>)> = Vec::new();
+
+        for _ in 0..60 {
+            match rng.gen_range(0u32..10) {
+                0..=2 => {
+                    // create — sources drawn from a small pool so rooting
+                    // collisions actually happen.
+                    let r = rng.gen_range(0u16..4);
+                    let c = rng.gen_range(0u16..4);
+                    let w = wire::slice_out(rng.gen_range(0usize..2), rng.gen_range(0u8..2));
+                    let seg = dev.canonicalize(RowCol::new(r, c), w).expect("local wire");
+                    match db.create(Pin::new(r, c, w), seg) {
+                        Ok(id) => {
+                            assert!(!model.contains_key(&seg), "create accepted a taken source");
+                            model.insert(seg, id);
+                            nets.push((id, seg, Vec::new()));
+                        }
+                        Err(_) => {
+                            assert!(model.contains_key(&seg), "create rejected a free source")
+                        }
+                    }
+                }
+                3..=6 => {
+                    // add_pip — a real PIP of the architecture, so the
+                    // canonical target is well defined.
+                    if nets.is_empty() {
+                        continue;
+                    }
+                    let n = rng.gen_range(0usize..nets.len());
+                    let id = nets[n].0;
+                    let rc = RowCol::new(rng.gen_range(0u16..16), rng.gen_range(0u16..24));
+                    let from = Wire(rng.gen_range(0u16..430));
+                    let mut fan = Vec::new();
+                    dev.arch().pips_from(rc, from, &mut fan);
+                    if fan.is_empty() {
+                        continue;
+                    }
+                    let to = fan[rng.gen_range(0usize..fan.len())];
+                    let target = dev
+                        .canonicalize(rc, to)
+                        .expect("pips connect existing wires");
+                    let pip = jbits::Pip::new(from, to);
+                    match db.add_pip(id, rc, pip, target) {
+                        Ok(()) => {
+                            let prev = model.insert(target, id);
+                            assert!(
+                                prev.is_none() || prev == Some(id),
+                                "add_pip stole {target} from {prev:?}"
+                            );
+                            let pips = &mut nets[n].2;
+                            if !pips.iter().any(|&(r, p, _)| r == rc && p == pip) {
+                                pips.push((rc, pip, target));
+                            }
+                        }
+                        Err(_) => assert!(
+                            model.get(&target).is_some_and(|&o| o != id),
+                            "add_pip rejected free/own target {target}"
+                        ),
+                    }
+                }
+                7 => {
+                    // remove_pip — releases the target unconditionally.
+                    let candidates: Vec<usize> =
+                        (0..nets.len()).filter(|&i| !nets[i].2.is_empty()).collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let n = candidates[rng.gen_range(0usize..candidates.len())];
+                    let (id, _, ref mut pips) = nets[n];
+                    let (rc, pip, target) = pips.remove(rng.gen_range(0usize..pips.len()));
+                    assert!(
+                        db.remove_pip(id, rc, pip, target),
+                        "recorded pip must remove"
+                    );
+                    model.remove(&target);
+                }
+                _ => {
+                    // remove_net — releases only segments the net owns.
+                    if nets.is_empty() {
+                        continue;
+                    }
+                    let (id, source, pips) = nets.swap_remove(rng.gen_range(0usize..nets.len()));
+                    assert!(db.remove_net(id).is_some());
+                    if model.get(&source) == Some(&id) {
+                        model.remove(&source);
+                    }
+                    for (_, _, target) in pips {
+                        if model.get(&target) == Some(&id) {
+                            model.remove(&target);
+                        }
+                    }
+                }
+            }
+            assert_eq!(db.used_segments(), model.len());
+        }
+
+        // Full occupancy equivalence at the end of the sequence.
+        for (&seg, &id) in &model {
+            assert_eq!(db.owner(seg), Some(id), "owner mismatch at {seg}");
+            assert!(db.is_used(seg));
+        }
+        let census: Vec<(Segment, jroute::NetId)> = db.iter_used().collect();
+        assert_eq!(census.len(), model.len());
+        for (seg, id) in census {
+            assert_eq!(model.get(&seg), Some(&id));
+        }
+        // And a segment the model never touched is free.
+        let probe = dev.canonicalize(RowCol::new(14, 20), wire::S0_YQ).unwrap();
+        if !model.contains_key(&probe) {
+            assert_eq!(db.owner(probe), None);
+        }
+    });
+}
+
 /// Long lines appear in routes only when the option is enabled.
 #[test]
 fn long_lines_obey_the_option() {
@@ -178,7 +318,10 @@ fn long_lines_obey_the_option() {
         let spec = fanout_spec(&dev, RowCol::new(16, 24), 2, 12, &mut spec_rng);
         let mut router = Router::with_options(
             &dev,
-            RouterOptions { use_long_lines: use_longs, ..Default::default() },
+            RouterOptions {
+                use_long_lines: use_longs,
+                ..Default::default()
+            },
         );
         let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
         router.route_fanout(&spec.source.into(), &sinks).unwrap();

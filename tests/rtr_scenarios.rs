@@ -17,10 +17,21 @@ fn product(router: &Router, stim: &StimulusBank, mul: &ConstMultiplier, a: u64) 
     let mut sim = Simulator::new(router.bits());
     for bit in 0..stim.width() {
         let pin = stim.driver_pin(bit);
-        sim.force(LogicSource::Yq { rc: pin.rc, slice: 1 }, (a >> bit) & 1 == 1);
+        sim.force(
+            LogicSource::Yq {
+                rc: pin.rc,
+                slice: 1,
+            },
+            (a >> bit) & 1 == 1,
+        );
     }
     (0..mul.out_width()).fold(0u64, |acc, j| {
-        acc | (sim.read(LogicSource::X { rc: mul.product_site(j), slice: 0 }).unwrap() as u64)
+        acc | (sim
+            .read(LogicSource::X {
+                rc: mul.product_site(j),
+                slice: 0,
+            })
+            .unwrap() as u64)
             << j
     })
 }
@@ -41,7 +52,10 @@ fn repeated_replacement_cycles_are_stable() {
     let mut pip_counts = Vec::new();
     for k in [2u8, 5, 9, 13, 7, 3, 15, 1, 6, 11] {
         replace_with(&mut mul, &mut r, |m| m.set_constant(k)).unwrap();
-        assert!(r.remembered().is_empty(), "K={k} left remembered connections");
+        assert!(
+            r.remembered().is_empty(),
+            "K={k} left remembered connections"
+        );
         pip_counts.push(r.bits().on_pip_count());
         assert_eq!(product(&r, &stim, &mul, 13), 13 * k as u64, "K={k}");
     }
@@ -70,7 +84,10 @@ fn relocation_to_occupied_region_fails_but_leaves_queue_recoverable() {
     let blocker_src: EndPoint = Pin::new(20, 19, wire::S1_YQ).into();
     let mut blocked_sinks: Vec<EndPoint> = Vec::new();
     for row in 20..22u16 {
-        for pin in [wire::slice_in(0, wire::slice_in_pin::F1), wire::slice_in(0, wire::slice_in_pin::G1)] {
+        for pin in [
+            wire::slice_in(0, wire::slice_in_pin::F1),
+            wire::slice_in(0, wire::slice_in_pin::G1),
+        ] {
             blocked_sinks.push(Pin::at(RowCol::new(row, 20), pin).into());
         }
     }
@@ -90,7 +107,11 @@ fn relocation_to_occupied_region_fails_but_leaves_queue_recoverable() {
     r.reconnect_ports().unwrap();
     assert!(r.remembered().is_empty());
     let traced = r.trace(&s[0]).unwrap();
-    assert_eq!(traced.sinks.len(), 2, "bit 0 reconnected to F1+G1 after recovery");
+    assert_eq!(
+        traced.sinks.len(),
+        2,
+        "bit 0 reconnected to F1+G1 after recovery"
+    );
 }
 
 #[test]
@@ -104,8 +125,10 @@ fn detach_remembers_both_directions() {
     mul.implement(&mut r).unwrap();
     adder.implement(&mut r).unwrap();
     // stim -> mul (2 of 4 input bits), mul -> adder.
-    r.route(&stim.out_ports()[0].into(), &mul.a_ports()[0].into()).unwrap();
-    r.route(&stim.out_ports()[1].into(), &mul.a_ports()[1].into()).unwrap();
+    r.route(&stim.out_ports()[0].into(), &mul.a_ports()[0].into())
+        .unwrap();
+    r.route(&stim.out_ports()[1].into(), &mul.a_ports()[1].into())
+        .unwrap();
     let p: Vec<EndPoint> = mul.p_ports().iter().map(|&x| x.into()).collect();
     let a: Vec<EndPoint> = adder.a_ports().iter().map(|&x| x.into()).collect();
     r.route_bus(&p, &a).unwrap();
@@ -147,18 +170,18 @@ fn unroute_then_reroute_is_snapshot_stable_for_cores() {
     assert_eq!(product(&r, &stim, &mul, 9), 63);
     let after = snapshot(r.bits());
     let pips_after = r.bits().on_pip_count();
-    assert_eq!(pips_before, pips_after, "replacement must not leak or drop pips");
+    assert_eq!(
+        pips_before, pips_after,
+        "replacement must not leak or drop pips"
+    );
     // LUT contents identical even if routing differs.
     for bit in 0..8 {
         let rc = mul.product_site(bit);
-        assert_eq!(
-            r.bits().get_lut(rc, 0, 0).unwrap(),
-            {
-                let _ = &before;
-                let _ = &after;
-                r.bits().get_lut(rc, 0, 0).unwrap()
-            }
-        );
+        assert_eq!(r.bits().get_lut(rc, 0, 0).unwrap(), {
+            let _ = &before;
+            let _ = &after;
+            r.bits().get_lut(rc, 0, 0).unwrap()
+        });
     }
 }
 
