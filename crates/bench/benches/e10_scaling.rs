@@ -56,7 +56,7 @@ fn table() {
             dev.dims().tiles(),
             nets,
             ok,
-            if ok > 0 { nodes / ok } else { 0 }
+            nodes.checked_div(ok).unwrap_or(0)
         );
     }
 }

@@ -60,10 +60,12 @@ fn level4(r: &mut Router, templates: bool) {
     r.route(&src, &sink).unwrap();
 }
 
+type ApiRun<'a> = (&'a str, Box<dyn Fn(&mut Router)>);
+
 fn table() {
     eprintln!("\n=== E2: API levels, same connection (paper §3.1 example) ===");
     eprintln!("{:<28} {:>6} {:>10}", "level", "pips", "segments");
-    let runs: Vec<(&str, Box<dyn Fn(&mut Router)>)> = vec![
+    let runs: Vec<ApiRun> = vec![
         ("1 manual route(r,c,f,t)", Box::new(level1)),
         ("2 route(Path)", Box::new(level2)),
         ("3 route(Template)", Box::new(level3)),

@@ -44,6 +44,7 @@ pub mod path;
 pub mod pathfinder;
 pub mod ports;
 pub mod router;
+pub mod schedule;
 pub mod stats;
 pub mod template;
 pub mod templates_db;
@@ -58,6 +59,7 @@ pub use net::{Net, NetDb};
 pub use path::Path;
 pub use ports::{Port, PortDb, PortDir};
 pub use router::{Remembered, Router, RouterOptions};
+pub use schedule::{Scheduler, SchedulerKind, StealDeque};
 pub use stats::{ResourceUsage, RouterStats};
 pub use template::Template;
 pub use trace::TracedNet;

@@ -370,8 +370,7 @@ pub fn search_obs(
 
         taps.clear();
         virtex::segment::taps(dims, seg, &mut taps);
-        for t in 0..taps.len() {
-            let tap = taps[t];
+        for &tap in &taps {
             fanout.clear();
             arch.pips_from(tap.rc, tap.wire, &mut fanout);
             for &to in &fanout {

@@ -260,6 +260,17 @@ impl NetDb {
             .filter_map(move |(idx, v)| v.map(|id| (space.segment(idx), id)))
     }
 
+    /// Deterministically ordered census of every owned segment: the
+    /// state-comparison key used by the service-layer stress tests
+    /// (dense-index order, so two databases over the same space compare
+    /// element-wise).
+    pub fn census(&self) -> Vec<(Segment, NetId)> {
+        let space = self.space();
+        let mut v: Vec<(Segment, NetId)> = self.iter_used().collect();
+        v.sort_by_key(|&(seg, _)| space.index(seg).0);
+        v
+    }
+
     /// Mark `seg` owned by `id`.
     fn occupy(&mut self, seg: Segment, id: NetId) {
         let idx = self.space().index(seg);

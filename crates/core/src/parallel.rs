@@ -21,13 +21,23 @@
 //! search away. The committed configuration is always contention-free —
 //! the JRoute §3.4 invariant — and equivalent to some sequential routing
 //! order (the order in which final claims landed).
+//!
+//! Within a round, nets are distributed over the workers by a
+//! [`Scheduler`](crate::schedule::Scheduler): work-stealing deques by
+//! default (net route times are wildly skewed, so static chunks leave
+//! workers idle on the tail), with the original chunked assignment
+//! available via [`SchedulerKind::Chunked`]. The claim table and the
+//! per-net routing step are public so the batch service front-end
+//! (`jroute-svc`) can schedule route/unroute/replace *requests* over the
+//! same substrate.
 
 use crate::maze::{self, MazeConfig, MazeScratch};
 use crate::pathfinder::NetSpec;
+use crate::schedule::SchedulerKind;
 use jbits::Pip;
 use jroute_obs::Recorder;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use virtex::{Device, RowCol, SegIdx, SegVec, Segment};
+use virtex::{Device, RowCol, SegIdx, SegSpace, SegVec, Segment};
 
 /// Options for the parallel router.
 #[derive(Debug, Clone)]
@@ -38,6 +48,8 @@ pub struct ParallelConfig {
     pub maze: MazeConfig,
     /// Give up after this many rounds without progress.
     pub max_stalled_rounds: usize,
+    /// How each round's pending nets are distributed over the workers.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for ParallelConfig {
@@ -48,6 +60,7 @@ impl Default for ParallelConfig {
                 .unwrap_or(4),
             maze: MazeConfig::default(),
             max_stalled_rounds: 3,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -81,9 +94,12 @@ const FREE: u32 = u32::MAX;
 
 /// Lock-free per-segment owner table shared by all workers.
 ///
-/// Each slot holds the claiming net's index or [`FREE`]. Only the CAS's
+/// Each slot holds the claiming owner's id or is free. Only the CAS's
 /// atomicity matters — no other data is published through a claim — so
-/// relaxed ordering is sufficient throughout.
+/// relaxed ordering is sufficient throughout. Owner ids are an arbitrary
+/// `u32` namespace chosen by the caller (net indices here; a split
+/// persisted-net/in-flight-request namespace in `jroute-svc`); the value
+/// `u32::MAX` is reserved as the free sentinel.
 ///
 /// The maze search probes `blocked_for` for every neighbour it touches,
 /// so reads vastly outnumber claims. A compact occupancy bitmap (one bit
@@ -93,14 +109,16 @@ const FREE: u32 = u32::MAX;
 /// nearly every probe. The bitmap is advisory — a stale bit only costs
 /// one owner-table read (set) or one failed claim CAS (clear); the CAS
 /// on the owner word is what enforces exclusivity.
-struct ClaimTable {
+#[derive(Debug)]
+pub struct ClaimTable {
     table: SegVec<AtomicU32>,
     /// `bits[i / 64] & (1 << (i % 64))` mirrors `table[i] != FREE`.
     bits: Vec<AtomicU64>,
 }
 
 impl ClaimTable {
-    fn new(space: virtex::SegSpace) -> Self {
+    /// An all-free table over one device's segment space.
+    pub fn new(space: SegSpace) -> Self {
         ClaimTable {
             table: SegVec::from_fn(space, || AtomicU32::new(FREE)),
             bits: (0..space.len().div_ceil(64))
@@ -109,9 +127,15 @@ impl ClaimTable {
         }
     }
 
-    /// Whether `idx` is claimed by a net other than `id`.
+    /// The segment space this table covers.
     #[inline]
-    fn blocked_for(&self, idx: SegIdx, id: u32) -> bool {
+    pub fn space(&self) -> SegSpace {
+        self.table.space()
+    }
+
+    /// Whether `idx` is claimed by an owner other than `id`.
+    #[inline]
+    pub fn blocked_for(&self, idx: SegIdx, id: u32) -> bool {
         let i = idx.as_usize();
         if self.bits[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) == 0 {
             return false;
@@ -120,25 +144,58 @@ impl ClaimTable {
         cur != FREE && cur != id
     }
 
-    /// Claim `idx` for `id`. Succeeds if the slot was free or already
-    /// ours (a net may reach the same segment through several branches).
+    /// Current owner of `idx`, if any. Racy under concurrent claims —
+    /// meaningful between runs (audits) or from the claiming thread.
     #[inline]
-    fn try_claim(&self, idx: SegIdx, id: u32) -> bool {
+    pub fn owner(&self, idx: SegIdx) -> Option<u32> {
+        let cur = self.table[idx].load(Ordering::Relaxed);
+        (cur != FREE).then_some(cur)
+    }
+
+    /// Claim `idx` for `id`, reporting whether the claim is fresh.
+    /// Rollback code releases only [`Claim::Won`] segments — a segment
+    /// that was already ours (a net reaching it through a second branch,
+    /// or a service request that took it over via [`Self::transfer`])
+    /// must keep its claim when a later step unwinds.
+    #[inline]
+    pub fn claim(&self, idx: SegIdx, id: u32) -> Claim {
+        debug_assert_ne!(id, FREE, "u32::MAX is the free sentinel");
         match self.table[idx].compare_exchange(FREE, id, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => {
                 let i = idx.as_usize();
                 self.bits[i / 64].fetch_or(1 << (i % 64), Ordering::Relaxed);
-                true
+                Claim::Won
             }
-            Err(cur) => cur == id,
+            Err(cur) if cur == id => Claim::AlreadyOurs,
+            Err(_) => Claim::Lost,
         }
+    }
+
+    /// Claim `idx` for `id`. Succeeds if the slot was free or already
+    /// ours (a net may reach the same segment through several branches).
+    #[inline]
+    pub fn try_claim(&self, idx: SegIdx, id: u32) -> bool {
+        self.claim(idx, id) != Claim::Lost
+    }
+
+    /// Hand a claim owned by `from` directly to `to`, without the
+    /// segment ever appearing free to concurrent searchers. This is how
+    /// the service's `Replace` requests take over the segments of the
+    /// nets they remove before re-routing over them. Fails (returns
+    /// `false`) if `from` does not own the slot.
+    #[inline]
+    pub fn transfer(&self, idx: SegIdx, from: u32, to: u32) -> bool {
+        debug_assert!(from != FREE && to != FREE, "u32::MAX is the free sentinel");
+        self.table[idx]
+            .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// Roll back a claim owned by `id` (no-op if not ours). A concurrent
     /// re-claim between the owner CAS and the bit clear can drop the
     /// new claimant's bit — benign, see the type docs.
     #[inline]
-    fn release(&self, idx: SegIdx, id: u32) {
+    pub fn release(&self, idx: SegIdx, id: u32) {
         if self.table[idx]
             .compare_exchange(id, FREE, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
@@ -147,16 +204,42 @@ impl ClaimTable {
             self.bits[i / 64].fetch_and(!(1 << (i % 64)), Ordering::Relaxed);
         }
     }
+
+    /// Every claimed segment with its owner id. An O(space) scan over
+    /// the owner table — for pre-run seeding audits and post-run leak
+    /// checks, not for hot paths, and only stable while no claims are in
+    /// flight.
+    pub fn claimed(&self) -> impl Iterator<Item = (SegIdx, u32)> + '_ {
+        self.table.iter().filter_map(|(idx, slot)| {
+            let cur = slot.load(Ordering::Relaxed);
+            (cur != FREE).then_some((idx, cur))
+        })
+    }
 }
 
-/// Per-net outcome of one routing attempt within a round.
-enum Outcome {
+/// Result of one [`ClaimTable::claim`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The slot was free; the claim is fresh (release it on rollback).
+    Won,
+    /// The slot already belonged to `id` (leave it alone on rollback).
+    AlreadyOurs,
+    /// The slot belongs to someone else.
+    Lost,
+}
+
+/// Per-net outcome of one routing attempt.
+#[derive(Debug)]
+pub enum RouteOutcome {
     /// Routed and claimed; the net is committed.
     Committed(Box<ParallelNet>),
     /// Lost a claim race, found a needed segment claimed by another net,
     /// or the search came up empty (possibly blocked by in-flight claims
-    /// that later roll back) — retry next round.
+    /// that later roll back) — retry later.
     Deferred,
+    /// The `cancel` probe fired mid-route; every claim made for the net
+    /// has been rolled back.
+    Cancelled,
     /// The net names a nonexistent wire — permanent.
     Failed,
 }
@@ -164,39 +247,52 @@ enum Outcome {
 /// Route one net, validating and claiming against the live claim table.
 ///
 /// On success every segment of the net (including its source) is claimed
-/// before returning, so the net is committed with no further
-/// coordination. On deferral or failure all claims made here are rolled
-/// back.
-fn route_one(
+/// for `id` before returning, so the net is committed with no further
+/// coordination. On deferral, cancellation or failure all claims made
+/// here are rolled back — the table is exactly as it was.
+///
+/// `cancel` is polled on every maze-search probe (and between sinks), so
+/// a request can be abandoned mid-search: this is the request-scoped
+/// rollback primitive under `jroute-svc` cancellation and deadline
+/// expiry. Pass `|| false` when cancellation is not needed.
+#[allow(clippy::too_many_arguments)] // the full claim-routing contract
+pub fn route_one_claiming(
     dev: &Device,
     spec: &NetSpec,
     id: u32,
     claims: &ClaimTable,
     cfg: &MazeConfig,
     scratch: &mut MazeScratch,
+    cancel: impl Fn() -> bool,
     obs: &Recorder,
-) -> Outcome {
+) -> RouteOutcome {
     let space = dev.seg_space();
     let Some(src_seg) = dev.canonicalize(spec.source.rc, spec.source.wire) else {
-        return Outcome::Failed;
+        return RouteOutcome::Failed;
     };
-    // Newly-claimed indices, for rollback on deferral.
+    // Freshly-claimed indices, for rollback on deferral. Segments the
+    // caller already owned (e.g. handed over via `ClaimTable::transfer`
+    // by a Replace request) are deliberately not recorded: rollback must
+    // return the table to its entry state, not free them.
     let mut newly: Vec<SegIdx> = Vec::new();
-    let claim = |idx: SegIdx, newly: &mut Vec<SegIdx>| {
-        if claims.try_claim(idx, id) {
+    let claim = |idx: SegIdx, newly: &mut Vec<SegIdx>| match claims.claim(idx, id) {
+        Claim::Won => {
             newly.push(idx);
             true
-        } else {
-            false
         }
+        Claim::AlreadyOurs => true,
+        Claim::Lost => false,
     };
     let rollback = |newly: &[SegIdx]| {
         for &idx in newly {
             claims.release(idx, id);
         }
     };
+    if cancel() {
+        return RouteOutcome::Cancelled;
+    }
     if !claim(space.index(src_seg), &mut newly) {
-        return Outcome::Deferred; // source segment owned by another net
+        return RouteOutcome::Deferred; // source segment owned by another net
     }
     let mut net = ParallelNet {
         spec: spec.clone(),
@@ -207,27 +303,34 @@ fn route_one(
     for sink in &spec.sinks {
         let Some(goal) = dev.canonicalize(sink.rc, sink.wire) else {
             rollback(&newly);
-            return Outcome::Failed;
+            return RouteOutcome::Failed;
         };
         if claims.blocked_for(space.index(goal), id) {
             rollback(&newly);
-            return Outcome::Deferred;
+            return RouteOutcome::Deferred;
         }
+        // A cancelled request sees every segment as blocked, so the
+        // search drains its open list and fails fast instead of
+        // finishing a route nobody wants.
         let r = maze::search_obs(
             dev,
             &starts,
             goal,
             cfg,
-            |seg| claims.blocked_for(space.index(seg), id),
+            |seg| cancel() || claims.blocked_for(space.index(seg), id),
             |_| 0,
             scratch,
             obs,
         );
         let Some(r) = r else {
-            // May be a true dead end or a transient block by claims that
-            // later roll back — defer; the stall counter bounds retries.
             rollback(&newly);
-            return Outcome::Deferred;
+            // May be a cancellation, a true dead end, or a transient
+            // block by claims that later roll back.
+            return if cancel() {
+                RouteOutcome::Cancelled
+            } else {
+                RouteOutcome::Deferred
+            };
         };
         // Claim the new branch immediately: other workers' searches see
         // these segments as blocked from here on.
@@ -235,7 +338,7 @@ fn route_one(
             if !claim(space.index(*seg), &mut newly) {
                 // Another net won the segment mid-search.
                 rollback(&newly);
-                return Outcome::Deferred;
+                return RouteOutcome::Deferred;
             }
         }
         for seg in &r.segments {
@@ -244,7 +347,27 @@ fn route_one(
         }
         net.pips.extend_from_slice(&r.pips);
     }
-    Outcome::Committed(Box::new(net))
+    if cancel() {
+        rollback(&newly);
+        return RouteOutcome::Cancelled;
+    }
+    RouteOutcome::Committed(Box::new(net))
+}
+
+/// Per-worker state for one round: the maze scratch plus the obs span
+/// covering the worker's life. Dropping it stamps the span with the
+/// number of nets the worker actually executed — under work-stealing
+/// that is the interesting number, not the preloaded share.
+struct WorkerCtx {
+    scratch: MazeScratch,
+    span: jroute_obs::Span,
+    attempted: u64,
+}
+
+impl Drop for WorkerCtx {
+    fn drop(&mut self) {
+        self.span.note(self.attempted);
+    }
 }
 
 /// Route `specs` using `cfg.threads` workers.
@@ -257,9 +380,9 @@ pub fn route_parallel(dev: &Device, specs: &[NetSpec], cfg: &ParallelConfig) -> 
 
 /// [`route_parallel`] with observability: a `parallel.route` span over the
 /// whole run, one `parallel.worker` span per worker thread per round (note
-/// = nets attempted), `parallel.conflicts` / `parallel.commits` counters,
-/// and a `parallel.net_attempts` histogram capturing how many rounds each
-/// net needed (retries = attempts − 1).
+/// = nets attempted), `parallel.conflicts` / `parallel.commits` /
+/// `parallel.steals` counters, and a `parallel.net_attempts` histogram
+/// capturing how many rounds each net needed (retries = attempts − 1).
 pub fn route_parallel_obs(
     dev: &Device,
     specs: &[NetSpec],
@@ -292,57 +415,52 @@ pub fn route_parallel_obs(
         // Fan the pending nets out over the workers. Each worker claims
         // segments as it routes, so nets commit mid-round and later
         // searches (on every thread) steer around them.
-        let claims_ref = &claims;
-        let chunk = pending.len().div_ceil(threads);
-        let mut results: Vec<(usize, Outcome)> = Vec::with_capacity(pending.len());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for part in pending.chunks(chunk) {
-                let part: Vec<usize> = part.to_vec();
-                let worker_obs = obs.clone();
-                handles.push(scope.spawn(move || {
-                    let mut span = worker_obs.span("parallel.worker");
-                    span.note(part.len() as u64);
-                    let mut scratch = MazeScratch::new(dev);
-                    part.into_iter()
-                        .map(|i| {
-                            (
-                                i,
-                                route_one(
-                                    dev,
-                                    &specs[i],
-                                    i as u32,
-                                    claims_ref,
-                                    &cfg.maze,
-                                    &mut scratch,
-                                    &worker_obs,
-                                ),
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                results.extend(h.join().expect("router worker panicked"));
-            }
-        });
+        let tasks: Vec<u64> = pending.iter().map(|&i| i as u64).collect();
+        let run = cfg.scheduler.run(
+            threads,
+            &tasks,
+            |_| WorkerCtx {
+                scratch: MazeScratch::new(dev),
+                span: obs.span("parallel.worker"),
+                attempted: 0,
+            },
+            |ctx, task| {
+                ctx.attempted += 1;
+                route_one_claiming(
+                    dev,
+                    &specs[task as usize],
+                    task as u32,
+                    &claims,
+                    &cfg.maze,
+                    &mut ctx.scratch,
+                    || false,
+                    obs,
+                )
+            },
+        );
+        obs.count("parallel.steals", run.steals);
+        let mut results: Vec<(u64, RouteOutcome)> = run.results;
         results.sort_by_key(|(i, _)| *i);
 
         let mut next_pending = Vec::new();
         let mut progressed = false;
         for (i, res) in results {
+            let i = i as usize;
             match res {
-                Outcome::Committed(net) => {
+                RouteOutcome::Committed(net) => {
                     done[i] = Some(*net);
                     obs.count("parallel.commits", 1);
                     progressed = true;
                 }
-                Outcome::Deferred => {
+                RouteOutcome::Deferred => {
                     conflicts += 1;
                     obs.count("parallel.conflicts", 1);
                     next_pending.push(i);
                 }
-                Outcome::Failed => {
+                // No cancellation probe is wired here, so Cancelled is
+                // unreachable; treat it like a deferral if it ever is.
+                RouteOutcome::Cancelled => next_pending.push(i),
+                RouteOutcome::Failed => {
                     failed.push(i);
                     obs.count("parallel.nets_failed", 1);
                     progressed = true;
@@ -371,6 +489,7 @@ pub fn route_parallel_obs(
 mod tests {
     use super::*;
     use crate::endpoint::Pin;
+    use std::cell::Cell;
     use virtex::{wire, Device, Family};
 
     fn dev() -> Device {
@@ -445,6 +564,23 @@ mod tests {
     }
 
     #[test]
+    fn chunked_scheduler_still_routes_everything() {
+        let dev = dev();
+        let specs = grid_specs(10);
+        let r = route_parallel(
+            &dev,
+            &specs,
+            &ParallelConfig {
+                threads: 4,
+                scheduler: SchedulerKind::Chunked,
+                ..Default::default()
+            },
+        );
+        assert!(r.failed.is_empty(), "failed: {:?}", r.failed);
+        assert_eq!(r.nets.len(), 10);
+    }
+
+    #[test]
     fn result_applies_cleanly_to_a_bitstream() {
         let dev = dev();
         let specs = grid_specs(6);
@@ -467,5 +603,83 @@ mod tests {
                 assert!(bits.segment_drivers(*seg).len() <= 1);
             }
         }
+    }
+
+    #[test]
+    fn cancellation_mid_search_releases_every_claim() {
+        let dev = dev();
+        let src = Pin::new(2, 2, wire::S0_YQ);
+        let sink1 = Pin::new(4, 6, wire::S0_F3);
+        let sink2 = Pin::new(8, 12, wire::S1_F1);
+        // Calibrate: count the cancel probes a clean single-sink route
+        // makes, so the real run can be cancelled just after the first
+        // branch has committed its claims — i.e. provably mid-route,
+        // during the second sink's search.
+        let calibration = Cell::new(0u64);
+        {
+            let claims = ClaimTable::new(dev.seg_space());
+            let mut scratch = MazeScratch::new(&dev);
+            let out = route_one_claiming(
+                &dev,
+                &NetSpec::new(src, vec![sink1]),
+                9,
+                &claims,
+                &MazeConfig::default(),
+                &mut scratch,
+                || {
+                    calibration.set(calibration.get() + 1);
+                    false
+                },
+                &Recorder::disabled(),
+            );
+            assert!(matches!(out, RouteOutcome::Committed(_)));
+        }
+        let threshold = calibration.get() + 50;
+
+        let claims = ClaimTable::new(dev.seg_space());
+        let mut scratch = MazeScratch::new(&dev);
+        let probes = Cell::new(0u64);
+        let out = route_one_claiming(
+            &dev,
+            &NetSpec::new(src, vec![sink1, sink2]),
+            7,
+            &claims,
+            &MazeConfig::default(),
+            &mut scratch,
+            || {
+                probes.set(probes.get() + 1);
+                probes.get() > threshold
+            },
+            &Recorder::disabled(),
+        );
+        assert!(matches!(out, RouteOutcome::Cancelled), "got {out:?}");
+        assert_eq!(
+            claims.claimed().count(),
+            0,
+            "cancelled request leaked claims (first branch must roll back too)"
+        );
+    }
+
+    #[test]
+    fn cancel_before_start_claims_nothing() {
+        let dev = dev();
+        let claims = ClaimTable::new(dev.seg_space());
+        let mut scratch = MazeScratch::new(&dev);
+        let spec = NetSpec::new(
+            Pin::new(2, 2, wire::S0_YQ),
+            vec![Pin::new(4, 6, wire::S0_F3)],
+        );
+        let out = route_one_claiming(
+            &dev,
+            &spec,
+            1,
+            &claims,
+            &MazeConfig::default(),
+            &mut scratch,
+            || true,
+            &Recorder::disabled(),
+        );
+        assert!(matches!(out, RouteOutcome::Cancelled));
+        assert_eq!(claims.claimed().count(), 0);
     }
 }

@@ -921,9 +921,10 @@ mod tests {
     #[test]
     fn level4_auto_route_falls_back_to_maze() {
         let mut r = router();
-        let mut opts = RouterOptions::default();
-        opts.use_templates_first = false;
-        *r.options_mut() = opts;
+        *r.options_mut() = RouterOptions {
+            use_templates_first: false,
+            ..Default::default()
+        };
         let src: EndPoint = Pin::new(1, 1, wire::S0_YQ).into();
         let sink: EndPoint = Pin::new(12, 20, wire::S1_F1).into();
         r.route(&src, &sink).unwrap();

@@ -1,0 +1,434 @@
+//! Work distribution: per-worker work-stealing deques and the
+//! [`Scheduler`] abstraction the parallel router and the batch service
+//! front-end (`jroute-svc`) schedule over.
+//!
+//! The original parallel router fanned each round's pending nets out in
+//! static chunks, one per worker. Net route times vary by orders of
+//! magnitude (a template hit vs. a congested maze search), so chunking
+//! leaves workers idle while the unlucky one drains its tail — the
+//! ROADMAP E12 "work-stealing between workers" item. [`StealDeque`] is
+//! the classic owner-bottom/thief-top deque, hand-rolled over atomics in
+//! safe code; [`StealScheduler`] runs one deque per worker and lets idle
+//! workers steal from the top of their neighbours'.
+//!
+//! Tasks are plain `u64` payloads (indices into a caller-side slice, or
+//! packed `attempts<<32 | index` words in the service layer). That keeps
+//! every deque slot a single `AtomicU64`: no ownership moves through the
+//! deque, so the whole structure needs no `unsafe` — lost races are
+//! handled entirely by the compare-and-swap on `top`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Error returned by [`StealDeque::push`] when the ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DequeFull;
+
+/// A bounded single-owner, multi-thief work-stealing deque of `u64`s.
+///
+/// * the **owner** pushes and pops at the *bottom* (LIFO — freshly
+///   deferred work is retried last);
+/// * **thieves** steal from the *top* (FIFO — the oldest work migrates,
+///   which is what makes stealing fair);
+/// * capacity is fixed at construction and [`push`](Self::push) fails
+///   with [`DequeFull`] rather than reallocating, which doubles as the
+///   service layer's bounded-queue backpressure.
+///
+/// This is the Chase–Lev shape restricted to a bounded ring of plain
+/// `Copy` words. Rejecting pushes at `capacity` is what makes the safe
+/// implementation sound: a slot at ring position `t % cap` can only be
+/// overwritten by a push at `bottom = t + cap`, and such a push is
+/// refused while `top` is still `t` — so a thief that read slot `t` and
+/// then wins the CAS on `top` is guaranteed to have read the right
+/// value, and a thief that loses the CAS discards what it read.
+///
+/// Ownership discipline (single pusher/popper) is by convention — every
+/// operation is memory-safe regardless, but concurrent owners could
+/// duplicate or lose tasks. All orderings are `SeqCst`; task words are
+/// tiny and the deque is nowhere near the routing hot path (one
+/// push/pop pair per *net*, against thousands of atomic claim probes).
+#[derive(Debug)]
+pub struct StealDeque {
+    /// Next slot a thief will steal from (only ever increments).
+    top: AtomicI64,
+    /// Next slot the owner will push into.
+    bottom: AtomicI64,
+    slots: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl StealDeque {
+    /// A deque with room for at least `cap` tasks (rounded up to a power
+    /// of two).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1).next_power_of_two();
+        StealDeque {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap - 1,
+        }
+    }
+
+    /// Maximum number of tasks the deque can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tasks currently queued. Exact for the owner; a racy lower-bound
+    /// estimate for anyone else.
+    #[inline]
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    /// Whether the deque currently holds no tasks (see [`len`](Self::len)
+    /// for the racy caveat).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-side push at the bottom. Fails when `capacity` tasks are
+    /// already queued.
+    pub fn push(&self, task: u64) -> Result<(), DequeFull> {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if (b - t) as usize >= self.capacity() {
+            return Err(DequeFull);
+        }
+        self.slots[(b as usize) & self.mask].store(task, Ordering::SeqCst);
+        self.bottom.store(b + 1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Owner-side pop at the bottom (most recently pushed task first).
+    pub fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::SeqCst) - 1;
+        // Publish the claim on slot `b` before reading `top`: a thief
+        // that loads `bottom` after this sees the shrunken deque.
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Deque was already empty; undo.
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return None;
+        }
+        let task = self.slots[(b as usize) & self.mask].load(Ordering::SeqCst);
+        if t == b {
+            // Last task: race the thieves for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return won.then_some(task);
+        }
+        Some(task)
+    }
+
+    /// Thief-side steal from the top (least recently pushed task first).
+    /// Returns `None` when the deque is empty; retries internally on a
+    /// lost race against another thief.
+    pub fn steal(&self) -> Option<u64> {
+        loop {
+            let t = self.top.load(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::SeqCst);
+            if t >= b {
+                return None;
+            }
+            let task = self.slots[(t as usize) & self.mask].load(Ordering::SeqCst);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(task);
+            }
+            // Another thief (or the owner, on the last task) advanced
+            // `top` first; what we read may be stale — go around.
+        }
+    }
+}
+
+/// Aggregate outcome of one [`Scheduler::run`] call.
+#[derive(Debug)]
+pub struct SchedulerRun<R> {
+    /// `(task, result)` pairs, in whatever order workers finished them.
+    pub results: Vec<(u64, R)>,
+    /// Tasks executed on a worker other than the one they were assigned
+    /// to (always 0 for [`ChunkedScheduler`]).
+    pub steals: u64,
+}
+
+/// Strategy for executing a fixed batch of tasks across worker threads.
+///
+/// `init` runs once on each worker thread to build its private state
+/// (maze scratch, obs span, …); `work` is then called for every task the
+/// worker executes. Workers run under `std::thread::scope`, so both may
+/// borrow from the caller's stack.
+pub trait Scheduler {
+    /// Execute every task in `tasks` exactly once over `threads` workers.
+    fn run<S, R, IS, W>(&self, threads: usize, tasks: &[u64], init: IS, work: W) -> SchedulerRun<R>
+    where
+        R: Send,
+        S: Send,
+        IS: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, u64) -> R + Sync;
+}
+
+/// Static assignment: task list split into `threads` contiguous chunks,
+/// one per worker. No coordination after spawn — and no help for a
+/// worker whose chunk happens to hold all the slow tasks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChunkedScheduler;
+
+impl Scheduler for ChunkedScheduler {
+    fn run<S, R, IS, W>(&self, threads: usize, tasks: &[u64], init: IS, work: W) -> SchedulerRun<R>
+    where
+        R: Send,
+        S: Send,
+        IS: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, u64) -> R + Sync,
+    {
+        let threads = threads.max(1);
+        let chunk = tasks.len().div_ceil(threads).max(1);
+        let mut results = Vec::with_capacity(tasks.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, part) in tasks.chunks(chunk).enumerate() {
+                let (init, work) = (&init, &work);
+                handles.push(scope.spawn(move || {
+                    let mut state = init(w);
+                    part.iter()
+                        .map(|&task| (task, work(&mut state, task)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("scheduler worker panicked"));
+            }
+        });
+        SchedulerRun { results, steals: 0 }
+    }
+}
+
+/// Work-stealing assignment: tasks are striped across one [`StealDeque`]
+/// per worker; each worker drains its own deque bottom-first and, when
+/// empty, sweeps its neighbours' tops. A worker exits once every deque is
+/// empty — no new tasks appear during a run, so an empty sweep is a
+/// proof of completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StealScheduler;
+
+impl Scheduler for StealScheduler {
+    fn run<S, R, IS, W>(&self, threads: usize, tasks: &[u64], init: IS, work: W) -> SchedulerRun<R>
+    where
+        R: Send,
+        S: Send,
+        IS: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, u64) -> R + Sync,
+    {
+        let threads = threads.max(1).min(tasks.len().max(1));
+        let deques: Vec<StealDeque> = (0..threads)
+            .map(|_| StealDeque::with_capacity(tasks.len().div_ceil(threads)))
+            .collect();
+        // Striped preload: task k on deque k % threads. Thieves steal
+        // top-first, so the stripe order is also each deque's FIFO order.
+        for (k, &task) in tasks.iter().enumerate() {
+            deques[k % threads].push(task).expect("preload fits");
+        }
+        let mut results = Vec::with_capacity(tasks.len());
+        let mut steals = 0u64;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let (init, work, deques) = (&init, &work, &deques);
+                handles.push(scope.spawn(move || {
+                    let mut state = init(w);
+                    let mut out = Vec::new();
+                    let mut stolen = 0u64;
+                    loop {
+                        let task = deques[w].pop().or_else(|| {
+                            (1..threads).find_map(|off| {
+                                let t = deques[(w + off) % threads].steal();
+                                stolen += u64::from(t.is_some());
+                                t
+                            })
+                        });
+                        match task {
+                            Some(task) => out.push((task, work(&mut state, task))),
+                            None => break,
+                        }
+                    }
+                    (out, stolen)
+                }));
+            }
+            for h in handles {
+                let (out, stolen) = h.join().expect("scheduler worker panicked");
+                results.extend(out);
+                steals += stolen;
+            }
+        });
+        SchedulerRun { results, steals }
+    }
+}
+
+/// Scheduler selection for [`crate::parallel::ParallelConfig`] and the
+/// service layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Static contiguous chunks ([`ChunkedScheduler`]).
+    Chunked,
+    /// Per-worker deques with stealing ([`StealScheduler`]) — the
+    /// default.
+    #[default]
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Dispatch to the selected scheduler implementation.
+    pub fn run<S, R, IS, W>(
+        self,
+        threads: usize,
+        tasks: &[u64],
+        init: IS,
+        work: W,
+    ) -> SchedulerRun<R>
+    where
+        R: Send,
+        S: Send,
+        IS: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, u64) -> R + Sync,
+    {
+        match self {
+            SchedulerKind::Chunked => ChunkedScheduler.run(threads, tasks, init, work),
+            SchedulerKind::WorkStealing => StealScheduler.run(threads, tasks, init, work),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn deque_is_lifo_for_owner_fifo_for_thief() {
+        let d = StealDeque::with_capacity(8);
+        for v in [10, 20, 30] {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(10), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(30), "owner takes the newest");
+        assert_eq!(d.pop(), Some(20));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn deque_rejects_push_beyond_capacity() {
+        let d = StealDeque::with_capacity(3); // rounds up to 4
+        assert_eq!(d.capacity(), 4);
+        for v in 0..4 {
+            d.push(v).unwrap();
+        }
+        assert_eq!(d.push(99), Err(DequeFull));
+        assert_eq!(d.steal(), Some(0));
+        d.push(99).unwrap(); // freed one slot
+    }
+
+    #[test]
+    fn deque_survives_concurrent_thieves() {
+        let n = 10_000u64;
+        let d = StealDeque::with_capacity(n as usize);
+        for v in 0..n {
+            d.push(v).unwrap();
+        }
+        let taken = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(v) = d.steal() {
+                        local.push(v);
+                    }
+                    taken.lock().unwrap().extend(local);
+                });
+            }
+            // The owner fights for the same tasks from the other end.
+            let mut local = Vec::new();
+            while let Some(v) = d.pop() {
+                local.push(v);
+            }
+            taken.lock().unwrap().extend(local);
+        });
+        let mut got = taken.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "each task exactly once");
+    }
+
+    fn exercise(kind: SchedulerKind, threads: usize, n: u64) {
+        let tasks: Vec<u64> = (0..n).collect();
+        let run = kind.run(
+            threads,
+            &tasks,
+            |w| w,
+            |&mut w, task| {
+                assert!(w < threads.max(1));
+                task * 2
+            },
+        );
+        assert_eq!(run.results.len(), tasks.len());
+        let ids: HashSet<u64> = run.results.iter().map(|&(t, _)| t).collect();
+        assert_eq!(ids.len(), tasks.len(), "every task ran exactly once");
+        assert!(run.results.iter().all(|&(t, r)| r == t * 2));
+    }
+
+    #[test]
+    fn both_schedulers_run_every_task_once() {
+        for kind in [SchedulerKind::Chunked, SchedulerKind::WorkStealing] {
+            for threads in [1, 3, 8] {
+                exercise(kind, threads, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn schedulers_handle_empty_and_tiny_batches() {
+        for kind in [SchedulerKind::Chunked, SchedulerKind::WorkStealing] {
+            exercise(kind, 4, 0);
+            exercise(kind, 4, 1);
+            exercise(kind, 1, 5);
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_batch() {
+        // Worker 0's stripe holds all the slow tasks; with stealing the
+        // other workers must take some of them.
+        let tasks: Vec<u64> = (0..32).collect();
+        let executed_by = Mutex::new(vec![0usize; 32]);
+        let run = StealScheduler.run(
+            4,
+            &tasks,
+            |w| w,
+            |&mut w, task| {
+                if task % 4 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                executed_by.lock().unwrap()[task as usize] = w;
+                task
+            },
+        );
+        assert_eq!(run.results.len(), 32);
+        assert!(
+            run.steals > 0,
+            "a 4x-skewed batch must trigger at least one steal"
+        );
+    }
+}

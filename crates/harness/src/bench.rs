@@ -65,7 +65,7 @@ impl Record {
             return 0.0;
         }
         let mid = s.len() / 2;
-        if s.len() % 2 == 0 {
+        if s.len().is_multiple_of(2) {
             (s[mid - 1] + s[mid]) / 2.0
         } else {
             s[mid]
@@ -281,19 +281,21 @@ impl Bencher {
     {
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        let mut warm_ns = 0u128;
         loop {
             let input = setup();
-            let t = Instant::now();
             black_box(routine(input));
-            warm_ns += t.elapsed().as_nanos();
             warm_iters += 1;
             if warm_start.elapsed() >= self.warm_up {
                 break;
             }
         }
-        let est = warm_ns as f64 / warm_iters as f64;
-        let iters = self.size_sample(est);
+        // Size samples by *wall* cost (setup + routine): a cheap routine
+        // behind an expensive setup would otherwise fold thousands of
+        // setup calls into each sample and overrun the measurement
+        // budget by orders of magnitude. The reported ns/iter stays
+        // routine-only.
+        let wall = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters = self.size_sample(wall);
         for _ in 0..self.sample_size {
             let mut ns = 0u128;
             for _ in 0..iters {

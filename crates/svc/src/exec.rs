@@ -1,0 +1,589 @@
+//! Batch execution engines.
+//!
+//! A prepared batch is a vector of tasks (one per request) executed over
+//! per-worker [`StealDeque`]s in one of two modes:
+//!
+//! * **threaded** — real `std::thread::scope` workers; each drains its
+//!   own deque bottom-first, steals from its neighbours' tops when
+//!   empty, and falls back to the shared retry queue. Deferred requests
+//!   (lost claim races) go to the retry queue rather than back onto the
+//!   owner's deque, so a conflicting pair cannot spin against each other
+//!   at full speed.
+//! * **deterministic** — the same deque topology driven by a single
+//!   consumer: a seeded [`DetRng`] picks which worker acts at every
+//!   step, and which victim it steals from. The resulting schedule is a
+//!   pure function of `(seed, threads, batch)`, so a run can be replayed
+//!   exactly — the substrate of the service stress tests.
+//!
+//! Task words pack `attempts << 32 | request index`, so a deque slot is
+//! one `u64` and retry accounting needs no shared state.
+//!
+//! ### Claim-id namespace
+//!
+//! The claim table is seeded with every persisted net under its `NetId`
+//! (all below [`BATCH_BASE`]); each in-flight request gets a contiguous
+//! id range at or above it — one id for a `Route`, and `1 + adds` ids
+//! for a `Replace` (a *holder* id that keeps custody of the victims'
+//! segments plus one id per replacement net). Keeping victims claimed by
+//! the holder during a `Replace` means their segments are never visible
+//! as free to rival requests, which is what makes the request-scoped
+//! rollback exact even under full concurrency.
+
+use crate::request::{Deadline, Reject, Request, RequestKind};
+use detrand::{DetRng, SliceRandom};
+use jroute::maze::{MazeConfig, MazeScratch};
+use jroute::parallel::{route_one_claiming, ClaimTable, ParallelNet, RouteOutcome};
+use jroute::schedule::StealDeque;
+use jroute::NetId;
+use jroute_obs::Recorder;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+use virtex::{Device, SegIdx};
+
+/// First claim-table owner id for in-flight batch requests; persisted
+/// nets are seeded under their `NetId`, which must stay below this.
+pub(crate) const BATCH_BASE: u32 = 1 << 31;
+
+/// Resolved per-request execution plan (victims pre-resolved to their
+/// segment lists so workers never touch the `NetDb`).
+#[derive(Debug)]
+pub(crate) enum PrepKind {
+    /// Route the spec carried in the request's own `RequestKind::Route`.
+    Route,
+    /// Release the claims of these nets; the database rows are removed
+    /// post-batch.
+    Unroute {
+        /// `(net, its claimed segment indices)` per victim.
+        targets: Vec<(NetId, Vec<SegIdx>)>,
+    },
+    /// Take custody of the victims' segments, route the `add` specs of
+    /// the request's `RequestKind::Replace` over them, roll everything
+    /// back if any replacement fails.
+    Replace {
+        /// `(net, its claimed segment indices)` per victim.
+        victims: Vec<(NetId, Vec<SegIdx>)>,
+    },
+    /// Refused during preparation.
+    Reject(Reject),
+}
+
+/// A prepared batch: requests (sorted by priority, then submission
+/// order), their plans, their claim-id bases, and the live claim table
+/// seeded with every persisted net.
+pub(crate) struct Batch<'r> {
+    pub requests: &'r [Request],
+    pub kinds: Vec<PrepKind>,
+    /// First claim id of each request's contiguous range.
+    pub cid_base: Vec<u32>,
+    pub claims: ClaimTable,
+}
+
+/// Terminal outcome of one task, with routed nets still held as claims.
+#[derive(Debug)]
+pub(crate) enum Done {
+    Routed(Box<ParallelNet>),
+    Unrouted(Vec<NetId>),
+    Replaced {
+        removed: Vec<NetId>,
+        added: Vec<ParallelNet>,
+    },
+    Cancelled,
+    Expired,
+    Congested(u32),
+    Rejected(Reject),
+}
+
+/// One completed task.
+#[derive(Debug)]
+pub(crate) struct TaskDone {
+    pub idx: usize,
+    pub worker: usize,
+    pub stolen: bool,
+    pub step: u64,
+    pub outcome: Done,
+}
+
+/// Aggregate execution counters for the batch report.
+#[derive(Debug, Default)]
+pub(crate) struct ExecStats {
+    pub executed: u64,
+    pub steals: u64,
+    pub retries: u64,
+}
+
+/// What one execution of a task decided.
+enum Step {
+    Finished(Done),
+    /// Deferred — requeue with `attempts + 1`.
+    Retry,
+}
+
+fn defer(attempts: u32, max_attempts: u32) -> Step {
+    if attempts + 1 >= max_attempts {
+        Step::Finished(Done::Congested(attempts + 1))
+    } else {
+        Step::Retry
+    }
+}
+
+/// Claim-table indices a committed net holds: its canonical source plus
+/// every path segment.
+fn net_claim_indices(dev: &Device, net: &ParallelNet) -> Vec<SegIdx> {
+    let space = dev.seg_space();
+    let mut v = Vec::with_capacity(net.segments.len() + 1);
+    if let Some(src) = dev.canonicalize(net.spec.source.rc, net.spec.source.wire) {
+        v.push(space.index(src));
+    }
+    v.extend(net.segments.iter().map(|&s| space.index(s)));
+    v
+}
+
+/// Execute one task to a decision. All claim-table effects are either
+/// committed (the outcome owns them) or fully rolled back before this
+/// returns — a `Retry`, `Cancelled` or `Expired` task leaves the table
+/// exactly as it found it.
+#[allow(clippy::too_many_arguments)] // the full executor contract
+fn exec_task(
+    dev: &Device,
+    batch: &Batch<'_>,
+    idx: usize,
+    attempts: u32,
+    max_attempts: u32,
+    maze: &MazeConfig,
+    scratch: &mut MazeScratch,
+    expired: &dyn Fn() -> bool,
+    obs: &Recorder,
+) -> Step {
+    let req = &batch.requests[idx];
+    let cancelled = || req.is_cancelled();
+    if cancelled() {
+        return Step::Finished(Done::Cancelled);
+    }
+    if expired() {
+        return Step::Finished(Done::Expired);
+    }
+    let cancel = || cancelled() || expired();
+    let claims = &batch.claims;
+    let cid = batch.cid_base[idx];
+    match (&batch.kinds[idx], &req.kind) {
+        (PrepKind::Reject(r), _) => Step::Finished(Done::Rejected(*r)),
+        (PrepKind::Route, RequestKind::Route(spec)) => {
+            match route_one_claiming(dev, spec, cid, claims, maze, scratch, cancel, obs) {
+                RouteOutcome::Committed(net) => Step::Finished(Done::Routed(net)),
+                RouteOutcome::Deferred => defer(attempts, max_attempts),
+                RouteOutcome::Cancelled => Step::Finished(if cancelled() {
+                    Done::Cancelled
+                } else {
+                    Done::Expired
+                }),
+                RouteOutcome::Failed => Step::Finished(Done::Rejected(Reject::BadWire)),
+            }
+        }
+        (PrepKind::Unroute { targets }, _) => {
+            // Releases are per-segment atomics; freed segments become
+            // visible to every in-flight search immediately.
+            for (nid, segs) in targets {
+                for &s in segs {
+                    claims.release(s, nid.0);
+                }
+            }
+            Step::Finished(Done::Unrouted(targets.iter().map(|&(n, _)| n).collect()))
+        }
+        (PrepKind::Replace { victims }, RequestKind::Replace { add, .. }) => exec_replace(
+            dev,
+            claims,
+            victims,
+            add,
+            cid,
+            attempts,
+            max_attempts,
+            maze,
+            scratch,
+            &cancel,
+            &cancelled,
+            obs,
+        ),
+        _ => unreachable!("prep kind always matches request kind"),
+    }
+}
+
+/// The `Replace` dance. Ids: `holder = cid` keeps custody of victim
+/// segments; replacement net `k` routes as `cid + 1 + k`.
+///
+/// Victim segments are *transferred*, never released, until the whole
+/// request has committed — at no point are they visible as free to a
+/// rival request, so rollback (transfer everything back to the victims)
+/// cannot fail. Before each replacement routes, the remaining custody
+/// pool is handed to that net's id, making the victims' resources
+/// reusable by the replacement while staying blocked for everyone else.
+#[allow(clippy::too_many_arguments)]
+fn exec_replace(
+    dev: &Device,
+    claims: &ClaimTable,
+    victims: &[(NetId, Vec<SegIdx>)],
+    add: &[jroute::pathfinder::NetSpec],
+    holder: u32,
+    attempts: u32,
+    max_attempts: u32,
+    maze: &MazeConfig,
+    scratch: &mut MazeScratch,
+    cancel: &dyn Fn() -> bool,
+    cancelled: &dyn Fn() -> bool,
+    obs: &Recorder,
+) -> Step {
+    let victim_set: HashSet<SegIdx> = victims
+        .iter()
+        .flat_map(|(_, segs)| segs.iter().copied())
+        .collect();
+    // Take custody. Each committed net is targeted by at most one
+    // request per batch (enforced during preparation), so the victims'
+    // claims are intact and every transfer succeeds.
+    for (nid, segs) in victims {
+        for &s in segs {
+            let ok = claims.transfer(s, nid.0, holder);
+            debug_assert!(ok, "victim claim vanished");
+        }
+    }
+    let mut added: Vec<ParallelNet> = Vec::new();
+    let mut halt: Option<Step> = None;
+    for (k, spec) in add.iter().enumerate() {
+        let add_id = holder + 1 + k as u32;
+        // Hand whatever custody remains to this replacement; segments
+        // already consumed by earlier replacements keep their owners
+        // (the failed transfer is the filter).
+        for &s in &victim_set {
+            claims.transfer(s, holder, add_id);
+        }
+        match route_one_claiming(dev, spec, add_id, claims, maze, scratch, cancel, obs) {
+            RouteOutcome::Committed(net) => {
+                // Return the custody this net did not use to the holder.
+                let used: HashSet<SegIdx> = net_claim_indices(dev, &net).into_iter().collect();
+                for &s in &victim_set {
+                    if !used.contains(&s) {
+                        claims.transfer(s, add_id, holder);
+                    }
+                }
+                added.push(*net);
+            }
+            RouteOutcome::Deferred => {
+                halt = Some(defer(attempts, max_attempts));
+                break;
+            }
+            RouteOutcome::Cancelled => {
+                halt = Some(Step::Finished(if cancelled() {
+                    Done::Cancelled
+                } else {
+                    Done::Expired
+                }));
+                break;
+            }
+            RouteOutcome::Failed => {
+                halt = Some(Step::Finished(Done::Rejected(Reject::BadWire)));
+                break;
+            }
+        }
+    }
+    if let Some(step) = halt {
+        // Request-scoped rollback. The replacement that just failed
+        // released its fresh claims itself but still holds any custody
+        // segments it was handed; sweep every id in this request's range
+        // back: custody segments to the holder, fresh claims to free.
+        for (k, _) in add.iter().enumerate() {
+            let add_id = holder + 1 + k as u32;
+            for &s in &victim_set {
+                claims.transfer(s, add_id, holder);
+            }
+        }
+        for (k, net) in added.iter().enumerate() {
+            let add_id = holder + 1 + k as u32;
+            for s in net_claim_indices(dev, net) {
+                if !victim_set.contains(&s) {
+                    claims.release(s, add_id);
+                }
+            }
+        }
+        // Custody is whole again; give the victims their claims back.
+        for (nid, segs) in victims {
+            for &s in segs {
+                let ok = claims.transfer(s, holder, nid.0);
+                debug_assert!(ok, "rollback must restore every victim claim");
+            }
+        }
+        return step;
+    }
+    // Committed: victims' unreused segments are finally freed (reused
+    // ones stay claimed by the replacement nets that own them now).
+    for &s in &victim_set {
+        claims.release(s, holder);
+    }
+    Step::Finished(Done::Replaced {
+        removed: victims.iter().map(|&(n, _)| n).collect(),
+        added,
+    })
+}
+
+/// Evaluate a request's deadline against the mode's step clock.
+fn deadline_expired(deadline: Option<Deadline>, completed: u64, started: Option<Instant>) -> bool {
+    match deadline {
+        None => false,
+        Some(Deadline::Steps(s)) => completed >= s,
+        // Deterministic mode passes no start instant: wall-clock
+        // deadlines are unbounded there (see `Deadline::Elapsed`).
+        Some(Deadline::Elapsed(d)) => started.is_some_and(|t| t.elapsed() >= d),
+    }
+}
+
+const IDX_MASK: u64 = 0xFFFF_FFFF;
+
+fn task_word(idx: usize, attempts: u32) -> u64 {
+    (u64::from(attempts) << 32) | idx as u64
+}
+
+/// Threaded execution over `threads` work-stealing workers.
+pub(crate) fn run_threaded(
+    dev: &Device,
+    batch: &Batch<'_>,
+    threads: usize,
+    maze: &MazeConfig,
+    max_attempts: u32,
+    obs: &Recorder,
+) -> (Vec<TaskDone>, ExecStats) {
+    let n = batch.requests.len();
+    let threads = threads.max(1).min(n.max(1));
+    // Every deque is sized for the whole batch: a worker can end up
+    // holding far more than its stripe via steals and retries, and a
+    // failed push would lose a task.
+    let deques: Vec<StealDeque> = (0..threads).map(|_| StealDeque::with_capacity(n)).collect();
+    // Reverse preload: the owner pops its deque bottom-first (LIFO), so
+    // pushing the least-urgent stripe entries first means each worker
+    // serves its most-urgent request first. Thieves take from the top —
+    // the least-urgent end — which is exactly who should wait.
+    for idx in (0..n).rev() {
+        deques[idx % threads]
+            .push(task_word(idx, 0))
+            .expect("preload fits");
+    }
+    // Deferred tasks carry the completion count at deferral time: a
+    // deferral means a *live* rival holds segments the task needs, so
+    // re-running its (expensive, doomed) search before anything has
+    // completed only burns CPU the rival could be using. Entries become
+    // eligible once the count advances; the in-flight==0 fallback keeps
+    // termination when no rival can ever complete (the task then burns
+    // its attempts toward `Congested`).
+    let retry_queue: Mutex<VecDeque<(u64, u64)>> = Mutex::new(VecDeque::new());
+    let live = AtomicUsize::new(n);
+    let in_flight = AtomicUsize::new(0);
+    let completed = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut dones: Vec<TaskDone> = Vec::with_capacity(n);
+    let mut stats = ExecStats::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let (deques, retry_queue, live, in_flight, completed) =
+                (&deques, &retry_queue, &live, &in_flight, &completed);
+            handles.push(scope.spawn(move || {
+                let mut span = obs.span("svc.worker");
+                let mut scratch = MazeScratch::new(dev);
+                let mut out: Vec<TaskDone> = Vec::new();
+                let mut local = ExecStats::default();
+                let mut idle = 0u32;
+                loop {
+                    let mut stolen = false;
+                    let task = deques[w]
+                        .pop()
+                        .or_else(|| {
+                            (1..threads).find_map(|off| {
+                                let t = deques[(w + off) % threads].steal();
+                                stolen |= t.is_some();
+                                t
+                            })
+                        })
+                        .or_else(|| {
+                            let mut q = retry_queue.lock().unwrap();
+                            match q.front() {
+                                Some(&(_, gate))
+                                    if completed.load(Ordering::SeqCst) > gate
+                                        || in_flight.load(Ordering::SeqCst) == 0 =>
+                                {
+                                    q.pop_front().map(|(t, _)| t)
+                                }
+                                _ => None,
+                            }
+                        });
+                    let Some(task) = task else {
+                        if live.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        // Someone is still executing; their completion
+                        // (or retry) is what unblocks us. Yield a few
+                        // times, then sleep — an oversubscribed box must
+                        // not burn the working thread's quantum.
+                        idle += 1;
+                        if idle < 4 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        continue;
+                    };
+                    idle = 0;
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let idx = (task & IDX_MASK) as usize;
+                    let attempts = (task >> 32) as u32;
+                    local.executed += 1;
+                    local.steals += u64::from(stolen);
+                    let deadline = batch.requests[idx].deadline;
+                    let expired = || {
+                        deadline_expired(deadline, completed.load(Ordering::SeqCst), Some(start))
+                    };
+                    match exec_task(
+                        dev,
+                        batch,
+                        idx,
+                        attempts,
+                        max_attempts,
+                        maze,
+                        &mut scratch,
+                        &expired,
+                        obs,
+                    ) {
+                        Step::Retry => {
+                            local.retries += 1;
+                            // Gate the retry on the request that beat us:
+                            // it stays parked until something completes.
+                            let gate = completed.load(Ordering::SeqCst);
+                            retry_queue
+                                .lock()
+                                .unwrap()
+                                .push_back((task_word(idx, attempts + 1), gate));
+                        }
+                        Step::Finished(outcome) => {
+                            let step = completed.fetch_add(1, Ordering::SeqCst);
+                            obs.record_duration("svc.request_ns", start.elapsed());
+                            obs.record("svc.request_attempts", u64::from(attempts) + 1);
+                            out.push(TaskDone {
+                                idx,
+                                worker: w,
+                                stolen,
+                                step,
+                                outcome,
+                            });
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                span.note(local.executed);
+                (out, local)
+            }));
+        }
+        for h in handles {
+            let (out, local) = h.join().expect("service worker panicked");
+            dones.extend(out);
+            stats.executed += local.executed;
+            stats.steals += local.steals;
+            stats.retries += local.retries;
+        }
+    });
+    (dones, stats)
+}
+
+/// Deterministic execution: one consumer drives the same deque topology
+/// with a seeded schedule. At every step the RNG picks the acting
+/// worker; if its deque is empty it steals from a seeded choice among
+/// the non-empty victims, falling back to the retry queue. Requests
+/// execute one at a time, so the completion log *is* the serialization
+/// — replay it through [`crate::model::SequentialModel`] to check the
+/// whole machine.
+pub(crate) fn run_deterministic(
+    dev: &Device,
+    batch: &Batch<'_>,
+    threads: usize,
+    maze: &MazeConfig,
+    max_attempts: u32,
+    seed: u64,
+    obs: &Recorder,
+) -> (Vec<TaskDone>, ExecStats) {
+    let n = batch.requests.len();
+    let threads = threads.max(1).min(n.max(1));
+    let deques: Vec<StealDeque> = (0..threads).map(|_| StealDeque::with_capacity(n)).collect();
+    // Reverse preload: the owner pops its deque bottom-first (LIFO), so
+    // pushing the least-urgent stripe entries first means each worker
+    // serves its most-urgent request first. Thieves take from the top —
+    // the least-urgent end — which is exactly who should wait.
+    for idx in (0..n).rev() {
+        deques[idx % threads]
+            .push(task_word(idx, 0))
+            .expect("preload fits");
+    }
+    let mut retry_queue: VecDeque<u64> = VecDeque::new();
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut scratch = MazeScratch::new(dev);
+    let mut span = obs.span("svc.schedule");
+    let mut dones: Vec<TaskDone> = Vec::with_capacity(n);
+    let mut stats = ExecStats::default();
+    let mut live = n;
+    let mut completed = 0u64;
+    while live > 0 {
+        let w = rng.gen_range(0..threads);
+        let mut stolen = false;
+        let task = deques[w]
+            .pop()
+            .or_else(|| {
+                let victims: Vec<usize> = (0..threads)
+                    .filter(|&v| v != w && !deques[v].is_empty())
+                    .collect();
+                victims.choose(&mut rng).and_then(|&v| {
+                    let t = deques[v].steal();
+                    stolen = t.is_some();
+                    t
+                })
+            })
+            .or_else(|| retry_queue.pop_front());
+        let Some(task) = task else {
+            // Serially, every live task is in some deque or the retry
+            // queue, and the steal/retry fallbacks are unconditional.
+            unreachable!("no task found while {live} requests are live");
+        };
+        let idx = (task & IDX_MASK) as usize;
+        let attempts = (task >> 32) as u32;
+        stats.executed += 1;
+        stats.steals += u64::from(stolen);
+        let deadline = batch.requests[idx].deadline;
+        let expired = || deadline_expired(deadline, completed, None);
+        match exec_task(
+            dev,
+            batch,
+            idx,
+            attempts,
+            max_attempts,
+            maze,
+            &mut scratch,
+            &expired,
+            obs,
+        ) {
+            Step::Retry => {
+                stats.retries += 1;
+                retry_queue.push_back(task_word(idx, attempts + 1));
+            }
+            Step::Finished(outcome) => {
+                obs.record("svc.request_steps", completed);
+                obs.record("svc.request_attempts", u64::from(attempts) + 1);
+                dones.push(TaskDone {
+                    idx,
+                    worker: w,
+                    stolen,
+                    step: completed,
+                    outcome,
+                });
+                completed += 1;
+                live -= 1;
+            }
+        }
+    }
+    span.note(stats.executed);
+    (dones, stats)
+}

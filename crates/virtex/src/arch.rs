@@ -45,7 +45,7 @@ use crate::wire::{
 /// either endpoint). Half of the 12 accessible hexes per direction.
 #[inline]
 pub const fn hex_is_bidir(idx: u8) -> bool {
-    idx % 2 == 0
+    idx.is_multiple_of(2)
 }
 
 /// The architecture description for one device geometry.
@@ -323,13 +323,13 @@ impl Arch {
     /// horizontal longs, row access for vertical).
     #[inline]
     pub fn is_long_h_access(&self, rc: RowCol) -> bool {
-        rc.col % LONG_ACCESS == 0
+        rc.col.is_multiple_of(LONG_ACCESS)
     }
 
     /// See [`Arch::is_long_h_access`].
     #[inline]
     pub fn is_long_v_access(&self, rc: RowCol) -> bool {
-        rc.row % LONG_ACCESS == 0
+        rc.row.is_multiple_of(LONG_ACCESS)
     }
 }
 

@@ -78,8 +78,8 @@ pub fn wire_exists(dims: Dims, rc: RowCol, wire: Wire) -> bool {
                 && rc.step(dir.opposite(), HEX_SPAN / 2, dims).is_some()
         }
         WireKind::HexEnd { dir, .. } => rc.step(dir.opposite(), HEX_SPAN, dims).is_some(),
-        WireKind::LongH(_) => rc.col % LONG_ACCESS == 0,
-        WireKind::LongV(_) => rc.row % LONG_ACCESS == 0,
+        WireKind::LongH(_) => rc.col.is_multiple_of(LONG_ACCESS),
+        WireKind::LongV(_) => rc.row.is_multiple_of(LONG_ACCESS),
         WireKind::DirectE(_) => rc.step(Dir::East, 1, dims).is_some(),
         WireKind::DirectWEnd(_) => rc.step(Dir::West, 1, dims).is_some(),
     }

@@ -13,6 +13,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
@@ -34,12 +37,15 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     cargo test -q --offline -p jroute-tests --test observability \
     exported_quickstart_json_is_valid_when_pointed_at
 
-# Opt-in bench regression gate: regenerate the benches the checked-in
-# baseline covers, then diff medians against bench-baseline/ (threshold
-# BENCH_REGRESSION_PCT, default 25%).
+# Opt-in bench regression gate: regenerate every experiment the
+# checked-in baseline covers (e1–e14), then diff medians against
+# bench-baseline/ (threshold BENCH_REGRESSION_PCT, default 25%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1 + e2 + e4 + e12 vs bench-baseline/"
-    for bench in e1_census e2_api_levels e4_template_vs_maze e12_parallel; do
+    echo "==> bench regression gate: e1..e14 vs bench-baseline/"
+    for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
+        e5_rtr_replace e6_reverse_unroute e7_contention \
+        e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
+        e11_core_compose e12_parallel e13_timing e14_service; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done

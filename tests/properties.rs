@@ -330,3 +330,138 @@ fn long_lines_obey_the_option() {
         }
     });
 }
+
+/// The work-stealing deque agrees with a plain `VecDeque` reference
+/// model over any seeded interleaving of owner pushes/pops and thief
+/// steals. Single-threaded model-check: with one actor the deque's
+/// semantics are exact — push appends at the bottom, pop takes the
+/// bottom (LIFO), steal takes the top (FIFO) — so every operation's
+/// result must match the reference queue verbatim.
+#[test]
+fn steal_deque_matches_reference_queue() {
+    use jroute::StealDeque;
+    use std::collections::VecDeque;
+    harness::check("steal_deque_matches_reference_queue", |rng| {
+        let cap = 1usize << rng.gen_range(0u32..7);
+        let deque = StealDeque::with_capacity(cap);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for _ in 0..400 {
+            match rng.gen_range(0u32..4) {
+                0 | 1 => {
+                    // Owner push; rejected exactly when the model is full.
+                    let ok = deque.push(next).is_ok();
+                    assert_eq!(ok, model.len() < cap, "push acceptance diverged");
+                    if ok {
+                        model.push_back(next);
+                    }
+                    next += 1;
+                }
+                2 => assert_eq!(deque.pop(), model.pop_back(), "pop diverged"),
+                _ => assert_eq!(deque.steal(), model.pop_front(), "steal diverged"),
+            }
+            assert_eq!(deque.len(), model.len());
+            assert_eq!(deque.is_empty(), model.is_empty());
+        }
+        // Drain: everything that went in comes out exactly once.
+        while let Some(t) = deque.steal() {
+            assert_eq!(Some(t), model.pop_front());
+        }
+        assert!(model.is_empty());
+    });
+}
+
+/// Scheduler liveness and exactness: under any thread count and task
+/// count, the work-stealing scheduler executes every task exactly once
+/// and returns one result per task.
+#[test]
+fn work_stealing_scheduler_runs_every_task_once() {
+    use jroute::SchedulerKind;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    harness::check("work_stealing_scheduler_runs_every_task_once", |rng| {
+        let n = rng.gen_range(0usize..200);
+        let threads = rng.gen_range(1usize..9);
+        let tasks: Vec<u64> = (0..n as u64).collect();
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let run = SchedulerKind::WorkStealing.run(
+            threads,
+            &tasks,
+            |_| (),
+            |_, t| {
+                hits[t as usize].fetch_add(1, Ordering::Relaxed);
+                t * 2
+            },
+        );
+        assert_eq!(run.results.len(), n, "one result per task");
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} execution count");
+        }
+        let mut seen: Vec<u64> = run.results.iter().map(|&(t, _)| t).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, tasks, "result set covers every task exactly once");
+        for &(t, r) in &run.results {
+            assert_eq!(r, t * 2, "result paired with the wrong task");
+        }
+    });
+}
+
+/// Service-level liveness: every submitted request gets exactly one
+/// terminal outcome, whatever the seed, priorities and worker count —
+/// and a cancelled request never commits.
+#[test]
+fn service_batches_terminate_with_one_outcome_each() {
+    use jroute_svc::{ExecMode, RequestKind, RoutingService, ServiceConfig};
+    use jroute_workloads::NetlistParams;
+    harness::check_with(
+        "service_batches_terminate_with_one_outcome_each",
+        8,
+        |rng| {
+            let dev = Device::new(Family::Xcv50);
+            let threads = rng.gen_range(1usize..5);
+            let seed = rng.next_u64();
+            let mut svc = RoutingService::new(
+                &dev,
+                ServiceConfig {
+                    threads,
+                    mode: ExecMode::Deterministic { seed },
+                    audit: true,
+                    ..Default::default()
+                },
+            );
+            let mut net_rng = DetRng::seed_from_u64(seed ^ 0x5EED);
+            let specs = jroute_workloads::random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: 6,
+                    max_fanout: 1,
+                    max_span: Some(4),
+                },
+                &mut net_rng,
+            );
+            let mut ids = Vec::new();
+            for s in &specs {
+                let priority = rng.gen_range(0u32..=255) as u8;
+                ids.push(
+                    svc.submit_with(RequestKind::Route(s.clone()), priority, None)
+                        .unwrap()
+                        .0,
+                );
+            }
+            let (victim, token) = svc
+                .submit_with(RequestKind::Route(specs[0].clone()), 0, None)
+                .unwrap();
+            token.cancel();
+            let report = svc.run_batch();
+            assert_eq!(report.outcomes.len(), ids.len() + 1);
+            assert_eq!(report.leaked_claims, Some(0));
+            for id in &ids {
+                assert!(report.outcome(*id).is_some(), "request {id} has no outcome");
+            }
+            assert_eq!(
+                report.outcome(victim),
+                Some(&jroute_svc::RequestOutcome::Cancelled)
+            );
+            assert!(svc.nets_of(victim).is_none());
+        },
+    );
+}

@@ -1,0 +1,256 @@
+//! Service-layer concurrency stress tests.
+//!
+//! The deterministic half drives `jroute-svc` through multi-batch mixed
+//! workloads (route / unroute / replace / cancel / deadline) under a
+//! seeded work-stealing schedule, then replays each batch's completion
+//! log through the single-threaded [`SequentialModel`] and demands the
+//! *identical* final `NetDb` census — same segments, same `NetId`s —
+//! plus a zero leaked-claims audit. Every seed runs at 1, 4 and 8
+//! workers: the schedules differ wildly, the committed state must not
+//! drift from the model in any of them.
+//!
+//! The threaded half runs the same workload shape on real threads, where
+//! completion order is nondeterministic, and checks the invariants that
+//! survive nondeterminism: zero leaked claims, single-owner segments,
+//! and exact bookkeeping between outcomes and the database.
+
+use detrand::DetRng;
+use jroute_svc::model::SequentialModel;
+use jroute_svc::{
+    Deadline, ExecMode, RequestId, RequestKind, RequestOutcome, RoutingService, ServiceConfig,
+};
+use jroute_workloads::{random_netlist, NetlistParams};
+use std::collections::{HashMap, HashSet};
+use virtex::{Device, Family};
+
+const SEEDS: [u64; 3] = [0xA11CE, 0xB0B, 0xC0FFEE];
+const WORKERS: [usize; 3] = [1, 4, 8];
+
+fn dev() -> Device {
+    Device::new(Family::Xcv50)
+}
+
+fn cfg(threads: usize, mode: ExecMode) -> ServiceConfig {
+    ServiceConfig {
+        threads,
+        mode,
+        audit: true,
+        ..Default::default()
+    }
+}
+
+/// Submit a two-batch mixed workload and return, per batch, the log
+/// replay feed. The shape is seeded: batch one routes a netlist; batch
+/// two unroutes some of those nets, replaces others, routes fresh ones,
+/// and throws in a cancelled and an expired request.
+struct Driver<'d> {
+    svc: RoutingService<'d>,
+    kinds: HashMap<RequestId, RequestKind>,
+}
+
+impl<'d> Driver<'d> {
+    fn new(svc: RoutingService<'d>) -> Self {
+        Driver {
+            svc,
+            kinds: HashMap::new(),
+        }
+    }
+
+    fn submit(&mut self, kind: RequestKind) -> RequestId {
+        let id = self.svc.submit(kind.clone()).expect("queue has room");
+        self.kinds.insert(id, kind);
+        id
+    }
+
+    /// Run a batch, replay its successes into `model`, return outcomes.
+    fn run_and_replay(
+        &mut self,
+        model: &mut SequentialModel<'_>,
+    ) -> Vec<(RequestId, RequestOutcome)> {
+        let report = self.svc.run_batch();
+        assert_eq!(
+            report.leaked_claims,
+            Some(0),
+            "claim table and net database disagree after the batch"
+        );
+        for entry in &report.log {
+            if report.outcome(entry.request).unwrap().is_success() {
+                model.apply(entry.request, &self.kinds[&entry.request]);
+            }
+        }
+        report.outcomes
+    }
+}
+
+#[test]
+fn deterministic_schedules_match_sequential_model() {
+    let dev = dev();
+    for &seed in &SEEDS {
+        for &threads in &WORKERS {
+            let mut d = Driver::new(RoutingService::new(
+                &dev,
+                cfg(threads, ExecMode::Deterministic { seed }),
+            ));
+            let mut model = SequentialModel::new(&dev, Default::default());
+            let mut rng = DetRng::seed_from_u64(seed);
+
+            // Batch 1: a netlist of short nets.
+            let specs = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: 10,
+                    max_fanout: 2,
+                    max_span: Some(4),
+                },
+                &mut rng,
+            );
+            let routed: Vec<RequestId> = specs
+                .iter()
+                .map(|s| d.submit(RequestKind::Route(s.clone())))
+                .collect();
+            let outcomes = d.run_and_replay(&mut model);
+            let committed: Vec<RequestId> = outcomes
+                .iter()
+                .filter(|(_, o)| o.is_success())
+                .map(|&(id, _)| id)
+                .collect();
+            assert!(
+                !committed.is_empty(),
+                "seed {seed:#x}: first batch routed nothing"
+            );
+            assert_eq!(
+                model.db().census(),
+                d.svc.db().census(),
+                "seed {seed:#x} threads {threads}: batch 1 diverged from the model"
+            );
+
+            // Batch 2: tear some down, replace one, add fresh nets, and
+            // include a cancelled plus an expired request.
+            let fresh = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: 6,
+                    max_fanout: 1,
+                    max_span: Some(4),
+                },
+                &mut rng,
+            );
+            d.submit(RequestKind::Unroute(committed[0]));
+            if committed.len() > 1 {
+                d.submit(RequestKind::Replace {
+                    remove: vec![committed[1]],
+                    add: vec![fresh[0].clone(), fresh[1].clone()],
+                });
+            }
+            for s in &fresh[2..] {
+                d.submit(RequestKind::Route(s.clone()));
+            }
+            let (cancelled, token) = d
+                .svc
+                .submit_with(RequestKind::Route(specs[0].clone()), 128, None)
+                .unwrap();
+            token.cancel();
+            let (expired, _) = d
+                .svc
+                .submit_with(
+                    RequestKind::Route(specs[1].clone()),
+                    128,
+                    Some(Deadline::Steps(0)),
+                )
+                .unwrap();
+            let outcomes = d.run_and_replay(&mut model);
+            let lookup: HashMap<RequestId, &RequestOutcome> =
+                outcomes.iter().map(|(id, o)| (*id, o)).collect();
+            assert_eq!(lookup[&cancelled], &RequestOutcome::Cancelled);
+            assert_eq!(lookup[&expired], &RequestOutcome::Expired);
+            assert_eq!(
+                model.db().census(),
+                d.svc.db().census(),
+                "seed {seed:#x} threads {threads}: batch 2 diverged from the model"
+            );
+            let _ = routed;
+        }
+    }
+}
+
+#[test]
+fn threaded_schedules_keep_invariants() {
+    let dev = dev();
+    for &seed in &SEEDS {
+        for &threads in &[4usize, 8] {
+            let mut svc = RoutingService::new(&dev, cfg(threads, ExecMode::Threaded));
+            let mut rng = DetRng::seed_from_u64(seed);
+            let specs = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: 14,
+                    max_fanout: 2,
+                    max_span: Some(4),
+                },
+                &mut rng,
+            );
+            let ids: Vec<RequestId> = specs
+                .iter()
+                .map(|s| svc.submit(RequestKind::Route(s.clone())).unwrap())
+                .collect();
+            let report = svc.run_batch();
+            assert_eq!(report.leaked_claims, Some(0), "seed {seed:#x}: leak");
+            assert_eq!(report.outcomes.len(), ids.len());
+
+            // Single-owner invariant over the committed database.
+            let mut seen = HashSet::new();
+            for (seg, _) in svc.db().iter_used() {
+                assert!(seen.insert(seg), "segment {seg} owned twice");
+            }
+            // Bookkeeping: every Routed outcome has a live net of the
+            // reported size; everything else left no net behind.
+            let mut live = 0usize;
+            for (id, o) in &report.outcomes {
+                match o {
+                    RequestOutcome::Routed { net, segments } => {
+                        live += 1;
+                        let n = svc.db().net(*net).expect("routed net is live");
+                        assert_eq!(n.segment_count(), *segments);
+                        assert_eq!(svc.nets_of(*id), Some(&[*net][..]));
+                    }
+                    RequestOutcome::Congested { .. } => {}
+                    other => panic!("unexpected outcome in pure-route batch: {other:?}"),
+                }
+            }
+            assert_eq!(svc.db().len(), live);
+
+            // Now a mixed second batch: unroute half, route fresh nets.
+            let fresh = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: 6,
+                    max_fanout: 1,
+                    max_span: Some(4),
+                },
+                &mut rng,
+            );
+            let committed: Vec<RequestId> = report
+                .outcomes
+                .iter()
+                .filter(|(_, o)| o.is_success())
+                .map(|&(id, _)| id)
+                .collect();
+            for id in committed.iter().step_by(2) {
+                svc.submit(RequestKind::Unroute(*id)).unwrap();
+            }
+            for s in &fresh {
+                svc.submit(RequestKind::Route(s.clone())).unwrap();
+            }
+            let report = svc.run_batch();
+            assert_eq!(
+                report.leaked_claims,
+                Some(0),
+                "seed {seed:#x}: leak in batch 2"
+            );
+            let mut seen = HashSet::new();
+            for (seg, _) in svc.db().iter_used() {
+                assert!(seen.insert(seg), "segment {seg} owned twice after batch 2");
+            }
+        }
+    }
+}
