@@ -17,12 +17,23 @@
 //! Scratch state (visited/cost/parent arrays over the dense segment index
 //! space) is epoch-stamped and reused across searches, so a search
 //! allocates nothing after warm-up.
+//!
+//! Queue keys are `g + w·h` with `h` served by the per-device
+//! [`Lookahead`] table: an admissible lower bound on remaining cost
+//! under the real wire-cost profile (hexes close 6 CLBs for one entry
+//! cost). At [`MazeConfig::heuristic_weight`] `w = 1` found paths are
+//! cost-optimal (the negotiated router's setting); the greedy default
+//! `w = 2` inflates path cost by at most 2× in exchange for far fewer
+//! expansions. Searches can additionally be confined to a [`BBox`] region
+//! ([`MazeConfig::bbox`]), the PathFinder-style pruning that keeps
+//! reroute cost proportional to net span rather than device size.
 
 use crate::dial::DialQueue;
 use jbits::Pip;
 use jroute_obs::Recorder;
+use virtex::lookahead::Lookahead;
 use virtex::segment::Tap;
-use virtex::{Device, RowCol, SegIdx, Segment, Wire, WireKind};
+use virtex::{BBox, Device, RowCol, SegIdx, Segment, Wire, WireKind};
 
 /// Tuning knobs for a maze search.
 #[derive(Debug, Clone)]
@@ -34,6 +45,19 @@ pub struct MazeConfig {
     /// Abort after expanding this many nodes (safety valve on congested
     /// fabrics).
     pub max_nodes: usize,
+    /// Restrict expansion to segments whose canonical origin lies inside
+    /// this box (PathFinder-style region pruning). Long lines are exempt
+    /// — they exist to escape the neighbourhood. `None` searches the
+    /// whole device. Callers that bound the search should be prepared to
+    /// retry unbounded on failure: a box can cut the only legal detour.
+    pub bbox: Option<BBox>,
+    /// Weighted-A* focus factor applied to the lookahead estimate
+    /// (`f = g + w·h`). At 1 the search is admissible and paths are
+    /// cost-optimal; the default 2 trades bounded path-cost inflation
+    /// for far fewer expansions on long spans — the greedy RTR bargain
+    /// the paper makes explicitly (§3.1). The negotiated router runs at
+    /// 1: its convergence accounting wants true minimum-cost reroutes.
+    pub heuristic_weight: u32,
 }
 
 impl Default for MazeConfig {
@@ -41,64 +65,9 @@ impl Default for MazeConfig {
         MazeConfig {
             use_long_lines: false,
             max_nodes: 2_000_000,
+            bbox: None,
+            heuristic_weight: 2,
         }
-    }
-}
-
-/// Cost of *entering* a segment, by resource class. Hexes cost 1 per CLB
-/// travelled; singles are relatively more expensive per CLB, which steers
-/// long connections onto hexes exactly as on the real fabric.
-fn wire_cost(dev: &Device, w: Wire) -> u32 {
-    match w.kind() {
-        WireKind::SliceIn { .. } => 1,
-        WireKind::Out(_) => 2,
-        WireKind::DirectE(_) | WireKind::Feedback(_) => 2,
-        WireKind::Single { .. } => 4,
-        WireKind::Hex { .. } => 6,
-        WireKind::LongH(_) => 6 + dev.dims().cols as u32 / 4,
-        WireKind::LongV(_) => 6 + dev.dims().rows as u32 / 4,
-        // Never entered via PIPs (sources / aliases are canonicalized).
-        _ => 4,
-    }
-}
-
-/// Heuristic weight: the search runs *weighted* A* (`f = g + W·h`),
-/// trading bounded path-cost inflation for a large reduction in nodes
-/// expanded — the right trade for a run-time router (the paper picks
-/// greedy algorithms for exactly this reason, §3.1).
-const HEURISTIC_WEIGHT: u32 = 2;
-
-/// Admissible-ish A* heuristic: Manhattan distance from the segment's
-/// nearest tap to the goal tile (long lines report 0 — they span their
-/// row/column).
-fn heuristic(dev: &Device, seg: Segment, goal: RowCol) -> u32 {
-    match seg.wire.kind() {
-        WireKind::Single { dir, .. } => {
-            let far = seg.rc.step(dir, 1, dev.dims()).unwrap_or(seg.rc);
-            seg.rc.manhattan(goal).min(far.manhattan(goal))
-        }
-        WireKind::Hex { dir, .. } => {
-            let mid = seg.rc.step(dir, 3, dev.dims()).unwrap_or(seg.rc);
-            let end = seg.rc.step(dir, 6, dev.dims()).unwrap_or(seg.rc);
-            seg.rc
-                .manhattan(goal)
-                .min(mid.manhattan(goal))
-                .min(end.manhattan(goal))
-        }
-        WireKind::LongH(_) => {
-            // Reachable every 6 columns along its row.
-            let dr = seg.rc.row.abs_diff(goal.row) as u32;
-            dr + (goal.col % virtex::wire::LONG_ACCESS)
-                .min(virtex::wire::LONG_ACCESS - goal.col % virtex::wire::LONG_ACCESS)
-                as u32
-        }
-        WireKind::LongV(_) => {
-            let dc = seg.rc.col.abs_diff(goal.col) as u32;
-            dc + (goal.row % virtex::wire::LONG_ACCESS)
-                .min(virtex::wire::LONG_ACCESS - goal.row % virtex::wire::LONG_ACCESS)
-                as u32
-        }
-        _ => seg.rc.manhattan(goal),
     }
 }
 
@@ -133,6 +102,9 @@ pub struct MazeScratch {
     /// from[44:54] to[54:64]`.
     link: Vec<u64>,
     open: DialQueue,
+    /// Per-device distance lookahead, resolved once at construction so
+    /// the per-pop heuristic is two table reads (no locks, no rebuild).
+    la: &'static Lookahead,
 }
 
 /// Predecessor record for one search node: the PIP that entered it and
@@ -190,6 +162,7 @@ impl MazeScratch {
             meta: vec![0; n],
             link: vec![0; n],
             open: DialQueue::new(),
+            la: dev.lookahead(),
         }
     }
 
@@ -308,11 +281,19 @@ pub fn search_obs(
     let dims = dev.dims();
     let space = dev.seg_space();
     let arch = dev.arch();
+    let la = scratch.la;
+    let longs = cfg.use_long_lines;
+    let hw = cfg.heuristic_weight.max(1);
+    // A box covering the whole device prunes nothing; drop it so the hot
+    // loop skips the contains test entirely.
+    let bbox = cfg.bbox.filter(|b| !b.covers(dims));
     scratch.begin();
     let goal_idx = space.index(goal);
 
     let mut pushes = 0u64;
     let mut pops = 0u64;
+    let mut prunes = 0u64;
+    let mut h_evals = 0u64;
     for &(seg, c0) in starts {
         let i = space.index(seg);
         if !scratch.seen(i) || scratch.cost(i) > c0 {
@@ -328,31 +309,39 @@ pub fn search_obs(
             );
             scratch
                 .open
-                .push(c0 + HEURISTIC_WEIGHT * heuristic(dev, seg, goal.rc), i.0);
+                .push(c0 + hw * la.estimate(seg, goal.rc, longs), i.0);
             pushes += 1;
+            h_evals += 1;
         }
     }
 
     let mut taps: Vec<Tap> = Vec::with_capacity(4);
     let mut fanout: Vec<Wire> = Vec::with_capacity(40);
     let mut expanded = 0usize;
-    let finish =
-        |expanded: usize, pushes: u64, pops: u64, span: &mut jroute_obs::Span, found: bool| {
-            span.note(expanded as u64);
-            obs.count("maze.searches", 1);
-            if !found {
-                obs.count("maze.search_failures", 1);
-            }
-            obs.count("maze.open_pushes", pushes);
-            obs.count("maze.open_pops", pops);
-            obs.record("maze.nodes_expanded", expanded as u64);
-        };
+    let finish = |expanded: usize,
+                  pushes: u64,
+                  pops: u64,
+                  prunes: u64,
+                  h_evals: u64,
+                  span: &mut jroute_obs::Span,
+                  found: bool| {
+        span.note(expanded as u64);
+        obs.count("maze.searches", 1);
+        if !found {
+            obs.count("maze.search_failures", 1);
+        }
+        obs.count("maze.open_pushes", pushes);
+        obs.count("maze.open_pops", pops);
+        obs.count("maze.bbox_prunes", prunes);
+        obs.count("maze.lookahead_evals", h_evals);
+        obs.record("maze.nodes_expanded", expanded as u64);
+    };
 
     while let Some((_, raw)) = scratch.open.pop() {
         pops += 1;
         let idx = SegIdx(raw);
         if idx == goal_idx {
-            finish(expanded, pushes, pops, &mut span, true);
+            finish(expanded, pushes, pops, prunes, h_evals, &mut span, true);
             return Some(reconstruct(space, scratch, idx, expanded));
         }
         // Skip entries already expanded at their current (or better)
@@ -364,7 +353,7 @@ pub fn search_obs(
         let g = scratch.cost(idx);
         expanded += 1;
         if expanded > cfg.max_nodes {
-            finish(expanded, pushes, pops, &mut span, false);
+            finish(expanded, pushes, pops, prunes, h_evals, &mut span, false);
             return None;
         }
 
@@ -385,15 +374,24 @@ pub fn search_obs(
                 if to.is_clb_input() && ni != goal_idx {
                     continue;
                 }
-                if !cfg.use_long_lines
-                    && matches!(next.wire.kind(), WireKind::LongH(_) | WireKind::LongV(_))
-                {
+                let is_long = matches!(next.wire.kind(), WireKind::LongH(_) | WireKind::LongV(_));
+                if !longs && is_long {
                     continue;
                 }
-                if ni != goal_idx && blocked(next) {
-                    continue;
+                if ni != goal_idx {
+                    if let Some(b) = bbox {
+                        // Long lines are exempt: their canonical origin
+                        // says little about where they are usable.
+                        if !is_long && !b.contains(next.rc) {
+                            prunes += 1;
+                            continue;
+                        }
+                    }
+                    if blocked(next) {
+                        continue;
+                    }
                 }
-                let ng = g + wire_cost(dev, next.wire) + extra_cost(next);
+                let ng = g + la.model().wire_cost(next.wire) + extra_cost(next);
                 if !scratch.seen(ni) || scratch.cost(ni) > ng {
                     scratch.record(
                         ni,
@@ -407,13 +405,14 @@ pub fn search_obs(
                     );
                     scratch
                         .open
-                        .push(ng + HEURISTIC_WEIGHT * heuristic(dev, next, goal.rc), ni.0);
+                        .push(ng + hw * la.estimate(next, goal.rc, longs), ni.0);
                     pushes += 1;
+                    h_evals += 1;
                 }
             }
         }
     }
-    finish(expanded, pushes, pops, &mut span, false);
+    finish(expanded, pushes, pops, prunes, h_evals, &mut span, false);
     None
 }
 

@@ -37,7 +37,26 @@ use crate::schedule::SchedulerKind;
 use jbits::Pip;
 use jroute_obs::Recorder;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use virtex::{Device, RowCol, SegIdx, SegSpace, SegVec, Segment};
+use virtex::wire::HEX_SPAN;
+use virtex::{BBox, Device, RowCol, SegIdx, SegSpace, SegVec, Segment};
+
+/// Margin (tiles beyond the terminal bounding box) of the per-net search
+/// region claim-routing confines itself to before falling back to the
+/// whole device.
+const NET_BBOX_MARGIN: u16 = 3;
+
+/// The default search region for `spec`: its terminal bounding box plus
+/// routing slack ([`NET_BBOX_MARGIN`] of detour room and [`HEX_SPAN`] so
+/// hexes whose canonical origin trails the box stay usable). Shared by
+/// [`route_one_claiming`] and the sequential replay model in
+/// `jroute-svc`, which must take byte-identical search decisions.
+pub fn net_search_box(dev: &Device, spec: &NetSpec) -> BBox {
+    let mut b = BBox::at(spec.source.rc);
+    for s in &spec.sinks {
+        b.include(s.rc);
+    }
+    b.expand(NET_BBOX_MARGIN + HEX_SPAN, dev.dims())
+}
 
 /// Options for the parallel router.
 #[derive(Debug, Clone)]
@@ -299,6 +318,13 @@ pub fn route_one_claiming(
         pips: Vec::new(),
         segments: Vec::new(),
     };
+    // Confine searches to the net's own neighbourhood unless the caller
+    // pinned a region already; a failure inside the box retries
+    // unbounded below, so bounding never costs a route.
+    let mut bounded = cfg.clone();
+    if bounded.bbox.is_none() {
+        bounded.bbox = Some(net_search_box(dev, spec));
+    }
     let mut starts = vec![(src_seg, 0u32)];
     for sink in &spec.sinks {
         let Some(goal) = dev.canonicalize(sink.rc, sink.wire) else {
@@ -312,16 +338,31 @@ pub fn route_one_claiming(
         // A cancelled request sees every segment as blocked, so the
         // search drains its open list and fails fast instead of
         // finishing a route nobody wants.
-        let r = maze::search_obs(
+        let mut r = maze::search_obs(
             dev,
             &starts,
             goal,
-            cfg,
+            &bounded,
             |seg| cancel() || claims.blocked_for(space.index(seg), id),
             |_| 0,
             scratch,
             obs,
         );
+        if r.is_none() && cfg.bbox.is_none() && !cancel() {
+            // The region may have hidden the only free detour; the
+            // unbounded retry distinguishes "boxed out" from "blocked".
+            obs.count("parallel.bbox_fallbacks", 1);
+            r = maze::search_obs(
+                dev,
+                &starts,
+                goal,
+                cfg,
+                |seg| cancel() || claims.blocked_for(space.index(seg), id),
+                |_| 0,
+                scratch,
+                obs,
+            );
+        }
         let Some(r) = r else {
             rollback(&newly);
             // May be a cancellation, a true dead end, or a transient

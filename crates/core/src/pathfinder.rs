@@ -13,13 +13,24 @@
 //! iterates: shared segments become increasingly expensive (present
 //! congestion × a growing factor, plus an accumulated history term) until
 //! every segment has at most one net, or the iteration budget runs out.
+//!
+//! Iterations after the first are *incremental*: only nets whose route
+//! touches an overused segment (or that failed last round) are ripped up
+//! and rerouted; converged nets stay put with their occupancy priced
+//! into everyone else's searches. Combined with per-net bounding-box
+//! region pruning and the admissible distance lookahead in
+//! [`maze`], late iterations cost time proportional to the surviving
+//! congestion, not to the design (ROADMAP E9/E10; cf. the hotspot-aware
+//! incremental rerouting of arXiv:2407.00009).
 
 use crate::endpoint::Pin;
 use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
 use jbits::{Bitstream, Pip};
 use jroute_obs::Recorder;
-use virtex::{Device, RowCol, SegIdx, SegSpace, SegVec, Segment, StampedSegVec};
+use std::collections::HashMap;
+use virtex::wire::HEX_SPAN;
+use virtex::{BBox, Device, RowCol, SegIdx, SegSpace, SegVec, Segment, StampedSegVec};
 
 /// Dense per-segment congestion state that persists across rip-up
 /// iterations.
@@ -29,6 +40,13 @@ use virtex::{Device, RowCol, SegIdx, SegSpace, SegVec, Segment, StampedSegVec};
 /// were already overused) can need a history bump, this tracks a touched
 /// set and walks `prev overused ∪ touched` instead — work proportional
 /// to routing activity, not device size (ROADMAP E9/E10).
+///
+/// It also maintains the reverse overused-segment → nets index that
+/// drives incremental rip-up: the first occupant of every segment lives
+/// in a dense word (`owner`, net id + 1, zero = free) and only the
+/// occupants *beyond* the first — which exist exactly on shared,
+/// i.e. overused, segments — spill into a side table. Memory stays one
+/// word per segment no matter how large the device.
 #[derive(Debug)]
 struct Congestion {
     /// Nets currently occupying each segment.
@@ -41,6 +59,10 @@ struct Congestion {
     touched: Vec<SegIdx>,
     /// Dedup marker for `touched` (O(1) epoch reset per iteration).
     touched_mark: StampedSegVec<()>,
+    /// First occupant net of each segment, stored as `net + 1` (0 = free).
+    owner: SegVec<u32>,
+    /// Occupants beyond the first, keyed by segment (congested slots only).
+    extra: HashMap<SegIdx, Vec<u32>>,
 }
 
 impl Congestion {
@@ -51,6 +73,8 @@ impl Congestion {
             overused: Vec::new(),
             touched: Vec::new(),
             touched_mark: StampedSegVec::new(space),
+            owner: SegVec::new(space, 0),
+            extra: HashMap::new(),
         }
     }
 
@@ -60,18 +84,56 @@ impl Congestion {
         }
     }
 
-    fn occupy(&mut self, idx: SegIdx) {
+    fn occupy(&mut self, idx: SegIdx, net: u32) {
         self.present[idx] += 1;
+        if self.owner[idx] == 0 {
+            self.owner[idx] = net + 1;
+        } else {
+            self.extra.entry(idx).or_default().push(net);
+        }
         self.touch(idx);
     }
 
-    fn release(&mut self, idx: SegIdx) {
+    fn release(&mut self, idx: SegIdx, net: u32) {
         self.present[idx] -= 1;
+        if self.owner[idx] == net + 1 {
+            self.owner[idx] = match self.extra.get_mut(&idx) {
+                Some(v) => {
+                    let promoted = v.pop().expect("spill entries are non-empty") + 1;
+                    if v.is_empty() {
+                        self.extra.remove(&idx);
+                    }
+                    promoted
+                }
+                None => 0,
+            };
+        } else {
+            let v = self
+                .extra
+                .get_mut(&idx)
+                .expect("releasing a recorded occupant");
+            let p = v
+                .iter()
+                .position(|&n| n == net)
+                .expect("releasing a recorded occupant");
+            v.swap_remove(p);
+            if v.is_empty() {
+                self.extra.remove(&idx);
+            }
+        }
         self.touch(idx);
+    }
+
+    /// Every net currently occupying `idx` (the reverse index).
+    fn nets_at(&self, idx: SegIdx) -> impl Iterator<Item = u32> + '_ {
+        let first = self.owner[idx].checked_sub(1);
+        first
+            .into_iter()
+            .chain(self.extra.get(&idx).into_iter().flatten().copied())
     }
 
     fn cost(&self, idx: SegIdx, pres_fac: u32) -> u32 {
-        self.history[idx] + self.present[idx] as u32 * pres_fac
+        self.history[idx].saturating_add((self.present[idx] as u32).saturating_mul(pres_fac))
     }
 
     /// End-of-iteration accounting: bump history on every overused
@@ -130,6 +192,19 @@ pub struct PathFinderConfig {
     pub hist_cost: u32,
     /// Maze options (long lines, node budget).
     pub maze: MazeConfig,
+    /// After the first iteration, rip up only nets that touch an
+    /// overused segment or failed last round. `false` restores the
+    /// classic full-ripup schedule (the reference the equivalence
+    /// property test compares against).
+    pub incremental: bool,
+    /// Confine each net's searches to its terminal bounding box expanded
+    /// by this margin (plus hex reach); the box grows every time the net
+    /// is ripped up again, so hard nets asymptotically see the whole
+    /// device. `None` disables region pruning.
+    pub bbox_margin: Option<u16>,
+    /// Drive `pres_fac` growth from the overuse curve (accelerate on
+    /// plateau, hold on oscillation) instead of multiplying blindly.
+    pub adaptive_pres: bool,
 }
 
 impl Default for PathFinderConfig {
@@ -139,9 +214,66 @@ impl Default for PathFinderConfig {
             pres_fac: 4,
             pres_growth: 2,
             hist_cost: 2,
-            maze: MazeConfig::default(),
+            maze: MazeConfig {
+                // Admissible search: negotiation wants true minimum-cost
+                // reroutes, not the greedy weighted-A* shortcut.
+                heuristic_weight: 1,
+                ..MazeConfig::default()
+            },
+            incremental: true,
+            bbox_margin: Some(3),
+            adaptive_pres: true,
         }
     }
+}
+
+/// A net with its pins resolved to canonical segments and its search
+/// region precomputed — built once before iteration 0 instead of
+/// re-canonicalizing every pin on every iteration.
+#[derive(Debug)]
+struct PreparedNet {
+    src: Segment,
+    sinks: Vec<Segment>,
+    /// Terminal bounding box (unexpanded); `None` when pruning is off.
+    terminals: Option<BBox>,
+    /// Extra margin earned by repeated rip-ups / failures.
+    grow: u16,
+}
+
+impl PreparedNet {
+    /// The maze search region for this net's current patience level.
+    fn search_box(&self, margin: u16, dims: virtex::Dims) -> Option<BBox> {
+        // HEX_SPAN of slack keeps hexes whose canonical origin trails
+        // outside the box but whose taps land inside it reachable.
+        self.terminals
+            .map(|b| b.expand(margin + HEX_SPAN + self.grow, dims))
+    }
+}
+
+/// Ceiling on the present-congestion factor. Beyond this every shared
+/// segment is already effectively forbidden; capping keeps per-segment
+/// costs (and therefore accumulated path costs) comfortably inside u32
+/// even on the accelerated adaptive schedule.
+const PRES_FAC_MAX: u32 = 1 << 20;
+
+/// Next `pres_fac` from the shape of the overuse curve. Classic
+/// PathFinder multiplies blindly; this accelerates through plateaus
+/// (congestion stopped improving — push harder) and holds through
+/// oscillation (nets are trading places — let history accumulate
+/// instead of amplifying the swing).
+fn next_pres_fac(pres_fac: u32, cfg: &PathFinderConfig, overused: usize, prev: usize) -> u32 {
+    let next = if !cfg.adaptive_pres {
+        pres_fac.saturating_mul(cfg.pres_growth)
+    } else if overused > prev {
+        // Oscillation: nets are trading places; hold and let history work.
+        pres_fac
+    } else if overused * 20 >= prev * 19 {
+        // Less than 5% better than last round: a plateau.
+        pres_fac.saturating_mul(cfg.pres_growth.saturating_mul(2).max(2))
+    } else {
+        pres_fac.saturating_mul(cfg.pres_growth)
+    };
+    next.min(PRES_FAC_MAX)
 }
 
 /// A routed net produced by the negotiated router.
@@ -180,7 +312,9 @@ pub fn route_all(
 }
 
 /// [`route_all`] with observability: emits a `pathfinder.route_all` span,
-/// per-iteration `pathfinder.overused` events (the congestion curve), a
+/// per-iteration `pathfinder.overused` events (the congestion curve) and
+/// `pathfinder.pres_fac` events (the adaptive schedule), counters for
+/// rip-ups / rerouted nets / bounding-box fallbacks, a
 /// `pathfinder.converged` event on success, and per-search maze metrics.
 pub fn route_all_obs(
     dev: &Device,
@@ -191,56 +325,99 @@ pub fn route_all_obs(
     let mut span = obs.span("pathfinder.route_all");
     span.note(specs.len() as u64);
     let space = dev.seg_space();
+    let dims = dev.dims();
     let mut cong = Congestion::new(space);
     let mut scratch = MazeScratch::new(dev);
     let mut routes: Vec<Option<RoutedNet>> = vec![None; specs.len()];
     let mut pres_fac = cfg.pres_fac;
     let mut nodes_expanded = 0usize;
 
+    // Resolve every pin once, up front (the per-iteration loop used to
+    // re-canonicalize all of them on every pass).
+    let mut prepared = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let resolve = |pin: &Pin| {
+            dev.canonicalize(pin.rc, pin.wire)
+                .ok_or(RouteError::NoSuchWire {
+                    rc: pin.rc,
+                    wire: pin.wire,
+                })
+        };
+        let src = resolve(&spec.source)?;
+        let sinks = spec.sinks.iter().map(resolve).collect::<Result<Vec<_>>>()?;
+        let terminals = cfg.bbox_margin.map(|_| {
+            let mut b = BBox::at(src.rc);
+            for s in &sinks {
+                b.include(s.rc);
+            }
+            b
+        });
+        prepared.push(PreparedNet {
+            src,
+            sinks,
+            terminals,
+            grow: 0,
+        });
+    }
+
+    // Nets to (re)route this iteration; the first pass routes everything.
+    let mut dirty: Vec<usize> = (0..specs.len()).collect();
+    let mut prev_overused: Option<usize> = None;
+
     let mut iterations = 0usize;
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
         obs.count("pathfinder.iterations", 1);
+        obs.count("pathfinder.nets_rerouted", dirty.len() as u64);
         let mut any_failure = false;
-        for (i, spec) in specs.iter().enumerate() {
+        for &i in &dirty {
             // Rip up the previous route of this net.
             if let Some(old) = routes[i].take() {
                 obs.count("pathfinder.ripups", 1);
                 for seg in &old.segments {
-                    cong.release(space.index(*seg));
+                    cong.release(space.index(*seg), i as u32);
                 }
             }
+            let prep = &prepared[i];
+            let bbox = cfg.bbox_margin.and_then(|m| prep.search_box(m, dims));
+            let mut maze_cfg = cfg.maze.clone();
             // Re-route, sink by sink, reusing the tree.
-            let src_seg = dev.canonicalize(spec.source.rc, spec.source.wire).ok_or(
-                RouteError::NoSuchWire {
-                    rc: spec.source.rc,
-                    wire: spec.source.wire,
-                },
-            )?;
             let mut net = RoutedNet {
-                spec: spec.clone(),
+                spec: specs[i].clone(),
                 pips: Vec::new(),
                 segments: Vec::new(),
             };
-            let mut starts = vec![(src_seg, 0u32)];
+            let mut starts = vec![(prep.src, 0u32)];
             let mut failed = false;
-            for sink in &spec.sinks {
-                let goal = dev
-                    .canonicalize(sink.rc, sink.wire)
-                    .ok_or(RouteError::NoSuchWire {
-                        rc: sink.rc,
-                        wire: sink.wire,
-                    })?;
-                let result = maze::search_obs(
+            for &goal in &prep.sinks {
+                maze_cfg.bbox = bbox;
+                let mut result = maze::search_obs(
                     dev,
                     &starts,
                     goal,
-                    &cfg.maze,
+                    &maze_cfg,
                     |_| false, // overuse allowed; congestion is priced
                     |seg| cong.cost(space.index(seg), pres_fac),
                     &mut scratch,
                     obs,
                 );
+                if result.is_none() && maze_cfg.bbox.is_some() {
+                    // The region was too tight for a legal detour — fall
+                    // back to the whole device so bounding can slow a
+                    // route down but never lose one.
+                    obs.count("pathfinder.bbox_fallbacks", 1);
+                    maze_cfg.bbox = None;
+                    result = maze::search_obs(
+                        dev,
+                        &starts,
+                        goal,
+                        &maze_cfg,
+                        |_| false,
+                        |seg| cong.cost(space.index(seg), pres_fac),
+                        &mut scratch,
+                        obs,
+                    );
+                }
                 let Some(r) = result else {
                     failed = true;
                     break;
@@ -256,10 +433,11 @@ pub fn route_all_obs(
                 // Node budget exhausted — leave unrouted this iteration;
                 // congestion relief may fix it next round.
                 any_failure = true;
+                prepared[i].grow = prepared[i].grow.saturating_add(HEX_SPAN);
                 continue;
             }
             for seg in &net.segments {
-                cong.occupy(space.index(*seg));
+                cong.occupy(space.index(*seg), i as u32);
             }
             routes[i] = Some(net);
         }
@@ -279,7 +457,30 @@ pub fn route_all_obs(
                 overused: 0,
             });
         }
-        pres_fac = pres_fac.saturating_mul(cfg.pres_growth);
+
+        if cfg.incremental {
+            // Dirty set for the next pass: nets without a route plus every
+            // occupant of a surviving overused segment (via the reverse
+            // index — cost proportional to the congestion, not the design).
+            let mut next: Vec<usize> = (0..specs.len()).filter(|&i| routes[i].is_none()).collect();
+            for &o in &cong.overused {
+                next.extend(cong.nets_at(o).map(|n| n as usize));
+            }
+            next.sort_unstable();
+            next.dedup();
+            // A net that keeps coming back earns a wider search region.
+            for &i in &next {
+                prepared[i].grow = prepared[i].grow.saturating_add(1);
+            }
+            dirty = next;
+        }
+
+        pres_fac = match prev_overused {
+            Some(prev) => next_pres_fac(pres_fac, cfg, overused, prev),
+            None => pres_fac.saturating_mul(cfg.pres_growth).min(PRES_FAC_MAX),
+        };
+        obs.event("pathfinder.pres_fac", pres_fac as u64);
+        prev_overused = Some(overused);
     }
 
     // `account` ran at the end of the final iteration, so the residual
@@ -360,6 +561,82 @@ mod tests {
         let r = route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
         assert!(r.legal, "negotiation should resolve local congestion");
         // No segment shared between different nets.
+        let mut seen = std::collections::HashMap::new();
+        for (i, net) in r.nets.iter().enumerate() {
+            for seg in &net.segments {
+                if let Some(prev) = seen.insert(*seg, i) {
+                    panic!("segment {seg} shared by nets {prev} and {i}");
+                }
+            }
+        }
+    }
+
+    /// A workload congested enough to need several negotiation rounds:
+    /// sixteen nets from two source tiles all funnelled into the input
+    /// pins of a single sink tile.
+    fn contended_specs() -> Vec<NetSpec> {
+        (0..16u16)
+            .map(|i| {
+                let src = if i < 8 {
+                    Pin::new(8, 8, wire::slice_out((i % 2) as usize, (i / 2) as u8))
+                } else {
+                    Pin::new(
+                        12,
+                        12,
+                        wire::slice_out((i % 2) as usize, ((i - 8) / 2) as u8),
+                    )
+                };
+                NetSpec::new(
+                    src,
+                    vec![Pin::new(
+                        10,
+                        10,
+                        wire::slice_in((i % 2) as usize, (i / 2 % 13) as u8),
+                    )],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_reroutes_strictly_fewer_nets_than_full_ripup() {
+        let dev = dev();
+        let specs = contended_specs();
+        let full_cfg = PathFinderConfig {
+            incremental: false,
+            bbox_margin: None,
+            adaptive_pres: false,
+            ..Default::default()
+        };
+        let incr_cfg = PathFinderConfig::default();
+        let full_obs = Recorder::enabled();
+        let full = route_all_obs(&dev, &specs, &full_cfg, &full_obs).unwrap();
+        let incr_obs = Recorder::enabled();
+        let incr = route_all_obs(&dev, &specs, &incr_cfg, &incr_obs).unwrap();
+        assert!(full.legal && incr.legal);
+        assert!(incr.iterations > 1, "workload must actually contend");
+        let full_n = full_obs
+            .report()
+            .counter("pathfinder.nets_rerouted")
+            .unwrap();
+        let incr_n = incr_obs
+            .report()
+            .counter("pathfinder.nets_rerouted")
+            .unwrap();
+        // Full rip-up redoes every net every round; incremental only the
+        // congested ones, so its total net-searches must be strictly lower.
+        assert!(
+            incr_n < full_n,
+            "incremental rerouted {incr_n} nets vs full {full_n}"
+        );
+        assert_eq!(full_n, (specs.len() * full.iterations) as u64);
+    }
+
+    #[test]
+    fn incremental_negotiation_is_contention_free() {
+        let dev = dev();
+        let r = route_all(&dev, &contended_specs(), &PathFinderConfig::default()).unwrap();
+        assert!(r.legal);
         let mut seen = std::collections::HashMap::new();
         for (i, net) in r.nets.iter().enumerate() {
             for seg in &net.segments {

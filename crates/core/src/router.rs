@@ -215,6 +215,7 @@ impl Router {
         MazeConfig {
             use_long_lines: self.opts.use_long_lines,
             max_nodes: self.opts.max_maze_nodes,
+            ..MazeConfig::default()
         }
     }
 

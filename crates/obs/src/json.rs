@@ -102,6 +102,7 @@ pub fn to_json(report: &Report, run: &str) -> String {
     s.push_str(&events.join(",\n"));
     s.push_str("\n  ],\n");
     s.push_str(&format!("  \"spans_dropped\": {},\n", report.spans_dropped));
+    s.push_str(&format!("  \"spans_flushed\": {},\n", report.spans_flushed));
     s.push_str(&format!(
         "  \"events_dropped\": {},\n",
         report.events_dropped
@@ -113,6 +114,32 @@ pub fn to_json(report: &Report, run: &str) -> String {
         report.spans_dropped > 0 || report.events_dropped > 0
     ));
     s.push_str("}\n");
+    s
+}
+
+/// Serialize one chunk of raw spans for a streaming span sink: a single
+/// self-contained JSON line (trailing `\n`) so a plain append-mode file
+/// sink yields newline-delimited JSON that [`parse`] can read back
+/// line by line.
+pub fn span_chunk_json(seq: u64, spans: &[crate::SpanRecord]) -> String {
+    let mut s = String::with_capacity(64 + spans.len() * 96);
+    s.push_str(&format!("{{\"chunk\": {seq}, \"spans\": ["));
+    for (i, sp) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"name\": \"{}\", \"thread\": {}, \"depth\": {}, \
+             \"start_ns\": {}, \"dur_ns\": {}, \"note\": {}}}",
+            escape(sp.name),
+            sp.thread,
+            sp.depth,
+            sp.start_ns,
+            sp.dur_ns,
+            sp.note
+        ));
+    }
+    s.push_str("]}\n");
     s
 }
 

@@ -100,6 +100,44 @@ struct Collector {
     events: Vec<EventRecord>,
     spans_dropped: u64,
     events_dropped: u64,
+    /// Streaming destination for raw spans: when set, a full span buffer
+    /// is flushed through it as a JSON chunk instead of shedding.
+    sink: Option<Box<dyn std::io::Write + Send>>,
+    /// Raw span records already streamed out (they are no longer in
+    /// `spans` but were observed and exported).
+    spans_flushed: u64,
+    /// Chunks written so far (also the next chunk's sequence number).
+    chunk_seq: u64,
+}
+
+impl Collector {
+    /// Stream the buffered raw spans through the sink as one JSON chunk.
+    /// A sink write error permanently reverts the recorder to shedding
+    /// (counted under `obs.span_sink_errors`); spans are never lost
+    /// silently either way.
+    fn flush_spans(&mut self) -> bool {
+        if self.spans.is_empty() {
+            return false;
+        }
+        let Some(sink) = self.sink.as_mut() else {
+            return false;
+        };
+        let chunk = json::span_chunk_json(self.chunk_seq, &self.spans);
+        match sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush()) {
+            Ok(()) => {
+                self.chunk_seq += 1;
+                self.spans_flushed += self.spans.len() as u64;
+                *self.counters.entry("obs.span_chunks").or_insert(0) += 1;
+                self.spans.clear();
+                true
+            }
+            Err(_) => {
+                self.sink = None;
+                *self.counters.entry("obs.span_sink_errors").or_insert(0) += 1;
+                false
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -288,16 +326,45 @@ impl Recorder {
                     events: st.events.clone(),
                     spans_dropped: st.spans_dropped,
                     events_dropped: st.events_dropped,
+                    spans_flushed: st.spans_flushed,
                 }
             }
         }
     }
 
     /// Drop everything collected so far (the epoch is retained, so
-    /// timestamps stay monotonic across windows).
+    /// timestamps stay monotonic across windows). The span sink, if any,
+    /// is dropped with the rest of the state.
     pub fn reset(&self) {
         if let Some(shared) = &self.inner {
             *shared.state.lock().unwrap() = Collector::default();
+        }
+    }
+
+    /// Install a streaming destination for raw spans. When the raw-span
+    /// buffer reaches [`MAX_SPANS`], the recorder flushes the buffer
+    /// through the sink as one JSON chunk (see
+    /// [`json::span_chunk_json`]) and keeps recording, instead of
+    /// shedding records. Without a sink the old behaviour stands:
+    /// overflow sheds and `obs.spans_shed` counts it. The write happens
+    /// under the collector lock, so hand the recorder a cheap sink (a
+    /// buffered file, a byte vector) rather than a blocking socket.
+    ///
+    /// No-op on a disabled recorder.
+    pub fn set_span_sink(&self, sink: impl std::io::Write + Send + 'static) {
+        if let Some(shared) = &self.inner {
+            shared.state.lock().unwrap().sink = Some(Box::new(sink));
+        }
+    }
+
+    /// Flush any buffered raw spans through the installed sink now (the
+    /// final partial chunk of a run). Returns `true` if a chunk was
+    /// written. No-op without a sink, on an empty buffer, or on a
+    /// disabled recorder.
+    pub fn flush_spans(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(shared) => shared.state.lock().unwrap().flush_spans(),
         }
     }
 }
@@ -356,6 +423,11 @@ impl Drop for Span {
         stat.count += 1;
         stat.total_ns = stat.total_ns.saturating_add(rec.dur_ns);
         stat.max_ns = stat.max_ns.max(rec.dur_ns);
+        if st.spans.len() >= MAX_SPANS {
+            // Prefer streaming a chunk out over shedding; flush_spans
+            // makes room unless there is no (working) sink.
+            st.flush_spans();
+        }
         if st.spans.len() < MAX_SPANS {
             st.spans.push(rec);
         } else {
@@ -460,6 +532,95 @@ mod tests {
         assert_eq!(rep.span_count("tick"), (MAX_SPANS + 10) as u64);
         // Shedding is not silent: it shows up as a counter too.
         assert_eq!(rep.counter("obs.spans_shed"), Some(10));
+    }
+
+    /// A `Write` sink tests can inspect after the recorder is done with it.
+    #[derive(Clone, Default)]
+    struct VecSink(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for VecSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Always-failing sink, for the error-reversion path.
+    struct BrokenSink;
+
+    impl std::io::Write for BrokenSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("sink closed"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn span_sink_flushes_chunks_instead_of_shedding() {
+        let rec = Recorder::enabled();
+        let sink = VecSink::default();
+        rec.set_span_sink(sink.clone());
+        for _ in 0..(MAX_SPANS + 10) {
+            let _s = rec.span("tick");
+        }
+        let rep = rec.report();
+        // The overflow streamed out as a chunk; nothing was shed.
+        assert_eq!(rep.spans_dropped, 0);
+        assert_eq!(rep.counter("obs.spans_shed"), None);
+        assert_eq!(rep.counter("obs.span_chunks"), Some(1));
+        assert_eq!(rep.spans_flushed, MAX_SPANS as u64);
+        assert_eq!(rep.spans.len(), 10);
+        assert_eq!(rep.span_count("tick"), (MAX_SPANS + 10) as u64);
+
+        // An explicit flush drains the partial tail as a second chunk.
+        assert!(rec.flush_spans());
+        let rep = rec.report();
+        assert_eq!(rep.spans.len(), 0);
+        assert_eq!(rep.spans_flushed, (MAX_SPANS + 10) as u64);
+        assert_eq!(rep.counter("obs.span_chunks"), Some(2));
+
+        // Each chunk is one parseable JSON line with sequential ids.
+        let bytes = sink.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("chunk parses");
+            assert_eq!(v.get("chunk").and_then(|c| c.as_f64()), Some(i as f64));
+            let spans = v.get("spans").and_then(|s| s.as_arr()).unwrap();
+            assert_eq!(spans.len(), if i == 0 { MAX_SPANS } else { 10 });
+            assert_eq!(spans[0].get("name").and_then(|n| n.as_str()), Some("tick"));
+        }
+    }
+
+    #[test]
+    fn broken_span_sink_reverts_to_shedding() {
+        let rec = Recorder::enabled();
+        rec.set_span_sink(BrokenSink);
+        for _ in 0..(MAX_SPANS + 10) {
+            let _s = rec.span("tick");
+        }
+        let rep = rec.report();
+        assert_eq!(rep.counter("obs.span_sink_errors"), Some(1));
+        assert_eq!(rep.spans_flushed, 0);
+        assert_eq!(rep.spans_dropped, 10);
+        assert_eq!(rep.counter("obs.spans_shed"), Some(10));
+        // The sink is gone; an explicit flush is a no-op.
+        assert!(!rec.flush_spans());
+    }
+
+    #[test]
+    fn flush_spans_without_sink_is_a_noop() {
+        let rec = Recorder::enabled();
+        let _s = rec.span("tick");
+        drop(_s);
+        assert!(!rec.flush_spans());
+        assert_eq!(rec.report().spans.len(), 1);
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct Report {
     pub spans_dropped: u64,
     /// Events shed once the cap was hit.
     pub events_dropped: u64,
+    /// Raw spans streamed out through a span sink in full chunks (they
+    /// are not in `spans` but were observed and exported).
+    pub spans_flushed: u64,
 }
 
 impl Report {

@@ -321,8 +321,11 @@ impl<'d> RoutingService<'d> {
                            consumed: &mut HashSet<RequestId>|
              -> Result<Vec<(NetId, Vec<SegIdx>)>, Reject> {
                 let mut out = Vec::new();
-                for &t in targets {
-                    if consumed.contains(&t) {
+                for (i, &t) in targets.iter().enumerate() {
+                    // A duplicate inside one request's own victim list would
+                    // break the claim handover just like a cross-request
+                    // duplicate, so both are rejected here.
+                    if consumed.contains(&t) || targets[..i].contains(&t) {
                         return Err(Reject::UnknownTarget(t));
                     }
                     let Some(nets) = self.committed.get(&t) else {

@@ -106,6 +106,12 @@ impl<'d> SequentialModel<'d> {
             .db
             .create(spec.source, src)
             .expect("model: source segment already owned");
+        // Same bounded-then-unbounded policy as `route_one_claiming`:
+        // the model must take byte-identical search decisions.
+        let mut bounded = self.maze.clone();
+        if bounded.bbox.is_none() {
+            bounded.bbox = Some(jroute::parallel::net_search_box(self.dev, spec));
+        }
         let mut starts = vec![(src, 0u32)];
         for sink in &spec.sinks {
             let goal = self
@@ -114,15 +120,31 @@ impl<'d> SequentialModel<'d> {
                 .expect("model: sink wire must exist");
             let r = {
                 let db = &self.db;
+                let blocked = |seg| db.owner(seg).is_some_and(|o| o != id);
                 maze::search(
                     self.dev,
                     &starts,
                     goal,
-                    &self.maze,
-                    |seg| db.owner(seg).is_some_and(|o| o != id),
+                    &bounded,
+                    blocked,
                     |_| 0,
                     &mut self.scratch,
                 )
+                .or_else(|| {
+                    if self.maze.bbox.is_none() {
+                        maze::search(
+                            self.dev,
+                            &starts,
+                            goal,
+                            &self.maze,
+                            blocked,
+                            |_| 0,
+                            &mut self.scratch,
+                        )
+                    } else {
+                        None
+                    }
+                })
             };
             let r = r.expect("model: search failed where the service succeeded");
             for (k, &(rc, pip)) in r.pips.iter().enumerate() {

@@ -59,6 +59,14 @@ impl Device {
         SegSpace::new(self.dims())
     }
 
+    /// The precomputed distance-lookahead table for this device's
+    /// geometry (built on first use, cached for the process lifetime —
+    /// the heap-owning sibling of [`Device::seg_space`]).
+    #[inline]
+    pub fn lookahead(&self) -> &'static crate::lookahead::Lookahead {
+        crate::lookahead::Lookahead::get(self.dims())
+    }
+
     /// Resolve a local `(tile, wire)` name to its canonical segment.
     #[inline]
     pub fn canonicalize(&self, rc: RowCol, wire: Wire) -> Option<Segment> {

@@ -126,6 +126,80 @@ impl std::fmt::Display for RowCol {
     }
 }
 
+/// Inclusive axis-aligned rectangle of CLB tiles.
+///
+/// Used by the routers to restrict maze expansion to the neighbourhood of a
+/// net's terminals (PathFinder-style region pruning). The box is inclusive on
+/// both corners so a degenerate single-tile net is still a valid region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BBox {
+    /// South-west corner (smallest row/col), inclusive.
+    pub min: RowCol,
+    /// North-east corner (largest row/col), inclusive.
+    pub max: RowCol,
+}
+
+impl BBox {
+    /// Degenerate box covering exactly one tile.
+    #[inline]
+    pub const fn at(rc: RowCol) -> Self {
+        BBox { min: rc, max: rc }
+    }
+
+    /// Smallest box covering every point, or `None` for an empty iterator.
+    pub fn of(points: impl IntoIterator<Item = RowCol>) -> Option<BBox> {
+        let mut it = points.into_iter();
+        let mut b = BBox::at(it.next()?);
+        for rc in it {
+            b.include(rc);
+        }
+        Some(b)
+    }
+
+    /// Grow the box (in place) to cover `rc`.
+    #[inline]
+    pub fn include(&mut self, rc: RowCol) {
+        self.min.row = self.min.row.min(rc.row);
+        self.min.col = self.min.col.min(rc.col);
+        self.max.row = self.max.row.max(rc.row);
+        self.max.col = self.max.col.max(rc.col);
+    }
+
+    /// Box expanded by `margin` tiles on every side, clamped to `dims`.
+    #[inline]
+    pub fn expand(self, margin: u16, dims: Dims) -> BBox {
+        BBox {
+            min: RowCol::new(
+                self.min.row.saturating_sub(margin),
+                self.min.col.saturating_sub(margin),
+            ),
+            max: RowCol::new(
+                (self.max.row.saturating_add(margin)).min(dims.rows.saturating_sub(1)),
+                (self.max.col.saturating_add(margin)).min(dims.cols.saturating_sub(1)),
+            ),
+        }
+    }
+
+    /// Whether `rc` lies inside the box (inclusive).
+    #[inline]
+    pub const fn contains(self, rc: RowCol) -> bool {
+        rc.row >= self.min.row
+            && rc.row <= self.max.row
+            && rc.col >= self.min.col
+            && rc.col <= self.max.col
+    }
+
+    /// Whether the box already covers the whole `dims` grid (a contains
+    /// check would be a no-op, so callers can skip bounding entirely).
+    #[inline]
+    pub const fn covers(self, dims: Dims) -> bool {
+        self.min.row == 0
+            && self.min.col == 0
+            && self.max.row + 1 >= dims.rows
+            && self.max.col + 1 >= dims.cols
+    }
+}
+
 /// Array dimensions of a device, in CLBs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dims {
@@ -224,6 +298,26 @@ mod tests {
             assert_eq!(dims.tile_at(dims.tile_index(rc)), rc);
         }
         assert_eq!(dims.iter_tiles().count(), dims.tiles());
+    }
+
+    #[test]
+    fn bbox_of_includes_every_point_and_expand_clamps() {
+        let dims = Dims::new(16, 24);
+        let pts = [RowCol::new(3, 7), RowCol::new(9, 2), RowCol::new(5, 5)];
+        let b = BBox::of(pts).unwrap();
+        assert_eq!(b.min, RowCol::new(3, 2));
+        assert_eq!(b.max, RowCol::new(9, 7));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(!b.contains(RowCol::new(2, 2)));
+        assert!(!b.contains(RowCol::new(9, 8)));
+        let g = b.expand(4, dims);
+        assert_eq!(g.min, RowCol::new(0, 0));
+        assert_eq!(g.max, RowCol::new(13, 11));
+        assert!(b.expand(100, dims).covers(dims));
+        assert!(!g.covers(dims));
+        assert_eq!(BBox::of(std::iter::empty()), None);
     }
 
     #[test]

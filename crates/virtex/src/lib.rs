@@ -26,6 +26,7 @@ pub mod codec;
 pub mod device;
 pub mod family;
 pub mod geometry;
+pub mod lookahead;
 pub mod segment;
 pub mod segspace;
 pub mod template;
@@ -35,7 +36,8 @@ pub use arch::Arch;
 pub use codec::Codec;
 pub use device::Device;
 pub use family::Family;
-pub use geometry::{Dims, Dir, RowCol};
+pub use geometry::{BBox, Dims, Dir, RowCol};
+pub use lookahead::{CostModel, Lookahead};
 pub use segment::{Segment, Tap};
 pub use segspace::{SegIdx, SegSpace, SegVec, StampedSegVec};
 pub use template::{template_value, TemplateValue};

@@ -1,0 +1,319 @@
+//! Precomputed distance lookahead for A*-guided maze routing.
+//!
+//! The maze router used to re-derive a weighted Manhattan heuristic on
+//! every pop. That estimate is *inadmissible* under the fabric's real
+//! cost profile (hexes move six CLBs for one entry cost, direct-east
+//! wires cross a column for two), which forced a weight-and-clamp
+//! compromise in the queue keys. This module replaces it with a small
+//! per-device table: for each axis distance `d`, the provably minimal
+//! cost any combination of routing wires can pay to close `d` CLBs.
+//!
+//! The table is a shortest-path computation over "distance space": node
+//! `d` is *an axis distance of d tiles to the goal*, and every wire
+//! class contributes edges `d -> |d - reach|` and `d -> d + reach`
+//! (paths may overshoot or detour, bounded by the device edge) at its
+//! entry cost. Wires that close no distance on the axis (outputs,
+//! feedbacks, slice inputs) map to zero-length moves and drop out. The
+//! result is a true lower bound on remaining path cost: at weight 1 the
+//! search is admissible, and any weighted-A* focusing on top of it
+//! (`MazeConfig::heuristic_weight` in `jroute`) inflates path cost by
+//! at most that factor — a far tighter bargain than weighting an
+//! already-inadmissible Manhattan estimate.
+//!
+//! Tables are built once per device geometry and cached in a global
+//! registry keyed by [`Dims`] (the same way [`crate::SegSpace`] is a
+//! cheap pure function of `Dims`), because [`crate::Device`] is `Copy`
+//! and cannot own heap state.
+
+use crate::geometry::{Dims, RowCol};
+use crate::segment::Segment;
+use crate::wire::{Wire, WireKind, HEX_SPAN, LONG_ACCESS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Base cost of *entering* a segment, by resource class. Hexes cost 1
+/// per CLB travelled; singles are relatively more expensive per CLB,
+/// which steers long connections onto hexes exactly as on the real
+/// fabric. This is the single source of truth for wire entry costs:
+/// the maze router charges from it and the lookahead lower-bounds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// CLB input pins (F/G LUT inputs and control).
+    pub slice_in: u32,
+    /// Slice outputs, direct-east hops and feedback lines.
+    pub out: u32,
+    /// Single-length lines (1 CLB of reach).
+    pub single: u32,
+    /// Hex lines (6 CLBs of reach, tapped at 0/3/6).
+    pub hex: u32,
+    /// Horizontal long lines (span the device's columns).
+    pub long_h: u32,
+    /// Vertical long lines (span the device's rows).
+    pub long_v: u32,
+}
+
+impl CostModel {
+    /// The cost profile for a `dims`-sized device. Long lines scale with
+    /// the span they buy.
+    pub const fn for_dims(dims: Dims) -> CostModel {
+        CostModel {
+            slice_in: 1,
+            out: 2,
+            single: 4,
+            hex: 6,
+            long_h: 6 + dims.cols as u32 / 4,
+            long_v: 6 + dims.rows as u32 / 4,
+        }
+    }
+
+    /// Entry cost of `w` under this model.
+    #[inline]
+    pub fn wire_cost(self, w: Wire) -> u32 {
+        match w.kind() {
+            WireKind::SliceIn { .. } => self.slice_in,
+            WireKind::Out(_) => self.out,
+            WireKind::DirectE(_) | WireKind::Feedback(_) => self.out,
+            WireKind::Single { .. } => self.single,
+            WireKind::Hex { .. } => self.hex,
+            WireKind::LongH(_) => self.long_h,
+            WireKind::LongV(_) => self.long_v,
+            // Never entered via PIPs (sources / aliases are canonicalized).
+            _ => self.single,
+        }
+    }
+}
+
+/// Per-device distance-lookahead table: admissible lower bounds on the
+/// cost of closing a row/column distance, with and without long lines.
+#[derive(Debug)]
+pub struct Lookahead {
+    dims: Dims,
+    model: CostModel,
+    /// `row[d]` = min cost to close a row distance of `d` (singles+hexes).
+    row: Vec<u32>,
+    /// `col[d]` = same for columns (direct-east participates here).
+    col: Vec<u32>,
+    /// Variants when long lines are allowed (a single long can close any
+    /// distance on its axis for one entry cost).
+    row_long: Vec<u32>,
+    col_long: Vec<u32>,
+}
+
+static TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static TABLE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// `(builds, cache_hits)` of the global lookahead registry since process
+/// start. Exposed for telemetry: a healthy run builds once per device
+/// geometry and hits thereafter.
+pub fn cache_stats() -> (u64, u64) {
+    (
+        TABLE_BUILDS.load(Ordering::Relaxed),
+        TABLE_HITS.load(Ordering::Relaxed),
+    )
+}
+
+/// Bellman-Ford over distance space: `lb[d]` = min cost to close an
+/// axis distance of `d` using moves `(reach, cost)`, where a move may
+/// go toward the goal (overshooting past it) or away from it, bounded
+/// by the `n`-tile device edge. The graph has `n` nodes and a handful
+/// of move classes, so the fixpoint is immediate in practice.
+fn axis_table(n: usize, moves: &[(u16, u32)]) -> Vec<u32> {
+    let n = n.max(1);
+    let mut lb = vec![u32::MAX; n];
+    lb[0] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for d in 0..n {
+            let cur = lb[d];
+            if cur == u32::MAX {
+                continue;
+            }
+            for &(reach, cost) in moves {
+                let toward = d.abs_diff(reach as usize);
+                let away = d + reach as usize;
+                let cand = cur + cost;
+                if cand < lb[toward] {
+                    lb[toward] = cand;
+                    changed = true;
+                }
+                if away < n && cand < lb[away] {
+                    lb[away] = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+    lb
+}
+
+impl Lookahead {
+    fn build(dims: Dims) -> Lookahead {
+        let model = CostModel::for_dims(dims);
+        let hex_mid = HEX_SPAN / 2;
+        // Both axes: singles (reach 1) and hexes (tapped at mid and end).
+        let moves = [
+            (1u16, model.single),
+            (hex_mid, model.hex),
+            (HEX_SPAN, model.hex),
+        ];
+        let row = axis_table(dims.rows as usize, &moves);
+        // The column axis additionally has direct-east hops (reach 1,
+        // cheap) — but a direct wire terminates at a CLB input, so any
+        // path uses at most one. Apply it as a one-shot discount over
+        // the repeatable-move table instead of a repeatable move.
+        let plain_col = axis_table(dims.cols as usize, &moves);
+        let col: Vec<u32> = (0..plain_col.len())
+            .map(|d| {
+                let toward = model.out + plain_col[d.abs_diff(1)];
+                let away = plain_col
+                    .get(d + 1)
+                    .map_or(u32::MAX, |&c| model.out.saturating_add(c));
+                plain_col[d].min(toward).min(away)
+            })
+            .collect();
+        // With long lines enabled a single entry can close any distance
+        // on its axis, so the bound caps at the long's entry cost.
+        let row_long = row.iter().map(|&c| c.min(model.long_v)).collect();
+        let col_long = col.iter().map(|&c| c.min(model.long_h)).collect();
+        Lookahead {
+            dims,
+            model,
+            row,
+            col,
+            row_long,
+            col_long,
+        }
+    }
+
+    /// The lookahead for a `dims`-sized device, built on first use and
+    /// cached for the process lifetime (device geometries are a small
+    /// closed set — one per [`crate::Family`]).
+    pub fn get(dims: Dims) -> &'static Lookahead {
+        static CACHE: OnceLock<Mutex<Vec<&'static Lookahead>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut guard = cache.lock().unwrap();
+        if let Some(la) = guard.iter().find(|la| la.dims == dims) {
+            TABLE_HITS.fetch_add(1, Ordering::Relaxed);
+            return la;
+        }
+        TABLE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let la: &'static Lookahead = Box::leak(Box::new(Lookahead::build(dims)));
+        guard.push(la);
+        la
+    }
+
+    /// The cost model the table lower-bounds.
+    #[inline]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Lower bound on the cost of closing `dr` rows and `dc` columns.
+    /// Axis bounds add because every routing wire moves along one axis.
+    #[inline]
+    pub fn bound(&self, dr: u16, dc: u16, longs: bool) -> u32 {
+        if longs {
+            self.row_long[dr as usize] + self.col_long[dc as usize]
+        } else {
+            self.row[dr as usize] + self.col[dc as usize]
+        }
+    }
+
+    /// Admissible remaining-cost estimate from `seg` to the goal tile:
+    /// the table bound from the segment's nearest tap (long lines use
+    /// their every-[`LONG_ACCESS`] access-point pattern).
+    pub fn estimate(&self, seg: Segment, goal: RowCol, longs: bool) -> u32 {
+        let at =
+            |rc: RowCol| self.bound(rc.row.abs_diff(goal.row), rc.col.abs_diff(goal.col), longs);
+        match seg.wire.kind() {
+            WireKind::Single { dir, .. } => {
+                let far = seg.rc.step(dir, 1, self.dims).unwrap_or(seg.rc);
+                at(seg.rc).min(at(far))
+            }
+            WireKind::Hex { dir, .. } => {
+                let mid = seg.rc.step(dir, HEX_SPAN / 2, self.dims).unwrap_or(seg.rc);
+                let end = seg.rc.step(dir, HEX_SPAN, self.dims).unwrap_or(seg.rc);
+                at(seg.rc).min(at(mid)).min(at(end))
+            }
+            WireKind::LongH(_) => {
+                // Reachable every LONG_ACCESS columns along its row.
+                let dr = seg.rc.row.abs_diff(goal.row);
+                let dc = (goal.col % LONG_ACCESS).min(LONG_ACCESS - goal.col % LONG_ACCESS);
+                self.bound(dr, dc, longs)
+            }
+            WireKind::LongV(_) => {
+                let dc = seg.rc.col.abs_diff(goal.col);
+                let dr = (goal.row % LONG_ACCESS).min(LONG_ACCESS - goal.row % LONG_ACCESS);
+                self.bound(dr, dc, longs)
+            }
+            _ => at(seg.rc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, Family};
+
+    #[test]
+    fn axis_table_matches_hand_derived_bounds() {
+        let dims = Device::new(Family::Xcv50).dims(); // 16 x 24
+        let la = Lookahead::get(dims);
+        // Distance 0 is free; 1 is one single (4); 2 is two singles (8);
+        // 3 is one hex mid-tap (6); 4 is hex + single (10); 6 one hex;
+        // 12 two hexes.
+        for (d, want) in [(0, 0), (1, 4), (2, 8), (3, 6), (4, 10), (6, 6), (12, 12)] {
+            assert_eq!(la.bound(d, 0, false), want, "row distance {d}");
+        }
+        // Columns can use direct-east (cost 2) once for a ±1 remainder.
+        assert_eq!(la.bound(0, 1, false), 2);
+        assert_eq!(la.bound(0, 2, false), 6); // direct + single, not 2 directs
+        assert_eq!(la.bound(0, 4, false), 8); // hex mid-tap + direct-east
+                                              // 5 = 6 - 1: hex overshoot + direct remainder beats 5 singles.
+        assert_eq!(la.bound(0, 5, false), 8);
+    }
+
+    #[test]
+    fn long_tables_cap_at_long_entry_cost() {
+        let dims = Device::new(Family::Xcv1000).dims(); // 64 x 96
+        let la = Lookahead::get(dims);
+        let m = CostModel::for_dims(dims);
+        assert_eq!(la.bound(dims.rows - 1, 0, true), m.long_v);
+        assert_eq!(la.bound(0, dims.cols - 1, true), m.long_h);
+        // Without longs the bound keeps growing with distance.
+        assert!(la.bound(dims.rows - 1, 0, false) > m.long_v);
+        // Long variant is never larger than the plain one.
+        for d in 0..dims.rows {
+            assert!(la.bound(d, 0, true) <= la.bound(d, 0, false));
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_enough_to_be_admissible() {
+        // Spot-check admissibility against brute force: the bound for
+        // distance d never exceeds d singles (a real path that always
+        // exists along one axis inside the device).
+        let dims = Device::new(Family::Xcv300).dims();
+        let la = Lookahead::get(dims);
+        let m = la.model();
+        for d in 0..dims.rows {
+            assert!(la.bound(d, 0, false) <= d as u32 * m.single);
+        }
+        for d in 1..dims.cols {
+            // One direct-east hop plus singles is always a real path shape.
+            assert!(la.bound(0, d, false) <= m.out + (d as u32 - 1) * m.single);
+        }
+    }
+
+    #[test]
+    fn cache_reuses_tables_per_dims() {
+        let a = Lookahead::get(Dims::new(16, 24));
+        let b = Lookahead::get(Dims::new(16, 24));
+        assert!(std::ptr::eq(a, b));
+        let (builds, hits) = cache_stats();
+        assert!(builds >= 1);
+        assert!(hits >= 1);
+    }
+}

@@ -28,6 +28,14 @@ BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
 test -s target/bench-json/BENCH_e1_census.json
 echo "    wrote target/bench-json/BENCH_e1_census.json"
 
+echo "==> bench smoke: e15_convergence (incremental vs full-ripup PathFinder)"
+BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
+    cargo bench --offline --bench e15_convergence
+test -s target/bench-json/BENCH_e15_convergence.json
+grep -q '"id": "e15/incremental_' target/bench-json/BENCH_e15_convergence.json
+grep -q '"id": "e15/full_ripup_' target/bench-json/BENCH_e15_convergence.json
+echo "    wrote target/bench-json/BENCH_e15_convergence.json"
+
 echo "==> example smoke: quickstart (with observability enabled)"
 rm -f target/obs-json/OBS_quickstart.json
 JROUTE_OBS=1 cargo run --release --offline --example quickstart
@@ -38,18 +46,21 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     exported_quickstart_json_is_valid_when_pointed_at
 
 # Opt-in bench regression gate: regenerate every experiment the
-# checked-in baseline covers (e1–e14), then diff medians against
-# bench-baseline/ (threshold BENCH_REGRESSION_PCT, default 25%).
+# checked-in baseline covers (e1–e15), then diff medians against
+# bench-baseline/, failing on regressions past --max-regress
+# (BENCH_MAX_REGRESS, default 10%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1..e14 vs bench-baseline/"
+    echo "==> bench regression gate: e1..e15 vs bench-baseline/"
     for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
         e5_rtr_replace e6_reverse_unroute e7_contention \
         e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
-        e11_core_compose e12_parallel e13_timing e14_service; do
+        e11_core_compose e12_parallel e13_timing e14_service \
+        e15_convergence; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done
-    cargo run --release --offline -p jroute-bench --bin compare
+    cargo run --release --offline -p jroute-bench --bin compare -- \
+        --max-regress "${BENCH_MAX_REGRESS:-10}"
 fi
 
 echo "verify: OK"

@@ -1,17 +1,30 @@
-use jroute_svc::{RequestKind, RoutingService, ServiceConfig, ExecMode};
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
+use jroute_svc::{ExecMode, RequestKind, RoutingService, ServiceConfig};
 use virtex::{wire, Device, Family};
 
 #[test]
 fn duplicate_victims_in_one_replace() {
     let dev = Device::new(Family::Xcv50);
-    let cfg = ServiceConfig { threads: 1, mode: ExecMode::Deterministic { seed: 1 }, audit: true, ..Default::default() };
+    let cfg = ServiceConfig {
+        threads: 1,
+        mode: ExecMode::Deterministic { seed: 1 },
+        audit: true,
+        ..Default::default()
+    };
     let mut svc = RoutingService::new(&dev, cfg);
-    let spec = NetSpec::new(Pin::new(2, 2, wire::S0_YQ), vec![Pin::new(4, 6, wire::S0_F3)]);
+    let spec = NetSpec::new(
+        Pin::new(2, 2, wire::S0_YQ),
+        vec![Pin::new(4, 6, wire::S0_F3)],
+    );
     let a = svc.submit(RequestKind::Route(spec.clone())).unwrap();
     svc.run_batch();
-    let r = svc.submit(RequestKind::Replace { remove: vec![a, a], add: vec![] }).unwrap();
+    let r = svc
+        .submit(RequestKind::Replace {
+            remove: vec![a, a],
+            add: vec![],
+        })
+        .unwrap();
     let report = svc.run_batch();
     println!("outcome: {:?}", report.outcome(r));
 }

@@ -405,6 +405,96 @@ fn work_stealing_scheduler_runs_every_task_once() {
     });
 }
 
+/// The incremental PathFinder schedule (dirty-net rip-up, bounding-box
+/// pruning, adaptive `pres_fac`) is an optimization, not a semantic
+/// change: against the classic full-ripup reference configuration it
+/// must agree on legality and final overuse, never exceed the iteration
+/// budget, and — when converged — produce a per-net segment census with
+/// the same integrity guarantees (every sink reached, no segment shared
+/// between nets).
+#[test]
+fn incremental_pathfinder_matches_full_ripup_reference() {
+    use jroute::pathfinder::{self, PathFinderConfig, PathFinderResult};
+    use jroute_workloads::{random_netlist, window_netlist, NetlistParams};
+    use std::collections::HashMap;
+    use virtex::Segment;
+
+    // Contention-free, sink-complete census: every canonical sink is in
+    // its own net's segment set and no segment belongs to two nets.
+    fn check_census(dev: &Device, r: &PathFinderResult, tag: &str) {
+        let mut owner: HashMap<Segment, usize> = HashMap::new();
+        for (i, net) in r.nets.iter().enumerate() {
+            for &seg in &net.segments {
+                let prev = owner.insert(seg, i);
+                assert!(
+                    prev.is_none_or(|p| p == i),
+                    "{tag}: segment {seg} shared by nets {prev:?} and {i}"
+                );
+            }
+            for sink in &net.spec.sinks {
+                let goal = dev.canonicalize(sink.rc, sink.wire).unwrap();
+                assert!(
+                    net.segments.contains(&goal),
+                    "{tag}: net {i} census is missing its sink {goal}"
+                );
+            }
+        }
+    }
+
+    harness::check_with(
+        "incremental_pathfinder_matches_full_ripup_reference",
+        6,
+        |rng| {
+            let dev = dev();
+            let mut net_rng = DetRng::seed_from_u64(rng.next_u64());
+            // Scattered short nets plus a contended window, scaled to stay
+            // routable on the XCV50 so both schedules genuinely converge.
+            let mut specs = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: rng.gen_range(3usize..7),
+                    max_fanout: 2,
+                    max_span: Some(4),
+                },
+                &mut net_rng,
+            );
+            let hot = rng.gen_range(4usize..9);
+            specs.extend(window_netlist(
+                &dev,
+                hot,
+                3,
+                RowCol::new(8, 12),
+                &mut net_rng,
+            ));
+
+            let incremental = PathFinderConfig::default();
+            let full_ripup = PathFinderConfig {
+                incremental: false,
+                bbox_margin: None,
+                adaptive_pres: false,
+                ..PathFinderConfig::default()
+            };
+            let incr = pathfinder::route_all(&dev, &specs, &incremental).unwrap();
+            let full = pathfinder::route_all(&dev, &specs, &full_ripup).unwrap();
+
+            assert!(incr.iterations <= incremental.max_iterations);
+            assert!(full.iterations <= full_ripup.max_iterations);
+            assert_eq!(incr.legal, full.legal, "schedules disagree on legality");
+            assert_eq!(
+                incr.overused, full.overused,
+                "schedules disagree on final overuse"
+            );
+            if incr.legal {
+                assert_eq!(incr.overused, 0);
+                assert_eq!(incr.nets.len(), specs.len());
+                assert_eq!(full.nets.len(), specs.len());
+                check_census(&dev, &incr, "incremental");
+                check_census(&dev, &full, "full-ripup");
+            }
+        },
+    );
+}
+
 /// Service-level liveness: every submitted request gets exactly one
 /// terminal outcome, whatever the seed, priorities and worker count —
 /// and a cancelled request never commits.
