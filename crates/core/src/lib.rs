@@ -49,6 +49,7 @@ pub mod stats;
 pub mod template;
 pub mod templates_db;
 pub mod trace;
+pub mod tuner;
 pub mod unroute;
 
 pub use endpoint::{EndPoint, Pin, PortId};
@@ -63,3 +64,4 @@ pub use schedule::{Scheduler, SchedulerKind, StealDeque};
 pub use stats::{ResourceUsage, RouterStats};
 pub use template::Template;
 pub use trace::TracedNet;
+pub use tuner::TunerReport;

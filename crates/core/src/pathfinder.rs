@@ -434,6 +434,7 @@ pub fn route_all_obs(
                 // congestion relief may fix it next round.
                 any_failure = true;
                 prepared[i].grow = prepared[i].grow.saturating_add(HEX_SPAN);
+                obs.record("pathfinder.bbox_growth", prepared[i].grow as u64);
                 continue;
             }
             for seg in &net.segments {
@@ -471,6 +472,7 @@ pub fn route_all_obs(
             // A net that keeps coming back earns a wider search region.
             for &i in &next {
                 prepared[i].grow = prepared[i].grow.saturating_add(1);
+                obs.record("pathfinder.bbox_growth", prepared[i].grow as u64);
             }
             dirty = next;
         }

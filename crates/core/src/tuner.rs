@@ -1,0 +1,270 @@
+//! Telemetry-driven self-tuning of maze/PathFinder budgets.
+//!
+//! The scenario corpus closes the loop the parallel-routing literature
+//! (arXiv:2407.00009) sketches: the router already *measures* its own
+//! search behaviour through [`jroute_obs`] — open-list pushes/pops, a
+//! `maze.nodes_expanded` histogram, bounded-search fallbacks and the
+//! `pathfinder.bbox_growth` histogram of per-net search-box widening —
+//! so a long-running service can *derive* its next configuration from
+//! the last window instead of shipping one static guess.
+//!
+//! [`TunerReport`] condenses an [`obs::Report`](jroute_obs::Report) into
+//! the handful of aggregates the tuning rules read, and
+//! [`TunerReport::tune`] applies them to a [`PathFinderConfig`]:
+//!
+//! * **node budget** — successful searches never came close to the
+//!   2-million-node default on the devices we route; capping
+//!   [`MazeConfig::max_nodes`] a healthy multiple above the observed
+//!   worst case makes hopeless searches (the ones that *do* hit the
+//!   budget) give up orders of magnitude sooner, without touching any
+//!   search that succeeds.
+//! * **bbox margin** — when a window shows zero region fallbacks and no
+//!   budget-driven growth, the boxes were wider than needed: shrinking
+//!   [`PathFinderConfig::bbox_margin`] cuts nodes expanded per search.
+//!   When fallbacks or growth do show up, the margin widens toward the
+//!   observed growth so the next window routes inside its first box
+//!   instead of paying a bounded failure plus a whole-device retry.
+//!
+//! Both rules are deliberately one-sided ratchets with clamps: a tuned
+//! config can never lose routability (bounded searches still fall back
+//! to the whole device on failure; the budget never drops below a floor
+//! comfortably above anything a successful search has used).
+
+use crate::maze::MazeConfig;
+use crate::pathfinder::PathFinderConfig;
+use jroute_obs::Report;
+
+/// Never tune the node budget below this floor, no matter how small the
+/// observed searches were: a congested reroute can legitimately expand
+/// far more than a quiet window's worst case.
+pub const MIN_NODE_BUDGET: usize = 1 << 14;
+
+/// Headroom multiplier between the observed worst-case expansion and the
+/// tuned node budget.
+pub const NODE_BUDGET_HEADROOM: usize = 16;
+
+/// Margins are never tuned above this (a box this wide has stopped
+/// pruning anything on the devices we route).
+pub const MAX_BBOX_MARGIN: u16 = 12;
+
+/// Aggregates extracted from one observation window, ready for tuning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunerReport {
+    /// Maze searches observed (`maze.searches`).
+    pub searches: u64,
+    /// Searches that failed — node budget or exhausted region
+    /// (`maze.search_failures`).
+    pub search_failures: u64,
+    /// Open-list pushes (`maze.open_pushes`).
+    pub open_pushes: u64,
+    /// Open-list pops (`maze.open_pops`).
+    pub open_pops: u64,
+    /// Median of `maze.nodes_expanded`.
+    pub expanded_p50: u64,
+    /// 99th percentile of `maze.nodes_expanded`.
+    pub expanded_p99: u64,
+    /// Worst single search (`maze.nodes_expanded` max).
+    pub expanded_max: u64,
+    /// Bounded searches that had to retry unbounded
+    /// (`pathfinder.bbox_fallbacks`).
+    pub bbox_fallbacks: u64,
+    /// Neighbours pruned by the region test (`maze.bbox_prunes`).
+    pub bbox_prunes: u64,
+    /// 99th percentile of `pathfinder.bbox_growth` — how much extra
+    /// margin re-dirtied nets earned.
+    pub growth_p99: u64,
+    /// Largest single `pathfinder.bbox_growth` value.
+    pub growth_max: u64,
+}
+
+impl TunerReport {
+    /// Extract the tuning aggregates from a report. Returns `None` when
+    /// the window recorded no maze searches — there is nothing to tune
+    /// from, and a caller should keep its current config.
+    pub fn from_report(rep: &Report) -> Option<Self> {
+        let searches = rep.counter("maze.searches").unwrap_or(0);
+        if searches == 0 {
+            return None;
+        }
+        let expanded = rep.hist("maze.nodes_expanded");
+        let growth = rep.hist("pathfinder.bbox_growth");
+        Some(TunerReport {
+            searches,
+            search_failures: rep.counter("maze.search_failures").unwrap_or(0),
+            open_pushes: rep.counter("maze.open_pushes").unwrap_or(0),
+            open_pops: rep.counter("maze.open_pops").unwrap_or(0),
+            expanded_p50: expanded.map_or(0, |h| h.p50()),
+            expanded_p99: expanded.map_or(0, |h| h.p99()),
+            expanded_max: expanded.map_or(0, |h| h.max()),
+            bbox_fallbacks: rep.counter("pathfinder.bbox_fallbacks").unwrap_or(0),
+            bbox_prunes: rep.counter("maze.bbox_prunes").unwrap_or(0),
+            growth_p99: growth.map_or(0, |h| h.p99()),
+            growth_max: growth.map_or(0, |h| h.max()),
+        })
+    }
+
+    /// Mean open-list pushes per search — a cheap congestion proxy (a
+    /// clean window pushes little beyond the path itself).
+    pub fn pushes_per_search(&self) -> f64 {
+        self.open_pushes as f64 / self.searches as f64
+    }
+
+    /// Fraction of bounded searches that fell back to the whole device.
+    pub fn fallback_rate(&self) -> f64 {
+        self.bbox_fallbacks as f64 / self.searches as f64
+    }
+
+    /// Tuned node budget: observed worst case times
+    /// [`NODE_BUDGET_HEADROOM`], clamped to `[MIN_NODE_BUDGET,
+    /// base.max_nodes]`. Never raises the budget above the base config —
+    /// the caller's ceiling stands.
+    pub fn node_budget(&self, base: &MazeConfig) -> usize {
+        let want = (self.expanded_max as usize).saturating_mul(NODE_BUDGET_HEADROOM);
+        want.clamp(MIN_NODE_BUDGET.min(base.max_nodes), base.max_nodes)
+    }
+
+    /// Tuned bounding-box margin. `None` in, `None` out (the caller
+    /// disabled region pruning deliberately).
+    pub fn bbox_margin(&self, base: Option<u16>) -> Option<u16> {
+        let base = base?;
+        let tuned = if self.bbox_fallbacks == 0 && self.growth_max == 0 {
+            // Every bounded search succeeded in its first box and no net
+            // earned extra patience: the boxes are wider than the
+            // traffic needs. Tighten by one, keeping at least 1.
+            base.saturating_sub(1).max(1)
+        } else if self.fallback_rate() > 0.01 || self.growth_p99 > u64::from(base) {
+            // Boxes are routinely too tight: pre-pay the growth the nets
+            // ended up earning anyway, so the next window's first
+            // attempt already covers the detours.
+            let grown = u64::from(base)
+                .max(self.growth_p99)
+                .min(u64::from(MAX_BBOX_MARGIN));
+            grown as u16
+        } else {
+            base
+        };
+        Some(tuned.min(MAX_BBOX_MARGIN))
+    }
+
+    /// Apply all tuning rules to `base`, returning the next window's
+    /// config. Routability is preserved by construction: bounded
+    /// searches still retry unbounded on failure, and the node budget
+    /// keeps [`NODE_BUDGET_HEADROOM`]× the observed worst case.
+    pub fn tune(&self, base: &PathFinderConfig) -> PathFinderConfig {
+        let mut cfg = base.clone();
+        cfg.maze = self.tune_maze(&base.maze);
+        cfg.bbox_margin = self.bbox_margin(base.bbox_margin);
+        cfg
+    }
+
+    /// Apply only the maze-level rules (node budget) to `base`.
+    pub fn tune_maze(&self, base: &MazeConfig) -> MazeConfig {
+        let mut m = base.clone();
+        m.max_nodes = self.node_budget(base);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jroute_obs::Recorder;
+
+    /// Build a report through a live recorder, the same way the router
+    /// stack does.
+    fn window(
+        searches: u64,
+        failures: u64,
+        expansions: &[u64],
+        fallbacks: u64,
+        growth: &[u64],
+    ) -> Report {
+        let rec = Recorder::enabled();
+        rec.count("maze.searches", searches);
+        rec.count("maze.search_failures", failures);
+        rec.count("maze.open_pushes", searches * 120);
+        rec.count("maze.open_pops", searches * 80);
+        for &e in expansions {
+            rec.record("maze.nodes_expanded", e);
+        }
+        rec.count("pathfinder.bbox_fallbacks", fallbacks);
+        for &g in growth {
+            rec.record("pathfinder.bbox_growth", g);
+        }
+        rec.report()
+    }
+
+    #[test]
+    fn empty_window_yields_no_tuner() {
+        assert_eq!(
+            TunerReport::from_report(&Recorder::enabled().report()),
+            None
+        );
+        assert_eq!(
+            TunerReport::from_report(&Recorder::disabled().report()),
+            None
+        );
+    }
+
+    #[test]
+    fn aggregates_mirror_the_report() {
+        let rep = window(100, 3, &[50, 200, 900], 2, &[1, 4]);
+        let t = TunerReport::from_report(&rep).unwrap();
+        assert_eq!(t.searches, 100);
+        assert_eq!(t.search_failures, 3);
+        assert_eq!(t.expanded_max, 900);
+        assert_eq!(t.bbox_fallbacks, 2);
+        assert_eq!(t.growth_max, 4);
+        assert!(t.pushes_per_search() > 100.0);
+    }
+
+    #[test]
+    fn node_budget_keeps_headroom_and_respects_clamps() {
+        let base = MazeConfig::default();
+        // Worst case 900 → 16× headroom is far below the floor.
+        let quiet = TunerReport::from_report(&window(10, 0, &[900], 0, &[])).unwrap();
+        assert_eq!(quiet.node_budget(&base), MIN_NODE_BUDGET);
+        // A heavy window lands between floor and ceiling.
+        let heavy = TunerReport::from_report(&window(10, 0, &[40_000], 0, &[])).unwrap();
+        assert_eq!(heavy.node_budget(&base), 40_000 * NODE_BUDGET_HEADROOM);
+        // Never exceeds the base ceiling.
+        let wild = TunerReport::from_report(&window(10, 0, &[u32::MAX as u64], 0, &[])).unwrap();
+        assert_eq!(wild.node_budget(&base), base.max_nodes);
+    }
+
+    #[test]
+    fn clean_windows_tighten_the_margin() {
+        let t = TunerReport::from_report(&window(50, 0, &[100], 0, &[])).unwrap();
+        assert_eq!(t.bbox_margin(Some(3)), Some(2));
+        assert_eq!(t.bbox_margin(Some(1)), Some(1), "margin never hits zero");
+        assert_eq!(t.bbox_margin(None), None, "disabled stays disabled");
+    }
+
+    #[test]
+    fn fallback_heavy_windows_widen_the_margin() {
+        // 10% fallback rate with growth p99 of 6: margin should widen to
+        // cover the earned growth.
+        let growth = [6u64; 99];
+        let t = TunerReport::from_report(&window(100, 0, &[100], 10, &growth)).unwrap();
+        let m = t.bbox_margin(Some(3)).unwrap();
+        assert!(m > 3, "margin widened, got {m}");
+        assert!(m <= MAX_BBOX_MARGIN);
+        // A pathological growth tail is clamped.
+        let wild = [200u64; 10];
+        let t = TunerReport::from_report(&window(100, 0, &[100], 50, &wild)).unwrap();
+        assert_eq!(t.bbox_margin(Some(3)), Some(MAX_BBOX_MARGIN));
+    }
+
+    #[test]
+    fn tune_composes_both_rules() {
+        let base = PathFinderConfig::default();
+        let t = TunerReport::from_report(&window(50, 0, &[100], 0, &[])).unwrap();
+        let tuned = t.tune(&base);
+        assert_eq!(tuned.maze.max_nodes, MIN_NODE_BUDGET);
+        assert_eq!(tuned.bbox_margin, Some(base.bbox_margin.unwrap() - 1));
+        // Everything else passes through untouched.
+        assert_eq!(tuned.max_iterations, base.max_iterations);
+        assert_eq!(tuned.maze.heuristic_weight, base.maze.heuristic_weight);
+        assert_eq!(tuned.incremental, base.incremental);
+    }
+}

@@ -42,9 +42,11 @@
 pub mod hist;
 pub mod json;
 pub mod report;
+pub mod rotate;
 
 pub use hist::Histogram;
 pub use report::{HistRow, Report, SpanStat};
+pub use rotate::RotatingFileSink;
 
 use std::cell::Cell;
 use std::collections::BTreeMap;

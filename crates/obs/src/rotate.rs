@@ -1,0 +1,268 @@
+//! Rotating-file span sink with size caps.
+//!
+//! Long-running scenario soaks stream raw spans through
+//! [`Recorder::set_span_sink`](crate::Recorder::set_span_sink) instead of
+//! shedding them, but a single append-mode file grows without bound — a
+//! thousand-step churn soak emits span chunks for hours. This sink caps
+//! the damage twice over: each file holds at most `max_bytes` of chunk
+//! data before the sink rotates to the next numbered file, and at most
+//! `max_files` rotated files are kept on disk (the oldest is deleted as
+//! each new one opens). Total disk use is therefore bounded by roughly
+//! `max_bytes * max_files` no matter how long the soak runs.
+//!
+//! Files are named `<base>.<seq>.jsonl` with a monotonically increasing
+//! sequence number, so surviving files sort chronologically and each one
+//! is self-describing newline-delimited JSON (one
+//! [`span_chunk_json`](crate::json::span_chunk_json) chunk per line) that
+//! [`json::parse`](crate::json::parse) reads back line by line.
+//!
+//! Write errors propagate to the caller; installed behind a [`Recorder`]
+//! that means the broken-sink fallback applies — the recorder drops the
+//! sink, reverts to shedding, and counts `obs.span_sink_errors` — so a
+//! full disk degrades telemetry instead of the soak.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A `Write` sink that spreads its input over capped, numbered files.
+#[derive(Debug)]
+pub struct RotatingFileSink {
+    dir: PathBuf,
+    base: String,
+    max_bytes: u64,
+    max_files: usize,
+    current: Option<File>,
+    /// Bytes written to the current file.
+    written: u64,
+    /// Sequence number of the *next* file to open.
+    seq: u64,
+}
+
+impl RotatingFileSink {
+    /// Sink writing `<dir>/<base>.<seq>.jsonl` files of at most
+    /// `max_bytes` each, keeping at most `max_files` on disk. The
+    /// directory is created; the first file is opened lazily on first
+    /// write. `max_bytes` and `max_files` are clamped to at least 1.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        base: impl Into<String>,
+        max_bytes: u64,
+        max_files: usize,
+    ) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RotatingFileSink {
+            dir,
+            base: base.into(),
+            max_bytes: max_bytes.max(1),
+            max_files: max_files.max(1),
+            current: None,
+            written: 0,
+            seq: 0,
+        })
+    }
+
+    fn path_of(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{}.{seq}.jsonl", self.base))
+    }
+
+    /// Paths of the files this sink has written and not yet deleted, in
+    /// sequence order. Survives the sink: computed from its counters, so
+    /// it stays valid after the recorder has consumed the sink.
+    pub fn files_written(dir: &Path, base: &str, max_files: usize) -> Vec<PathBuf> {
+        let mut out: Vec<(u64, PathBuf)> = Vec::new();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let prefix = format!("{base}.");
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(seq) = rest.strip_suffix(".jsonl") else {
+                continue;
+            };
+            if let Ok(seq) = seq.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort_by_key(|&(seq, _)| seq);
+        if out.len() > max_files {
+            let cut = out.len() - max_files;
+            out.drain(..cut);
+        }
+        out.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Close the current file and open the next in sequence, deleting
+    /// the file that falls off the retention window.
+    fn rotate(&mut self) -> io::Result<&mut File> {
+        if let Some(f) = self.current.take() {
+            drop(f);
+        }
+        let seq = self.seq;
+        self.current = Some(File::create(self.path_of(seq))?);
+        self.seq += 1;
+        self.written = 0;
+        // Retention: with file `seq` now open, the window holds
+        // `seq - max_files + 1 ..= seq`; file `seq - max_files` just
+        // fell out of it. Best-effort delete — a missing file is gone
+        // already.
+        if let Some(dead) = seq.checked_sub(self.max_files as u64) {
+            let _ = std::fs::remove_file(self.path_of(dead));
+        }
+        Ok(self.current.as_mut().expect("just opened"))
+    }
+}
+
+impl Write for RotatingFileSink {
+    /// Whole-buffer writes: the recorder hands the sink one span chunk
+    /// per call, and a chunk is never split across files. Rotation
+    /// happens *before* a write that would push the current file past
+    /// `max_bytes` (a single chunk larger than the cap still lands in
+    /// one file of its own).
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let needs_rotation = match &self.current {
+            None => true,
+            Some(_) => self.written > 0 && self.written + buf.len() as u64 > self.max_bytes,
+        };
+        let file = if needs_rotation {
+            self.rotate()?
+        } else {
+            self.current.as_mut().expect("current file exists")
+        };
+        file.write_all(buf)?;
+        self.written += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match &mut self.current {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, Recorder, MAX_SPANS};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("jroute-obs-rotate-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn rotates_exactly_at_the_byte_cap() {
+        let dir = tmp_dir("boundary");
+        let mut sink = RotatingFileSink::new(&dir, "spans", 100, 10).unwrap();
+        let chunk40 = vec![b'a'; 40];
+        // 40 + 40 = 80 <= 100: same file. The third 40-byte chunk would
+        // make 120 > 100, so it must open file 1.
+        sink.write_all(&chunk40).unwrap();
+        sink.write_all(&chunk40).unwrap();
+        sink.write_all(&chunk40).unwrap();
+        // A chunk that exactly reaches the cap stays in the same file...
+        sink.write_all(&[b'b'; 60]).unwrap(); // file 1: 40 + 60 = 100
+                                              // ...and the next byte rotates.
+        sink.write_all(b"c").unwrap();
+        sink.flush().unwrap();
+        let files = RotatingFileSink::files_written(&dir, "spans", 10);
+        assert_eq!(files.len(), 3);
+        assert_eq!(std::fs::metadata(&files[0]).unwrap().len(), 80);
+        assert_eq!(std::fs::metadata(&files[1]).unwrap().len(), 100);
+        assert_eq!(std::fs::metadata(&files[2]).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_chunk_gets_its_own_file() {
+        let dir = tmp_dir("oversize");
+        let mut sink = RotatingFileSink::new(&dir, "spans", 16, 4).unwrap();
+        sink.write_all(&[b'x'; 100]).unwrap(); // larger than the cap
+        sink.write_all(b"y").unwrap(); // must not share the file
+        let files = RotatingFileSink::files_written(&dir, "spans", 4);
+        assert_eq!(files.len(), 2);
+        assert_eq!(std::fs::metadata(&files[0]).unwrap().len(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_deletes_the_oldest_file() {
+        let dir = tmp_dir("retention");
+        let mut sink = RotatingFileSink::new(&dir, "spans", 8, 3).unwrap();
+        for i in 0u8..6 {
+            // Each 8-byte chunk fills a file exactly; every write after
+            // the first rotates.
+            sink.write_all(&[i; 8]).unwrap();
+        }
+        let files = RotatingFileSink::files_written(&dir, "spans", usize::MAX);
+        assert_eq!(files.len(), 3, "only the newest three files survive");
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["spans.3.jsonl", "spans.4.jsonl", "spans.5.jsonl"]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_streams_parseable_chunks_through_the_sink() {
+        let dir = tmp_dir("recorder");
+        let rec = Recorder::enabled();
+        rec.set_span_sink(RotatingFileSink::new(&dir, "soak", 1 << 20, 4).unwrap());
+        for _ in 0..(MAX_SPANS + 7) {
+            let _s = rec.span("tick");
+        }
+        assert!(rec.flush_spans());
+        let rep = rec.report();
+        assert_eq!(rep.spans_dropped, 0, "sink flushes instead of shedding");
+        assert_eq!(rep.spans_flushed, (MAX_SPANS + 7) as u64);
+        let files = RotatingFileSink::files_written(&dir, "soak", 4);
+        assert!(!files.is_empty());
+        let mut chunks = 0usize;
+        let mut spans = 0usize;
+        for f in &files {
+            for line in std::fs::read_to_string(f).unwrap().lines() {
+                let v = json::parse(line).expect("chunk line parses");
+                chunks += 1;
+                spans += v.get("spans").and_then(|s| s.as_arr()).unwrap().len();
+            }
+        }
+        assert_eq!(chunks, 2);
+        assert_eq!(spans, MAX_SPANS + 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broken_rotating_sink_reverts_the_recorder_to_shedding() {
+        let dir = tmp_dir("broken");
+        let rec = Recorder::enabled();
+        let sink = RotatingFileSink::new(&dir, "soak", 64, 2).unwrap();
+        // Pull the directory out from under the sink: the next rotation
+        // (first write) fails, and the recorder must fall back.
+        std::fs::remove_dir_all(&dir).unwrap();
+        rec.set_span_sink(sink);
+        for _ in 0..(MAX_SPANS + 5) {
+            let _s = rec.span("tick");
+        }
+        let rep = rec.report();
+        assert_eq!(rep.counter("obs.span_sink_errors"), Some(1));
+        assert_eq!(rep.spans_flushed, 0);
+        assert_eq!(rep.spans_dropped, 5);
+        assert_eq!(rep.counter("obs.spans_shed"), Some(5));
+        assert!(!rec.flush_spans(), "sink was dropped after the error");
+    }
+}

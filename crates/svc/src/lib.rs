@@ -44,11 +44,13 @@
 mod exec;
 pub mod model;
 mod request;
+pub mod trace;
 
 pub use request::{
     BatchReport, CancelToken, Deadline, LogEntry, QueueFull, Reject, Request, RequestId,
     RequestKind, RequestOutcome,
 };
+pub use trace::{ReplaySummary, Trace, TraceError, TraceId, TraceOp, TraceReq};
 
 use exec::{Batch, Done, PrepKind, TaskDone, BATCH_BASE};
 use jroute::maze::MazeConfig;
@@ -153,6 +155,19 @@ impl<'d> RoutingService<'d> {
     /// The committed net database.
     pub fn db(&self) -> &NetDb {
         &self.db
+    }
+
+    /// The device this service routes on.
+    pub fn device(&self) -> &'d Device {
+        self.dev
+    }
+
+    /// Replace the maze options future batches route with — the hook
+    /// the telemetry tuner ([`jroute::tuner`]) applies its derived
+    /// config through between scenario steps. Queued requests are
+    /// unaffected until the next `run_batch`.
+    pub fn set_maze(&mut self, maze: MazeConfig) {
+        self.cfg.maze = maze;
     }
 
     /// The recorder batches report through.

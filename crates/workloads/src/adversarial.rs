@@ -1,0 +1,321 @@
+//! Adversarial netlist generators.
+//!
+//! The random and window netlists in [`crate::netgen`] measure typical
+//! behaviour; these generators construct the traffic patterns that are
+//! *designed* to hurt, the scenario-corpus counterpart of the congestion
+//! stressors in the parallel-routing literature (arXiv:2407.00009):
+//!
+//! * [`congestion_cliques`] — groups of nets whose bounding boxes all
+//!   overlap pairwise, so PathFinder-style region pruning buys nothing
+//!   inside a clique and every member negotiates against every other;
+//! * [`long_line_starvation`] — chip-spanning nets packed into a few
+//!   rows, all competing for the same east-west corridor (and, when long
+//!   lines are enabled, for the one long line per row that covers it);
+//! * [`hotspot_storm`] — fan-in traffic from all over the device
+//!   converging on one small window, the §5 run-time hotspot that
+//!   saturates a neighbourhood's entry wires.
+//!
+//! All generators are seeded ([`detrand::DetRng`]) and uphold the
+//! netlist validity contract the property suite checks: every pin is
+//! on-device, sources are globally distinct, and sinks are globally
+//! distinct.
+
+use detrand::{DetRng, SliceRandom};
+use jroute::pathfinder::NetSpec;
+use jroute::Pin;
+use virtex::wire::{self, slice_in_pin};
+use virtex::{Device, RowCol};
+
+/// Shared dedup state: the uniqueness contract is global per generated
+/// netlist, matching [`crate::netgen::random_netlist`].
+#[derive(Default)]
+struct PinPool {
+    sources: std::collections::HashSet<Pin>,
+    sinks: std::collections::HashSet<Pin>,
+}
+
+impl PinPool {
+    /// A not-yet-used slice-output pin at `rc`, if any remains.
+    fn source_at(&mut self, rc: RowCol, rng: &mut DetRng) -> Option<Pin> {
+        let mut candidates: Vec<Pin> = (0..2)
+            .flat_map(|s| (0..4).map(move |p| Pin::at(rc, wire::slice_out(s, p))))
+            .filter(|p| !self.sources.contains(p))
+            .collect();
+        candidates.shuffle(rng);
+        let pin = candidates.first().copied()?;
+        self.sources.insert(pin);
+        Some(pin)
+    }
+
+    /// A not-yet-used LUT-input pin at `rc`, if any remains.
+    fn sink_at(&mut self, rc: RowCol, rng: &mut DetRng) -> Option<Pin> {
+        let mut candidates: Vec<Pin> = (0..2usize)
+            .flat_map(|s| {
+                (slice_in_pin::F1..=slice_in_pin::G4)
+                    .map(move |p| Pin::at(rc, wire::slice_in(s, p)))
+            })
+            .filter(|p| !self.sinks.contains(p))
+            .collect();
+        candidates.shuffle(rng);
+        let pin = candidates.first().copied()?;
+        self.sinks.insert(pin);
+        Some(pin)
+    }
+}
+
+/// `cliques` groups of `nets_per_clique` nets each, every net crossing
+/// its clique's `window`-sized square, so all bounding boxes within a
+/// clique overlap pairwise (each spans the full window). Windows are
+/// placed round-robin across the device and may themselves overlap on
+/// small fabrics, which only sharpens the contention.
+///
+/// Panics if the device cannot host the requested load (starvation
+/// guard, same policy as [`crate::netgen`]).
+pub fn congestion_cliques(
+    dev: &Device,
+    cliques: usize,
+    nets_per_clique: usize,
+    window: u16,
+    rng: &mut DetRng,
+) -> Vec<NetSpec> {
+    let d = dev.dims();
+    let window = window.clamp(2, d.rows.min(d.cols));
+    let mut pool = PinPool::default();
+    let mut specs = Vec::with_capacity(cliques * nets_per_clique);
+    for _ in 0..cliques {
+        let origin = RowCol::new(
+            rng.gen_range(0..=d.rows - window),
+            rng.gen_range(0..=d.cols - window),
+        );
+        let mut made = 0usize;
+        let mut guard = 0usize;
+        while made < nets_per_clique {
+            guard += 1;
+            assert!(
+                guard < nets_per_clique * 1000,
+                "congestion clique starved — window {window} too small for {nets_per_clique} nets"
+            );
+            // West column to east column of the window, with the source
+            // in the top half and the sink in the bottom half (or
+            // mirrored): every bbox spans the window's columns and
+            // contains its middle row, so all clique members overlap
+            // pairwise.
+            let mid = window / 2;
+            let (src_row, sink_row) = if rng.gen_range(0..2u32) == 0 {
+                (rng.gen_range(0..=mid), rng.gen_range(mid..window))
+            } else {
+                (rng.gen_range(mid..window), rng.gen_range(0..=mid))
+            };
+            let src_rc = RowCol::new(origin.row + src_row, origin.col);
+            let sink_rc = RowCol::new(origin.row + sink_row, origin.col + window - 1);
+            let Some(src) = pool.source_at(src_rc, rng) else {
+                continue;
+            };
+            let Some(sink) = pool.sink_at(sink_rc, rng) else {
+                pool.sources.remove(&src);
+                continue;
+            };
+            specs.push(NetSpec::new(src, vec![sink]));
+            made += 1;
+        }
+    }
+    specs
+}
+
+/// `nets` chip-spanning nets confined to `rows` adjacent rows: every net
+/// runs from the westmost columns to the eastmost, so all of them fight
+/// for the same horizontal corridor. With long lines enabled this
+/// starves the per-row long lines; without, it saturates the hex
+/// corridor the same way.
+pub fn long_line_starvation(
+    dev: &Device,
+    nets: usize,
+    rows: u16,
+    rng: &mut DetRng,
+) -> Vec<NetSpec> {
+    let d = dev.dims();
+    let rows = rows.clamp(1, d.rows);
+    let top = rng.gen_range(0..=d.rows - rows);
+    let mut pool = PinPool::default();
+    let mut specs = Vec::with_capacity(nets);
+    let mut guard = 0usize;
+    while specs.len() < nets {
+        guard += 1;
+        assert!(
+            guard < nets * 1000,
+            "long-line starvation starved — {rows} rows cannot host {nets} spanning nets"
+        );
+        let src_rc = RowCol::new(
+            top + rng.gen_range(0..rows),
+            rng.gen_range(0..2.min(d.cols)),
+        );
+        let sink_rc = RowCol::new(
+            top + rng.gen_range(0..rows),
+            d.cols - 1 - rng.gen_range(0..2.min(d.cols)),
+        );
+        let Some(src) = pool.source_at(src_rc, rng) else {
+            continue;
+        };
+        let Some(sink) = pool.sink_at(sink_rc, rng) else {
+            pool.sources.remove(&src);
+            continue;
+        };
+        specs.push(NetSpec::new(src, vec![sink]));
+    }
+    specs
+}
+
+/// `nets` nets converging on a `window`-sized square at `origin`: every
+/// sink is inside the window, every source outside it. The classic
+/// run-time hotspot — the window's entry wires saturate long before the
+/// rest of the device sees any pressure.
+pub fn hotspot_storm(
+    dev: &Device,
+    origin: RowCol,
+    window: u16,
+    nets: usize,
+    rng: &mut DetRng,
+) -> Vec<NetSpec> {
+    let d = dev.dims();
+    let window = window.clamp(1, d.rows.min(d.cols));
+    assert!(
+        origin.row + window <= d.rows && origin.col + window <= d.cols,
+        "hotspot window off-device"
+    );
+    let inside = |rc: RowCol| {
+        (origin.row..origin.row + window).contains(&rc.row)
+            && (origin.col..origin.col + window).contains(&rc.col)
+    };
+    let mut pool = PinPool::default();
+    let mut specs = Vec::with_capacity(nets);
+    let mut guard = 0usize;
+    while specs.len() < nets {
+        guard += 1;
+        assert!(
+            guard < nets * 2000,
+            "hotspot storm starved — window {window} cannot sink {nets} nets"
+        );
+        let src_rc = RowCol::new(rng.gen_range(0..d.rows), rng.gen_range(0..d.cols));
+        if inside(src_rc) {
+            continue;
+        }
+        let sink_rc = RowCol::new(
+            origin.row + rng.gen_range(0..window),
+            origin.col + rng.gen_range(0..window),
+        );
+        let Some(src) = pool.source_at(src_rc, rng) else {
+            continue;
+        };
+        let Some(sink) = pool.sink_at(sink_rc, rng) else {
+            pool.sources.remove(&src);
+            continue;
+        };
+        specs.push(NetSpec::new(src, vec![sink]));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtex::{BBox, Family};
+
+    fn dev() -> Device {
+        Device::new(Family::Xcv50)
+    }
+
+    fn rng(seed: u64) -> DetRng {
+        DetRng::seed_from_u64(seed)
+    }
+
+    fn assert_valid(dev: &Device, specs: &[NetSpec]) {
+        let d = dev.dims();
+        let mut srcs = std::collections::HashSet::new();
+        let mut sinks = std::collections::HashSet::new();
+        for s in specs {
+            assert!(s.source.rc.row < d.rows && s.source.rc.col < d.cols);
+            assert!(srcs.insert(s.source), "duplicate source {:?}", s.source);
+            for k in &s.sinks {
+                assert!(k.rc.row < d.rows && k.rc.col < d.cols);
+                assert!(sinks.insert(*k), "duplicate sink {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cliques_overlap_pairwise_and_stay_valid() {
+        let dev = dev();
+        let specs = congestion_cliques(&dev, 3, 6, 5, &mut rng(1));
+        assert_eq!(specs.len(), 18);
+        assert_valid(&dev, &specs);
+        // Within each clique every pair of terminal bboxes overlaps.
+        for clique in specs.chunks(6) {
+            let boxes: Vec<BBox> = clique
+                .iter()
+                .map(|s| {
+                    let mut b = BBox::at(s.source.rc);
+                    b.include(s.sinks[0].rc);
+                    b
+                })
+                .collect();
+            for (i, a) in boxes.iter().enumerate() {
+                for b in &boxes[i + 1..] {
+                    let overlap = a.min.row <= b.max.row
+                        && b.min.row <= a.max.row
+                        && a.min.col <= b.max.col
+                        && b.min.col <= a.max.col;
+                    assert!(overlap, "clique members {a:?} and {b:?} do not overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starvation_nets_span_the_device() {
+        let dev = dev();
+        let cols = dev.dims().cols;
+        let specs = long_line_starvation(&dev, 8, 2, &mut rng(2));
+        assert_eq!(specs.len(), 8);
+        assert_valid(&dev, &specs);
+        let mut rows = std::collections::HashSet::new();
+        for s in &specs {
+            let span = s.sinks[0].rc.col.abs_diff(s.source.rc.col);
+            assert!(span >= cols - 4, "net spans only {span} columns");
+            rows.insert(s.source.rc.row);
+            rows.insert(s.sinks[0].rc.row);
+        }
+        assert!(rows.len() <= 2, "nets strayed outside the corridor");
+    }
+
+    #[test]
+    fn hotspot_sinks_inside_sources_outside() {
+        let dev = dev();
+        let origin = RowCol::new(6, 9);
+        let specs = hotspot_storm(&dev, origin, 3, 20, &mut rng(3));
+        assert_eq!(specs.len(), 20);
+        assert_valid(&dev, &specs);
+        for s in &specs {
+            let sink = s.sinks[0].rc;
+            assert!(
+                (6..9).contains(&sink.row) && (9..12).contains(&sink.col),
+                "sink {sink} escaped the hotspot"
+            );
+            let src = s.source.rc;
+            assert!(
+                !((6..9).contains(&src.row) && (9..12).contains(&src.col)),
+                "source {src} inside the hotspot"
+            );
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let dev = dev();
+        let a = hotspot_storm(&dev, RowCol::new(4, 4), 3, 10, &mut rng(7));
+        let b = hotspot_storm(&dev, RowCol::new(4, 4), 3, 10, &mut rng(7));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.sinks, y.sinks);
+        }
+    }
+}

@@ -9,8 +9,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
+pub mod churn;
 pub mod netgen;
 pub mod scenarios;
 
+pub use adversarial::{congestion_cliques, hotspot_storm, long_line_starvation};
+pub use churn::{ChurnAction, ChurnParams, ChurnScenario, ChurnViolation, StepOutcome};
 pub use netgen::{random_netlist, random_pairs, window_netlist, NetlistParams};
 pub use scenarios::{fanout_spec, pipeline_placements};

@@ -36,6 +36,24 @@ grep -q '"id": "e15/incremental_' target/bench-json/BENCH_e15_convergence.json
 grep -q '"id": "e15/full_ripup_' target/bench-json/BENCH_e15_convergence.json
 echo "    wrote target/bench-json/BENCH_e15_convergence.json"
 
+echo "==> bench smoke: e16_scenarios (trace replay + tuned-vs-static adversarial)"
+BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
+    cargo bench --offline --bench e16_scenarios
+test -s target/bench-json/BENCH_e16_scenarios.json
+grep -q '"id": "e16/static_' target/bench-json/BENCH_e16_scenarios.json
+grep -q '"id": "e16/tuned_' target/bench-json/BENCH_e16_scenarios.json
+grep -q '"id": "e16/replay_churn_' target/bench-json/BENCH_e16_scenarios.json
+echo "    wrote target/bench-json/BENCH_e16_scenarios.json"
+
+echo "==> example smoke: churn_soak (100-step audited churn + .jrt replay)"
+rm -rf target/obs-json/churn_soak target/traces/churn_soak.jrt
+cargo run --release --offline --example churn_soak 100 | tee /tmp/churn_soak.out
+grep -q "churn soak: 100 steps clean" /tmp/churn_soak.out
+grep -q "census identical" /tmp/churn_soak.out
+grep -q "churn_soak: OK" /tmp/churn_soak.out
+test -s target/traces/churn_soak.jrt
+echo "    wrote target/traces/churn_soak.jrt"
+
 echo "==> example smoke: quickstart (with observability enabled)"
 rm -f target/obs-json/OBS_quickstart.json
 JROUTE_OBS=1 cargo run --release --offline --example quickstart
@@ -46,16 +64,16 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     exported_quickstart_json_is_valid_when_pointed_at
 
 # Opt-in bench regression gate: regenerate every experiment the
-# checked-in baseline covers (e1–e15), then diff medians against
+# checked-in baseline covers (e1–e16), then diff medians against
 # bench-baseline/, failing on regressions past --max-regress
 # (BENCH_MAX_REGRESS, default 10%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1..e15 vs bench-baseline/"
+    echo "==> bench regression gate: e1..e16 vs bench-baseline/"
     for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
         e5_rtr_replace e6_reverse_unroute e7_contention \
         e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
         e11_core_compose e12_parallel e13_timing e14_service \
-        e15_convergence; do
+        e15_convergence e16_scenarios; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done

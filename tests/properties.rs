@@ -555,3 +555,125 @@ fn service_batches_terminate_with_one_outcome_each() {
         },
     );
 }
+
+/// The `.jrt` trace encoding is canonical: any recorded request stream
+/// decodes back to an equivalent trace whose re-encoding is
+/// byte-identical, and the decoded trace still validates (every replace
+/// victim references an earlier request).
+#[test]
+fn trace_encoding_round_trips_byte_identically() {
+    use jroute::pathfinder::NetSpec;
+    use jroute_svc::{Deadline, Trace, TraceOp};
+    use virtex::Codec;
+    harness::check_with("trace_encoding_round_trips_byte_identically", 6, |rng| {
+        let dev = dev();
+        let mut pair_rng = DetRng::seed_from_u64(rng.next_u64());
+        let spec = |pair_rng: &mut DetRng| {
+            let (src, sink) = random_pairs(&dev, 1, pair_rng)[0];
+            NetSpec::new(src, vec![sink])
+        };
+        let mut trace = Trace::new(dev.family());
+        let reqs = rng.gen_range(1u32..40);
+        for submitted in 0..reqs {
+            let priority = rng.gen_range(0u32..=255) as u8;
+            let deadline = if rng.gen_bool(0.3) {
+                Some(Deadline::Steps(rng.next_u64()))
+            } else {
+                None
+            };
+            let op = match rng.gen_range(0u32..4) {
+                0 | 1 => TraceOp::Route(spec(&mut pair_rng)),
+                2 if submitted > 0 => TraceOp::Unroute(rng.gen_range(0..submitted)),
+                _ => {
+                    let victims = if submitted == 0 {
+                        vec![]
+                    } else {
+                        (0..rng.gen_range(0u32..3.min(submitted) + 1))
+                            .map(|_| rng.gen_range(0..submitted))
+                            .collect()
+                    };
+                    let adds = (0..rng.gen_range(1usize..3))
+                        .map(|_| spec(&mut pair_rng))
+                        .collect();
+                    TraceOp::Replace {
+                        remove: victims,
+                        add: adds,
+                    }
+                }
+            };
+            let id = trace.record(priority, deadline, op);
+            assert_eq!(id, submitted, "trace ids are the submission order");
+            if rng.gen_bool(0.25) {
+                trace.end_batch();
+            }
+        }
+        trace.validate().expect("recorded traces always validate");
+        let bytes = trace.to_bytes();
+        let decoded = Trace::from_bytes(&bytes).expect("trace decodes");
+        assert_eq!(decoded.len(), trace.len());
+        decoded.validate().expect("decoded trace validates");
+        assert_eq!(
+            decoded.to_bytes(),
+            bytes,
+            "re-encoding a decoded trace must be byte-identical"
+        );
+    });
+}
+
+/// Every adversarial generator upholds the netlist validity contract:
+/// all pins on-device and canonicalizable, sources globally distinct,
+/// sinks globally distinct — whatever the seed and shape parameters.
+#[test]
+fn adversarial_generators_uphold_the_netlist_contract() {
+    use jroute_workloads::{congestion_cliques, hotspot_storm, long_line_starvation};
+    use std::collections::HashSet;
+    harness::check(
+        "adversarial_generators_uphold_the_netlist_contract",
+        |rng| {
+            let dev = dev();
+            let d = dev.dims();
+            let mut gen_rng = DetRng::seed_from_u64(rng.next_u64());
+            let specs = match rng.gen_range(0u32..3) {
+                0 => congestion_cliques(
+                    &dev,
+                    rng.gen_range(1usize..4),
+                    rng.gen_range(2usize..6),
+                    rng.gen_range(3u16..8),
+                    &mut gen_rng,
+                ),
+                1 => long_line_starvation(
+                    &dev,
+                    rng.gen_range(1usize..8),
+                    rng.gen_range(1u16..4),
+                    &mut gen_rng,
+                ),
+                _ => {
+                    let w = rng.gen_range(2u16..5);
+                    let origin =
+                        RowCol::new(rng.gen_range(0..=d.rows - w), rng.gen_range(0..=d.cols - w));
+                    hotspot_storm(&dev, origin, w, rng.gen_range(1usize..12), &mut gen_rng)
+                }
+            };
+            assert!(!specs.is_empty());
+            let mut sources = HashSet::new();
+            let mut sinks = HashSet::new();
+            for s in &specs {
+                assert!(s.source.rc.row < d.rows && s.source.rc.col < d.cols);
+                assert!(
+                    dev.canonicalize(s.source.rc, s.source.wire).is_some(),
+                    "source {:?} does not canonicalize",
+                    s.source
+                );
+                assert!(sources.insert(s.source), "duplicate source {:?}", s.source);
+                for k in &s.sinks {
+                    assert!(k.rc.row < d.rows && k.rc.col < d.cols);
+                    assert!(
+                        dev.canonicalize(k.rc, k.wire).is_some(),
+                        "sink {k:?} does not canonicalize"
+                    );
+                    assert!(sinks.insert(*k), "duplicate sink {k:?}");
+                }
+            }
+        },
+    );
+}
