@@ -30,7 +30,7 @@
 
 use crate::dial::DialQueue;
 use jbits::Pip;
-use jroute_obs::Recorder;
+use jroute_obs::{Counter, Histo, Recorder};
 use virtex::lookahead::Lookahead;
 use virtex::segment::Tap;
 use virtex::{BBox, Device, RowCol, SegIdx, Segment, Wire, WireKind};
@@ -105,6 +105,39 @@ pub struct MazeScratch {
     /// Per-device distance lookahead, resolved once at construction so
     /// the per-pop heuristic is two table reads (no locks, no rebuild).
     la: &'static Lookahead,
+    /// Typed metric handles cached per recorder (keyed by
+    /// [`Recorder::id`]), so a search records through lock-free sharded
+    /// atomics instead of string-keyed map lookups. A scratch handed a
+    /// different recorder re-resolves.
+    meters: Option<MazeMeters>,
+}
+
+/// Pre-resolved registry handles for the maze search telemetry.
+#[derive(Debug, Clone)]
+struct MazeMeters {
+    rec: usize,
+    searches: Counter,
+    failures: Counter,
+    pushes: Counter,
+    pops: Counter,
+    prunes: Counter,
+    h_evals: Counter,
+    expanded: Histo,
+}
+
+impl MazeMeters {
+    fn resolve(obs: &Recorder) -> Self {
+        MazeMeters {
+            rec: obs.id(),
+            searches: obs.counter("maze.searches"),
+            failures: obs.counter("maze.search_failures"),
+            pushes: obs.counter("maze.open_pushes"),
+            pops: obs.counter("maze.open_pops"),
+            prunes: obs.counter("maze.bbox_prunes"),
+            h_evals: obs.counter("maze.lookahead_evals"),
+            expanded: obs.histogram("maze.nodes_expanded"),
+        }
+    }
 }
 
 /// Predecessor record for one search node: the PIP that entered it and
@@ -163,7 +196,18 @@ impl MazeScratch {
             link: vec![0; n],
             open: DialQueue::new(),
             la: dev.lookahead(),
+            meters: None,
         }
+    }
+
+    /// Metric handles for `obs`, resolved once and cached on the scratch
+    /// (the scratch already has exactly the right lifetime: one per
+    /// worker, reused across every search that worker runs).
+    fn meters_for(&mut self, obs: &Recorder) -> &MazeMeters {
+        if self.meters.as_ref().map(|m| m.rec) != Some(obs.id()) {
+            self.meters = Some(MazeMeters::resolve(obs));
+        }
+        self.meters.as_ref().expect("just resolved")
     }
 
     #[inline]
@@ -278,6 +322,9 @@ pub fn search_obs(
     obs: &Recorder,
 ) -> Option<MazeResult> {
     let mut span = obs.span("maze.search");
+    // Cheap Arc clones; resolved through the scratch cache, so the hot
+    // path below never touches the registry lock.
+    let m = scratch.meters_for(obs).clone();
     let dims = dev.dims();
     let space = dev.seg_space();
     let arch = dev.arch();
@@ -326,15 +373,15 @@ pub fn search_obs(
                   span: &mut jroute_obs::Span,
                   found: bool| {
         span.note(expanded as u64);
-        obs.count("maze.searches", 1);
+        m.searches.inc();
         if !found {
-            obs.count("maze.search_failures", 1);
+            m.failures.inc();
         }
-        obs.count("maze.open_pushes", pushes);
-        obs.count("maze.open_pops", pops);
-        obs.count("maze.bbox_prunes", prunes);
-        obs.count("maze.lookahead_evals", h_evals);
-        obs.record("maze.nodes_expanded", expanded as u64);
+        m.pushes.add(pushes);
+        m.pops.add(pops);
+        m.prunes.add(prunes);
+        m.h_evals.add(h_evals);
+        m.expanded.record(expanded as u64);
     };
 
     while let Some((_, raw)) = scratch.open.pop() {

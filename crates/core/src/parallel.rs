@@ -35,7 +35,7 @@ use crate::maze::{self, MazeConfig, MazeScratch};
 use crate::pathfinder::NetSpec;
 use crate::schedule::SchedulerKind;
 use jbits::Pip;
-use jroute_obs::Recorder;
+use jroute_obs::{Recorder, TraceCtx};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use virtex::wire::HEX_SPAN;
 use virtex::{BBox, Device, RowCol, SegIdx, SegSpace, SegVec, Segment};
@@ -274,6 +274,12 @@ pub enum RouteOutcome {
 /// a request can be abandoned mid-search: this is the request-scoped
 /// rollback primitive under `jroute-svc` cancellation and deadline
 /// expiry. Pass `|| false` when cancellation is not needed.
+///
+/// `ctx` is the causal trace context of whatever triggered this net —
+/// the svc request's exec span, or a `parallel.worker` span. The
+/// `parallel.net` span opened here (and, ambiently, every nested
+/// `maze.search`) links back to it even when the net was stolen onto a
+/// different thread. Pass [`TraceCtx::NONE`] for untraced calls.
 #[allow(clippy::too_many_arguments)] // the full claim-routing contract
 pub fn route_one_claiming(
     dev: &Device,
@@ -283,8 +289,11 @@ pub fn route_one_claiming(
     cfg: &MazeConfig,
     scratch: &mut MazeScratch,
     cancel: impl Fn() -> bool,
+    ctx: TraceCtx,
     obs: &Recorder,
 ) -> RouteOutcome {
+    let mut net_span = obs.span_ctx("parallel.net", ctx);
+    net_span.note(id as u64);
     let space = dev.seg_space();
     let Some(src_seg) = dev.canonicalize(spec.source.rc, spec.source.wire) else {
         return RouteOutcome::Failed;
@@ -430,8 +439,15 @@ pub fn route_parallel_obs(
     cfg: &ParallelConfig,
     obs: &Recorder,
 ) -> ParallelResult {
-    let mut run_span = obs.span("parallel.route");
+    let mut run_span = obs.span_root("parallel.route");
     run_span.note(specs.len() as u64);
+    let root_ctx = run_span.ctx();
+    let c_steals = obs.counter("parallel.steals");
+    let c_commits = obs.counter("parallel.commits");
+    let c_conflicts = obs.counter("parallel.conflicts");
+    let c_failed = obs.counter("parallel.nets_failed");
+    let c_rounds = obs.counter("parallel.rounds");
+    let h_attempts = obs.histogram("parallel.net_attempts");
     debug_assert!(
         specs.len() < FREE as usize,
         "net index must fit the owner word"
@@ -462,11 +478,15 @@ pub fn route_parallel_obs(
             &tasks,
             |_| WorkerCtx {
                 scratch: MazeScratch::new(dev),
-                span: obs.span("parallel.worker"),
+                // Cross-thread causal link: every worker span (and thus
+                // every net it routes, stolen or not) carries the run's
+                // trace and points back at `parallel.route`.
+                span: obs.span_ctx("parallel.worker", root_ctx),
                 attempted: 0,
             },
             |ctx, task| {
                 ctx.attempted += 1;
+                let net_ctx = ctx.span.ctx();
                 route_one_claiming(
                     dev,
                     &specs[task as usize],
@@ -475,11 +495,12 @@ pub fn route_parallel_obs(
                     &cfg.maze,
                     &mut ctx.scratch,
                     || false,
+                    net_ctx,
                     obs,
                 )
             },
         );
-        obs.count("parallel.steals", run.steals);
+        c_steals.add(run.steals);
         let mut results: Vec<(u64, RouteOutcome)> = run.results;
         results.sort_by_key(|(i, _)| *i);
 
@@ -490,12 +511,12 @@ pub fn route_parallel_obs(
             match res {
                 RouteOutcome::Committed(net) => {
                     done[i] = Some(*net);
-                    obs.count("parallel.commits", 1);
+                    c_commits.inc();
                     progressed = true;
                 }
                 RouteOutcome::Deferred => {
                     conflicts += 1;
-                    obs.count("parallel.conflicts", 1);
+                    c_conflicts.inc();
                     next_pending.push(i);
                 }
                 // No cancellation probe is wired here, so Cancelled is
@@ -503,7 +524,7 @@ pub fn route_parallel_obs(
                 RouteOutcome::Cancelled => next_pending.push(i),
                 RouteOutcome::Failed => {
                     failed.push(i);
-                    obs.count("parallel.nets_failed", 1);
+                    c_failed.inc();
                     progressed = true;
                 }
             }
@@ -514,9 +535,9 @@ pub fn route_parallel_obs(
     failed.extend(pending);
     failed.sort_unstable();
     for &n in attempts.iter().filter(|&&n| n > 0) {
-        obs.record("parallel.net_attempts", n);
+        h_attempts.record(n);
     }
-    obs.count("parallel.rounds", rounds as u64);
+    c_rounds.add(rounds as u64);
     run_span.note(rounds as u64);
     ParallelResult {
         nets: done.into_iter().flatten().collect(),
@@ -671,6 +692,7 @@ mod tests {
                     calibration.set(calibration.get() + 1);
                     false
                 },
+                TraceCtx::NONE,
                 &Recorder::disabled(),
             );
             assert!(matches!(out, RouteOutcome::Committed(_)));
@@ -691,6 +713,7 @@ mod tests {
                 probes.set(probes.get() + 1);
                 probes.get() > threshold
             },
+            TraceCtx::NONE,
             &Recorder::disabled(),
         );
         assert!(matches!(out, RouteOutcome::Cancelled), "got {out:?}");
@@ -718,6 +741,7 @@ mod tests {
             &MazeConfig::default(),
             &mut scratch,
             || true,
+            TraceCtx::NONE,
             &Recorder::disabled(),
         );
         assert!(matches!(out, RouteOutcome::Cancelled));

@@ -322,8 +322,17 @@ pub fn route_all_obs(
     cfg: &PathFinderConfig,
     obs: &Recorder,
 ) -> Result<PathFinderResult> {
-    let mut span = obs.span("pathfinder.route_all");
+    // A negotiation run is a causal root: every maze search below links
+    // back to it ambiently (same thread), so a flight recording shows
+    // which negotiation triggered which search.
+    let mut span = obs.span_root("pathfinder.route_all");
     span.note(specs.len() as u64);
+    let c_iterations = obs.counter("pathfinder.iterations");
+    let c_rerouted = obs.counter("pathfinder.nets_rerouted");
+    let c_ripups = obs.counter("pathfinder.ripups");
+    let c_bbox_fallbacks = obs.counter("pathfinder.bbox_fallbacks");
+    let h_bbox_growth = obs.histogram("pathfinder.bbox_growth");
+    let h_iter_overuse = obs.histogram("pathfinder.iter_overuse");
     let space = dev.seg_space();
     let dims = dev.dims();
     let mut cong = Congestion::new(space);
@@ -367,13 +376,13 @@ pub fn route_all_obs(
     let mut iterations = 0usize;
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
-        obs.count("pathfinder.iterations", 1);
-        obs.count("pathfinder.nets_rerouted", dirty.len() as u64);
+        c_iterations.inc();
+        c_rerouted.add(dirty.len() as u64);
         let mut any_failure = false;
         for &i in &dirty {
             // Rip up the previous route of this net.
             if let Some(old) = routes[i].take() {
-                obs.count("pathfinder.ripups", 1);
+                c_ripups.inc();
                 for seg in &old.segments {
                     cong.release(space.index(*seg), i as u32);
                 }
@@ -405,7 +414,7 @@ pub fn route_all_obs(
                     // The region was too tight for a legal detour — fall
                     // back to the whole device so bounding can slow a
                     // route down but never lose one.
-                    obs.count("pathfinder.bbox_fallbacks", 1);
+                    c_bbox_fallbacks.inc();
                     maze_cfg.bbox = None;
                     result = maze::search_obs(
                         dev,
@@ -434,7 +443,7 @@ pub fn route_all_obs(
                 // congestion relief may fix it next round.
                 any_failure = true;
                 prepared[i].grow = prepared[i].grow.saturating_add(HEX_SPAN);
-                obs.record("pathfinder.bbox_growth", prepared[i].grow as u64);
+                h_bbox_growth.record(prepared[i].grow as u64);
                 continue;
             }
             for seg in &net.segments {
@@ -446,7 +455,7 @@ pub fn route_all_obs(
         // Congestion accounting over prev-overused ∪ touched only.
         let overused = cong.account(cfg.hist_cost);
         obs.event("pathfinder.overused", overused as u64);
-        obs.record("pathfinder.iter_overuse", overused as u64);
+        h_iter_overuse.record(overused as u64);
         if overused == 0 && !any_failure && routes.iter().all(|r| r.is_some()) {
             obs.event("pathfinder.converged", iterations as u64);
             let nets = routes.into_iter().map(|r| r.expect("all routed")).collect();
@@ -472,7 +481,7 @@ pub fn route_all_obs(
             // A net that keeps coming back earns a wider search region.
             for &i in &next {
                 prepared[i].grow = prepared[i].grow.saturating_add(1);
-                obs.record("pathfinder.bbox_growth", prepared[i].grow as u64);
+                h_bbox_growth.record(prepared[i].grow as u64);
             }
             dirty = next;
         }

@@ -1,0 +1,246 @@
+//! Chrome `trace_event` JSON export — the flight-recorder view.
+//!
+//! Renders a [`Report`]'s raw spans as the Trace Event Format that
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` load
+//! directly: one complete (`"ph": "X"`) event per span on a per-thread
+//! track, plus flow arrows (`"ph": "s"` → `"ph": "f"`) wherever a span's
+//! causal parent finished on a **different** thread — exactly the
+//! stolen-work / parked-retry hand-offs that the per-thread nesting view
+//! cannot show. Hand-rolled and zero-dependency like the rest of
+//! [`crate::json`].
+//!
+//! Structure emitted:
+//!
+//! * `displayTimeUnit` and an `otherData.epoch_unix_nanos` header (the
+//!   wall-clock anchor for cross-process alignment);
+//! * metadata events naming the process and each thread track;
+//! * per span: `name`, `cat: "span"`, `ph: "X"`, `ts`/`dur` in
+//!   fractional microseconds, `pid: 1`, `tid` = recorder thread id, and
+//!   `args` carrying `span_id`/`parent`/`trace`/`note` so the causal
+//!   tree is reconstructible from the file alone;
+//! * per cross-thread parent link: one flow-start on the parent's track
+//!   and one flow-finish (`bp: "e"`) on the child's, with the child's
+//!   `span_id` as the flow id.
+//!
+//! Spans streamed out through a span sink are *not* in the report and
+//! therefore not in this export; for full-run flight recordings size the
+//! workload under [`crate::MAX_SPANS`] or export per window.
+
+use crate::report::Report;
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+/// Microseconds with sub-ns error: the unit `ts`/`dur` are expressed in.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Render `report` as a Chrome `trace_event` JSON document.
+pub fn chrome_trace_json(report: &Report) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(report.spans.len() * 2 + 8);
+
+    events.push(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+         \"args\": {\"name\": \"jroute\"}}"
+            .to_string(),
+    );
+    let mut tids: Vec<u64> = report.spans.iter().map(|s| s.thread).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for t in &tids {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {t}, \
+             \"args\": {{\"name\": \"thread-{t}\"}}}}"
+        ));
+    }
+
+    // Span-id → (thread, start_ns) of the parent, for flow arrows.
+    let by_id: HashMap<u64, (u64, u64)> = report
+        .spans
+        .iter()
+        .map(|s| (s.span_id, (s.thread, s.start_ns)))
+        .collect();
+
+    for s in &report.spans {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}, \
+             \"parent\": {}, \"trace\": {}, \"note\": {}}}}}",
+            crate::json::escape(s.name),
+            us(s.start_ns),
+            us(s.dur_ns),
+            s.thread,
+            s.span_id,
+            s.parent,
+            s.trace,
+            s.note
+        ));
+        if s.parent != 0 {
+            if let Some(&(p_thread, p_start)) = by_id.get(&s.parent) {
+                if p_thread != s.thread {
+                    // Cross-thread hand-off: draw a flow arrow from the
+                    // parent span to this one, keyed by the child's id.
+                    events.push(format!(
+                        "{{\"name\": \"handoff\", \"cat\": \"flow\", \"ph\": \"s\", \
+                         \"id\": {}, \"ts\": {}, \"pid\": 1, \"tid\": {p_thread}}}",
+                        s.span_id,
+                        us(p_start),
+                    ));
+                    events.push(format!(
+                        "{{\"name\": \"handoff\", \"cat\": \"flow\", \"ph\": \"f\", \
+                         \"bp\": \"e\", \"id\": {}, \"ts\": {}, \"pid\": 1, \"tid\": {}}}",
+                        s.span_id,
+                        us(s.start_ns),
+                        s.thread
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(events.len() * 160 + 128);
+    out.push_str("{\"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&format!(
+        "\"otherData\": {{\"epoch_unix_nanos\": {}, \"spans\": {}, \"spans_dropped\": {}, \
+         \"spans_flushed\": {}}},\n",
+        report.epoch_unix_nanos,
+        report.spans.len(),
+        report.spans_dropped,
+        report.spans_flushed
+    ));
+    out.push_str("\"traceEvents\": [\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write the Chrome trace for `report` through any `Write` sink (a file,
+/// a [`crate::RotatingFileSink`]) in one chunk.
+pub fn write_chrome_trace(report: &Report, w: &mut dyn Write) -> io::Result<()> {
+    w.write_all(chrome_trace_json(report).as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, Recorder};
+
+    fn cross_thread_report() -> Report {
+        let rec = Recorder::enabled();
+        let ctx = {
+            let mut root = rec.span_root("svc.request");
+            root.note(7);
+            root.ctx()
+        };
+        std::thread::scope(|scope| {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                let _exec = rec.span_ctx("svc.exec", ctx);
+                let _maze = rec.span("maze.search");
+            });
+        });
+        rec.report()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_required_fields() {
+        let rep = cross_thread_report();
+        let text = chrome_trace_json(&rep);
+        let doc = json::parse(&text).expect("chrome trace parses");
+        assert!(doc
+            .get("otherData")
+            .unwrap()
+            .get("epoch_unix_nanos")
+            .is_some());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!events.is_empty());
+        for e in events {
+            assert!(e.get("ph").is_some(), "every event has a phase");
+            assert_eq!(e.get("pid").unwrap().as_f64(), Some(1.0));
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "X" {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                assert!(e.get("tid").is_some());
+                assert!(e.get("name").unwrap().as_str().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn parent_links_resolve_and_cross_thread_links_get_flows() {
+        let rep = cross_thread_report();
+        let doc = json::parse(&chrome_trace_json(&rep)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        let ids: Vec<f64> = xs
+            .iter()
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("span_id")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
+            .collect();
+        for e in &xs {
+            let parent = e
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert!(
+                parent == 0.0 || ids.contains(&parent),
+                "dangling parent {parent}"
+            );
+        }
+        // Everything shares the request's trace id.
+        let traces: std::collections::HashSet<u64> = xs
+            .iter()
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("trace")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap() as u64
+            })
+            .collect();
+        assert_eq!(traces.len(), 1);
+        // The exec span ran on another thread: exactly one flow pair,
+        // start and finish carrying the same id on different tracks.
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("flow"))
+            .collect();
+        assert_eq!(flows.len(), 2, "one s/f pair for the one hand-off");
+        let s = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s"))
+            .unwrap();
+        let f = flows
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
+            .unwrap();
+        assert_eq!(s.get("id").unwrap().as_f64(), f.get("id").unwrap().as_f64());
+        assert_ne!(
+            s.get("tid").unwrap().as_f64(),
+            f.get("tid").unwrap().as_f64()
+        );
+        assert_eq!(f.get("bp").and_then(|b| b.as_str()), Some("e"));
+    }
+
+    #[test]
+    fn write_chrome_trace_streams_the_document() {
+        let rep = cross_thread_report();
+        let mut buf: Vec<u8> = Vec::new();
+        write_chrome_trace(&rep, &mut buf).unwrap();
+        assert!(json::parse(std::str::from_utf8(&buf).unwrap()).is_some());
+    }
+}

@@ -32,7 +32,7 @@ impl Default for Histogram {
 }
 
 #[inline]
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -55,6 +55,65 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Assemble a histogram from raw parts — how the sharded registry
+    /// folds its per-shard atomics into a summary on read. `min` uses
+    /// `u64::MAX` for "nothing recorded", matching [`Histogram::default`].
+    pub(crate) fn from_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The histogram of values recorded since `earlier` was snapshotted,
+    /// assuming `earlier` is a prefix of this histogram's history (same
+    /// metric, older snapshot). Min/max are re-derived from the bucket
+    /// deltas as bucket bounds, since exact extremes of a window are not
+    /// recoverable from two cumulative snapshots.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            let d = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            *slot = d;
+            if d > 0 {
+                // Bucket bounds: bucket 0 is exactly {0}, bucket i >= 1
+                // covers [2^(i-1), 2^i - 1].
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0
+                } else {
+                    lo.wrapping_shl(1).wrapping_sub(1).max(lo)
+                };
+                min = min.min(lo);
+                max = max.max(hi);
+            }
+        }
+        if min != u64::MAX {
+            // The window's values are a subset of the cumulative ones, so
+            // its extremes are bounded by the cumulative extremes.
+            min = min.max(self.min);
+            max = max.min(self.max);
+        }
+        Histogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
     }
 
     /// Count one value.
@@ -202,6 +261,28 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 5);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(100);
+        let snap = h.clone();
+        h.record(1000);
+        h.record(2000);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 3000);
+        // Window extremes are bucket bounds clamped by the cumulative
+        // extremes: 1000 lives in [512, 1023], 2000 in [1024, 2047].
+        assert!((512..=1000).contains(&d.min()), "min = {}", d.min());
+        assert!((1024..=2000).contains(&d.max()), "max = {}", d.max());
+        assert!(d.p50() >= d.min() && d.p99() <= d.max());
+        // An empty window is an empty histogram.
+        let e = h.delta_since(&h.clone());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), 0);
     }
 
     #[test]

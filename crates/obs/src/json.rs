@@ -33,6 +33,10 @@ pub fn to_json(report: &Report, run: &str) -> String {
     s.push_str("{\n");
     s.push_str(&format!("  \"run\": \"{}\",\n", escape(run)));
     s.push_str(&format!("  \"enabled\": {},\n", report.enabled));
+    s.push_str(&format!(
+        "  \"epoch_unix_nanos\": {},\n",
+        report.epoch_unix_nanos
+    ));
 
     s.push_str("  \"counters\": {");
     let counters: Vec<String> = report
@@ -119,24 +123,32 @@ pub fn to_json(report: &Report, run: &str) -> String {
 
 /// Serialize one chunk of raw spans for a streaming span sink: a single
 /// self-contained JSON line (trailing `\n`) so a plain append-mode file
-/// sink yields newline-delimited JSON that [`parse`] can read back
-/// line by line.
-pub fn span_chunk_json(seq: u64, spans: &[crate::SpanRecord]) -> String {
-    let mut s = String::with_capacity(64 + spans.len() * 96);
-    s.push_str(&format!("{{\"chunk\": {seq}, \"spans\": ["));
+/// sink yields newline-delimited JSON that [`parse`] can read back line
+/// by line. Each chunk's header repeats the recorder's wall-clock epoch
+/// (`epoch_unix_nanos`), so any surviving rotated file is time-alignable
+/// on its own.
+pub fn span_chunk_json(seq: u64, epoch_unix_nanos: u64, spans: &[crate::SpanRecord]) -> String {
+    let mut s = String::with_capacity(96 + spans.len() * 128);
+    s.push_str(&format!(
+        "{{\"chunk\": {seq}, \"epoch_unix_nanos\": {epoch_unix_nanos}, \"spans\": ["
+    ));
     for (i, sp) in spans.iter().enumerate() {
         if i > 0 {
             s.push_str(", ");
         }
         s.push_str(&format!(
             "{{\"name\": \"{}\", \"thread\": {}, \"depth\": {}, \
-             \"start_ns\": {}, \"dur_ns\": {}, \"note\": {}}}",
+             \"start_ns\": {}, \"dur_ns\": {}, \"note\": {}, \
+             \"span_id\": {}, \"parent\": {}, \"trace\": {}}}",
             escape(sp.name),
             sp.thread,
             sp.depth,
             sp.start_ns,
             sp.dur_ns,
-            sp.note
+            sp.note,
+            sp.span_id,
+            sp.parent,
+            sp.trace
         ));
     }
     s.push_str("]}\n");
@@ -439,6 +451,9 @@ mod tests {
         let doc = parse(&text).expect("valid JSON");
         assert_eq!(doc.get("run").unwrap().as_str(), Some("unit \"test\""));
         assert_eq!(doc.get("enabled"), Some(&Value::Bool(true)));
+        // Wall-clock epoch in the header (parsed as f64, so only its
+        // presence and sign are checked exactly).
+        assert!(doc.get("epoch_unix_nanos").unwrap().as_f64().unwrap() > 0.0);
         let counters = doc.get("counters").unwrap();
         assert_eq!(counters.get("router.pips_set").unwrap().as_f64(), Some(4.0));
         let hist = doc

@@ -39,20 +39,28 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod export_chrome;
 pub mod hist;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod rotate;
+pub mod tracectx;
+pub mod window;
 
+pub use export_chrome::{chrome_trace_json, write_chrome_trace};
 pub use hist::Histogram;
+pub use registry::{prometheus_text, Counter, Gauge, Histo};
 pub use report::{HistRow, Report, SpanStat};
 pub use rotate::RotatingFileSink;
+pub use tracectx::TraceCtx;
+pub use window::{Aggregator, Sample};
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Raw-span retention cap: beyond this the tree view saturates (aggregate
 /// per-name statistics keep counting) and `spans_dropped` records how
@@ -80,6 +88,12 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Caller-supplied payload (see [`Span::note`]); 0 by default.
     pub note: u64,
+    /// Unique id of this span within its recorder (never 0).
+    pub span_id: u64,
+    /// Id of the causal parent span; 0 = root (no parent).
+    pub parent: u64,
+    /// Trace (causal tree) this span belongs to; 0 = untraced.
+    pub trace: u64,
 }
 
 /// One point-in-time event.
@@ -114,17 +128,21 @@ struct Collector {
 
 impl Collector {
     /// Stream the buffered raw spans through the sink as one JSON chunk.
-    /// A sink write error permanently reverts the recorder to shedding
-    /// (counted under `obs.span_sink_errors`); spans are never lost
+    /// Returns `true` only when the whole chunk (write **and** flush)
+    /// succeeded; any error — including a partial write that dies midway
+    /// through the chunk — returns `false`, leaves the span buffer
+    /// intact (those spans were *not* exported; the next report still
+    /// holds them), and permanently reverts the recorder to shedding,
+    /// counted under `obs.span_sink_errors`. Spans are never lost
     /// silently either way.
-    fn flush_spans(&mut self) -> bool {
+    fn flush_spans(&mut self, epoch_unix_nanos: u64) -> bool {
         if self.spans.is_empty() {
             return false;
         }
         let Some(sink) = self.sink.as_mut() else {
             return false;
         };
-        let chunk = json::span_chunk_json(self.chunk_seq, &self.spans);
+        let chunk = json::span_chunk_json(self.chunk_seq, epoch_unix_nanos, &self.spans);
         match sink.write_all(chunk.as_bytes()).and_then(|()| sink.flush()) {
             Ok(()) => {
                 self.chunk_seq += 1;
@@ -134,6 +152,9 @@ impl Collector {
                 true
             }
             Err(_) => {
+                // The file may now hold a torn line; dropping the sink
+                // guarantees nothing is appended after it, so everything
+                // up to the last complete line stays parseable.
                 self.sink = None;
                 *self.counters.entry("obs.span_sink_errors").or_insert(0) += 1;
                 false
@@ -144,17 +165,31 @@ impl Collector {
 
 struct Shared {
     epoch: Instant,
+    /// Wall-clock time of `epoch` as nanoseconds since the Unix epoch,
+    /// captured once at recorder creation so separate processes/replays
+    /// can time-align their monotonic span timestamps.
+    epoch_unix_nanos: u64,
+    /// Span-id allocator; ids start at 1 (0 means "no span").
+    next_span: AtomicU64,
+    /// Trace-id allocator; ids start at 1 (0 means "untraced").
+    next_trace: AtomicU64,
+    /// Typed metric registry (see [`registry`]).
+    registry: registry::Registry,
     state: Mutex<Collector>,
 }
 
 thread_local! {
     static DEPTH: Cell<u16> = const { Cell::new(0) };
     static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// Ambient causal position of the current thread: `(trace_id,
+    /// span_id)` of the innermost live span. New ambient spans parent
+    /// under it; span guards save and restore it LIFO.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     THREAD_ID.with(|id| {
         if id.get() == u64::MAX {
             id.set(NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed));
@@ -196,9 +231,17 @@ impl Recorder {
 
     /// A live recorder with a fresh collector.
     pub fn enabled() -> Self {
+        let epoch_unix_nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
         Recorder {
             inner: Some(Arc::new(Shared {
                 epoch: Instant::now(),
+                epoch_unix_nanos,
+                next_span: AtomicU64::new(1),
+                next_trace: AtomicU64::new(1),
+                registry: registry::Registry::default(),
                 state: Mutex::new(Collector::default()),
             })),
         }
@@ -218,29 +261,130 @@ impl Recorder {
         self.inner.is_some()
     }
 
-    /// Start a span. Disabled recorders return an inert guard without
-    /// reading the clock.
+    /// Start a span that inherits its causal position ambiently: it
+    /// joins the trace of the innermost live span on this thread and
+    /// parents under it (untraced root if there is none). Disabled
+    /// recorders return an inert guard without reading the clock.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
         match &self.inner {
             None => Span { live: None },
             Some(shared) => {
-                let depth = DEPTH.with(|d| {
-                    let v = d.get();
-                    d.set(v.saturating_add(1));
-                    v
-                });
-                Span {
-                    live: Some(SpanLive {
-                        shared: Arc::clone(shared),
-                        name,
-                        thread: thread_id(),
-                        depth,
-                        start: Instant::now(),
-                        note: 0,
-                    }),
-                }
+                let (trace, parent) = CURRENT.with(|c| c.get());
+                Self::open(shared, name, trace, parent)
             }
+        }
+    }
+
+    /// Start a span that begins a **new trace**: a fresh `trace_id` is
+    /// allocated and the span has no parent, regardless of what is live
+    /// on this thread. The svc layer opens one of these per request and
+    /// per batch; everything nested under it — on any thread, via
+    /// [`Recorder::span_ctx`] — links back to it.
+    #[inline]
+    pub fn span_root(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { live: None },
+            Some(shared) => {
+                let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+                Self::open(shared, name, trace, 0)
+            }
+        }
+    }
+
+    /// Start a span at an **explicit causal position**, ignoring the
+    /// thread-ambient one: the cross-thread boundary primitive. Pass the
+    /// [`TraceCtx`] captured from the originating span (see
+    /// [`Span::ctx`]) when a work item is executed by a different thread
+    /// than the one that created it — a stolen deque entry, a parked
+    /// retry, a `Replace` chain-transfer. Spans nested inside the guard
+    /// on this thread then inherit the restored position ambiently.
+    #[inline]
+    pub fn span_ctx(&self, name: &'static str, ctx: TraceCtx) -> Span {
+        match &self.inner {
+            None => Span { live: None },
+            Some(shared) => Self::open(shared, name, ctx.trace_id, ctx.parent_span_id),
+        }
+    }
+
+    fn open(shared: &Arc<Shared>, name: &'static str, trace: u64, parent: u64) -> Span {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        });
+        let span_id = shared.next_span.fetch_add(1, Ordering::Relaxed);
+        let saved = CURRENT.with(|c| c.replace((trace, span_id)));
+        Span {
+            live: Some(SpanLive {
+                shared: Arc::clone(shared),
+                name,
+                thread: thread_id(),
+                depth,
+                start: Instant::now(),
+                note: 0,
+                span_id,
+                parent,
+                trace,
+                saved,
+            }),
+        }
+    }
+
+    /// Resolve a typed sharded [`Counter`] handle (see [`registry`]).
+    /// Resolution takes a lock; recording through the handle never does.
+    /// Disabled recorders hand out inert handles.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match &self.inner {
+            None => Counter::disabled(),
+            Some(shared) => shared.registry.counter(name),
+        }
+    }
+
+    /// Resolve a typed [`Gauge`] handle (see [`registry`]).
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(shared) => shared.registry.gauge(name),
+        }
+    }
+
+    /// Resolve a typed sharded [`Histo`] handle (see [`registry`]).
+    pub fn histogram(&self, name: &'static str) -> Histo {
+        match &self.inner {
+            None => Histo::disabled(),
+            Some(shared) => shared.registry.histogram(name),
+        }
+    }
+
+    /// A stable identity for this recorder's collector (0 when
+    /// disabled). Callers that cache resolved registry handles key the
+    /// cache on this, so a scratch structure reused across recorders
+    /// re-resolves instead of feeding the wrong collector.
+    #[inline]
+    pub fn id(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(shared) => Arc::as_ptr(shared) as usize,
+        }
+    }
+
+    /// Monotonic nanoseconds since this recorder was created (0 when
+    /// disabled) — the timebase of every span/event timestamp.
+    pub fn elapsed_ns(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(shared) => shared.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+        }
+    }
+
+    /// Wall-clock time of this recorder's epoch, as nanoseconds since
+    /// the Unix epoch (0 when disabled). Exported in every JSON/JSONL
+    /// header so traces from separate processes can be time-aligned.
+    pub fn epoch_unix_nanos(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(shared) => shared.epoch_unix_nanos,
         }
     }
 
@@ -304,21 +448,27 @@ impl Recorder {
             None => Report::default(),
             Some(shared) => {
                 let st = shared.state.lock().unwrap();
+                let mut counters: Vec<(String, u64)> = st
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect();
+                let mut hists: Vec<HistRow> = st
+                    .hists
+                    .iter()
+                    .map(|(k, h)| HistRow {
+                        name: k.to_string(),
+                        hist: h.clone(),
+                    })
+                    .collect();
+                // Registry metrics share the report namespace with the
+                // string-keyed ones, whichever API recorded them.
+                shared.registry.fold_into(&mut counters, &mut hists);
                 Report {
                     enabled: true,
-                    counters: st
-                        .counters
-                        .iter()
-                        .map(|(k, v)| (k.to_string(), *v))
-                        .collect(),
-                    hists: st
-                        .hists
-                        .iter()
-                        .map(|(k, h)| HistRow {
-                            name: k.to_string(),
-                            hist: h.clone(),
-                        })
-                        .collect(),
+                    epoch_unix_nanos: shared.epoch_unix_nanos,
+                    counters,
+                    hists,
                     span_stats: st
                         .span_stats
                         .iter()
@@ -336,10 +486,13 @@ impl Recorder {
 
     /// Drop everything collected so far (the epoch is retained, so
     /// timestamps stay monotonic across windows). The span sink, if any,
-    /// is dropped with the rest of the state.
+    /// is dropped with the rest of the state. Registry *values* are
+    /// zeroed but registrations survive, so handles already resolved by
+    /// callers keep feeding this recorder.
     pub fn reset(&self) {
         if let Some(shared) = &self.inner {
             *shared.state.lock().unwrap() = Collector::default();
+            shared.registry.reset_values();
         }
     }
 
@@ -360,13 +513,18 @@ impl Recorder {
     }
 
     /// Flush any buffered raw spans through the installed sink now (the
-    /// final partial chunk of a run). Returns `true` if a chunk was
-    /// written. No-op without a sink, on an empty buffer, or on a
-    /// disabled recorder.
+    /// final partial chunk of a run). Returns `true` only if the whole
+    /// chunk was written and flushed; `false` without a sink, on an
+    /// empty buffer, on a disabled recorder, or on any write error
+    /// (including partial writes — see [`Collector::flush_spans`]).
     pub fn flush_spans(&self) -> bool {
         match &self.inner {
             None => false,
-            Some(shared) => shared.state.lock().unwrap().flush_spans(),
+            Some(shared) => shared
+                .state
+                .lock()
+                .unwrap()
+                .flush_spans(shared.epoch_unix_nanos),
         }
     }
 }
@@ -378,6 +536,11 @@ struct SpanLive {
     depth: u16,
     start: Instant,
     note: u64,
+    span_id: u64,
+    parent: u64,
+    trace: u64,
+    /// Thread-ambient `(trace, span)` to restore on drop.
+    saved: (u64, u64),
 }
 
 /// RAII span guard returned by [`Recorder::span`]. Dropping it records
@@ -401,6 +564,22 @@ impl Span {
     pub fn is_recording(&self) -> bool {
         self.live.is_some()
     }
+
+    /// Capture this span's causal identity for hand-off to another
+    /// thread or queue: work opened with
+    /// [`Recorder::span_ctx`](crate::Recorder::span_ctx) on the returned
+    /// context becomes this span's child in the same trace, wherever it
+    /// runs. Inert guards return [`TraceCtx::NONE`].
+    #[inline]
+    pub fn ctx(&self) -> TraceCtx {
+        match &self.live {
+            None => TraceCtx::NONE,
+            Some(live) => TraceCtx {
+                trace_id: live.trace,
+                parent_span_id: live.span_id,
+            },
+        }
+    }
 }
 
 impl Drop for Span {
@@ -408,6 +587,7 @@ impl Drop for Span {
         let Some(live) = self.live.take() else { return };
         let dur = live.start.elapsed();
         DEPTH.with(|d| d.set(live.depth));
+        CURRENT.with(|c| c.set(live.saved));
         let rec = SpanRecord {
             name: live.name,
             thread: live.thread,
@@ -419,7 +599,11 @@ impl Drop for Span {
                 .min(u128::from(u64::MAX)) as u64,
             dur_ns: dur.as_nanos().min(u128::from(u64::MAX)) as u64,
             note: live.note,
+            span_id: live.span_id,
+            parent: live.parent,
+            trace: live.trace,
         };
+        let epoch_unix_nanos = live.shared.epoch_unix_nanos;
         let mut st = live.shared.state.lock().unwrap();
         let stat = st.span_stats.entry(live.name).or_default();
         stat.count += 1;
@@ -428,7 +612,7 @@ impl Drop for Span {
         if st.spans.len() >= MAX_SPANS {
             // Prefer streaming a chunk out over shedding; flush_spans
             // makes room unless there is no (working) sink.
-            st.flush_spans();
+            st.flush_spans(epoch_unix_nanos);
         }
         if st.spans.len() < MAX_SPANS {
             st.spans.push(rec);
@@ -500,6 +684,88 @@ mod tests {
         assert!(outer.dur_ns >= inner.dur_ns);
         // Depth unwound fully.
         DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn ambient_spans_inherit_trace_and_parent() {
+        let rec = Recorder::enabled();
+        {
+            let root = rec.span_root("request");
+            let root_ctx = root.ctx();
+            assert!(root_ctx.trace_id != 0 && root_ctx.parent_span_id != 0);
+            {
+                let child = rec.span("inner");
+                let grand = rec.span("leaf");
+                assert_eq!(child.ctx().trace_id, root_ctx.trace_id);
+                assert_eq!(grand.ctx().trace_id, root_ctx.trace_id);
+            }
+            let sibling = rec.span("sibling");
+            assert_eq!(sibling.ctx().trace_id, root_ctx.trace_id);
+        }
+        // With the root closed, new spans are untraced roots again.
+        let after = rec.span("after");
+        assert_eq!(after.ctx().trace_id, 0);
+        drop(after);
+        let rep = rec.report();
+        let by_name = |n: &str| rep.spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("request");
+        let inner = by_name("inner");
+        let leaf = by_name("leaf");
+        let sibling = by_name("sibling");
+        assert_eq!(root.parent, 0);
+        assert_eq!(inner.parent, root.span_id);
+        assert_eq!(leaf.parent, inner.span_id);
+        assert_eq!(
+            sibling.parent, root.span_id,
+            "ambient position restored LIFO"
+        );
+        for s in [root, inner, leaf, sibling] {
+            assert_eq!(s.trace, root.trace);
+            assert!(s.span_id != 0);
+        }
+        assert_eq!(by_name("after").trace, 0);
+        CURRENT.with(|c| assert_eq!(c.get(), (0, 0), "ambient state fully unwound"));
+    }
+
+    #[test]
+    fn span_ctx_links_across_threads() {
+        let rec = Recorder::enabled();
+        let ctx = {
+            let root = rec.span_root("submit");
+            root.ctx()
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let _exec = rec.span_ctx("exec", ctx);
+                    let _nested = rec.span("nested"); // ambient under exec
+                });
+            }
+        });
+        let rep = rec.report();
+        let root = rep.spans.iter().find(|s| s.name == "submit").unwrap();
+        for exec in rep.spans.iter().filter(|s| s.name == "exec") {
+            assert_eq!(exec.trace, root.trace);
+            assert_eq!(exec.parent, root.span_id);
+            assert_ne!(exec.thread, root.thread, "executed on a worker thread");
+            let nested = rep
+                .spans
+                .iter()
+                .find(|s| s.name == "nested" && s.thread == exec.thread)
+                .unwrap();
+            assert_eq!(nested.trace, root.trace);
+            assert_eq!(nested.parent, exec.span_id);
+        }
+    }
+
+    #[test]
+    fn distinct_roots_get_distinct_traces() {
+        let rec = Recorder::enabled();
+        let a = rec.span_root("a").ctx();
+        let b = rec.span_root("b").ctx();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert!(TraceCtx::NONE.is_none() && !a.is_none());
     }
 
     #[test]
@@ -614,6 +880,85 @@ mod tests {
         assert_eq!(rep.counter("obs.spans_shed"), Some(10));
         // The sink is gone; an explicit flush is a no-op.
         assert!(!rec.flush_spans());
+    }
+
+    /// A sink that accepts a few bytes and then dies mid-chunk — the
+    /// partial-write case: `write_all` makes progress, then errors.
+    struct PartialSink {
+        budget: usize,
+    }
+
+    impl std::io::Write for PartialSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.budget == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            let n = buf.len().min(self.budget);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A sink whose writes succeed but whose final `flush` fails — the
+    /// other half of the partial-write asymmetry.
+    struct FlushFailSink;
+
+    impl std::io::Write for FlushFailSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("flush failed"))
+        }
+    }
+
+    #[test]
+    fn partial_write_reports_failure_not_success() {
+        let rec = Recorder::enabled();
+        rec.set_span_sink(PartialSink { budget: 10 });
+        {
+            let _s = rec.span("tick");
+        }
+        assert!(
+            !rec.flush_spans(),
+            "a chunk that only partially reached the sink must not count as flushed"
+        );
+        let rep = rec.report();
+        assert_eq!(rep.counter("obs.span_sink_errors"), Some(1));
+        assert_eq!(rep.spans_flushed, 0);
+        assert_eq!(rep.spans.len(), 1, "the un-exported span is retained");
+        // The sink is gone; a second flush is a plain no-op and must not
+        // double-count the error.
+        assert!(!rec.flush_spans());
+        assert_eq!(rec.report().counter("obs.span_sink_errors"), Some(1));
+    }
+
+    #[test]
+    fn failed_flush_after_successful_write_reports_failure() {
+        let rec = Recorder::enabled();
+        rec.set_span_sink(FlushFailSink);
+        {
+            let _s = rec.span("tick");
+        }
+        assert!(
+            !rec.flush_spans(),
+            "write ok + flush error is still a failure"
+        );
+        let rep = rec.report();
+        assert_eq!(rep.counter("obs.span_sink_errors"), Some(1));
+        assert_eq!(rep.spans_flushed, 0);
+        assert_eq!(rep.spans.len(), 1);
+    }
+
+    #[test]
+    fn enabled_recorder_stamps_a_wall_clock_epoch() {
+        let rec = Recorder::enabled();
+        assert!(rec.epoch_unix_nanos() > 0);
+        assert_eq!(Recorder::disabled().epoch_unix_nanos(), 0);
+        assert_eq!(rec.report().epoch_unix_nanos, rec.epoch_unix_nanos());
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct HistRow {
 pub struct Report {
     /// Whether the source recorder was enabled.
     pub enabled: bool,
+    /// Wall-clock time of the recorder's epoch (nanoseconds since the
+    /// Unix epoch; 0 when disabled). Span `start_ns` values are relative
+    /// to it, so `epoch_unix_nanos + start_ns` aligns traces from
+    /// separate processes or replays on one wall-clock axis.
+    pub epoch_unix_nanos: u64,
     /// Counters, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Histograms, sorted by name.

@@ -35,7 +35,7 @@ use jroute::maze::{MazeConfig, MazeScratch};
 use jroute::parallel::{route_one_claiming, ClaimTable, ParallelNet, RouteOutcome};
 use jroute::schedule::StealDeque;
 use jroute::NetId;
-use jroute_obs::Recorder;
+use jroute_obs::{Recorder, TraceCtx};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -157,6 +157,12 @@ fn exec_task(
     obs: &Recorder,
 ) -> Step {
     let req = &batch.requests[idx];
+    // Every execution attempt — first try, retry after parking, stolen
+    // continuation — is one `svc.exec` span linked to the request's
+    // submission-time root, whatever thread it lands on.
+    let mut exec_span = obs.span_ctx("svc.exec", req.ctx);
+    exec_span.note(req.id);
+    let ctx = exec_span.ctx();
     let cancelled = || req.is_cancelled();
     if cancelled() {
         return Step::Finished(Done::Cancelled);
@@ -170,7 +176,7 @@ fn exec_task(
     match (&batch.kinds[idx], &req.kind) {
         (PrepKind::Reject(r), _) => Step::Finished(Done::Rejected(*r)),
         (PrepKind::Route, RequestKind::Route(spec)) => {
-            match route_one_claiming(dev, spec, cid, claims, maze, scratch, cancel, obs) {
+            match route_one_claiming(dev, spec, cid, claims, maze, scratch, cancel, ctx, obs) {
                 RouteOutcome::Committed(net) => Step::Finished(Done::Routed(net)),
                 RouteOutcome::Deferred => defer(attempts, max_attempts),
                 RouteOutcome::Cancelled => Step::Finished(if cancelled() {
@@ -203,6 +209,7 @@ fn exec_task(
             scratch,
             &cancel,
             &cancelled,
+            ctx,
             obs,
         ),
         _ => unreachable!("prep kind always matches request kind"),
@@ -231,6 +238,7 @@ fn exec_replace(
     scratch: &mut MazeScratch,
     cancel: &dyn Fn() -> bool,
     cancelled: &dyn Fn() -> bool,
+    ctx: TraceCtx,
     obs: &Recorder,
 ) -> Step {
     let victim_set: HashSet<SegIdx> = victims
@@ -256,7 +264,7 @@ fn exec_replace(
         for &s in &victim_set {
             claims.transfer(s, holder, add_id);
         }
-        match route_one_claiming(dev, spec, add_id, claims, maze, scratch, cancel, obs) {
+        match route_one_claiming(dev, spec, add_id, claims, maze, scratch, cancel, ctx, obs) {
             RouteOutcome::Committed(net) => {
                 // Return the custody this net did not use to the holder.
                 let used: HashSet<SegIdx> = net_claim_indices(dev, &net).into_iter().collect();
@@ -341,13 +349,17 @@ fn task_word(idx: usize, attempts: u32) -> u64 {
     (u64::from(attempts) << 32) | idx as u64
 }
 
-/// Threaded execution over `threads` work-stealing workers.
+/// Threaded execution over `threads` work-stealing workers. `batch_ctx`
+/// is the `svc.batch` span's context; worker spans link back to it so
+/// the flight recording ties every thread track to the batch that ran
+/// it.
 pub(crate) fn run_threaded(
     dev: &Device,
     batch: &Batch<'_>,
     threads: usize,
     maze: &MazeConfig,
     max_attempts: u32,
+    batch_ctx: TraceCtx,
     obs: &Recorder,
 ) -> (Vec<TaskDone>, ExecStats) {
     let n = batch.requests.len();
@@ -377,6 +389,10 @@ pub(crate) fn run_threaded(
     let in_flight = AtomicUsize::new(0);
     let completed = AtomicU64::new(0);
     let start = Instant::now();
+    // Pre-registered histogram handles: the completion path must not do
+    // string-keyed map lookups while `threads` workers hammer it.
+    let h_request_ns = obs.histogram("svc.request_ns");
+    let h_attempts = obs.histogram("svc.request_attempts");
     let mut dones: Vec<TaskDone> = Vec::with_capacity(n);
     let mut stats = ExecStats::default();
     std::thread::scope(|scope| {
@@ -384,8 +400,9 @@ pub(crate) fn run_threaded(
         for w in 0..threads {
             let (deques, retry_queue, live, in_flight, completed) =
                 (&deques, &retry_queue, &live, &in_flight, &completed);
+            let (h_request_ns, h_attempts) = (h_request_ns.clone(), h_attempts.clone());
             handles.push(scope.spawn(move || {
-                let mut span = obs.span("svc.worker");
+                let mut span = obs.span_ctx("svc.worker", batch_ctx);
                 let mut scratch = MazeScratch::new(dev);
                 let mut out: Vec<TaskDone> = Vec::new();
                 let mut local = ExecStats::default();
@@ -462,8 +479,8 @@ pub(crate) fn run_threaded(
                         }
                         Step::Finished(outcome) => {
                             let step = completed.fetch_add(1, Ordering::SeqCst);
-                            obs.record_duration("svc.request_ns", start.elapsed());
-                            obs.record("svc.request_attempts", u64::from(attempts) + 1);
+                            h_request_ns.record_duration(start.elapsed());
+                            h_attempts.record(u64::from(attempts) + 1);
                             out.push(TaskDone {
                                 idx,
                                 worker: w,
@@ -498,6 +515,7 @@ pub(crate) fn run_threaded(
 /// execute one at a time, so the completion log *is* the serialization
 /// — replay it through [`crate::model::SequentialModel`] to check the
 /// whole machine.
+#[allow(clippy::too_many_arguments)] // the full executor contract
 pub(crate) fn run_deterministic(
     dev: &Device,
     batch: &Batch<'_>,
@@ -505,6 +523,7 @@ pub(crate) fn run_deterministic(
     maze: &MazeConfig,
     max_attempts: u32,
     seed: u64,
+    batch_ctx: TraceCtx,
     obs: &Recorder,
 ) -> (Vec<TaskDone>, ExecStats) {
     let n = batch.requests.len();
@@ -522,7 +541,9 @@ pub(crate) fn run_deterministic(
     let mut retry_queue: VecDeque<u64> = VecDeque::new();
     let mut rng = DetRng::seed_from_u64(seed);
     let mut scratch = MazeScratch::new(dev);
-    let mut span = obs.span("svc.schedule");
+    let mut span = obs.span_ctx("svc.schedule", batch_ctx);
+    let h_steps = obs.histogram("svc.request_steps");
+    let h_attempts = obs.histogram("svc.request_attempts");
     let mut dones: Vec<TaskDone> = Vec::with_capacity(n);
     let mut stats = ExecStats::default();
     let mut live = n;
@@ -570,8 +591,8 @@ pub(crate) fn run_deterministic(
                 retry_queue.push_back(task_word(idx, attempts + 1));
             }
             Step::Finished(outcome) => {
-                obs.record("svc.request_steps", completed);
-                obs.record("svc.request_attempts", u64::from(attempts) + 1);
+                h_steps.record(completed);
+                h_attempts.record(u64::from(attempts) + 1);
                 dones.push(TaskDone {
                     idx,
                     worker: w,

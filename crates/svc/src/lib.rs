@@ -56,7 +56,7 @@ use exec::{Batch, Done, PrepKind, TaskDone, BATCH_BASE};
 use jroute::maze::MazeConfig;
 use jroute::parallel::{ClaimTable, ParallelNet};
 use jroute::{NetDb, NetId};
-use jroute_obs::Recorder;
+use jroute_obs::{Aggregator, Counter, Gauge, Histo, Recorder};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -129,7 +129,40 @@ pub struct RoutingService<'d> {
     next_id: RequestId,
     next_seq: u64,
     obs: Recorder,
+    meters: SvcMeters,
+    /// Rolling per-batch time-series (queue depth, batch latency
+    /// quantiles, steal/retry rates) — `Some` iff the recorder is
+    /// enabled; ticked once at the end of every `run_batch`.
+    window: Option<Aggregator>,
 }
+
+/// Pre-registered sharded-registry handles for the service's hot
+/// batch-loop metrics: no string-keyed map lookups while a batch runs.
+#[derive(Debug, Clone)]
+struct SvcMeters {
+    batches: Counter,
+    executed: Counter,
+    steals: Counter,
+    retries: Counter,
+    queue_depth: Gauge,
+    batch_ns: Histo,
+}
+
+impl SvcMeters {
+    fn resolve(obs: &Recorder) -> Self {
+        SvcMeters {
+            batches: obs.counter("svc.batches"),
+            executed: obs.counter("svc.executed"),
+            steals: obs.counter("svc.steals"),
+            retries: obs.counter("svc.retries"),
+            queue_depth: obs.gauge("svc.queue_depth_now"),
+            batch_ns: obs.histogram("svc.batch_ns"),
+        }
+    }
+}
+
+/// How many per-batch samples the service's rolling window retains.
+const WINDOW_SAMPLES: usize = 256;
 
 impl<'d> RoutingService<'d> {
     /// New service over one device with a disabled recorder.
@@ -140,6 +173,20 @@ impl<'d> RoutingService<'d> {
     /// New service with an observability recorder; every batch emits
     /// `svc.*` spans, counters and histograms through it.
     pub fn with_recorder(dev: &'d Device, cfg: ServiceConfig, obs: Recorder) -> Self {
+        let meters = SvcMeters::resolve(&obs);
+        let window = obs.is_enabled().then(|| {
+            let mut w = Aggregator::new(WINDOW_SAMPLES);
+            w.track_gauge("svc.queue_depth", meters.queue_depth.clone());
+            w.track_histogram("svc.batch_ns", meters.batch_ns.clone());
+            w.track_counter("svc.executed", meters.executed.clone());
+            w.track_counter("svc.steals", meters.steals.clone());
+            w.track_counter("svc.retries", meters.retries.clone());
+            w.track_counter(
+                "pathfinder.nets_rerouted",
+                obs.counter("pathfinder.nets_rerouted"),
+            );
+            w
+        });
         RoutingService {
             dev,
             cfg,
@@ -149,6 +196,8 @@ impl<'d> RoutingService<'d> {
             next_id: 0,
             next_seq: 0,
             obs,
+            meters,
+            window,
         }
     }
 
@@ -173,6 +222,14 @@ impl<'d> RoutingService<'d> {
     /// The recorder batches report through.
     pub fn recorder(&self) -> &Recorder {
         &self.obs
+    }
+
+    /// The rolling per-batch time-series (one sample appended at the end
+    /// of every non-empty `run_batch`): queue depth at submission peak,
+    /// batch latency p50/p99, steal/retry/executed deltas and nets
+    /// rerouted by negotiation. `None` when the recorder is disabled.
+    pub fn window(&self) -> Option<&Aggregator> {
+        self.window.as_ref()
     }
 
     /// Queued (not yet executed) requests.
@@ -205,6 +262,11 @@ impl<'d> RoutingService<'d> {
         }
         let id = self.next_id;
         self.next_id += 1;
+        // Mint the request's causal root here, at submission: everything
+        // the request causes — exec attempts, maze searches, stolen
+        // continuations — links back to this span's trace id.
+        let mut root = self.obs.span_root("svc.request");
+        root.note(id);
         let cancel = Arc::new(AtomicBool::new(false));
         self.pending.push_back(Request {
             id,
@@ -213,10 +275,12 @@ impl<'d> RoutingService<'d> {
             kind,
             seq: self.next_seq,
             cancel: Arc::clone(&cancel),
+            ctx: root.ctx(),
         });
         self.next_seq += 1;
         self.obs
             .record("svc.queue_depth", self.pending.len() as u64);
+        self.meters.queue_depth.set(self.pending.len() as u64);
         Ok((id, CancelToken(cancel)))
     }
 
@@ -236,7 +300,10 @@ impl<'d> RoutingService<'d> {
     /// everything else leaves no trace. The report carries one terminal
     /// outcome per drained request plus the completion log.
     pub fn run_batch(&mut self) -> BatchReport {
-        let mut span = self.obs.span("svc.batch");
+        let mut span = self.obs.span_root("svc.batch");
+        let batch_started = self.obs.elapsed_ns();
+        // The gauge keeps the pre-drain depth until after the window
+        // tick, so each sample reports the depth this batch consumed.
         let mut requests: Vec<Request> = self.pending.drain(..).collect();
         span.note(requests.len() as u64);
         requests.sort_by_key(|r| (r.priority, r.seq));
@@ -259,6 +326,7 @@ impl<'d> RoutingService<'d> {
                 self.cfg.threads,
                 &self.cfg.maze,
                 self.cfg.max_attempts,
+                span.ctx(),
                 &self.obs,
             ),
             ExecMode::Deterministic { seed } => exec::run_deterministic(
@@ -268,6 +336,7 @@ impl<'d> RoutingService<'d> {
                 &self.cfg.maze,
                 self.cfg.max_attempts,
                 seed,
+                span.ctx(),
                 &self.obs,
             ),
         };
@@ -277,10 +346,10 @@ impl<'d> RoutingService<'d> {
         let outcomes = self.apply(&requests, &dones);
         let leaked_claims = self.cfg.audit.then(|| self.audit(&batch.claims));
 
-        self.obs.count("svc.batches", 1);
-        self.obs.count("svc.executed", stats.executed);
-        self.obs.count("svc.steals", stats.steals);
-        self.obs.count("svc.retries", stats.retries);
+        self.meters.batches.inc();
+        self.meters.executed.add(stats.executed);
+        self.meters.steals.add(stats.steals);
+        self.meters.retries.add(stats.retries);
         for (_, o) in &outcomes {
             let name = match o {
                 RequestOutcome::Routed { .. } => "svc.routed",
@@ -303,6 +372,14 @@ impl<'d> RoutingService<'d> {
                 stolen: d.stolen,
             })
             .collect();
+        let now = self.obs.elapsed_ns();
+        self.meters
+            .batch_ns
+            .record(now.saturating_sub(batch_started));
+        if let Some(w) = self.window.as_mut() {
+            w.tick(now);
+        }
+        self.meters.queue_depth.set(self.pending.len() as u64);
         let mut outcomes = outcomes;
         outcomes.sort_by_key(|&(id, _)| id);
         BatchReport {

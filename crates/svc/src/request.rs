@@ -2,6 +2,7 @@
 
 use jroute::pathfinder::NetSpec;
 use jroute::NetId;
+use jroute_obs::TraceCtx;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -62,6 +63,11 @@ pub struct Request {
     pub(crate) seq: u64,
     /// Shared cancellation flag (see [`CancelToken`]).
     pub(crate) cancel: Arc<AtomicBool>,
+    /// Causal trace context minted at submission (the `svc.request` root
+    /// span). Carried through queueing, stealing, retry parking and
+    /// `Replace` chain-transfers so every exec/maze span links back to
+    /// the originating submission.
+    pub(crate) ctx: TraceCtx,
 }
 
 impl Request {

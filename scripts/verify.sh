@@ -54,6 +54,25 @@ grep -q "churn_soak: OK" /tmp/churn_soak.out
 test -s target/traces/churn_soak.jrt
 echo "    wrote target/traces/churn_soak.jrt"
 
+echo "==> example smoke: flight_recorder (.jrt replay -> Perfetto trace + Prometheus snapshot)"
+rm -rf target/obs-json/flight_recorder target/traces/flight_recorder.jrt
+cargo run --release --offline --example flight_recorder 30 | tee /tmp/flight_recorder.out
+grep -q "causal audit:" /tmp/flight_recorder.out
+grep -q "flight_recorder: OK" /tmp/flight_recorder.out
+test -s target/traces/flight_recorder.jrt
+test -s target/obs-json/flight_recorder/trace.0.jsonl
+grep -q '"traceEvents"' target/obs-json/flight_recorder/trace.0.jsonl
+grep -q '"ph"' target/obs-json/flight_recorder/trace.0.jsonl
+test -s target/obs-json/flight_recorder/metrics.0.jsonl
+grep -q '# TYPE' target/obs-json/flight_recorder/metrics.0.jsonl
+grep -q 'jroute_epoch_unix_nanos' target/obs-json/flight_recorder/metrics.0.jsonl
+test -s target/obs-json/flight_recorder/window.0.jsonl
+grep -q '"samples"' target/obs-json/flight_recorder/window.0.jsonl
+echo "    wrote target/obs-json/flight_recorder/{trace,metrics,window}.0.jsonl"
+CHROME_SHAPE_CHECK="$PWD/target/obs-json/flight_recorder/trace.0.jsonl" \
+    cargo test -q --offline -p jroute-tests --test observability \
+    exported_chrome_trace_is_valid_when_pointed_at
+
 echo "==> example smoke: quickstart (with observability enabled)"
 rm -f target/obs-json/OBS_quickstart.json
 JROUTE_OBS=1 cargo run --release --offline --example quickstart
@@ -64,16 +83,16 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     exported_quickstart_json_is_valid_when_pointed_at
 
 # Opt-in bench regression gate: regenerate every experiment the
-# checked-in baseline covers (e1–e16), then diff medians against
+# checked-in baseline covers (e1–e17), then diff medians against
 # bench-baseline/, failing on regressions past --max-regress
 # (BENCH_MAX_REGRESS, default 10%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1..e16 vs bench-baseline/"
+    echo "==> bench regression gate: e1..e17 vs bench-baseline/"
     for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
         e5_rtr_replace e6_reverse_unroute e7_contention \
         e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
         e11_core_compose e12_parallel e13_timing e14_service \
-        e15_convergence e16_scenarios; do
+        e15_convergence e16_scenarios e17_obs_overhead; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done

@@ -225,6 +225,199 @@ fn exported_quickstart_json_is_valid_when_pointed_at() {
 }
 
 #[test]
+fn rotating_sink_has_no_torn_lines_under_concurrent_writers() {
+    use jroute::obs::RotatingFileSink;
+    let dir =
+        std::env::temp_dir().join(format!("jroute-obs-concurrent-sink-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rec = Recorder::enabled();
+    // Small byte cap: the flushed chunks must rotate across several
+    // files while four threads are spanning and flushing concurrently.
+    // The retention window is sized so no file is evicted — the test
+    // accounts for every span at the end.
+    rec.set_span_sink(RotatingFileSink::new(&dir, "spans", 16 * 1024, 4096).unwrap());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let rec = rec.clone();
+            scope.spawn(move || {
+                for i in 0..2000u64 {
+                    let mut s = rec.span("concurrent.tick");
+                    s.note(i);
+                    drop(s);
+                    if i % 100 == 0 {
+                        rec.flush_spans();
+                    }
+                }
+            });
+        }
+    });
+    assert!(rec.flush_spans());
+    let files = RotatingFileSink::files_written(&dir, "spans", usize::MAX);
+    assert!(files.len() > 1, "the byte cap must have forced rotation");
+    let mut spans = 0usize;
+    for f in &files {
+        let body = std::fs::read_to_string(f).unwrap();
+        assert!(body.ends_with('\n'), "file ends on a complete line");
+        for line in body.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "torn JSONL line in {}: {line:.60}",
+                f.display()
+            );
+            let v = json::parse(line).expect("every chunk line parses");
+            spans += v.get("spans").and_then(Value::as_arr).unwrap().len();
+            assert!(
+                v.get("epoch_unix_nanos").and_then(Value::as_f64).unwrap() > 0.0,
+                "chunk header carries the wall-clock epoch"
+            );
+        }
+    }
+    let rep = rec.report();
+    assert_eq!(
+        spans as u64 + rep.spans.len() as u64,
+        8000,
+        "flushed + retained spans account for every span recorded"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drive a real threaded service batch and assert both halves of the
+/// tentpole: the Chrome export is shape-valid, and every routing span is
+/// causally linked to the `svc.request` root that triggered it — across
+/// work-stealing thread hand-offs.
+#[test]
+fn chrome_export_of_a_threaded_batch_links_every_routing_span() {
+    use jroute::obs::chrome_trace_json;
+    use jroute::pathfinder::NetSpec;
+    use jroute_svc::{ExecMode, RequestKind, RoutingService, ServiceConfig};
+
+    let device = Device::new(Family::Xcv50);
+    let rec = Recorder::enabled();
+    let cfg = ServiceConfig {
+        threads: 4,
+        mode: ExecMode::Threaded,
+        audit: true,
+        ..Default::default()
+    };
+    let mut svc = RoutingService::with_recorder(&device, cfg, rec.clone());
+    for i in 0..12usize {
+        let r = (2 + (i * 3) % 12) as u16;
+        let c = (2 + (i * 5) % 16) as u16;
+        svc.submit(RequestKind::Route(NetSpec::new(
+            Pin::new(r, c, wire::S0_YQ),
+            vec![Pin::new(r + 2, c + 4, wire::S0_F3)],
+        )))
+        .unwrap();
+    }
+    let batch = svc.run_batch();
+    assert!(batch.outcomes.iter().all(|(_, o)| o.is_success()));
+
+    let rep = rec.report();
+    let roots: std::collections::HashSet<u64> = rep
+        .spans
+        .iter()
+        .filter(|s| s.name == "svc.request")
+        .map(|s| s.trace)
+        .collect();
+    assert_eq!(roots.len(), 12, "one distinct trace per submission");
+    let mut routing_spans = 0usize;
+    for s in rep
+        .spans
+        .iter()
+        .filter(|s| matches!(s.name, "svc.exec" | "parallel.net" | "maze.search"))
+    {
+        assert!(
+            roots.contains(&s.trace),
+            "{} span not linked to a request root",
+            s.name
+        );
+        assert_ne!(s.span_id, 0, "every span gets a nonzero id");
+        routing_spans += 1;
+    }
+    assert!(routing_spans >= 12, "each request routed at least once");
+
+    // Export shape: valid JSON, required trace_event fields, resolvable
+    // parents, and flow arrows only for cross-thread links.
+    let doc = json::parse(&chrome_trace_json(&rep)).expect("chrome trace parses");
+    assert!(
+        doc.get("otherData")
+            .and_then(|o| o.get("epoch_unix_nanos"))
+            .and_then(Value::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    let events = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+    let ids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("span_id")
+                .unwrap()
+                .as_f64()
+                .unwrap() as u64
+        })
+        .collect();
+    let mut flows = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("phase");
+        assert!(e.get("pid").is_some());
+        match ph {
+            "X" => {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some());
+                assert!(e.get("tid").is_some());
+                let parent = e
+                    .get("args")
+                    .unwrap()
+                    .get("parent")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap() as u64;
+                assert!(
+                    parent == 0 || ids.contains(&parent),
+                    "dangling parent {parent}"
+                );
+            }
+            "s" | "f" => flows += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        flows >= 2,
+        "threaded execution must produce cross-thread flow arrows"
+    );
+}
+
+/// Shape-check a Chrome trace file produced by a real example run.
+/// `scripts/verify.sh` runs the flight-recorder example and points this
+/// test at the export via `CHROME_SHAPE_CHECK`; without the variable the
+/// test passes vacuously (the in-process shape is covered above).
+#[test]
+fn exported_chrome_trace_is_valid_when_pointed_at() {
+    let Ok(path) = std::env::var("CHROME_SHAPE_CHECK") else {
+        return;
+    };
+    let body =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("CHROME_SHAPE_CHECK={path}: {e}"));
+    let doc = json::parse(&body).expect("exported Chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "a replayed trace must have events");
+    for e in events {
+        assert!(e.get("ph").is_some() && e.get("pid").is_some());
+    }
+    assert!(
+        doc.get("otherData")
+            .and_then(|o| o.get("epoch_unix_nanos"))
+            .is_some(),
+        "wall-clock anchor present"
+    );
+}
+
+#[test]
 fn disabled_recorder_reports_nothing() {
     let device = Device::new(Family::Xcv50);
     let mut r = Router::new(&device);
