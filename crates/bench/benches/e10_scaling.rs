@@ -8,8 +8,9 @@
 
 use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
+use jroute::pathfinder::{self, PathFinderConfig};
 use jroute::Router;
-use jroute_bench::SEED;
+use jroute_bench::{thread_counts, SEED};
 use jroute_workloads::{random_netlist, NetlistParams};
 use virtex::{Device, Family};
 
@@ -58,6 +59,41 @@ fn table() {
             ok,
             nodes.checked_div(ok).unwrap_or(0)
         );
+    }
+    // The synthetic super-Virtex tier (2x/4x/8x the XCV1000) goes
+    // through the partition-parallel negotiator — the engine built to
+    // scale past the real family — at each JROUTE_THREADS worker count
+    // (default 1 here; E18 carries the full sweep).
+    eprintln!("--- synthetic tier (partition-parallel negotiation) ---");
+    for f in Family::SYNTHETIC {
+        let dev = Device::new(f);
+        let nets = dev.dims().tiles() / 96;
+        let mut rng = DetRng::seed_from_u64(SEED);
+        let specs = random_netlist(
+            &dev,
+            &NetlistParams {
+                nets,
+                max_fanout: 2,
+                max_span: Some(10),
+            },
+            &mut rng,
+        );
+        for threads in thread_counts(&[1]) {
+            let cfg = PathFinderConfig {
+                threads,
+                ..PathFinderConfig::default()
+            };
+            let r = pathfinder::route_all(&dev, &specs, &cfg).unwrap();
+            eprintln!(
+                "{:<7}x{:<2} {:>8} {:>8} {:>8} {:>14}",
+                f.name(),
+                threads,
+                dev.dims().tiles(),
+                specs.len(),
+                r.nets.len(),
+                r.nodes_expanded.checked_div(r.nets.len()).unwrap_or(0)
+            );
+        }
     }
 }
 

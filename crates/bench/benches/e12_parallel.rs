@@ -8,7 +8,7 @@
 use detrand::DetRng;
 use harness::{bench_group, bench_main, BatchSize, Bench};
 use jroute::parallel::{route_parallel, ParallelConfig};
-use jroute_bench::SEED;
+use jroute_bench::{thread_counts, SEED};
 use jroute_workloads::{random_netlist, NetlistParams};
 use std::time::Instant;
 use virtex::{Device, Family};
@@ -39,7 +39,7 @@ fn table() {
     let dev = dev();
     let specs = workload(&dev, 120);
     let mut base = None;
-    for threads in [1usize, 2, 4, 8] {
+    for threads in thread_counts(&[1, 2, 4, 8]) {
         let cfg = ParallelConfig {
             threads,
             ..Default::default()
@@ -66,7 +66,7 @@ fn bench(c: &mut Bench) {
     let dev = dev();
     let specs = workload(&dev, 60);
     let mut g = c.benchmark_group("e12");
-    for threads in [1usize, 4, 8] {
+    for threads in thread_counts(&[1, 4, 8]) {
         let cfg = ParallelConfig {
             threads,
             ..Default::default()

@@ -116,6 +116,28 @@ fn table() {
             );
         }
     }
+    // One incremental-only row on the synthetic SUPER4 fabric (full
+    // rip-up without region pruning is prohibitively slow out there —
+    // which is the point): the incremental schedule must keep converging
+    // past the real family's ceiling. E18 carries the worker sweep.
+    let big = Device::new(Family::Super4);
+    let specs = workload(&big, 60, 32, 3);
+    let incr = run(&big, &specs, &incremental_cfg());
+    eprintln!(
+        "{:<5}{:<6}n={:<4} | {:>6} {:>6} {:>10} {:>12} {:>12}",
+        "incr_",
+        big.family().name(),
+        specs.len(),
+        incr.legal,
+        incr.iterations,
+        incr.nets_rerouted,
+        incr.bbox_prunes,
+        incr.nodes_expanded
+    );
+    assert!(
+        incr.legal,
+        "incremental negotiation must converge on SUPER4"
+    );
 }
 
 fn bench(c: &mut Bench) {

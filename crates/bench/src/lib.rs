@@ -11,6 +11,26 @@
 /// Standard seed for all experiment RNGs (reproducibility).
 pub const SEED: u64 = 0x4A52_4F55_5445; // "JROUTE"
 
+/// Worker-count sweep for the scaling experiments (e10/e12/e18),
+/// overridable with the `JROUTE_THREADS` environment variable — a
+/// comma-separated list, e.g. `JROUTE_THREADS=1,2`. Invalid or zero
+/// entries are dropped; an empty or unset override yields `default`.
+pub fn thread_counts(default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("JROUTE_THREADS")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
 /// Format a ratio as `x.yz×`.
 pub fn ratio(a: f64, b: f64) -> String {
     if b == 0.0 {

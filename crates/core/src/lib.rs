@@ -40,6 +40,7 @@ pub mod error;
 pub mod maze;
 pub mod net;
 pub mod parallel;
+pub mod partition;
 pub mod path;
 pub mod pathfinder;
 pub mod ports;
@@ -57,6 +58,7 @@ pub use error::{NetId, Result, RouteError};
 pub use jroute_obs as obs;
 pub use jroute_obs::Recorder;
 pub use net::{Net, NetDb};
+pub use partition::{ScratchPool, SearchBox, WavePlan};
 pub use path::Path;
 pub use ports::{Port, PortDb, PortDir};
 pub use router::{Remembered, Router, RouterOptions};

@@ -92,14 +92,20 @@ impl Default for MazeConfig {
 /// below-base priorities, so a popped priority says nothing about
 /// whether the entry is outdated, but "already expanded and not improved
 /// since" does (recording an improvement clears the bit, reopening the
-/// node). `link` holds the bit-packed predecessor record.
+/// node). `link` holds the bit-packed predecessor record; the
+/// predecessor's *index* is not stored — `(rc, from)` names the physical
+/// wire the path arrived over, so canonicalizing it during the (cold)
+/// reconstruction walk recovers the predecessor exactly, and the scratch
+/// carries no per-segment index field that would cap the segment space
+/// (the synthetic super-Virtex rows exceed the 16.7 M segments a 24-bit
+/// packed index allowed).
 #[derive(Debug)]
 pub struct MazeScratch {
     epoch: u32,
     /// `(epoch << 1 | closed) << 32 | cost`.
     meta: Vec<u64>,
-    /// Packed [`PrevEntry`]: `prev[0:24] rc.row[24:34] rc.col[34:44]
-    /// from[44:54] to[54:64]`.
+    /// Packed [`PrevEntry`]: `start[0] rc.row[4:14] rc.col[14:24]
+    /// from[24:34] to[34:44]`.
     link: Vec<u64>,
     open: DialQueue,
     /// Per-device distance lookahead, resolved once at construction so
@@ -140,11 +146,16 @@ impl MazeMeters {
     }
 }
 
-/// Predecessor record for one search node: the PIP that entered it and
-/// the node it was entered from.
+/// Predecessor record for one search node: the PIP `(rc, from → to)`
+/// that entered it, or a start marker. The predecessor *node* is implied
+/// rather than stored — `(rc, from)` is an alias position of the
+/// predecessor's physical segment, so canonicalizing it recovers the
+/// node during reconstruction.
 #[derive(Debug, Clone, Copy)]
 struct PrevEntry {
-    prev: u32,
+    /// Search start: no predecessor (`rc`/`from`/`to` echo the start
+    /// segment and are not walked).
+    start: bool,
     rc: RowCol,
     from: Wire,
     to: Wire,
@@ -154,28 +165,23 @@ impl PrevEntry {
     #[inline]
     fn pack(self) -> u64 {
         debug_assert!(self.from.0 < 1 << 10 && self.to.0 < 1 << 10);
-        self.prev as u64
-            | (self.rc.row as u64) << 24
-            | (self.rc.col as u64) << 34
-            | (self.from.0 as u64) << 44
-            | (self.to.0 as u64) << 54
+        self.start as u64
+            | (self.rc.row as u64) << 4
+            | (self.rc.col as u64) << 14
+            | (self.from.0 as u64) << 24
+            | (self.to.0 as u64) << 34
     }
 
     #[inline]
     fn unpack(w: u64) -> Self {
         PrevEntry {
-            prev: w as u32 & NO_PREV,
-            rc: RowCol::new((w >> 24) as u16 & 0x3FF, (w >> 34) as u16 & 0x3FF),
-            from: Wire((w >> 44) as u16 & 0x3FF),
-            to: Wire((w >> 54) as u16),
+            start: w & 1 != 0,
+            rc: RowCol::new((w >> 4) as u16 & 0x3FF, (w >> 14) as u16 & 0x3FF),
+            from: Wire((w >> 24) as u16 & 0x3FF),
+            to: Wire((w >> 34) as u16 & 0x3FF),
         }
     }
 }
-
-/// Sentinel predecessor index of a search start. 24 bits are plenty for
-/// every segment space (16.7 M slots; the XCV1000 has 2.6 M) and leave
-/// room to pack the whole predecessor record into one word.
-const NO_PREV: u32 = (1 << 24) - 1;
 
 /// Epochs use 31 bits of the stamp half-word; wrap rewrites the stamps.
 const EPOCH_MAX: u32 = u32::MAX >> 1;
@@ -185,7 +191,6 @@ impl MazeScratch {
     pub fn new(dev: &Device) -> Self {
         let n = dev.seg_space().len();
         let dims = dev.dims();
-        assert!(n < NO_PREV as usize, "segment space exceeds packed index");
         assert!(
             dims.rows < 1 << 10 && dims.cols < 1 << 10,
             "tile coordinates exceed packed field"
@@ -348,7 +353,7 @@ pub fn search_obs(
                 i,
                 c0,
                 PrevEntry {
-                    prev: NO_PREV,
+                    start: true,
                     rc: seg.rc,
                     from: seg.wire,
                     to: seg.wire,
@@ -389,7 +394,7 @@ pub fn search_obs(
         let idx = SegIdx(raw);
         if idx == goal_idx {
             finish(expanded, pushes, pops, prunes, h_evals, &mut span, true);
-            return Some(reconstruct(space, scratch, idx, expanded));
+            return Some(reconstruct(dev, scratch, idx, expanded));
         }
         // Skip entries already expanded at their current (or better)
         // cost; an improved record reopens the node.
@@ -444,7 +449,7 @@ pub fn search_obs(
                         ni,
                         ng,
                         PrevEntry {
-                            prev: idx.0,
+                            start: false,
                             rc: tap.rc,
                             from: tap.wire,
                             to,
@@ -464,23 +469,29 @@ pub fn search_obs(
 }
 
 fn reconstruct(
-    space: virtex::SegSpace,
+    dev: &Device,
     scratch: &MazeScratch,
     goal_idx: SegIdx,
     expanded: usize,
 ) -> MazeResult {
+    let space = dev.seg_space();
     let mut pips = Vec::new();
     let mut segments = Vec::new();
     let mut idx = goal_idx;
     let cost = scratch.cost(goal_idx);
     loop {
         let e = scratch.prev_of(idx);
-        if e.prev == NO_PREV {
+        if e.start {
             break;
         }
         segments.push(space.segment(idx));
         pips.push((e.rc, Pip::new(e.from, e.to)));
-        idx = SegIdx(e.prev);
+        // `(rc, from)` is the alias position the path entered through;
+        // its canonical form is the predecessor node.
+        let prev = dev
+            .canonicalize(e.rc, e.from)
+            .expect("path predecessor is a live segment");
+        idx = space.index(prev);
     }
     pips.reverse();
     segments.reverse();

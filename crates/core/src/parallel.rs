@@ -22,40 +22,45 @@
 //! the JRoute §3.4 invariant — and equivalent to some sequential routing
 //! order (the order in which final claims landed).
 //!
-//! Within a round, nets are distributed over the workers by a
+//! Since the unified-engine refactor, each round's pending nets are
+//! first partitioned into bbox-disjoint *waves*
+//! ([`partition_waves`](crate::partition::partition_waves) — the same
+//! planner the negotiated router uses), so nets dispatched together
+//! rarely touch each other's claims at all; within a wave, nets are
+//! distributed over the workers by a
 //! [`Scheduler`](crate::schedule::Scheduler): work-stealing deques by
 //! default (net route times are wildly skewed, so static chunks leave
 //! workers idle on the tail), with the original chunked assignment
-//! available via [`SchedulerKind::Chunked`]. The claim table and the
-//! per-net routing step are public so the batch service front-end
-//! (`jroute-svc`) can schedule route/unroute/replace *requests* over the
-//! same substrate.
+//! available via [`SchedulerKind::Chunked`]. Unlike the negotiator,
+//! disjointness here is an *optimization*, not a correctness condition —
+//! a net that escapes its region via the unbounded fallback is still
+//! caught by the claim CAS — so waves cut conflicts without constraining
+//! the search. The claim table and the per-net routing step are public so
+//! the batch service front-end (`jroute-svc`) can schedule
+//! route/unroute/replace *requests* over the same substrate.
 
 use crate::maze::{self, MazeConfig, MazeScratch};
+use crate::partition::{self, ScratchPool, SearchBox};
 use crate::pathfinder::NetSpec;
-use crate::schedule::SchedulerKind;
+use crate::schedule::{SchedulerKind, WaveExec};
 use jbits::Pip;
 use jroute_obs::{Recorder, TraceCtx};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use virtex::wire::HEX_SPAN;
 use virtex::{BBox, Device, RowCol, SegIdx, SegSpace, SegVec, Segment};
 
 /// Margin (tiles beyond the terminal bounding box) of the per-net search
 /// region claim-routing confines itself to before falling back to the
 /// whole device.
-const NET_BBOX_MARGIN: u16 = 3;
+const NET_BBOX_MARGIN: u16 = partition::DEFAULT_MARGIN;
 
 /// The default search region for `spec`: its terminal bounding box plus
-/// routing slack ([`NET_BBOX_MARGIN`] of detour room and [`HEX_SPAN`] so
-/// hexes whose canonical origin trails the box stay usable). Shared by
-/// [`route_one_claiming`] and the sequential replay model in
-/// `jroute-svc`, which must take byte-identical search decisions.
+/// routing slack ([`NET_BBOX_MARGIN`] of detour room and hex reach — see
+/// [`SearchBox::region`], the one canonical expansion). Shared by
+/// [`route_one_claiming`], the wave partitioner below and the sequential
+/// replay model in `jroute-svc`, which must take byte-identical search
+/// decisions.
 pub fn net_search_box(dev: &Device, spec: &NetSpec) -> BBox {
-    let mut b = BBox::at(spec.source.rc);
-    for s in &spec.sinks {
-        b.include(s.rc);
-    }
-    b.expand(NET_BBOX_MARGIN + HEX_SPAN, dev.dims())
+    SearchBox::of_spec(spec).region(NET_BBOX_MARGIN, dev.dims())
 }
 
 /// Options for the parallel router.
@@ -404,17 +409,18 @@ pub fn route_one_claiming(
     RouteOutcome::Committed(Box::new(net))
 }
 
-/// Per-worker state for one round: the maze scratch plus the obs span
-/// covering the worker's life. Dropping it stamps the span with the
+/// Per-worker state for one wave: a leased maze scratch plus the obs
+/// span covering the worker's life. Dropping it stamps the span with the
 /// number of nets the worker actually executed — under work-stealing
-/// that is the interesting number, not the preloaded share.
-struct WorkerCtx {
-    scratch: MazeScratch,
+/// that is the interesting number, not the preloaded share — and returns
+/// the scratch to the pool for the next wave's workers.
+struct WorkerCtx<'p> {
+    scratch: crate::partition::PooledScratch<'p>,
     span: jroute_obs::Span,
     attempted: u64,
 }
 
-impl Drop for WorkerCtx {
+impl Drop for WorkerCtx<'_> {
     fn drop(&mut self) {
         self.span.note(self.attempted);
     }
@@ -447,12 +453,20 @@ pub fn route_parallel_obs(
     let c_conflicts = obs.counter("parallel.conflicts");
     let c_failed = obs.counter("parallel.nets_failed");
     let c_rounds = obs.counter("parallel.rounds");
+    let c_waves = obs.counter("parallel.waves");
     let h_attempts = obs.histogram("parallel.net_attempts");
+    let h_wave_size = obs.histogram("parallel.wave_size");
     debug_assert!(
         specs.len() < FREE as usize,
         "net index must fit the owner word"
     );
     let claims = ClaimTable::new(dev.seg_space());
+    let pool = ScratchPool::new();
+    let exec = WaveExec {
+        threads: cfg.threads.max(1),
+        scheduler: cfg.scheduler,
+        deterministic: false,
+    };
     let mut done: Vec<Option<ParallelNet>> = vec![None; specs.len()];
     let mut pending: Vec<usize> = (0..specs.len()).collect();
     let mut failed: Vec<usize> = Vec::new();
@@ -460,7 +474,6 @@ pub fn route_parallel_obs(
     let mut conflicts = 0usize;
     let mut stalled = 0usize;
     let mut attempts: Vec<u64> = vec![0; specs.len()];
-    let threads = cfg.threads.max(1);
 
     while !pending.is_empty() && stalled < cfg.max_stalled_rounds {
         rounds += 1;
@@ -469,15 +482,36 @@ pub fn route_parallel_obs(
         for &i in &pending {
             attempts[i] += 1;
         }
-        // Fan the pending nets out over the workers. Each worker claims
-        // segments as it routes, so nets commit mid-round and later
-        // searches (on every thread) steer around them.
-        let tasks: Vec<u64> = pending.iter().map(|&i| i as u64).collect();
-        let run = cfg.scheduler.run(
-            threads,
+        // Partition the round's nets into bbox-disjoint waves and flatten
+        // the plan into one dispatch order: wave k's nets precede wave
+        // k+1's. Unlike the negotiator, the claim CAS — not a wave
+        // barrier — enforces exclusivity here, so the whole round runs as
+        // a single scheduler dispatch (no per-wave spawn or convoy on
+        // each wave's slowest net); the wave ordering means nets whose
+        // regions overlap tend not to be in flight simultaneously, which
+        // is what turns same-round claim collisions (the deferrals that
+        // force extra rounds) into rarities. Each worker claims segments
+        // as it routes, so nets commit mid-round and later searches (on
+        // every thread) steer around them.
+        let boxes: Vec<BBox> = pending
+            .iter()
+            .map(|&i| net_search_box(dev, &specs[i]))
+            .collect();
+        let plan = partition::partition_waves(&boxes);
+        c_waves.add(plan.waves.len() as u64);
+        for wave in &plan.waves {
+            h_wave_size.record(wave.len() as u64);
+        }
+        let tasks: Vec<u64> = plan
+            .waves
+            .iter()
+            .flatten()
+            .map(|&k| pending[k] as u64)
+            .collect();
+        let run = exec.run_wave(
             &tasks,
             |_| WorkerCtx {
-                scratch: MazeScratch::new(dev),
+                scratch: pool.lease(dev),
                 // Cross-thread causal link: every worker span (and thus
                 // every net it routes, stolen or not) carries the run's
                 // trace and points back at `parallel.route`.

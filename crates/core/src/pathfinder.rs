@@ -26,6 +26,8 @@
 use crate::endpoint::Pin;
 use crate::error::{Result, RouteError};
 use crate::maze::{self, MazeConfig, MazeScratch};
+use crate::partition::{self, ScratchPool, SearchBox};
+use crate::schedule::{SchedulerKind, WaveExec};
 use jbits::{Bitstream, Pip};
 use jroute_obs::Recorder;
 use std::collections::HashMap;
@@ -205,6 +207,18 @@ pub struct PathFinderConfig {
     /// Drive `pres_fac` growth from the overuse curve (accelerate on
     /// plateau, hold on oscillation) instead of multiplying blindly.
     pub adaptive_pres: bool,
+    /// Worker threads for wave dispatch (1 = fully sequential). The
+    /// engine's outputs are identical for every value — waves only run
+    /// nets whose search regions are disjoint, so thread count changes
+    /// wall clock, never results.
+    pub threads: usize,
+    /// How each wave's nets are spread over the workers.
+    pub scheduler: SchedulerKind,
+    /// Execute waves inline in net order on the calling thread even when
+    /// `threads > 1` — the replayable schedule for the service's
+    /// deterministic mode (results are unchanged either way; this pins
+    /// the telemetry interleaving too).
+    pub deterministic: bool,
 }
 
 impl Default for PathFinderConfig {
@@ -221,8 +235,11 @@ impl Default for PathFinderConfig {
                 ..MazeConfig::default()
             },
             incremental: true,
-            bbox_margin: Some(3),
+            bbox_margin: Some(partition::DEFAULT_MARGIN),
             adaptive_pres: true,
+            threads: 1,
+            scheduler: SchedulerKind::default(),
+            deterministic: false,
         }
     }
 }
@@ -234,19 +251,27 @@ impl Default for PathFinderConfig {
 struct PreparedNet {
     src: Segment,
     sinks: Vec<Segment>,
-    /// Terminal bounding box (unexpanded); `None` when pruning is off.
-    terminals: Option<BBox>,
-    /// Extra margin earned by repeated rip-ups / failures.
-    grow: u16,
+    /// Canonical search region with its earned growth
+    /// ([`SearchBox`] carries the shared growth policy); `None` when
+    /// pruning is off.
+    sbox: Option<SearchBox>,
 }
 
 impl PreparedNet {
     /// The maze search region for this net's current patience level.
     fn search_box(&self, margin: u16, dims: virtex::Dims) -> Option<BBox> {
-        // HEX_SPAN of slack keeps hexes whose canonical origin trails
-        // outside the box but whose taps land inside it reachable.
-        self.terminals
-            .map(|b| b.expand(margin + HEX_SPAN + self.grow, dims))
+        self.sbox.map(|b| b.region(margin, dims))
+    }
+
+    /// Widen the region by `by` tiles (no-op when pruning is off).
+    fn widen(&mut self, by: u16) -> u16 {
+        match &mut self.sbox {
+            Some(b) => {
+                b.widen(by);
+                b.growth()
+            }
+            None => 0,
+        }
     }
 }
 
@@ -331,12 +356,24 @@ pub fn route_all_obs(
     let c_rerouted = obs.counter("pathfinder.nets_rerouted");
     let c_ripups = obs.counter("pathfinder.ripups");
     let c_bbox_fallbacks = obs.counter("pathfinder.bbox_fallbacks");
+    let c_waves = obs.counter("pathfinder.waves");
+    let c_partition_conflicts = obs.counter("pathfinder.partition_conflicts");
     let h_bbox_growth = obs.histogram("pathfinder.bbox_growth");
     let h_iter_overuse = obs.histogram("pathfinder.iter_overuse");
+    let h_wave_size = obs.histogram("pathfinder.wave_size");
     let space = dev.seg_space();
     let dims = dev.dims();
     let mut cong = Congestion::new(space);
-    let mut scratch = MazeScratch::new(dev);
+    let pool = ScratchPool::new();
+    let exec = WaveExec {
+        threads: cfg.threads.max(1),
+        scheduler: cfg.scheduler,
+        deterministic: cfg.deterministic,
+    };
+    // Waves require every dirty net to carry a search region that really
+    // confines its search: long lines are bbox-exempt in the maze, so a
+    // config that uses them falls back to the sequential schedule.
+    let waveable = cfg.bbox_margin.is_some() && !cfg.maze.use_long_lines;
     let mut routes: Vec<Option<RoutedNet>> = vec![None; specs.len()];
     let mut pres_fac = cfg.pres_fac;
     let mut nodes_expanded = 0usize;
@@ -354,19 +391,13 @@ pub fn route_all_obs(
         };
         let src = resolve(&spec.source)?;
         let sinks = spec.sinks.iter().map(resolve).collect::<Result<Vec<_>>>()?;
-        let terminals = cfg.bbox_margin.map(|_| {
-            let mut b = BBox::at(src.rc);
-            for s in &sinks {
-                b.include(s.rc);
+        let sbox = match cfg.bbox_margin {
+            Some(_) => {
+                SearchBox::of_points(std::iter::once(src.rc).chain(sinks.iter().map(|s| s.rc)))
             }
-            b
-        });
-        prepared.push(PreparedNet {
-            src,
-            sinks,
-            terminals,
-            grow: 0,
-        });
+            None => None,
+        };
+        prepared.push(PreparedNet { src, sinks, sbox });
     }
 
     // Nets to (re)route this iteration; the first pass routes everything.
@@ -379,8 +410,90 @@ pub fn route_all_obs(
         c_iterations.inc();
         c_rerouted.add(dirty.len() as u64);
         let mut any_failure = false;
-        for &i in &dirty {
-            // Rip up the previous route of this net.
+        // Nets left for the sequential cleanup pass below: every dirty
+        // net when waves are off, else only the wave misses (whose
+        // bounded search already failed — they skip straight to an
+        // unbounded one).
+        let mut serial: Vec<(usize, bool)> = Vec::new();
+        if waveable {
+            // Partition the dirty set into waves of nets whose search
+            // regions are pairwise disjoint: such nets cannot read or
+            // write each other's congestion, so ripping up, searching and
+            // committing them together is exactly the sequential result.
+            let margin = cfg.bbox_margin.expect("waveable implies a margin");
+            let boxes: Vec<BBox> = dirty
+                .iter()
+                .map(|&i| {
+                    prepared[i]
+                        .search_box(margin, dims)
+                        .expect("waveable nets carry a region")
+                })
+                .collect();
+            let plan = partition::partition_waves(&boxes);
+            c_waves.add(plan.waves.len() as u64);
+            c_partition_conflicts.add(plan.conflicts as u64);
+            for wave in &plan.waves {
+                h_wave_size.record(wave.len() as u64);
+                // Barrier 1 — rip-up, in net order on this thread.
+                for &k in wave {
+                    let i = dirty[k];
+                    if let Some(old) = routes[i].take() {
+                        c_ripups.inc();
+                        for seg in &old.segments {
+                            cong.release(space.index(*seg), i as u32);
+                        }
+                    }
+                }
+                // Parallel bounded searches against the now-frozen
+                // congestion (shared immutably; workers lease scratches
+                // from the pool).
+                let tasks: Vec<u64> = wave.iter().map(|&k| k as u64).collect();
+                let run = exec.run_wave(
+                    &tasks,
+                    |_| pool.lease(dev),
+                    |scratch, t| {
+                        let k = t as usize;
+                        route_bounded(
+                            dev,
+                            space,
+                            &cong,
+                            pres_fac,
+                            &prepared[dirty[k]],
+                            boxes[k],
+                            &cfg.maze,
+                            scratch,
+                            obs,
+                        )
+                    },
+                );
+                // Barrier 2 — commit, in net order. Disjointness makes
+                // the order immaterial for results; fixing it anyway
+                // keeps the run reproducible down to iteration counts.
+                for (t, (built, nodes)) in run.results {
+                    let i = dirty[t as usize];
+                    nodes_expanded += nodes;
+                    match built {
+                        Some((pips, segments)) => {
+                            for seg in &segments {
+                                cong.occupy(space.index(*seg), i as u32);
+                            }
+                            routes[i] = Some(RoutedNet {
+                                spec: specs[i].clone(),
+                                pips,
+                                segments,
+                            });
+                        }
+                        None => serial.push((i, true)),
+                    }
+                }
+            }
+            serial.sort_unstable();
+        } else {
+            serial.extend(dirty.iter().map(|&i| (i, false)));
+        }
+        for &(i, skip_bounded) in &serial {
+            // Rip up the previous route of this net (no-op for wave
+            // misses — the wave already released them).
             if let Some(old) = routes[i].take() {
                 c_ripups.inc();
                 for seg in &old.segments {
@@ -388,8 +501,18 @@ pub fn route_all_obs(
                 }
             }
             let prep = &prepared[i];
-            let bbox = cfg.bbox_margin.and_then(|m| prep.search_box(m, dims));
+            let bbox = if skip_bounded {
+                // The bounded wave search missed: the region was too
+                // tight for a legal detour. Count the fallback once and
+                // search the whole device so bounding can slow a route
+                // down but never lose one.
+                c_bbox_fallbacks.inc();
+                None
+            } else {
+                cfg.bbox_margin.and_then(|m| prep.search_box(m, dims))
+            };
             let mut maze_cfg = cfg.maze.clone();
+            let mut scratch = pool.lease(dev);
             // Re-route, sink by sink, reusing the tree.
             let mut net = RoutedNet {
                 spec: specs[i].clone(),
@@ -411,9 +534,8 @@ pub fn route_all_obs(
                     obs,
                 );
                 if result.is_none() && maze_cfg.bbox.is_some() {
-                    // The region was too tight for a legal detour — fall
-                    // back to the whole device so bounding can slow a
-                    // route down but never lose one.
+                    // Region too tight for this sink — fall back to the
+                    // whole device.
                     c_bbox_fallbacks.inc();
                     maze_cfg.bbox = None;
                     result = maze::search_obs(
@@ -442,8 +564,8 @@ pub fn route_all_obs(
                 // Node budget exhausted — leave unrouted this iteration;
                 // congestion relief may fix it next round.
                 any_failure = true;
-                prepared[i].grow = prepared[i].grow.saturating_add(HEX_SPAN);
-                h_bbox_growth.record(prepared[i].grow as u64);
+                let g = prepared[i].widen(HEX_SPAN);
+                h_bbox_growth.record(g as u64);
                 continue;
             }
             for seg in &net.segments {
@@ -480,8 +602,8 @@ pub fn route_all_obs(
             next.dedup();
             // A net that keeps coming back earns a wider search region.
             for &i in &next {
-                prepared[i].grow = prepared[i].grow.saturating_add(1);
-                h_bbox_growth.record(prepared[i].grow as u64);
+                let g = prepared[i].widen(1);
+                h_bbox_growth.record(g as u64);
             }
             dirty = next;
         }
@@ -507,6 +629,57 @@ pub fn route_all_obs(
         overused,
     })
 }
+
+/// One net's bounded sink-by-sink search for a wave worker, against a
+/// frozen congestion snapshot. Pure with respect to shared state —
+/// nothing is occupied or released here; the caller commits at the wave
+/// barrier. Returns the built route or `None` if any sink missed inside
+/// the region, plus the nodes expanded either way (partial effort still
+/// counts toward the E8 metric).
+#[allow(clippy::too_many_arguments)]
+fn route_bounded(
+    dev: &Device,
+    space: SegSpace,
+    cong: &Congestion,
+    pres_fac: u32,
+    prep: &PreparedNet,
+    bbox: BBox,
+    maze_cfg: &MazeConfig,
+    scratch: &mut MazeScratch,
+    obs: &Recorder,
+) -> RouteAttempt {
+    let mut mc = maze_cfg.clone();
+    mc.bbox = Some(bbox);
+    let mut pips = Vec::new();
+    let mut segments = Vec::new();
+    let mut starts = vec![(prep.src, 0u32)];
+    let mut nodes = 0usize;
+    for &goal in &prep.sinks {
+        let Some(r) = maze::search_obs(
+            dev,
+            &starts,
+            goal,
+            &mc,
+            |_| false, // overuse allowed; congestion is priced
+            |seg| cong.cost(space.index(seg), pres_fac),
+            scratch,
+            obs,
+        ) else {
+            return (None, nodes);
+        };
+        nodes += r.nodes_expanded;
+        for seg in &r.segments {
+            starts.push((*seg, 0));
+            segments.push(*seg);
+        }
+        pips.extend_from_slice(&r.pips);
+    }
+    (Some((pips, segments)), nodes)
+}
+
+/// Result of [`route_bounded`]: the built `(pips, segments)` when every
+/// sink was reached inside the region, plus nodes expanded.
+type RouteAttempt = (Option<(Vec<(RowCol, Pip)>, Vec<Segment>)>, usize);
 
 /// Program a legal PathFinder result into a bitstream.
 ///

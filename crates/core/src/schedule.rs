@@ -310,6 +310,55 @@ impl SchedulerKind {
     }
 }
 
+/// Wave-barrier dispatch: how the unified negotiated router executes
+/// one conflict-free wave of net searches.
+///
+/// A wave's tasks are mutually independent by construction (their
+/// search boxes are disjoint), so *what* they compute never depends on
+/// the schedule — only wall clock does. `run_wave` exploits that:
+/// results always come back sorted in task-submission order (the commit
+/// barrier wants a fixed order), tiny waves and `threads == 1` execute
+/// inline on the calling thread with zero spawn cost, and
+/// [`WaveExec::deterministic`] forces the inline path even for large
+/// waves, giving the service's deterministic mode a replayable
+/// single-consumer schedule (identical results, identical telemetry
+/// interleaving).
+#[derive(Debug, Clone, Copy)]
+pub struct WaveExec {
+    /// Worker threads available to a wave (clamped to the wave size).
+    pub threads: usize,
+    /// How a threaded wave's tasks are spread over the workers.
+    pub scheduler: SchedulerKind,
+    /// Execute every wave inline in task order on the calling thread,
+    /// regardless of `threads`.
+    pub deterministic: bool,
+}
+
+impl WaveExec {
+    /// Execute one wave. `tasks` must be distinct. Results are returned
+    /// in task-submission order whichever path ran.
+    pub fn run_wave<S, R, IS, W>(&self, tasks: &[u64], init: IS, work: W) -> SchedulerRun<R>
+    where
+        R: Send,
+        S: Send,
+        IS: Fn(usize) -> S + Sync,
+        W: Fn(&mut S, u64) -> R + Sync,
+    {
+        if self.deterministic || self.threads <= 1 || tasks.len() <= 1 {
+            let mut state = init(0);
+            return SchedulerRun {
+                results: tasks.iter().map(|&t| (t, work(&mut state, t))).collect(),
+                steals: 0,
+            };
+        }
+        let mut run = self.scheduler.run(self.threads, tasks, init, work);
+        let order: std::collections::HashMap<u64, usize> =
+            tasks.iter().enumerate().map(|(k, &t)| (t, k)).collect();
+        run.results.sort_by_key(|(t, _)| order[t]);
+        run
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +453,31 @@ mod tests {
             exercise(kind, 4, 0);
             exercise(kind, 4, 1);
             exercise(kind, 1, 5);
+        }
+    }
+
+    #[test]
+    fn run_wave_returns_results_in_task_order() {
+        let tasks: Vec<u64> = [9u64, 3, 7, 1, 5, 0, 8, 2, 6, 4].to_vec();
+        for (threads, deterministic) in [(1, false), (4, false), (4, true)] {
+            let exec = WaveExec {
+                threads,
+                scheduler: SchedulerKind::default(),
+                deterministic,
+            };
+            let run = exec.run_wave(
+                &tasks,
+                |_| (),
+                |_, t| {
+                    if t % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    t * 10
+                },
+            );
+            let got: Vec<(u64, u64)> = run.results;
+            let want: Vec<(u64, u64)> = tasks.iter().map(|&t| (t, t * 10)).collect();
+            assert_eq!(got, want, "threads={threads} det={deterministic}");
         }
     }
 

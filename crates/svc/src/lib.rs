@@ -55,6 +55,7 @@ pub use trace::{ReplaySummary, Trace, TraceError, TraceId, TraceOp, TraceReq};
 use exec::{Batch, Done, PrepKind, TaskDone, BATCH_BASE};
 use jroute::maze::MazeConfig;
 use jroute::parallel::{ClaimTable, ParallelNet};
+use jroute::pathfinder::{self, NetSpec, PathFinderConfig, PathFinderResult};
 use jroute::{NetDb, NetId};
 use jroute_obs::{Aggregator, Counter, Gauge, Histo, Recorder};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -185,6 +186,19 @@ impl<'d> RoutingService<'d> {
                 "pathfinder.nets_rerouted",
                 obs.counter("pathfinder.nets_rerouted"),
             );
+            // Wave telemetry from the unified partition-parallel engine:
+            // how many barriers each negotiation needed, how wide its
+            // waves ran, and how many nets the partitioner had to
+            // serialize (straddlers + cliques).
+            w.track_counter("pathfinder.waves", obs.counter("pathfinder.waves"));
+            w.track_counter(
+                "pathfinder.partition_conflicts",
+                obs.counter("pathfinder.partition_conflicts"),
+            );
+            w.track_histogram(
+                "pathfinder.wave_size",
+                obs.histogram("pathfinder.wave_size"),
+            );
             w
         });
         RoutingService {
@@ -222,6 +236,30 @@ impl<'d> RoutingService<'d> {
     /// The recorder batches report through.
     pub fn recorder(&self) -> &Recorder {
         &self.obs
+    }
+
+    /// Run the unified partition-parallel negotiator over `specs` under
+    /// the service's execution policy: the service's worker count, and
+    /// the inline replayable wave schedule when the service runs in
+    /// [`ExecMode::Deterministic`] (results are identical either way —
+    /// the engine is deterministic by construction — but the schedule,
+    /// and hence the telemetry interleaving, is pinned).
+    ///
+    /// This is how `Replace`-heavy scenarios cross-check their live
+    /// demand (see the churn workload): the negotiation shares the
+    /// service recorder, so its wave/search telemetry lands in the same
+    /// rolling window the tuner reads.
+    pub fn negotiate(
+        &self,
+        specs: &[NetSpec],
+        cfg: &PathFinderConfig,
+    ) -> jroute::Result<PathFinderResult> {
+        let cfg = PathFinderConfig {
+            threads: self.cfg.threads,
+            deterministic: matches!(self.cfg.mode, ExecMode::Deterministic { .. }),
+            ..cfg.clone()
+        };
+        pathfinder::route_all_obs(self.dev, specs, &cfg, &self.obs)
     }
 
     /// The rolling per-batch time-series (one sample appended at the end

@@ -62,17 +62,23 @@ impl Codec for Dir {
     }
 }
 
+/// Tag order for the `Family` binary form: the real parts first (their
+/// tags predate the synthetic tier and must not move), the synthetic
+/// super-Virtex rows appended after. Append only.
+fn family_tag_table() -> impl Iterator<Item = Family> {
+    Family::ALL.into_iter().chain(Family::SYNTHETIC)
+}
+
 impl Codec for Family {
     fn encode(&self, out: &mut Vec<u8>) {
-        let idx = Family::ALL
-            .iter()
-            .position(|f| f == self)
-            .expect("family in ALL");
+        let idx = family_tag_table()
+            .position(|f| f == *self)
+            .expect("family in tag table");
         out.push(idx as u8);
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
-        Family::ALL.get(take_u8(input)? as usize).copied()
+        family_tag_table().nth(take_u8(input)? as usize)
     }
 }
 
@@ -183,10 +189,9 @@ fn parse_err(what: &'static str, input: &str) -> ParseError {
 impl std::str::FromStr for Family {
     type Err = ParseError;
 
-    /// Inverse of [`Family::name`], e.g. `"XCV300"`.
+    /// Inverse of [`Family::name`], e.g. `"XCV300"` or `"SUPER4"`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Family::ALL
-            .into_iter()
+        family_tag_table()
             .find(|f| f.name().eq_ignore_ascii_case(s.trim()))
             .ok_or_else(|| parse_err("family name", s))
     }
@@ -255,12 +260,23 @@ mod tests {
         for d in Dir::ALL {
             round_trip(d);
         }
-        for f in Family::ALL {
+        for f in Family::ALL.into_iter().chain(Family::SYNTHETIC) {
             round_trip(f);
         }
         for t in TEMPLATE_VALUES {
             round_trip(t);
         }
+    }
+
+    #[test]
+    fn family_tags_are_append_only() {
+        // Real parts keep their pre-synthetic tags; the synthetic tier
+        // extends the table without renumbering.
+        assert_eq!(Family::Xcv50.to_bytes(), vec![0]);
+        assert_eq!(Family::Xcv1000.to_bytes(), vec![7]);
+        assert_eq!(Family::Super2.to_bytes(), vec![8]);
+        assert_eq!(Family::Super8.to_bytes(), vec![10]);
+        assert_eq!(Family::from_bytes(&[11]), None);
     }
 
     #[test]
@@ -316,10 +332,11 @@ mod tests {
 
     #[test]
     fn text_round_trips_display_forms() {
-        for f in Family::ALL {
+        for f in Family::ALL.into_iter().chain(Family::SYNTHETIC) {
             assert_eq!(f.to_string().parse::<Family>().unwrap(), f);
         }
         assert_eq!("xcv50".parse::<Family>().unwrap(), Family::Xcv50);
+        assert_eq!("super4".parse::<Family>().unwrap(), Family::Super4);
         for rc in [RowCol::new(0, 0), RowCol::new(12, 34)] {
             assert_eq!(rc.to_string().parse::<RowCol>().unwrap(), rc);
         }

@@ -5,6 +5,15 @@
 //! family (XCV50 … XCV1000). Only the CLB array geometry matters to
 //! JRoute; package/IOB data is out of scope (paper §6 lists IOB support as
 //! future work).
+//!
+//! Beyond the real parts, the table carries a *synthetic* super-Virtex
+//! tier ([`Family::SYNTHETIC`]): the same 2:3 CLB aspect ratio continued
+//! to 2–8× the XCV1000 tile count. No such silicon existed; the members
+//! exist so the scaling experiments (E10/E15/E18) can measure router
+//! behaviour past the largest real array, where partition-parallel
+//! negotiation actually earns its cost. They are deliberately kept out
+//! of [`Family::ALL`]: census-style experiments that sweep "the Virtex
+//! family" mean the parts the paper names.
 
 use crate::geometry::Dims;
 
@@ -27,10 +36,18 @@ pub enum Family {
     Xcv800,
     /// 64 x 96 CLBs — the largest Virtex array (XCV1000-class).
     Xcv1000,
+    /// 90 x 135 CLBs — synthetic, ~2× the XCV1000 tile count.
+    Super2,
+    /// 128 x 192 CLBs — synthetic, 4× the XCV1000 tile count.
+    Super4,
+    /// 180 x 270 CLBs — synthetic, ~8× the XCV1000 tile count.
+    Super8,
 }
 
 impl Family {
-    /// All family members, smallest first.
+    /// All *real* family members, smallest first. Synthetic super-Virtex
+    /// rows live in [`Family::SYNTHETIC`] instead, so sweeps over "the
+    /// family the paper describes" stay exactly that.
     pub const ALL: [Family; 8] = [
         Family::Xcv50,
         Family::Xcv100,
@@ -41,6 +58,9 @@ impl Family {
         Family::Xcv800,
         Family::Xcv1000,
     ];
+
+    /// The synthetic super-Virtex tier, smallest first.
+    pub const SYNTHETIC: [Family; 3] = [Family::Super2, Family::Super4, Family::Super8];
 
     /// CLB array dimensions.
     pub const fn dims(self) -> Dims {
@@ -53,10 +73,13 @@ impl Family {
             Family::Xcv600 => Dims::new(48, 72),
             Family::Xcv800 => Dims::new(56, 84),
             Family::Xcv1000 => Dims::new(64, 96),
+            Family::Super2 => Dims::new(90, 135),
+            Family::Super4 => Dims::new(128, 192),
+            Family::Super8 => Dims::new(180, 270),
         }
     }
 
-    /// Marketing-style name.
+    /// Marketing-style name (invented for the synthetic tier).
     pub const fn name(self) -> &'static str {
         match self {
             Family::Xcv50 => "XCV50",
@@ -67,7 +90,15 @@ impl Family {
             Family::Xcv600 => "XCV600",
             Family::Xcv800 => "XCV800",
             Family::Xcv1000 => "XCV1000",
+            Family::Super2 => "SUPER2",
+            Family::Super4 => "SUPER4",
+            Family::Super8 => "SUPER8",
         }
+    }
+
+    /// Whether this member is one of the synthetic super-Virtex rows.
+    pub const fn is_synthetic(self) -> bool {
+        matches!(self, Family::Super2 | Family::Super4 | Family::Super8)
     }
 }
 
@@ -91,7 +122,7 @@ mod tests {
     #[test]
     fn families_are_strictly_increasing() {
         let mut prev = 0usize;
-        for f in Family::ALL {
+        for f in Family::ALL.into_iter().chain(Family::SYNTHETIC) {
             let t = f.dims().tiles();
             assert!(t > prev, "{f} not larger than its predecessor");
             prev = t;
@@ -100,9 +131,23 @@ mod tests {
 
     #[test]
     fn aspect_ratio_is_2_to_3() {
-        for f in Family::ALL {
+        for f in Family::ALL.into_iter().chain(Family::SYNTHETIC) {
             let d = f.dims();
             assert_eq!(d.rows as u32 * 3, d.cols as u32 * 2, "{f} aspect ratio");
         }
+    }
+
+    #[test]
+    fn synthetic_tier_scales_past_the_largest_real_part() {
+        let base = Family::Xcv1000.dims().tiles();
+        assert!(Family::ALL.iter().all(|f| !f.is_synthetic()));
+        assert!(Family::SYNTHETIC.iter().all(|f| f.is_synthetic()));
+        let factors: Vec<usize> = Family::SYNTHETIC
+            .iter()
+            .map(|f| f.dims().tiles() / base)
+            .collect();
+        assert_eq!(factors, vec![1, 4, 7], "~2x / 4x / ~8x the XCV1000");
+        assert!(Family::Super2.dims().tiles() >= base * 19 / 10);
+        assert!(Family::Super8.dims().tiles() >= base * 79 / 10);
     }
 }

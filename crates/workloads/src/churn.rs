@@ -31,7 +31,7 @@
 //! applies the derived maze budget to the service for subsequent steps.
 
 use detrand::DetRng;
-use jroute::pathfinder::{self, NetSpec, PathFinderConfig, PathFinderResult};
+use jroute::pathfinder::{NetSpec, PathFinderConfig, PathFinderResult};
 use jroute::tuner::TunerReport;
 use jroute::Pin;
 use jroute_cores::floorplan::{Floorplan, Region, RegionId};
@@ -255,17 +255,13 @@ impl<'d> ChurnScenario<'d> {
         self.step
     }
 
-    /// Run the PathFinder negotiator over the live nets (a from-scratch
-    /// legality cross-check of the scenario's current demand, through
-    /// the service's recorder so its search telemetry lands in the same
-    /// window the tuner reads).
+    /// Run the unified PathFinder negotiator over the live nets (a
+    /// from-scratch legality cross-check of the scenario's current
+    /// demand) through the service — which applies its thread count and
+    /// deterministic policy, and whose recorder catches the wave/search
+    /// telemetry in the same window the tuner reads.
     pub fn negotiate(&self, cfg: &PathFinderConfig) -> jroute::Result<PathFinderResult> {
-        pathfinder::route_all_obs(
-            self.svc.device(),
-            &self.live_specs(),
-            cfg,
-            self.svc.recorder(),
-        )
+        self.svc.negotiate(&self.live_specs(), cfg)
     }
 
     /// Fold the recorder's current window through the tuner and apply

@@ -36,6 +36,13 @@ grep -q '"id": "e15/incremental_' target/bench-json/BENCH_e15_convergence.json
 grep -q '"id": "e15/full_ripup_' target/bench-json/BENCH_e15_convergence.json
 echo "    wrote target/bench-json/BENCH_e15_convergence.json"
 
+echo "==> bench smoke: e18_partition (partition-parallel negotiation on SUPER4)"
+BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 JROUTE_THREADS=1,2 \
+    cargo bench --offline --bench e18_partition
+test -s target/bench-json/BENCH_e18_partition.json
+grep -q '"id": "e18/negotiate_super4_' target/bench-json/BENCH_e18_partition.json
+echo "    wrote target/bench-json/BENCH_e18_partition.json"
+
 echo "==> bench smoke: e16_scenarios (trace replay + tuned-vs-static adversarial)"
 BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 \
     cargo bench --offline --bench e16_scenarios
@@ -83,16 +90,16 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     exported_quickstart_json_is_valid_when_pointed_at
 
 # Opt-in bench regression gate: regenerate every experiment the
-# checked-in baseline covers (e1–e17), then diff medians against
+# checked-in baseline covers (e1–e18), then diff medians against
 # bench-baseline/, failing on regressions past --max-regress
 # (BENCH_MAX_REGRESS, default 10%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1..e17 vs bench-baseline/"
+    echo "==> bench regression gate: e1..e18 vs bench-baseline/"
     for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
         e5_rtr_replace e6_reverse_unroute e7_contention \
         e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
         e11_core_compose e12_parallel e13_timing e14_service \
-        e15_convergence e16_scenarios e17_obs_overhead; do
+        e15_convergence e16_scenarios e17_obs_overhead e18_partition; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done

@@ -677,3 +677,147 @@ fn adversarial_generators_uphold_the_netlist_contract() {
         },
     );
 }
+
+/// Partitioner invariants: for any set of boxes, the wave plan covers
+/// every input exactly once, boxes within a wave are pairwise disjoint,
+/// and bisection terminates even when every box overlaps every other
+/// (the all-overlapping clique degrades to singleton waves).
+#[test]
+fn wave_partition_covers_and_separates() {
+    use jroute::partition::{disjoint, partition_waves};
+    use virtex::BBox;
+
+    harness::check("wave_partition_covers_and_separates", |rng| {
+        let n = rng.gen_range(0usize..40);
+        let clique = rng.gen_range(0u32..4) == 0;
+        let boxes: Vec<BBox> = (0..n)
+            .map(|_| {
+                if clique {
+                    // Force the pathological case: every box contains the
+                    // tile (50, 50), so no cut can separate anything.
+                    let r0 = rng.gen_range(0u16..=50);
+                    let c0 = rng.gen_range(0u16..=50);
+                    BBox {
+                        min: RowCol::new(r0, c0),
+                        max: RowCol::new(rng.gen_range(50u16..100), rng.gen_range(50u16..100)),
+                    }
+                } else {
+                    let r0 = rng.gen_range(0u16..90);
+                    let c0 = rng.gen_range(0u16..140);
+                    BBox {
+                        min: RowCol::new(r0, c0),
+                        max: RowCol::new(
+                            r0 + rng.gen_range(0u16..12),
+                            c0 + rng.gen_range(0u16..12),
+                        ),
+                    }
+                }
+            })
+            .collect();
+        let plan = partition_waves(&boxes);
+        // Coverage: every index in exactly one wave.
+        let mut seen = vec![0usize; n];
+        for wave in &plan.waves {
+            for (a, &i) in wave.iter().enumerate() {
+                seen[i] += 1;
+                // Disjointness within the wave.
+                for &j in &wave[a + 1..] {
+                    assert!(
+                        disjoint(boxes[i], boxes[j]),
+                        "wave holds overlapping boxes {i}={:?} and {j}={:?}",
+                        boxes[i],
+                        boxes[j]
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage broken: {seen:?}");
+        if clique && n > 1 {
+            assert_eq!(
+                plan.waves.len(),
+                n,
+                "an all-overlapping clique must fully serialize"
+            );
+        }
+    });
+}
+
+/// The partition-parallel engine is determinism-by-construction: for any
+/// workload, routing with 1, 4 and 8 workers produces identical results
+/// — same legality, same iteration count, same final overuse, and the
+/// same net-by-net segment census (which is itself contention-free).
+#[test]
+fn partition_parallel_matches_sequential_incremental() {
+    use jroute::pathfinder::{self, PathFinderConfig, PathFinderResult};
+    use jroute_workloads::{random_netlist, window_netlist, NetlistParams};
+
+    fn census_key(r: &PathFinderResult) -> Vec<Vec<virtex::Segment>> {
+        r.nets.iter().map(|n| n.segments.clone()).collect()
+    }
+
+    harness::check_with(
+        "partition_parallel_matches_sequential_incremental",
+        6,
+        |rng| {
+            let dev = dev();
+            let mut net_rng = DetRng::seed_from_u64(rng.next_u64());
+            let mut specs = random_netlist(
+                &dev,
+                &NetlistParams {
+                    nets: rng.gen_range(4usize..8),
+                    max_fanout: 2,
+                    max_span: Some(5),
+                },
+                &mut net_rng,
+            );
+            let hot = rng.gen_range(4usize..9);
+            specs.extend(window_netlist(
+                &dev,
+                hot,
+                3,
+                RowCol::new(8, 12),
+                &mut net_rng,
+            ));
+
+            let seq = pathfinder::route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
+            for workers in [4usize, 8] {
+                let par = pathfinder::route_all(
+                    &dev,
+                    &specs,
+                    &PathFinderConfig {
+                        threads: workers,
+                        ..PathFinderConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(seq.legal, par.legal, "{workers} workers: legality differs");
+                assert_eq!(
+                    seq.iterations, par.iterations,
+                    "{workers} workers: iteration count differs"
+                );
+                assert_eq!(
+                    seq.overused, par.overused,
+                    "{workers} workers: final overuse differs"
+                );
+                assert_eq!(
+                    census_key(&seq),
+                    census_key(&par),
+                    "{workers} workers: segment census differs"
+                );
+            }
+            // The shared census is contention-free when legal.
+            if seq.legal {
+                let mut owner = std::collections::HashMap::new();
+                for (i, net) in seq.nets.iter().enumerate() {
+                    for &seg in &net.segments {
+                        let prev = owner.insert(seg, i);
+                        assert!(
+                            prev.is_none_or(|p| p == i),
+                            "segment {seg} shared by nets {prev:?} and {i}"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
