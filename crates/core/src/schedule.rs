@@ -359,6 +359,98 @@ impl WaveExec {
     }
 }
 
+/// A shared pool of worker threads divided among concurrent batch
+/// executors.
+///
+/// The multi-tenant service front-end (`jroute-svc::server`) runs one
+/// routing executor per tenant, each of which would happily spin up its
+/// own full-width worker set — oversubscribing the machine by the tenant
+/// count. A `ThreadBudget` caps the *sum* of concurrently leased workers
+/// at `total`: each executor takes a [`ThreadLease`] for the duration of
+/// one batch and sizes its scheduler to the granted width.
+///
+/// Grants never block and never return zero: when the pool is
+/// oversubscribed a lease is clamped down, but always to at least one
+/// worker, so every tenant keeps making progress (liveness over
+/// fairness). Because of that floor the in-flight sum may transiently
+/// exceed `total` under heavy contention — the budget is a throttle, not
+/// a hard mutex.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    used: AtomicU64,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` workers (clamped to at least 1).
+    pub fn new(total: usize) -> Self {
+        ThreadBudget {
+            total: total.max(1),
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured pool width.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Workers currently out on leases (racy snapshot).
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.used.load(Ordering::SeqCst) as usize
+    }
+
+    /// Lease up to `want` workers. The grant is
+    /// `clamp(total - in_use, 1, want)`: full width while the pool is
+    /// idle, shrinking as siblings hold leases, never below one. The
+    /// grant is returned to the pool when the [`ThreadLease`] drops.
+    pub fn lease(self: &std::sync::Arc<Self>, want: usize) -> ThreadLease {
+        let want = want.max(1);
+        let granted = loop {
+            let used = self.used.load(Ordering::SeqCst);
+            let free = self.total.saturating_sub(used as usize);
+            let grant = free.clamp(1, want) as u64;
+            if self
+                .used
+                .compare_exchange(used, used + grant, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break grant as usize;
+            }
+        };
+        ThreadLease {
+            budget: std::sync::Arc::clone(self),
+            granted,
+        }
+    }
+}
+
+/// RAII grant from a [`ThreadBudget`]; the granted width flows back to
+/// the pool on drop.
+#[derive(Debug)]
+pub struct ThreadLease {
+    budget: std::sync::Arc<ThreadBudget>,
+    granted: usize,
+}
+
+impl ThreadLease {
+    /// Number of workers this lease grants (always ≥ 1).
+    #[inline]
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for ThreadLease {
+    fn drop(&mut self) {
+        self.budget
+            .used
+            .fetch_sub(self.granted as u64, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +571,34 @@ mod tests {
             let want: Vec<(u64, u64)> = tasks.iter().map(|&t| (t, t * 10)).collect();
             assert_eq!(got, want, "threads={threads} det={deterministic}");
         }
+    }
+
+    #[test]
+    fn thread_budget_grants_shrink_under_load_and_recover() {
+        let budget = std::sync::Arc::new(ThreadBudget::new(8));
+        assert_eq!(budget.total(), 8);
+        let a = budget.lease(8);
+        assert_eq!(a.granted(), 8, "idle pool grants full width");
+        let b = budget.lease(4);
+        assert_eq!(b.granted(), 1, "exhausted pool still grants one");
+        drop(a);
+        let c = budget.lease(4);
+        assert_eq!(c.granted(), 4, "released width is reusable");
+        let d = budget.lease(8);
+        assert_eq!(d.granted(), 3, "partial pool grants the remainder");
+        drop(b);
+        drop(c);
+        drop(d);
+        assert_eq!(budget.in_use(), 0, "all leases returned");
+        assert_eq!(budget.lease(3).granted(), 3);
+    }
+
+    #[test]
+    fn thread_budget_never_grants_zero() {
+        let budget = std::sync::Arc::new(ThreadBudget::new(1));
+        let held: Vec<ThreadLease> = (0..5).map(|_| budget.lease(4)).collect();
+        assert!(held.iter().all(|l| l.granted() >= 1));
+        assert_eq!(budget.lease(0).granted(), 1, "want is floored at one");
     }
 
     #[test]

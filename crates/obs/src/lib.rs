@@ -50,7 +50,7 @@ pub mod window;
 
 pub use export_chrome::{chrome_trace_json, write_chrome_trace};
 pub use hist::Histogram;
-pub use registry::{prometheus_text, Counter, Gauge, Histo};
+pub use registry::{labeled, prometheus_text, Counter, Gauge, Histo};
 pub use report::{HistRow, Report, SpanStat};
 pub use rotate::RotatingFileSink;
 pub use tracectx::TraceCtx;
@@ -333,8 +333,9 @@ impl Recorder {
 
     /// Resolve a typed sharded [`Counter`] handle (see [`registry`]).
     /// Resolution takes a lock; recording through the handle never does.
-    /// Disabled recorders hand out inert handles.
-    pub fn counter(&self, name: &'static str) -> Counter {
+    /// Disabled recorders hand out inert handles. Names may be composed
+    /// at run time (see [`labeled`] for per-tenant families).
+    pub fn counter(&self, name: &str) -> Counter {
         match &self.inner {
             None => Counter::disabled(),
             Some(shared) => shared.registry.counter(name),
@@ -342,7 +343,7 @@ impl Recorder {
     }
 
     /// Resolve a typed [`Gauge`] handle (see [`registry`]).
-    pub fn gauge(&self, name: &'static str) -> Gauge {
+    pub fn gauge(&self, name: &str) -> Gauge {
         match &self.inner {
             None => Gauge::disabled(),
             Some(shared) => shared.registry.gauge(name),
@@ -350,7 +351,7 @@ impl Recorder {
     }
 
     /// Resolve a typed sharded [`Histo`] handle (see [`registry`]).
-    pub fn histogram(&self, name: &'static str) -> Histo {
+    pub fn histogram(&self, name: &str) -> Histo {
         match &self.inner {
             None => Histo::disabled(),
             Some(shared) => shared.registry.histogram(name),

@@ -287,44 +287,55 @@ impl Histo {
 
 /// Per-recorder registry of named metric cores. The mutexes guard only
 /// registration (resolve-once, cold); recording never takes them.
+/// Metric names are owned strings so dynamically composed families —
+/// the per-tenant labelled names minted by [`labeled`] — register as
+/// first-class metrics alongside the `&'static str` literals the hot
+/// paths use. Registration is cold (resolve-once), so the lookup
+/// allocation is irrelevant.
 #[derive(Debug, Default)]
 pub(crate) struct Registry {
-    counters: Mutex<BTreeMap<&'static str, Arc<CounterCore>>>,
-    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
-    histos: Mutex<BTreeMap<&'static str, Arc<HistoCore>>>,
+    counters: Mutex<BTreeMap<String, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histos: Mutex<BTreeMap<String, Arc<HistoCore>>>,
 }
 
 impl Registry {
-    pub(crate) fn counter(&self, name: &'static str) -> Counter {
-        let core = Arc::clone(
-            self.counters
-                .lock()
-                .unwrap()
-                .entry(name)
-                .or_insert_with(|| Arc::new(CounterCore::new())),
-        );
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        let core = match map.get(name) {
+            Some(core) => Arc::clone(core),
+            None => {
+                let core = Arc::new(CounterCore::new());
+                map.insert(name.to_string(), Arc::clone(&core));
+                core
+            }
+        };
         Counter::from_core(core)
     }
 
-    pub(crate) fn gauge(&self, name: &'static str) -> Gauge {
-        let core = Arc::clone(
-            self.gauges
-                .lock()
-                .unwrap()
-                .entry(name)
-                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
-        );
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        let core = match map.get(name) {
+            Some(core) => Arc::clone(core),
+            None => {
+                let core = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&core));
+                core
+            }
+        };
         Gauge::from_core(core)
     }
 
-    pub(crate) fn histogram(&self, name: &'static str) -> Histo {
-        let core = Arc::clone(
-            self.histos
-                .lock()
-                .unwrap()
-                .entry(name)
-                .or_insert_with(|| Arc::new(HistoCore::new())),
-        );
+    pub(crate) fn histogram(&self, name: &str) -> Histo {
+        let mut map = self.histos.lock().unwrap();
+        let core = match map.get(name) {
+            Some(core) => Arc::clone(core),
+            None => {
+                let core = Arc::new(HistoCore::new());
+                map.insert(name.to_string(), Arc::clone(&core));
+                core
+            }
+        };
         Histo::from_core(core)
     }
 
@@ -384,19 +395,60 @@ impl Registry {
 // Prometheus-style exposition
 // ----------------------------------------------------------------------
 
+/// Compose a labelled metric name: `labeled("svc.server.depth",
+/// "tenant", 3)` → `svc.server.depth{tenant="3"}`. The result is an
+/// ordinary registry name — resolve handles through it as usual — and
+/// [`prometheus_text`] renders the label block natively, grouping every
+/// labelled sibling under one `# TYPE` family header.
+pub fn labeled(family: &str, label: &str, value: impl std::fmt::Display) -> String {
+    format!("{family}{{{label}=\"{value}\"}}")
+}
+
 /// Sanitize a metric name into the Prometheus charset and prefix it:
-/// `maze.nodes_expanded` → `jroute_maze_nodes_expanded`.
+/// `maze.nodes_expanded` → `jroute_maze_nodes_expanded`. A
+/// `family{label="v"}` name (see [`labeled`]) has only its family part
+/// sanitized; the label block is carried through verbatim.
 fn prom_name(name: &str) -> String {
+    let (base, labels) = match name.find('{') {
+        Some(at) => name.split_at(at),
+        None => (name, ""),
+    };
     let mut out = String::with_capacity(7 + name.len());
     out.push_str("jroute_");
-    for c in name.chars() {
+    for c in base.chars() {
         if c.is_ascii_alphanumeric() {
             out.push(c);
         } else {
             out.push('_');
         }
     }
+    out.push_str(labels);
     out
+}
+
+/// The `# TYPE`-family key of a (possibly labelled) prom name: the part
+/// before any label block.
+fn prom_family(prom: &str) -> &str {
+    prom.split('{').next().unwrap_or(prom)
+}
+
+/// Append `suffix` to a prom name, *inside* the base: for a labelled
+/// summary, `_sum`/`_count` attach to the family, keeping the labels —
+/// `f{t="0"}` + `_sum` → `f_sum{t="0"}`.
+fn prom_suffixed(prom: &str, suffix: &str) -> String {
+    match prom.find('{') {
+        Some(at) => format!("{}{}{}", &prom[..at], suffix, &prom[at..]),
+        None => format!("{prom}{suffix}"),
+    }
+}
+
+/// Merge an extra `key="value"` pair into a prom name's label block,
+/// creating the block when absent.
+fn prom_with_label(prom: &str, key: &str, value: &str) -> String {
+    match prom.strip_suffix('}') {
+        Some(head) => format!("{head},{key}=\"{value}\"}}"),
+        None => format!("{prom}{{{key}=\"{value}\"}}"),
+    }
 }
 
 /// Render a report as a Prometheus text-format exposition snapshot:
@@ -407,8 +459,17 @@ fn prom_name(name: &str) -> String {
 /// compatible scraper or for `promtool check metrics`.
 pub fn prometheus_text(report: &Report) -> String {
     let mut s = String::new();
+    // One `# TYPE` header per family: labelled siblings
+    // (`f{tenant="0"}`, `f{tenant="1"}`) share a family and must not
+    // repeat the header.
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut type_line = |s: &mut String, family: &str, kind: &str| {
+        if typed.insert(family.to_string()) {
+            s.push_str(&format!("# TYPE {family} {kind}\n"));
+        }
+    };
     if report.epoch_unix_nanos != 0 {
-        s.push_str("# TYPE jroute_epoch_unix_nanos gauge\n");
+        type_line(&mut s, "jroute_epoch_unix_nanos", "gauge");
         s.push_str(&format!(
             "jroute_epoch_unix_nanos {}\n",
             report.epoch_unix_nanos
@@ -416,27 +477,30 @@ pub fn prometheus_text(report: &Report) -> String {
     }
     for (name, v) in &report.counters {
         let n = prom_name(name);
-        s.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        type_line(&mut s, prom_family(&n), "counter");
+        s.push_str(&format!("{n} {v}\n"));
     }
     for row in &report.hists {
         let n = prom_name(&row.name);
         let h = &row.hist;
-        s.push_str(&format!("# TYPE {n} summary\n"));
+        type_line(&mut s, prom_family(&n), "summary");
         for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
-            s.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            s.push_str(&format!("{} {v}\n", prom_with_label(&n, "quantile", q)));
         }
-        s.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+        s.push_str(&format!(
+            "{} {}\n{} {}\n",
+            prom_suffixed(&n, "_sum"),
+            h.sum(),
+            prom_suffixed(&n, "_count"),
+            h.count()
+        ));
     }
     for (name, st) in &report.span_stats {
         let n = prom_name(&format!("span.{name}"));
-        s.push_str(&format!(
-            "# TYPE {n}_count counter\n{n}_count {}\n",
-            st.count
-        ));
-        s.push_str(&format!(
-            "# TYPE {n}_ns_total counter\n{n}_ns_total {}\n",
-            st.total_ns
-        ));
+        type_line(&mut s, &format!("{n}_count"), "counter");
+        s.push_str(&format!("{n}_count {}\n", st.count));
+        type_line(&mut s, &format!("{n}_ns_total"), "counter");
+        s.push_str(&format!("{n}_ns_total {}\n", st.total_ns));
     }
     s
 }
@@ -539,6 +603,35 @@ mod tests {
         assert_eq!(h.snapshot().count(), 0);
         c.add(1); // the old handle still feeds the recorder
         assert_eq!(rec.report().counter("n"), Some(1));
+    }
+
+    #[test]
+    fn labeled_names_register_and_expose_as_one_family() {
+        let rec = Recorder::enabled();
+        rec.counter(&labeled("svc.server.submitted", "tenant", 0))
+            .add(7);
+        rec.counter(&labeled("svc.server.submitted", "tenant", 1))
+            .add(9);
+        rec.histogram(&labeled("svc.server.request_ns", "tenant", 0))
+            .record(1000);
+        let text = prometheus_text(&rec.report());
+        assert!(text.contains("jroute_svc_server_submitted{tenant=\"0\"} 7\n"));
+        assert!(text.contains("jroute_svc_server_submitted{tenant=\"1\"} 9\n"));
+        assert_eq!(
+            text.matches("# TYPE jroute_svc_server_submitted counter\n")
+                .count(),
+            1,
+            "labelled siblings share one TYPE header"
+        );
+        assert!(text.contains("jroute_svc_server_request_ns{tenant=\"0\",quantile=\"0.5\"}"));
+        assert!(text.contains("jroute_svc_server_request_ns_sum{tenant=\"0\"}"));
+        assert!(text.contains("jroute_svc_server_request_ns_count{tenant=\"0\"} 1\n"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 
     #[test]

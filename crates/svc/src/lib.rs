@@ -44,11 +44,16 @@
 mod exec;
 pub mod model;
 mod request;
+pub mod server;
 pub mod trace;
 
 pub use request::{
     BatchReport, CancelToken, Deadline, LogEntry, QueueFull, Reject, Request, RequestId,
-    RequestKind, RequestOutcome,
+    RequestKind, RequestOutcome, TenantId,
+};
+pub use server::{
+    serve, FaultPlan, ServerClient, ServerConfig, ServerLogEntry, ServerOutcome, ServerReport,
+    TenantHandle, TenantReport, Ticket,
 };
 pub use trace::{ReplaySummary, Trace, TraceError, TraceId, TraceOp, TraceReq};
 
@@ -233,6 +238,16 @@ impl<'d> RoutingService<'d> {
         self.cfg.maze = maze;
     }
 
+    /// Resize the worker set future batches schedule over — how the
+    /// multi-tenant server applies its per-batch [`ThreadBudget`]
+    /// lease. Never changes deterministic-mode results *within* a fixed
+    /// width; the server only calls it in threaded mode.
+    ///
+    /// [`ThreadBudget`]: jroute::schedule::ThreadBudget
+    pub(crate) fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads.max(1);
+    }
+
     /// The recorder batches report through.
     pub fn recorder(&self) -> &Recorder {
         &self.obs
@@ -293,6 +308,22 @@ impl<'d> RoutingService<'d> {
         priority: u8,
         deadline: Option<Deadline>,
     ) -> Result<(RequestId, CancelToken), QueueFull> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.submit_injected(kind, priority, deadline, Arc::clone(&cancel))
+            .map(|id| (id, CancelToken(cancel)))
+    }
+
+    /// Submission with a caller-supplied cancellation flag — the server
+    /// front-end mints the flag at admission time (so a request can be
+    /// cancelled while still in the server's queue, before it ever
+    /// reaches this service) and injects it here when the batch forms.
+    pub(crate) fn submit_injected(
+        &mut self,
+        kind: RequestKind,
+        priority: u8,
+        deadline: Option<Deadline>,
+        cancel: Arc<AtomicBool>,
+    ) -> Result<RequestId, QueueFull> {
         if self.pending.len() >= self.cfg.queue_capacity {
             return Err(QueueFull {
                 capacity: self.cfg.queue_capacity,
@@ -305,21 +336,20 @@ impl<'d> RoutingService<'d> {
         // continuations — links back to this span's trace id.
         let mut root = self.obs.span_root("svc.request");
         root.note(id);
-        let cancel = Arc::new(AtomicBool::new(false));
         self.pending.push_back(Request {
             id,
             priority,
             deadline,
             kind,
             seq: self.next_seq,
-            cancel: Arc::clone(&cancel),
+            cancel,
             ctx: root.ctx(),
         });
         self.next_seq += 1;
         self.obs
             .record("svc.queue_depth", self.pending.len() as u64);
         self.meters.queue_depth.set(self.pending.len() as u64);
-        Ok((id, CancelToken(cancel)))
+        Ok(id)
     }
 
     /// Cancellation token for a queued request (e.g. when the id came

@@ -13,6 +13,12 @@ use std::time::Duration;
 /// them.
 pub type RequestId = u64;
 
+/// Tenant identifier in the multi-tenant server front-end
+/// ([`server`](crate::server)): an index into the server's device list.
+/// Tenant 0 is the implicit tenant of every single-tenant artifact —
+/// legacy `.jrt` traces load as tenant 0.
+pub type TenantId = u16;
+
 /// What a request asks the service to do.
 #[derive(Debug, Clone)]
 pub enum RequestKind {

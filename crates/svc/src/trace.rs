@@ -15,13 +15,14 @@
 //! Little-endian, fixed-width, append-only:
 //!
 //! ```text
-//! magic  b"JRT1"
+//! magic  b"JRT1" (untagged) or b"JRT2" (tenant-tagged)
 //! family Family codec (1 byte)
 //! u32    batch count
 //! per batch:
 //!   u32  request count
 //!   per request:
 //!     u8   priority
+//!     u16  tenant            (JRT2 only)
 //!     u8   deadline tag: 0 = none, 1 = Steps(u64 LE)
 //!     u8   op tag: 0 = Route, 1 = Unroute, 2 = Replace
 //!     Route:   NetSpec
@@ -38,11 +39,18 @@
 //! position-independent — it replays into a fresh service or after
 //! other traffic equally well.
 //!
-//! The encoding is canonical (one byte string per value), which the
-//! round-trip property test exploits: decode followed by re-encode must
-//! reproduce the input byte-for-byte.
+//! Multi-tenant scenarios for the [`server`](crate::server) tag each
+//! request with its [`TenantId`]. A trace whose requests are all tenant
+//! 0 encodes in the original `JRT1` form — old fixtures stay
+//! byte-identical — and old `JRT1` files load with every request as
+//! tenant 0. Victims must stay within their request's tenant.
+//!
+//! The encoding is canonical (one byte string per value, and the tagged
+//! header iff a nonzero tenant exists), which the round-trip property
+//! test exploits: decode followed by re-encode must reproduce the input
+//! byte-for-byte.
 
-use crate::{Deadline, RequestId, RequestKind, RoutingService};
+use crate::{Deadline, RequestId, RequestKind, RoutingService, TenantId};
 use jroute::pathfinder::NetSpec;
 use jroute::Pin;
 use virtex::codec::Codec;
@@ -50,8 +58,11 @@ use virtex::{Family, RowCol, Wire};
 
 use crate::BatchReport;
 
-/// File magic for `.jrt` traces.
+/// File magic for untagged (single-tenant) `.jrt` traces.
 pub const MAGIC: [u8; 4] = *b"JRT1";
+
+/// File magic for tenant-tagged `.jrt` traces.
+pub const MAGIC_V2: [u8; 4] = *b"JRT2";
 
 /// Index of a request within a trace: its 0-based global submission
 /// order, the namespace `Unroute`/`Replace` victims are named in.
@@ -62,6 +73,9 @@ pub type TraceId = u32;
 pub struct TraceReq {
     /// Scheduling priority (lower runs earlier), as submitted.
     pub priority: u8,
+    /// Tenant the request belongs to (0 for single-tenant traces,
+    /// including every legacy `JRT1` file).
+    pub tenant: TenantId,
     /// Step deadline, if any. Wall-clock deadlines are not recorded:
     /// they are meaningless to a deterministic replay.
     pub deadline: Option<u64>,
@@ -104,9 +118,21 @@ impl Trace {
         }
     }
 
-    /// Record one request into the current (last) batch and return its
-    /// trace id.
+    /// Record one tenant-0 request into the current (last) batch and
+    /// return its trace id.
     pub fn record(&mut self, priority: u8, deadline: Option<Deadline>, op: TraceOp) -> TraceId {
+        self.record_for(0, priority, deadline, op)
+    }
+
+    /// Record one request for `tenant` into the current (last) batch and
+    /// return its trace id.
+    pub fn record_for(
+        &mut self,
+        tenant: TenantId,
+        priority: u8,
+        deadline: Option<Deadline>,
+        op: TraceOp,
+    ) -> TraceId {
         let id = self.len() as TraceId;
         let deadline = match deadline {
             Some(Deadline::Steps(s)) => Some(s),
@@ -119,6 +145,7 @@ impl Trace {
         }
         self.batches.last_mut().expect("non-empty").push(TraceReq {
             priority,
+            tenant,
             deadline,
             op,
         });
@@ -149,12 +176,17 @@ impl Trace {
     }
 
     /// Validate internal consistency: every victim reference names an
-    /// earlier request. Returns the first bad reference.
+    /// earlier request *of the same tenant*. Returns the first bad
+    /// reference.
     pub fn validate(&self) -> Result<(), TraceError> {
+        let tenants: Vec<TenantId> = self.iter().map(|r| r.tenant).collect();
         for (seen, req) in (0 as TraceId..).zip(self.iter()) {
             let check = |ids: &[TraceId]| -> Result<(), TraceError> {
-                match ids.iter().find(|&&v| v >= seen) {
-                    Some(&v) => Err(TraceError::BadVictim(v)),
+                if let Some(&v) = ids.iter().find(|&&v| v >= seen) {
+                    return Err(TraceError::BadVictim(v));
+                }
+                match ids.iter().find(|&&v| tenants[v as usize] != req.tenant) {
+                    Some(&v) => Err(TraceError::CrossTenantVictim(v)),
                     None => Ok(()),
                 }
             };
@@ -165,6 +197,61 @@ impl Trace {
             }
         }
         Ok(())
+    }
+
+    /// Number of tenant shards the trace spans: one past the highest
+    /// tenant tag (0 for an empty trace).
+    pub fn tenant_count(&self) -> usize {
+        self.iter()
+            .map(|r| usize::from(r.tenant) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Project one tenant's requests out as a standalone single-tenant
+    /// (tenant-0) trace: batch structure is preserved and victims are
+    /// renumbered into the subtrace's id space. Validate first —
+    /// projection assumes victims never cross tenants.
+    pub fn subtrace(&self, tenant: TenantId) -> Trace {
+        // Global trace id -> subtrace id, for this tenant's requests.
+        let mut local: Vec<Option<TraceId>> = Vec::with_capacity(self.len());
+        let mut next: TraceId = 0;
+        for req in self.iter() {
+            if req.tenant == tenant {
+                local.push(Some(next));
+                next += 1;
+            } else {
+                local.push(None);
+            }
+        }
+        let renumber = |v: &TraceId| local[*v as usize].expect("victim within tenant");
+        let batches = self
+            .batches
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .filter(|r| r.tenant == tenant)
+                    .map(|r| TraceReq {
+                        priority: r.priority,
+                        tenant: 0,
+                        deadline: r.deadline,
+                        op: match &r.op {
+                            TraceOp::Route(spec) => TraceOp::Route(spec.clone()),
+                            TraceOp::Unroute(v) => TraceOp::Unroute(renumber(v)),
+                            TraceOp::Replace { remove, add } => TraceOp::Replace {
+                                remove: remove.iter().map(renumber).collect(),
+                                add: add.clone(),
+                            },
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        Trace {
+            family: self.family,
+            batches,
+        }
     }
 
     /// Write the encoded trace to a `.jrt` file.
@@ -190,7 +277,14 @@ impl Trace {
     ///
     /// The trace's family must match the service's device; forward or
     /// out-of-range victim references fail before anything is submitted.
+    /// Only single-tenant (all-tenant-0) traces replay through a bare
+    /// service — route a tagged trace through
+    /// [`server::replay_trace`](crate::server::replay_trace), or project
+    /// one shard out with [`Trace::subtrace`].
     pub fn replay(&self, svc: &mut RoutingService<'_>) -> Result<ReplaySummary, TraceError> {
+        if self.iter().any(|r| r.tenant != 0) {
+            return Err(TraceError::MultiTenant);
+        }
         if let Some(fam) = self.family {
             let have = svc.device().family();
             if fam != have {
@@ -263,6 +357,14 @@ pub enum TraceError {
     },
     /// A victim reference names a request at or after its own position.
     BadVictim(TraceId),
+    /// A victim reference crosses tenant shards.
+    CrossTenantVictim(TraceId),
+    /// A request is tagged for a tenant the replaying server does not
+    /// have a device for.
+    UnknownTenant(TenantId),
+    /// A tenant-tagged trace was replayed through a single-tenant
+    /// service.
+    MultiTenant,
     /// The service's submission queue could not hold a batch.
     QueueFull,
 }
@@ -274,6 +376,18 @@ impl std::fmt::Display for TraceError {
                 write!(f, "trace is for {trace} but the device is {device}")
             }
             TraceError::BadVictim(v) => write!(f, "victim #{v} is not an earlier request"),
+            TraceError::CrossTenantVictim(v) => {
+                write!(f, "victim #{v} belongs to a different tenant")
+            }
+            TraceError::UnknownTenant(t) => {
+                write!(f, "trace names tenant {t} but the server has no such shard")
+            }
+            TraceError::MultiTenant => {
+                write!(
+                    f,
+                    "tenant-tagged trace cannot replay through a single-tenant service"
+                )
+            }
             TraceError::QueueFull => write!(f, "service queue cannot hold a trace batch"),
         }
     }
@@ -333,77 +447,90 @@ fn decode_spec(input: &mut &[u8]) -> Option<NetSpec> {
     Some(NetSpec::new(source, sinks))
 }
 
-impl Codec for TraceReq {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.push(self.priority);
-        match self.deadline {
-            None => out.push(0),
-            Some(steps) => {
-                out.push(1);
-                out.extend_from_slice(&steps.to_le_bytes());
-            }
+/// Encode one request; `tagged` selects the `JRT2` layout (tenant u16
+/// after the priority byte).
+fn encode_req(req: &TraceReq, tagged: bool, out: &mut Vec<u8>) {
+    out.push(req.priority);
+    if tagged {
+        out.extend_from_slice(&req.tenant.to_le_bytes());
+    } else {
+        debug_assert_eq!(req.tenant, 0, "untagged encoding requires tenant 0");
+    }
+    match req.deadline {
+        None => out.push(0),
+        Some(steps) => {
+            out.push(1);
+            out.extend_from_slice(&steps.to_le_bytes());
         }
-        match &self.op {
-            TraceOp::Route(spec) => {
-                out.push(0);
-                encode_spec(spec, out);
-            }
-            TraceOp::Unroute(v) => {
-                out.push(1);
+    }
+    match &req.op {
+        TraceOp::Route(spec) => {
+            out.push(0);
+            encode_spec(spec, out);
+        }
+        TraceOp::Unroute(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        TraceOp::Replace { remove, add } => {
+            out.push(2);
+            debug_assert!(remove.len() <= u16::MAX as usize);
+            out.extend_from_slice(&(remove.len() as u16).to_le_bytes());
+            for v in remove {
                 out.extend_from_slice(&v.to_le_bytes());
             }
-            TraceOp::Replace { remove, add } => {
-                out.push(2);
-                debug_assert!(remove.len() <= u16::MAX as usize);
-                out.extend_from_slice(&(remove.len() as u16).to_le_bytes());
-                for v in remove {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
-                debug_assert!(add.len() <= u16::MAX as usize);
-                out.extend_from_slice(&(add.len() as u16).to_le_bytes());
-                for spec in add {
-                    encode_spec(spec, out);
-                }
+            debug_assert!(add.len() <= u16::MAX as usize);
+            out.extend_from_slice(&(add.len() as u16).to_le_bytes());
+            for spec in add {
+                encode_spec(spec, out);
             }
         }
     }
+}
 
-    fn decode(input: &mut &[u8]) -> Option<Self> {
-        let priority = take_u8(input)?;
-        let deadline = match take_u8(input)? {
-            0 => None,
-            1 => Some(take_u64(input)?),
-            _ => return None,
-        };
-        let op = match take_u8(input)? {
-            0 => TraceOp::Route(decode_spec(input)?),
-            1 => TraceOp::Unroute(take_u32(input)?),
-            2 => {
-                let nr = take_u16(input)? as usize;
-                let mut remove = Vec::with_capacity(nr.min(1024));
-                for _ in 0..nr {
-                    remove.push(take_u32(input)?);
-                }
-                let na = take_u16(input)? as usize;
-                let mut add = Vec::with_capacity(na.min(1024));
-                for _ in 0..na {
-                    add.push(decode_spec(input)?);
-                }
-                TraceOp::Replace { remove, add }
+/// Decode one request from the `tagged` (`JRT2`) or untagged (`JRT1`,
+/// tenant 0) layout.
+fn decode_req(input: &mut &[u8], tagged: bool) -> Option<TraceReq> {
+    let priority = take_u8(input)?;
+    let tenant = if tagged { take_u16(input)? } else { 0 };
+    let deadline = match take_u8(input)? {
+        0 => None,
+        1 => Some(take_u64(input)?),
+        _ => return None,
+    };
+    let op = match take_u8(input)? {
+        0 => TraceOp::Route(decode_spec(input)?),
+        1 => TraceOp::Unroute(take_u32(input)?),
+        2 => {
+            let nr = take_u16(input)? as usize;
+            let mut remove = Vec::with_capacity(nr.min(1024));
+            for _ in 0..nr {
+                remove.push(take_u32(input)?);
             }
-            _ => return None,
-        };
-        Some(TraceReq {
-            priority,
-            deadline,
-            op,
-        })
-    }
+            let na = take_u16(input)? as usize;
+            let mut add = Vec::with_capacity(na.min(1024));
+            for _ in 0..na {
+                add.push(decode_spec(input)?);
+            }
+            TraceOp::Replace { remove, add }
+        }
+        _ => return None,
+    };
+    Some(TraceReq {
+        priority,
+        tenant,
+        deadline,
+        op,
+    })
 }
 
 impl Codec for Trace {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&MAGIC);
+        // Canonical header selection: the tagged layout exists iff a
+        // nonzero tenant does, so all-tenant-0 traces (every legacy
+        // producer) still encode byte-identical `JRT1`.
+        let tagged = self.iter().any(|r| r.tenant != 0);
+        out.extend_from_slice(if tagged { &MAGIC_V2 } else { &MAGIC });
         self.family
             .expect("encoding a trace requires a family")
             .encode(out);
@@ -421,16 +548,18 @@ impl Codec for Trace {
         for batch in batches {
             out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
             for req in batch {
-                req.encode(out);
+                encode_req(req, tagged, out);
             }
         }
     }
 
     fn decode(input: &mut &[u8]) -> Option<Self> {
         let (magic, rest) = input.split_first_chunk::<4>()?;
-        if *magic != MAGIC {
-            return None;
-        }
+        let tagged = match *magic {
+            MAGIC => false,
+            MAGIC_V2 => true,
+            _ => return None,
+        };
         *input = rest;
         let family = Family::decode(input)?;
         let nb = take_u32(input)? as usize;
@@ -439,9 +568,13 @@ impl Codec for Trace {
             let nr = take_u32(input)? as usize;
             let mut batch = Vec::with_capacity(nr.min(4096));
             for _ in 0..nr {
-                batch.push(TraceReq::decode(input)?);
+                batch.push(decode_req(input, tagged)?);
             }
             batches.push(batch);
+        }
+        // Canonical: the tagged header must be necessary.
+        if tagged && batches.iter().flatten().all(|r| r.tenant == 0) {
+            return None;
         }
         Some(Trace {
             family: Some(family),
@@ -543,6 +676,89 @@ mod tests {
         );
         assert_eq!(t.validate(), Err(TraceError::BadVictim(5)));
         assert!(sample().validate().is_ok());
+    }
+
+    fn tenant_sample() -> Trace {
+        let mut t = Trace::new(Family::Xcv50);
+        let a = t.record_for(0, 128, None, TraceOp::Route(spec(0)));
+        let b = t.record_for(1, 100, None, TraceOp::Route(spec(1)));
+        t.end_batch();
+        t.record_for(0, 128, None, TraceOp::Unroute(a));
+        t.record_for(
+            1,
+            200,
+            Some(Deadline::Steps(50)),
+            TraceOp::Replace {
+                remove: vec![b],
+                add: vec![spec(2)],
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn tenant_tagged_trace_round_trips_as_jrt2() {
+        let t = tenant_sample();
+        let bytes = t.to_bytes();
+        assert_eq!(&bytes[..4], b"JRT2", "nonzero tenants force the tag");
+        let decoded = Trace::from_bytes(&bytes).expect("decodes");
+        let tenants: Vec<TenantId> = decoded.iter().map(|r| r.tenant).collect();
+        assert_eq!(tenants, vec![0, 1, 0, 1]);
+        assert_eq!(decoded.to_bytes(), bytes, "canonical re-encode");
+        assert_eq!(decoded.tenant_count(), 2);
+        assert!(decoded.validate().is_ok());
+    }
+
+    #[test]
+    fn untagged_traces_stay_jrt1_and_load_as_tenant_zero() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        assert_eq!(&bytes[..4], b"JRT1", "all-tenant-0 stays legacy");
+        let decoded = Trace::from_bytes(&bytes).unwrap();
+        assert!(decoded.iter().all(|r| r.tenant == 0));
+        assert_eq!(decoded.tenant_count(), 1);
+        // A JRT2 header on all-zero tenants is non-canonical garbage.
+        let mut fake = bytes.clone();
+        fake[..4].copy_from_slice(b"JRT2");
+        assert!(Trace::from_bytes(&fake).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_cross_tenant_victims() {
+        let mut t = Trace::new(Family::Xcv50);
+        let a = t.record_for(0, 128, None, TraceOp::Route(spec(0)));
+        t.record_for(1, 128, None, TraceOp::Unroute(a));
+        assert_eq!(t.validate(), Err(TraceError::CrossTenantVictim(0)));
+    }
+
+    #[test]
+    fn subtrace_projects_one_shard_with_renumbered_victims() {
+        let t = tenant_sample();
+        let s1 = t.subtrace(1);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1.batches.len(), 2);
+        assert!(s1.iter().all(|r| r.tenant == 0), "projection re-tags");
+        match &s1.batches[1][0].op {
+            TraceOp::Replace { remove, .. } => {
+                assert_eq!(remove, &vec![0], "victim renumbered to local id")
+            }
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        assert!(s1.validate().is_ok());
+        // The projection of a single-tenant trace onto tenant 0 is the
+        // identity.
+        let t0 = sample();
+        assert_eq!(t0.subtrace(0).to_bytes(), t0.to_bytes());
+    }
+
+    #[test]
+    fn single_service_replay_refuses_tagged_traces() {
+        let dev = Device::new(Family::Xcv50);
+        let mut svc = RoutingService::new(&dev, ServiceConfig::default());
+        assert!(matches!(
+            tenant_sample().replay(&mut svc),
+            Err(TraceError::MultiTenant)
+        ));
     }
 
     #[test]

@@ -13,8 +13,10 @@ pub mod adversarial;
 pub mod churn;
 pub mod netgen;
 pub mod scenarios;
+pub mod tenants;
 
 pub use adversarial::{congestion_cliques, hotspot_storm, long_line_starvation};
 pub use churn::{ChurnAction, ChurnParams, ChurnScenario, ChurnViolation, StepOutcome};
 pub use netgen::{random_netlist, random_pairs, window_netlist, NetlistParams};
 pub use scenarios::{fanout_spec, pipeline_placements};
+pub use tenants::{tenant_mix, TenantMixParams};

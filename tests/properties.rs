@@ -821,3 +821,175 @@ fn partition_parallel_matches_sequential_incremental() {
         },
     );
 }
+
+// ----------------------------------------------------------------------
+// Multi-tenant server front-end (DESIGN.md §3.8)
+// ----------------------------------------------------------------------
+
+/// The batch former partitions admissions exactly: under any interleaving
+/// of pushes, watermark cuts and explicit flushes, every admitted item
+/// lands in exactly one emitted batch — nothing dropped, nothing
+/// duplicated, in-batch order = admission order.
+#[test]
+fn batch_former_partitions_admissions_exactly_once() {
+    use jroute_svc::server::BatchFormer;
+    harness::check("batch_former_partitions_admissions_exactly_once", |rng| {
+        let max = rng.gen_range(1usize..6);
+        let wait = rng.gen_range(0u64..5);
+        let mut former = BatchFormer::new(max, wait);
+        let total = rng.gen_range(1usize..40);
+        let mut now = 0u64;
+        let mut emitted: Vec<Vec<usize>> = Vec::new();
+        for item in 0..total {
+            now += rng.gen_range(0u64..3);
+            if let Some(batch) = former.push(now, item) {
+                assert_eq!(batch.len(), max, "size cut fires exactly at the watermark");
+                emitted.push(batch);
+            }
+            while former.due(now) {
+                if let Some(batch) = former.flush() {
+                    emitted.push(batch);
+                }
+            }
+            if rng.gen_range(0u32..10) == 0 {
+                if let Some(batch) = former.flush() {
+                    emitted.push(batch);
+                }
+            }
+        }
+        if let Some(batch) = former.flush() {
+            emitted.push(batch);
+        }
+        assert!(former.is_empty());
+        let flat: Vec<usize> = emitted.iter().flatten().copied().collect();
+        let expect: Vec<usize> = (0..total).collect();
+        assert_eq!(flat, expect, "exactly-once, in admission order");
+        assert!(emitted.iter().all(|b| !b.is_empty() && b.len() <= max));
+    });
+}
+
+/// Age-watermark bound: a driver following the push → due → flush
+/// protocol never leaves an item pending past `wait` logical steps.
+#[test]
+fn batch_former_never_holds_past_the_age_watermark() {
+    use jroute_svc::server::BatchFormer;
+    harness::check("batch_former_never_holds_past_the_age_watermark", |rng| {
+        let max = rng.gen_range(2usize..8);
+        let wait = rng.gen_range(1u64..6);
+        let mut former = BatchFormer::new(max, wait);
+        let mut now = 0u64;
+        let mut pending_since: Vec<u64> = Vec::new();
+        for item in 0..30usize {
+            now += rng.gen_range(1u64..3);
+            if former.push(now, item).is_some() {
+                pending_since.clear();
+            } else {
+                pending_since.push(now);
+            }
+            while former.due(now) {
+                former.flush();
+                pending_since.clear();
+            }
+            // The protocol invariant: after watermark processing at
+            // `now`, nothing has waited `wait` steps or longer.
+            for &at in &pending_since {
+                assert!(
+                    now - at < wait,
+                    "item admitted at {at} still pending at {now} (wait {wait})"
+                );
+            }
+            assert_eq!(former.len(), pending_since.len());
+        }
+    });
+}
+
+/// Within one tenant, one batch and one worker, the server completes
+/// requests in strict priority order (lower first, ties by admission).
+#[test]
+fn server_completes_one_tenant_batch_in_priority_order() {
+    use jroute::obs::Recorder;
+    use jroute_svc::{serve, ExecMode, RequestKind, ServerConfig};
+
+    harness::check(
+        "server_completes_one_tenant_batch_in_priority_order",
+        |rng| {
+            let dev = dev();
+            let n = rng.gen_range(3usize..8);
+            let priorities: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
+            let cfg = ServerConfig {
+                threads: 2,
+                tenant_threads: 1, // one worker: completion order = start order
+                mode: ExecMode::Deterministic {
+                    seed: rng.gen_range(0u64..u64::MAX),
+                },
+                audit: true,
+                batch_max: usize::MAX,
+                batch_wait: u64::MAX,
+                ..Default::default()
+            };
+            let mut net_rng = DetRng::seed_from_u64(rng.gen_range(0u64..u64::MAX));
+            let (ids, report) = serve(&[&dev], cfg, Recorder::disabled(), |client| {
+                let h = client.tenant(0);
+                let ids: Vec<u64> = priorities
+                    .iter()
+                    .map(|&p| {
+                        let spec = fanout_spec(&dev, RowCol::new(8, 12), 2, 5, &mut net_rng);
+                        h.submit_with(RequestKind::Route(spec), p, None)
+                            .unwrap()
+                            .id()
+                    })
+                    .collect();
+                h.flush();
+                ids
+            });
+            let log = &report.tenants[0].log;
+            assert_eq!(log.len(), n, "every admission completes");
+            let mut expect: Vec<u64> = ids.clone();
+            expect.sort_by_key(|&seq| (priorities[seq as usize], seq));
+            let got: Vec<u64> = log.iter().map(|e| e.seq).collect();
+            assert_eq!(got, expect, "priorities {priorities:?}");
+        },
+    );
+}
+
+/// Tenant-tagged trace codec: encode/decode round-trips byte-identically
+/// for any generated mix; single-tenant mixes stay on the legacy `JRT1`
+/// wire format and load with every request on tenant 0.
+#[test]
+fn tenant_tagged_traces_round_trip_and_legacy_stays_jrt1() {
+    use jroute_svc::Trace;
+    use jroute_workloads::{tenant_mix, TenantMixParams};
+    use virtex::codec::Codec;
+
+    harness::check(
+        "tenant_tagged_traces_round_trip_and_legacy_stays_jrt1",
+        |rng| {
+            let dev = dev();
+            let params = TenantMixParams {
+                tenants: rng.gen_range(1u16..5),
+                per_tenant: rng.gen_range(1usize..10),
+                batch_every: rng.gen_range(0usize..7),
+                fanout: 2,
+                span: 4,
+                unroute_pct: rng.gen_range(0u32..40),
+                replace_pct: rng.gen_range(0u32..40),
+            };
+            let mut mix_rng = DetRng::seed_from_u64(rng.gen_range(0u64..u64::MAX));
+            let trace = tenant_mix(&dev, &params, &mut mix_rng);
+            let bytes = trace.to_bytes();
+            let back = Trace::from_bytes(&bytes).expect("decodes");
+            assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+            assert_eq!(back.tenant_count(), trace.tenant_count());
+            let tagged = trace.iter().any(|r| r.tenant != 0);
+            let magic = &bytes[..4];
+            assert_eq!(
+                magic,
+                if tagged { b"JRT2" } else { b"JRT1" },
+                "wire format is canonical"
+            );
+            if !tagged {
+                assert!(back.iter().all(|r| r.tenant == 0));
+            }
+        },
+    );
+}
