@@ -47,6 +47,7 @@ pub mod ports;
 pub mod router;
 pub mod schedule;
 pub mod stats;
+pub mod steiner;
 pub mod template;
 pub mod templates_db;
 pub mod trace;
@@ -64,6 +65,7 @@ pub use ports::{Port, PortDb, PortDir};
 pub use router::{Remembered, Router, RouterOptions};
 pub use schedule::{Scheduler, SchedulerKind, StealDeque};
 pub use stats::{ResourceUsage, RouterStats};
+pub use steiner::SteinerTree;
 pub use template::Template;
 pub use trace::TracedNet;
 pub use tuner::TunerReport;

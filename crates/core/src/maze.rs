@@ -27,6 +27,13 @@
 //! expansions. Searches can additionally be confined to a [`BBox`] region
 //! ([`MazeConfig::bbox`]), the PathFinder-style pruning that keeps
 //! reroute cost proportional to net span rather than device size.
+//!
+//! Timing-driven callers set [`MazeConfig::crit`]: the edge cost becomes
+//! the RWRoute blend `(1 − crit)·congestion + crit·delay` (fixed-point
+//! over [`CRIT_ONE`]), with the delay term from [`virtex::delay`] and
+//! the heuristic blending the lookahead's (distance, delay) pair the
+//! same way, so one search engine serves both the pure-congestion
+//! negotiator and the criticality-weighted one.
 
 use crate::dial::DialQueue;
 use jbits::Pip;
@@ -58,6 +65,27 @@ pub struct MazeConfig {
     /// the paper makes explicitly (§3.1). The negotiated router runs at
     /// 1: its convergence accounting wants true minimum-cost reroutes.
     pub heuristic_weight: u32,
+    /// Criticality of the connection being routed, fixed-point in
+    /// `0..=`[`CRIT_ONE`]. Blends the edge cost the RWRoute way:
+    /// `cost = ((CRIT_ONE − crit)·congestion + crit·delay) / CRIT_ONE`,
+    /// where the delay term is the per-wire-class model in
+    /// [`virtex::delay`] (in the same cost units) and the heuristic
+    /// blends the lookahead's (distance, delay) estimate pair
+    /// identically, so weighted A* stays consistent. At the default 0
+    /// the search takes the exact pure-congestion path — bit-identical
+    /// to the non-timing-driven router.
+    pub crit: u32,
+}
+
+/// Fixed-point denominator for [`MazeConfig::crit`]: a criticality of
+/// `CRIT_ONE` means 1.0 (pure delay cost, zero congestion weight).
+pub const CRIT_ONE: u32 = 256;
+const CRIT_SHIFT: u32 = 8;
+
+/// `((CRIT_ONE − crit)·cong + crit·delay) / CRIT_ONE` without overflow.
+#[inline]
+pub(crate) fn blend(crit: u32, cong: u32, delay: u32) -> u32 {
+    (((CRIT_ONE - crit) as u64 * cong as u64 + crit as u64 * delay as u64) >> CRIT_SHIFT) as u32
 }
 
 impl Default for MazeConfig {
@@ -67,6 +95,7 @@ impl Default for MazeConfig {
             max_nodes: 2_000_000,
             bbox: None,
             heuristic_weight: 2,
+            crit: 0,
         }
     }
 }
@@ -336,6 +365,17 @@ pub fn search_obs(
     let la = scratch.la;
     let longs = cfg.use_long_lines;
     let hw = cfg.heuristic_weight.max(1);
+    let crit = cfg.crit.min(CRIT_ONE);
+    // Blended remaining-cost estimate; at crit 0 this is exactly the
+    // pure-distance lookahead the congestion-only router uses.
+    let est = |seg: Segment| -> u32 {
+        if crit == 0 {
+            la.estimate(seg, goal.rc, longs)
+        } else {
+            let (hd, hdel) = la.estimate_pair(seg, goal.rc, longs);
+            blend(crit, hd, hdel)
+        }
+    };
     // A box covering the whole device prunes nothing; drop it so the hot
     // loop skips the contains test entirely.
     let bbox = cfg.bbox.filter(|b| !b.covers(dims));
@@ -359,9 +399,7 @@ pub fn search_obs(
                     to: seg.wire,
                 },
             );
-            scratch
-                .open
-                .push(c0 + hw * la.estimate(seg, goal.rc, longs), i.0);
+            scratch.open.push(c0 + hw * est(seg), i.0);
             pushes += 1;
             h_evals += 1;
         }
@@ -443,7 +481,12 @@ pub fn search_obs(
                         continue;
                     }
                 }
-                let ng = g + la.model().wire_cost(next.wire) + extra_cost(next);
+                let step = la.model().wire_cost(next.wire) + extra_cost(next);
+                let ng = if crit == 0 {
+                    g + step
+                } else {
+                    g + blend(crit, step, virtex::delay::delay_units(next.wire))
+                };
                 if !scratch.seen(ni) || scratch.cost(ni) > ng {
                     scratch.record(
                         ni,
@@ -455,9 +498,7 @@ pub fn search_obs(
                             to,
                         },
                     );
-                    scratch
-                        .open
-                        .push(ng + hw * la.estimate(next, goal.rc, longs), ni.0);
+                    scratch.open.push(ng + hw * est(next), ni.0);
                     pushes += 1;
                     h_evals += 1;
                 }
@@ -704,6 +745,67 @@ mod tests {
             r2.cost,
             r2_scratch.cost
         );
+    }
+
+    #[test]
+    fn blend_endpoints_and_midpoint() {
+        assert_eq!(blend(0, 7, 99), 7);
+        assert_eq!(blend(CRIT_ONE, 7, 99), 99);
+        assert_eq!(blend(CRIT_ONE / 2, 10, 20), 15);
+    }
+
+    #[test]
+    fn full_crit_search_is_delay_optimal() {
+        // At crit = CRIT_ONE with weight 1 the search minimizes path
+        // delay, so its summed per-wire delay can never exceed the
+        // congestion-optimal route's.
+        let dev = dev();
+        let mut scratch = MazeScratch::new(&dev);
+        let src = seg_of(&dev, Pin::new(1, 1, wire::S0_YQ));
+        let sink = seg_of(&dev, Pin::new(14, 20, wire::S1_F1));
+        let delay_of = |r: &MazeResult| -> u32 {
+            r.segments
+                .iter()
+                .map(|s| virtex::delay::delay_units(s.wire))
+                .sum()
+        };
+        let cfg = MazeConfig {
+            heuristic_weight: 1,
+            ..MazeConfig::default()
+        };
+        let cong = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &cfg,
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .expect("route exists");
+        let cfg_t = MazeConfig {
+            crit: CRIT_ONE,
+            ..cfg
+        };
+        let timed = search(
+            &dev,
+            &[(src, 0)],
+            sink,
+            &cfg_t,
+            |_| false,
+            |_| 0,
+            &mut scratch,
+        )
+        .expect("route exists");
+        assert!(
+            delay_of(&timed) <= delay_of(&cong),
+            "timing-driven delay {} must not exceed congestion-driven {}",
+            delay_of(&timed),
+            delay_of(&cong)
+        );
+        // And the timing-driven cost field is the blended (pure-delay)
+        // path cost.
+        assert_eq!(timed.cost, delay_of(&timed));
     }
 
     #[test]

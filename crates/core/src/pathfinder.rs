@@ -25,12 +25,14 @@
 
 use crate::endpoint::Pin;
 use crate::error::{Result, RouteError};
-use crate::maze::{self, MazeConfig, MazeScratch};
+use crate::maze::{self, MazeConfig, MazeScratch, CRIT_ONE};
 use crate::partition::{self, ScratchPool, SearchBox};
 use crate::schedule::{SchedulerKind, WaveExec};
+use crate::steiner;
 use jbits::{Bitstream, Pip};
-use jroute_obs::Recorder;
+use jroute_obs::{Counter, Recorder};
 use std::collections::HashMap;
+use virtex::delay::{wire_delay_ps, PIP_DELAY_PS};
 use virtex::wire::HEX_SPAN;
 use virtex::{BBox, Device, RowCol, SegIdx, SegSpace, SegVec, Segment, StampedSegVec};
 
@@ -181,6 +183,38 @@ impl NetSpec {
     }
 }
 
+/// Timing-driven negotiation knobs: RWRoute-style criticality blending
+/// plus congestion-aware Steiner trees for high-fanout nets.
+///
+/// Per-sink criticality is `(sink delay / critical delay) ^ crit_exp`,
+/// recomputed from the dense per-net delay cache that rides the dirty
+/// set (only rerouted nets get fresh delays). It blends the maze edge
+/// cost as `(1 − crit)·congestion + crit·delay` ([`MazeConfig::crit`]),
+/// so critical connections pay less for congestion and detour last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingConfig {
+    /// Criticality sharpening exponent: higher values focus the delay
+    /// weighting on the near-critical tail (RWRoute's recipe).
+    pub crit_exp: f32,
+    /// Criticality ceiling in [`CRIT_ONE`] fixed-point units, kept below
+    /// `CRIT_ONE` so even the critical path stays congestion-aware
+    /// enough to converge.
+    pub max_crit: u32,
+    /// Nets with at least this many sinks route through the
+    /// [`steiner`] tree builder instead of greedy sink-by-sink reuse.
+    pub steiner_fanout: usize,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            crit_exp: 2.0,
+            max_crit: 232, // ≈ 0.91
+            steiner_fanout: 6,
+        }
+    }
+}
+
 /// PathFinder tuning parameters.
 #[derive(Debug, Clone)]
 pub struct PathFinderConfig {
@@ -219,6 +253,13 @@ pub struct PathFinderConfig {
     /// deterministic mode (results are unchanged either way; this pins
     /// the telemetry interleaving too).
     pub deterministic: bool,
+    /// Timing-driven negotiation. `None` (the default) is the pure
+    /// congestion cost, bit-identical to the pre-timing router; `Some`
+    /// folds per-sink criticality into every search and dispatches
+    /// high-fanout nets to the Steiner builder. The criticality table is
+    /// frozen per iteration before waves dispatch, so results stay
+    /// bit-identical across worker counts.
+    pub timing: Option<TimingConfig>,
 }
 
 impl Default for PathFinderConfig {
@@ -240,6 +281,17 @@ impl Default for PathFinderConfig {
             threads: 1,
             scheduler: SchedulerKind::default(),
             deterministic: false,
+            timing: None,
+        }
+    }
+}
+
+impl PathFinderConfig {
+    /// The default configuration with timing-driven negotiation enabled.
+    pub fn timing_driven() -> Self {
+        PathFinderConfig {
+            timing: Some(TimingConfig::default()),
+            ..Default::default()
         }
     }
 }
@@ -310,6 +362,11 @@ pub struct RoutedNet {
     pub pips: Vec<(RowCol, Pip)>,
     /// Segments used (for occupancy accounting).
     pub segments: Vec<Segment>,
+    /// Per-sink arrival delay in picoseconds (aligned with
+    /// `spec.sinks`), maintained incrementally while the tree is built.
+    /// Empty when timing-driven negotiation is off — the pure-congestion
+    /// path does no delay accounting.
+    pub sink_delays: Vec<u64>,
 }
 
 /// Outcome of a negotiated-congestion routing run.
@@ -361,6 +418,9 @@ pub fn route_all_obs(
     let h_bbox_growth = obs.histogram("pathfinder.bbox_growth");
     let h_iter_overuse = obs.histogram("pathfinder.iter_overuse");
     let h_wave_size = obs.histogram("pathfinder.wave_size");
+    let h_crit = obs.histogram("pathfinder.crit");
+    let g_crit_max = obs.gauge("pathfinder.crit_max");
+    let g_crit_p99 = obs.gauge("pathfinder.crit_p99");
     let space = dev.seg_space();
     let dims = dev.dims();
     let mut cong = Congestion::new(space);
@@ -403,12 +463,46 @@ pub fn route_all_obs(
     // Nets to (re)route this iteration; the first pass routes everything.
     let mut dirty: Vec<usize> = (0..specs.len()).collect();
     let mut prev_overused: Option<usize> = None;
+    // Timing mode runs one crit-weighted refinement over every net after
+    // the first legal convergence (see below); this latches so it
+    // happens exactly once.
+    let mut refined = false;
 
     let mut iterations = 0usize;
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
         c_iterations.inc();
         c_rerouted.add(dirty.len() as u64);
+        // Criticality table for this iteration, frozen before any wave
+        // dispatch so workers read it immutably (bit-identical results
+        // across worker counts). The per-net delays it normalizes were
+        // refreshed incrementally: only nets rerouted last iteration
+        // carry new `sink_delays`. Iteration 0 has no delays yet, so the
+        // first pass is pure congestion — the classic schedule.
+        let crits_iter: Vec<Vec<u32>> = match &cfg.timing {
+            Some(t) => {
+                let crits = compute_crits(&routes, t);
+                let mut all: Vec<u32> = crits.iter().flatten().copied().collect();
+                if !all.is_empty() {
+                    all.sort_unstable();
+                    g_crit_max.set(*all.last().expect("non-empty") as u64);
+                    g_crit_p99.set(all[((all.len() * 99) / 100).min(all.len() - 1)] as u64);
+                    for &c in &all {
+                        h_crit.record(c as u64);
+                    }
+                }
+                crits
+            }
+            None => Vec::new(),
+        };
+        let net_timing = |i: usize| -> Option<(&[u32], usize)> {
+            cfg.timing.as_ref().map(|t| {
+                (
+                    crits_iter.get(i).map(|v| v.as_slice()).unwrap_or(&[]),
+                    t.steiner_fanout,
+                )
+            })
+        };
         let mut any_failure = false;
         // Nets left for the sequential cleanup pass below: every dirty
         // net when waves are off, else only the wave misses (whose
@@ -453,14 +547,16 @@ pub fn route_all_obs(
                     |_| pool.lease(dev),
                     |scratch, t| {
                         let k = t as usize;
-                        route_bounded(
+                        route_net_tree(
                             dev,
                             space,
                             &cong,
                             pres_fac,
                             &prepared[dirty[k]],
-                            boxes[k],
+                            net_timing(dirty[k]),
+                            Some(boxes[k]),
                             &cfg.maze,
+                            None,
                             scratch,
                             obs,
                         )
@@ -473,7 +569,7 @@ pub fn route_all_obs(
                     let i = dirty[t as usize];
                     nodes_expanded += nodes;
                     match built {
-                        Some((pips, segments)) => {
+                        Some((pips, segments, sink_delays)) => {
                             for seg in &segments {
                                 cong.occupy(space.index(*seg), i as u32);
                             }
@@ -481,6 +577,7 @@ pub fn route_all_obs(
                                 spec: specs[i].clone(),
                                 pips,
                                 segments,
+                                sink_delays,
                             });
                         }
                         None => serial.push((i, true)),
@@ -511,67 +608,38 @@ pub fn route_all_obs(
             } else {
                 cfg.bbox_margin.and_then(|m| prep.search_box(m, dims))
             };
-            let mut maze_cfg = cfg.maze.clone();
             let mut scratch = pool.lease(dev);
-            // Re-route, sink by sink, reusing the tree.
-            let mut net = RoutedNet {
-                spec: specs[i].clone(),
-                pips: Vec::new(),
-                segments: Vec::new(),
-            };
-            let mut starts = vec![(prep.src, 0u32)];
-            let mut failed = false;
-            for &goal in &prep.sinks {
-                maze_cfg.bbox = bbox;
-                let mut result = maze::search_obs(
-                    dev,
-                    &starts,
-                    goal,
-                    &maze_cfg,
-                    |_| false, // overuse allowed; congestion is priced
-                    |seg| cong.cost(space.index(seg), pres_fac),
-                    &mut scratch,
-                    obs,
-                );
-                if result.is_none() && maze_cfg.bbox.is_some() {
-                    // Region too tight for this sink — fall back to the
-                    // whole device.
-                    c_bbox_fallbacks.inc();
-                    maze_cfg.bbox = None;
-                    result = maze::search_obs(
-                        dev,
-                        &starts,
-                        goal,
-                        &maze_cfg,
-                        |_| false,
-                        |seg| cong.cost(space.index(seg), pres_fac),
-                        &mut scratch,
-                        obs,
-                    );
-                }
-                let Some(r) = result else {
-                    failed = true;
-                    break;
-                };
-                nodes_expanded += r.nodes_expanded;
-                for seg in &r.segments {
-                    starts.push((*seg, 0));
-                    net.segments.push(*seg);
-                }
-                net.pips.extend_from_slice(&r.pips);
-            }
-            if failed {
+            let (built, nodes) = route_net_tree(
+                dev,
+                space,
+                &cong,
+                pres_fac,
+                prep,
+                net_timing(i),
+                bbox,
+                &cfg.maze,
+                Some(&c_bbox_fallbacks),
+                &mut scratch,
+                obs,
+            );
+            nodes_expanded += nodes;
+            let Some((pips, segments, sink_delays)) = built else {
                 // Node budget exhausted — leave unrouted this iteration;
                 // congestion relief may fix it next round.
                 any_failure = true;
                 let g = prepared[i].widen(HEX_SPAN);
                 h_bbox_growth.record(g as u64);
                 continue;
-            }
-            for seg in &net.segments {
+            };
+            for seg in &segments {
                 cong.occupy(space.index(*seg), i as u32);
             }
-            routes[i] = Some(net);
+            routes[i] = Some(RoutedNet {
+                spec: specs[i].clone(),
+                pips,
+                segments,
+                sink_delays,
+            });
         }
 
         // Congestion accounting over prev-overused ∪ touched only.
@@ -579,6 +647,19 @@ pub fn route_all_obs(
         obs.event("pathfinder.overused", overused as u64);
         h_iter_overuse.record(overused as u64);
         if overused == 0 && !any_failure && routes.iter().all(|r| r.is_some()) {
+            if cfg.timing.is_some() && !refined && iterations < cfg.max_iterations {
+                // First legal convergence under timing: the initial pass
+                // routed with an *empty* criticality table (no delays
+                // existed yet), so the delay term has not steered
+                // anything. Re-route every net once against the now
+                // measured criticalities — critical sinks move onto fast
+                // wires, non-critical sinks stay congestion-priced — and
+                // negotiate any overuse that introduces as usual. One
+                // latched pass keeps the schedule deterministic.
+                refined = true;
+                dirty = (0..specs.len()).collect();
+                continue;
+            }
             obs.event("pathfinder.converged", iterations as u64);
             let nets = routes.into_iter().map(|r| r.expect("all routed")).collect();
             return Ok(PathFinderResult {
@@ -630,32 +711,142 @@ pub fn route_all_obs(
     })
 }
 
-/// One net's bounded sink-by-sink search for a wave worker, against a
-/// frozen congestion snapshot. Pure with respect to shared state —
-/// nothing is occupied or released here; the caller commits at the wave
-/// barrier. Returns the built route or `None` if any sink missed inside
-/// the region, plus the nodes expanded either way (partial effort still
-/// counts toward the E8 metric).
+/// Per-net, per-sink criticality table for one iteration, in
+/// [`CRIT_ONE`] fixed-point units: `(delay / critical delay) ^ crit_exp`
+/// capped at `max_crit`. The delays come from the dense per-net cache on
+/// [`RoutedNet::sink_delays`] — refreshed only for nets the dirty set
+/// rerouted, so the expensive part of the pass rides rip-up activity,
+/// not design size. Unrouted nets (and iteration 0, before any delays
+/// exist) get empty rows, which read as criticality zero.
+fn compute_crits(routes: &[Option<RoutedNet>], tcfg: &TimingConfig) -> Vec<Vec<u32>> {
+    let max_ps = routes
+        .iter()
+        .flatten()
+        .flat_map(|r| &r.sink_delays)
+        .copied()
+        .max()
+        .unwrap_or(0);
+    if max_ps == 0 {
+        return vec![Vec::new(); routes.len()];
+    }
+    let cap = tcfg.max_crit.min(CRIT_ONE);
+    routes
+        .iter()
+        .map(|r| match r {
+            Some(net) => net
+                .sink_delays
+                .iter()
+                .map(|&d| {
+                    let frac = d as f64 / max_ps as f64;
+                    let c = (frac.powf(tcfg.crit_exp as f64) * CRIT_ONE as f64) as u32;
+                    c.min(cap)
+                })
+                .collect(),
+            None => Vec::new(),
+        })
+        .collect()
+}
+
+/// One net's tree construction against a frozen congestion snapshot.
+/// Pure with respect to shared state — nothing is occupied or released
+/// here; the caller commits (at the wave barrier or inline).
+///
+/// `timing` carries this net's per-sink criticalities and the Steiner
+/// fanout threshold; `None` is the pure-congestion sink-by-sink loop,
+/// bit-identical to the pre-timing router. `retry_unbounded` selects the
+/// serial-pass semantics: a bounded miss counts a fallback and re-runs
+/// unbounded (wave workers pass `None` and fail fast — their misses take
+/// the serial path afterwards). Returns the built route or `None`, plus
+/// the nodes expanded either way (partial effort still counts toward
+/// the E8 metric).
 #[allow(clippy::too_many_arguments)]
-fn route_bounded(
+fn route_net_tree(
     dev: &Device,
     space: SegSpace,
     cong: &Congestion,
     pres_fac: u32,
     prep: &PreparedNet,
-    bbox: BBox,
+    timing: Option<(&[u32], usize)>,
+    bbox: Option<BBox>,
     maze_cfg: &MazeConfig,
+    retry_unbounded: Option<&Counter>,
     scratch: &mut MazeScratch,
     obs: &Recorder,
 ) -> RouteAttempt {
+    // High-fanout nets go through the best-of-two Steiner builder, with
+    // every leg priced by the same congestion snapshot.
+    if let Some((crits, fanout)) = timing {
+        if prep.sinks.len() >= fanout {
+            let mut mc = maze_cfg.clone();
+            mc.bbox = bbox;
+            let mut tree = steiner::build_tree_obs(
+                dev,
+                prep.src,
+                &prep.sinks,
+                crits,
+                &mc,
+                |_| false, // overuse allowed; congestion is priced
+                |seg| cong.cost(space.index(seg), pres_fac),
+                scratch,
+                obs,
+            );
+            if tree.is_none() && mc.bbox.is_some() {
+                if let Some(ctr) = retry_unbounded {
+                    ctr.inc();
+                    mc.bbox = None;
+                    tree = steiner::build_tree_obs(
+                        dev,
+                        prep.src,
+                        &prep.sinks,
+                        crits,
+                        &mc,
+                        |_| false,
+                        |seg| cong.cost(space.index(seg), pres_fac),
+                        scratch,
+                        obs,
+                    );
+                } else {
+                    return (None, 0);
+                }
+            }
+            return match tree {
+                Some(t) => (Some((t.pips, t.segments, t.sink_delays)), t.nodes_expanded),
+                None => (None, 0),
+            };
+        }
+    }
+    let crits: &[u32] = timing.map(|(c, _)| c).unwrap_or(&[]);
+    let timing_on = timing.is_some();
     let mut mc = maze_cfg.clone();
-    mc.bbox = Some(bbox);
+    let mut bbox = bbox;
     let mut pips = Vec::new();
     let mut segments = Vec::new();
+    let mut sink_delays = if timing_on {
+        vec![0u64; prep.sinks.len()]
+    } else {
+        Vec::new()
+    };
+    // The growing tree: start segments plus their arrival times. With
+    // timing off every start cost is zero and arrivals are not tracked —
+    // exactly the original loop.
     let mut starts = vec![(prep.src, 0u32)];
+    let mut tree_ps: Vec<u64> = vec![0];
+    let mut arrivals: HashMap<Segment, u64> = HashMap::new();
+    if timing_on {
+        arrivals.insert(prep.src, 0);
+    }
     let mut nodes = 0usize;
-    for &goal in &prep.sinks {
-        let Some(r) = maze::search_obs(
+    for (s_idx, &goal) in prep.sinks.iter().enumerate() {
+        let crit = crits.get(s_idx).copied().unwrap_or(0).min(CRIT_ONE);
+        mc.crit = crit;
+        mc.bbox = bbox;
+        if timing_on {
+            // Re-price the tree starts for this sink's criticality.
+            for (k, s) in starts.iter_mut().enumerate() {
+                s.1 = steiner::start_cost(crit, tree_ps[k]);
+            }
+        }
+        let mut result = maze::search_obs(
             dev,
             &starts,
             goal,
@@ -664,22 +855,69 @@ fn route_bounded(
             |seg| cong.cost(space.index(seg), pres_fac),
             scratch,
             obs,
-        ) else {
+        );
+        if result.is_none() && mc.bbox.is_some() {
+            let Some(ctr) = retry_unbounded else {
+                return (None, nodes);
+            };
+            // Region too tight for this sink — fall back to the whole
+            // device for this and every later sink.
+            ctr.inc();
+            bbox = None;
+            mc.bbox = None;
+            result = maze::search_obs(
+                dev,
+                &starts,
+                goal,
+                &mc,
+                |_| false,
+                |seg| cong.cost(space.index(seg), pres_fac),
+                scratch,
+                obs,
+            );
+        }
+        let Some(mut r) = result else {
             return (None, nodes);
         };
         nodes += r.nodes_expanded;
-        for seg in &r.segments {
-            starts.push((*seg, 0));
-            segments.push(*seg);
+        if timing_on {
+            if r.segments.is_empty() {
+                // The goal was already on the tree (duplicate sink).
+                sink_delays[s_idx] = arrivals.get(&goal).copied().unwrap_or(0);
+                continue;
+            }
+            // With crit-scaled start costs a search can undercut a tree
+            // start and route through it; drop the redundant prefix so
+            // the tree never double-drives its own wiring.
+            let graft = steiner::trim_reentry(&arrivals, &mut r).or_else(|| {
+                r.pips
+                    .first()
+                    .and_then(|&(rc, pip)| dev.canonicalize(rc, pip.from))
+            });
+            let mut at = graft.and_then(|g| arrivals.get(&g).copied()).unwrap_or(0);
+            for seg in &r.segments {
+                at += PIP_DELAY_PS + wire_delay_ps(seg.wire);
+                arrivals.insert(*seg, at);
+                starts.push((*seg, 0));
+                tree_ps.push(at);
+                segments.push(*seg);
+            }
+            sink_delays[s_idx] = at;
+        } else {
+            for seg in &r.segments {
+                starts.push((*seg, 0));
+                tree_ps.push(0);
+                segments.push(*seg);
+            }
         }
         pips.extend_from_slice(&r.pips);
     }
-    (Some((pips, segments)), nodes)
+    (Some((pips, segments, sink_delays)), nodes)
 }
 
-/// Result of [`route_bounded`]: the built `(pips, segments)` when every
-/// sink was reached inside the region, plus nodes expanded.
-type RouteAttempt = (Option<(Vec<(RowCol, Pip)>, Vec<Segment>)>, usize);
+/// Result of [`route_net_tree`]: the built `(pips, segments,
+/// sink_delays)` when every sink was reached, plus nodes expanded.
+type RouteAttempt = (Option<(Vec<(RowCol, Pip)>, Vec<Segment>, Vec<u64>)>, usize);
 
 /// Program a legal PathFinder result into a bitstream.
 ///

@@ -30,6 +30,7 @@ use crate::net::{Net, NetDb};
 use crate::path::Path;
 use crate::ports::{PortDb, PortDir};
 use crate::stats::{ResourceUsage, RouterStats};
+use crate::steiner;
 use crate::template::Template;
 use crate::templates_db;
 use crate::trace::{self, Hop, TracedNet};
@@ -51,6 +52,12 @@ pub struct RouterOptions {
     pub use_templates_first: bool,
     /// Node-expansion budget per maze search.
     pub max_maze_nodes: usize,
+    /// Fan-out at which [`Router::route_fanout`] switches from the
+    /// paper's greedy nearest-first loop to the congestion-aware Steiner
+    /// builder ([`crate::steiner`]), which keeps the greedy tree as one
+    /// of its arms and only returns a different tree when strictly
+    /// cheaper. `None` disables the Steiner path entirely.
+    pub steiner_fanout: Option<usize>,
 }
 
 impl Default for RouterOptions {
@@ -59,6 +66,7 @@ impl Default for RouterOptions {
             use_long_lines: false,
             use_templates_first: true,
             max_maze_nodes: 2_000_000,
+            steiner_fanout: Some(6),
         }
     }
 }
@@ -580,6 +588,22 @@ impl Router {
             let seg = self.seg(src.rc, src.wire)?;
             self.net_for_source(src, seg)?
         };
+        // High-fanout nets go through the best-of-two Steiner builder —
+        // never worse than the greedy loop in wirelength, since the
+        // greedy order is one of its arms. Only fresh nets qualify: a
+        // net that already has wiring reuses it through the per-sink
+        // loop's start set instead.
+        if let Some(threshold) = self.opts.steiner_fanout {
+            if resolved.len() >= threshold
+                && self.nets.net(net).is_none_or(|n| n.pips.is_empty())
+                && self.route_fanout_steiner(net, src, &resolved)?
+            {
+                for (_, ep) in resolved {
+                    self.nets.add_intent(net, *source, ep);
+                }
+                return Ok(());
+            }
+        }
         for (pin, ep) in resolved {
             // Fan-out legs go straight to the maze with tree reuse; the
             // greedy ordering is the paper's algorithm.
@@ -587,6 +611,70 @@ impl Router {
             self.nets.add_intent(net, *source, ep);
         }
         Ok(())
+    }
+
+    /// Route a high-fanout net as one congestion-aware Steiner tree
+    /// ([`steiner::build_tree_obs`] at criticality zero). `Ok(false)`
+    /// means the builder could not reach every sink inside the maze
+    /// budget; the caller falls back to the paper's greedy per-sink
+    /// loop. Contention on a sink is a hard error, exactly as in
+    /// [`Router::route_one`].
+    fn route_fanout_steiner(
+        &mut self,
+        net: NetId,
+        src: Pin,
+        resolved: &[(Pin, EndPoint)],
+    ) -> Result<bool> {
+        let src_seg = self.seg(src.rc, src.wire)?;
+        let mut goals = Vec::with_capacity(resolved.len());
+        for (pin, _) in resolved {
+            let goal = self.seg(pin.rc, pin.wire)?;
+            if let Some(owner) = self.nets.owner(goal) {
+                if owner != net {
+                    return Err(RouteError::ResourceInUse {
+                        segment: goal,
+                        owner: Some(owner),
+                    });
+                }
+            } else if self.bits.is_segment_driven(goal) {
+                self.stats.contention_rejections += 1;
+                return Err(RouteError::Contention {
+                    segment: goal,
+                    owner: None,
+                });
+            }
+            goals.push(goal);
+        }
+        let crits = vec![0u32; goals.len()];
+        let cfg = self.maze_config();
+        self.stats.maze_searches += goals.len();
+        let tree = {
+            let nets = &self.nets;
+            let bits = &self.bits;
+            steiner::build_tree_obs(
+                &self.device,
+                src_seg,
+                &goals,
+                &crits,
+                &cfg,
+                |seg| {
+                    nets.owner(seg).is_some_and(|o| o != net)
+                        || (nets.owner(seg).is_none() && bits.is_segment_driven(seg))
+                },
+                |_| 0,
+                &mut self.scratch,
+                &self.obs,
+            )
+        };
+        let Some(tree) = tree else {
+            return Ok(false);
+        };
+        self.stats.maze_nodes_expanded += tree.nodes_expanded;
+        self.commit_pips(net, &tree.pips)?;
+        for (pin, _) in resolved {
+            self.nets.add_sink(net, *pin);
+        }
+        Ok(true)
     }
 
     /// Bus routing (`route(EndPoint[], EndPoint[])`): connect

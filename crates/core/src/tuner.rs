@@ -25,13 +25,27 @@
 //!   observed growth so the next window routes inside its first box
 //!   instead of paying a bounded failure plus a whole-device retry.
 //!
-//! Both rules are deliberately one-sided ratchets with clamps: a tuned
+//! * **Steiner fan-out threshold** — when the best-of-two Steiner
+//!   builder wins often (`steiner.wins` vs `steiner.builds`), lowering
+//!   [`TimingConfig::steiner_fanout`] lets more nets benefit; the
+//!   threshold only ratchets *down* (clamped at [`MIN_STEINER_FANOUT`])
+//!   and the builder keeps the greedy tree as an arm, so wirelength can
+//!   never regress.
+//! * **criticality exponent** — when the window's `pathfinder.crit`
+//!   distribution saturates near the top of the fixed-point scale
+//!   (p99 ≥ [`CRIT_SATURATED`]), too many sinks are being treated as
+//!   critical to discriminate; raising [`TimingConfig::crit_exp`]
+//!   (clamped at [`MAX_CRIT_EXP`]) sharpens the falloff. Exponent-only
+//!   and upward-only: congestion cost still dominates non-critical
+//!   sinks, so routability is untouched.
+//!
+//! All rules are deliberately one-sided ratchets with clamps: a tuned
 //! config can never lose routability (bounded searches still fall back
 //! to the whole device on failure; the budget never drops below a floor
 //! comfortably above anything a successful search has used).
 
-use crate::maze::MazeConfig;
-use crate::pathfinder::PathFinderConfig;
+use crate::maze::{MazeConfig, CRIT_ONE};
+use crate::pathfinder::{PathFinderConfig, TimingConfig};
 use jroute_obs::Report;
 
 /// Never tune the node budget below this floor, no matter how small the
@@ -46,6 +60,21 @@ pub const NODE_BUDGET_HEADROOM: usize = 16;
 /// Margins are never tuned above this (a box this wide has stopped
 /// pruning anything on the devices we route).
 pub const MAX_BBOX_MARGIN: u16 = 12;
+
+/// The Steiner fan-out threshold never ratchets below this: 2-sink nets
+/// have no Steiner point to find and the builder would only burn a
+/// second arm's worth of searches.
+pub const MIN_STEINER_FANOUT: usize = 3;
+
+/// The criticality exponent never ratchets above this (RWRoute's own
+/// ceiling; beyond it everything but the single critical sink rounds to
+/// zero and timing pressure disappears).
+pub const MAX_CRIT_EXP: f32 = 3.0;
+
+/// `pathfinder.crit` p99 at or above this (≈ 0.9 in [`CRIT_ONE`]
+/// fixed-point) means the criticality distribution has saturated and the
+/// exponent should sharpen.
+pub const CRIT_SATURATED: u64 = (CRIT_ONE as u64 * 9) / 10;
 
 /// Aggregates extracted from one observation window, ready for tuning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +104,14 @@ pub struct TunerReport {
     pub growth_p99: u64,
     /// Largest single `pathfinder.bbox_growth` value.
     pub growth_max: u64,
+    /// Best-of-two Steiner builds attempted (`steiner.builds`).
+    pub steiner_builds: u64,
+    /// Builds where the Steiner arm strictly beat the greedy arm
+    /// (`steiner.wins`).
+    pub steiner_wins: u64,
+    /// 99th percentile of the per-sink criticality distribution
+    /// (`pathfinder.crit`, in [`CRIT_ONE`] fixed-point units).
+    pub crit_p99: u64,
 }
 
 impl TunerReport {
@@ -100,6 +137,9 @@ impl TunerReport {
             bbox_prunes: rep.counter("maze.bbox_prunes").unwrap_or(0),
             growth_p99: growth.map_or(0, |h| h.p99()),
             growth_max: growth.map_or(0, |h| h.max()),
+            steiner_builds: rep.counter("steiner.builds").unwrap_or(0),
+            steiner_wins: rep.counter("steiner.wins").unwrap_or(0),
+            crit_p99: rep.hist("pathfinder.crit").map_or(0, |h| h.p99()),
         })
     }
 
@@ -146,6 +186,48 @@ impl TunerReport {
         Some(tuned.min(MAX_BBOX_MARGIN))
     }
 
+    /// Fraction of Steiner builds the Steiner arm won. Zero when no
+    /// builds ran.
+    pub fn steiner_win_rate(&self) -> f64 {
+        if self.steiner_builds == 0 {
+            return 0.0;
+        }
+        self.steiner_wins as f64 / self.steiner_builds as f64
+    }
+
+    /// Tuned Steiner fan-out threshold: ratchets down by one when the
+    /// Steiner arm won at least half the window's builds (the builder is
+    /// clearly paying for its second arm), clamped at
+    /// [`MIN_STEINER_FANOUT`]. Never rises — the builder's greedy arm
+    /// guarantees a lower threshold cannot cost wirelength.
+    pub fn steiner_fanout(&self, base: usize) -> usize {
+        if self.steiner_builds > 0 && self.steiner_wins * 2 >= self.steiner_builds {
+            base.saturating_sub(1).max(MIN_STEINER_FANOUT)
+        } else {
+            base.max(MIN_STEINER_FANOUT)
+        }
+    }
+
+    /// Tuned criticality exponent: sharpens by 0.25 when the window's
+    /// criticality distribution saturated (p99 ≥ [`CRIT_SATURATED`]),
+    /// clamped at [`MAX_CRIT_EXP`]. Never softens — a quiet window says
+    /// nothing about how sharp the exponent needs to be.
+    pub fn crit_exp(&self, base: f32) -> f32 {
+        if self.crit_p99 >= CRIT_SATURATED {
+            (base + 0.25).min(MAX_CRIT_EXP)
+        } else {
+            base
+        }
+    }
+
+    /// Apply the timing-specific rules to one [`TimingConfig`].
+    pub fn tune_timing(&self, base: &TimingConfig) -> TimingConfig {
+        let mut t = base.clone();
+        t.steiner_fanout = self.steiner_fanout(base.steiner_fanout);
+        t.crit_exp = self.crit_exp(base.crit_exp);
+        t
+    }
+
     /// Apply all tuning rules to `base`, returning the next window's
     /// config. Routability is preserved by construction: bounded
     /// searches still retry unbounded on failure, and the node budget
@@ -154,6 +236,7 @@ impl TunerReport {
         let mut cfg = base.clone();
         cfg.maze = self.tune_maze(&base.maze);
         cfg.bbox_margin = self.bbox_margin(base.bbox_margin);
+        cfg.timing = base.timing.as_ref().map(|t| self.tune_timing(t));
         cfg
     }
 
@@ -266,5 +349,68 @@ mod tests {
         assert_eq!(tuned.max_iterations, base.max_iterations);
         assert_eq!(tuned.maze.heuristic_weight, base.maze.heuristic_weight);
         assert_eq!(tuned.incremental, base.incremental);
+        assert_eq!(tuned.timing, None, "timing stays off when off");
+    }
+
+    #[test]
+    fn steiner_threshold_ratchets_down_only_on_wins() {
+        let rec = Recorder::enabled();
+        rec.count("maze.searches", 100);
+        rec.count("steiner.builds", 10);
+        rec.count("steiner.wins", 6);
+        let t = TunerReport::from_report(&rec.report()).unwrap();
+        assert!(t.steiner_win_rate() > 0.5);
+        assert_eq!(t.steiner_fanout(6), 5);
+        assert_eq!(t.steiner_fanout(MIN_STEINER_FANOUT), MIN_STEINER_FANOUT);
+
+        // A losing window holds the threshold; nothing ever raises it.
+        let rec = Recorder::enabled();
+        rec.count("maze.searches", 100);
+        rec.count("steiner.builds", 10);
+        rec.count("steiner.wins", 1);
+        let t = TunerReport::from_report(&rec.report()).unwrap();
+        assert_eq!(t.steiner_fanout(6), 6);
+        let quiet = TunerReport::from_report(&window(10, 0, &[100], 0, &[])).unwrap();
+        assert_eq!(quiet.steiner_fanout(6), 6, "no builds, no change");
+    }
+
+    #[test]
+    fn crit_exp_sharpens_only_when_saturated() {
+        let rec = Recorder::enabled();
+        rec.count("maze.searches", 100);
+        for _ in 0..100 {
+            rec.record("pathfinder.crit", CRIT_ONE as u64 - 4);
+        }
+        let t = TunerReport::from_report(&rec.report()).unwrap();
+        assert!(t.crit_p99 >= CRIT_SATURATED);
+        assert_eq!(t.crit_exp(2.0), 2.25);
+        assert_eq!(t.crit_exp(MAX_CRIT_EXP), MAX_CRIT_EXP, "clamped");
+
+        let spread = TunerReport::from_report(&window(10, 0, &[100], 0, &[])).unwrap();
+        assert_eq!(spread.crit_exp(2.0), 2.0, "unsaturated window holds");
+    }
+
+    #[test]
+    fn tune_carries_timing_ratchets_through() {
+        let mut base = PathFinderConfig::timing_driven();
+        base.timing.as_mut().unwrap().steiner_fanout = 8;
+        let rec = Recorder::enabled();
+        rec.count("maze.searches", 100);
+        rec.record("maze.nodes_expanded", 100);
+        rec.count("steiner.builds", 4);
+        rec.count("steiner.wins", 4);
+        for _ in 0..50 {
+            rec.record("pathfinder.crit", CRIT_ONE as u64);
+        }
+        let t = TunerReport::from_report(&rec.report()).unwrap();
+        let tuned = t.tune(&base);
+        let timing = tuned.timing.unwrap();
+        assert_eq!(timing.steiner_fanout, 7);
+        assert!(timing.crit_exp > base.timing.as_ref().unwrap().crit_exp);
+        assert_eq!(
+            timing.max_crit,
+            base.timing.as_ref().unwrap().max_crit,
+            "the cap is not tuned"
+        );
     }
 }

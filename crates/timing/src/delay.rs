@@ -1,51 +1,14 @@
-//! The wire-delay model.
+//! The wire-delay model (re-exported from [`virtex::delay`]).
 //!
 //! Paper §3.1, on the greedy fan-out router: *"Because it is not timing
 //! driven, this algorithm is suitable only for non-critical nets."* And
 //! §6: *"skew minimization will be addressed."* Analysing either claim
-//! needs a delay model; this is a simple Elmore-flavoured one with
-//! per-class constants in picoseconds, shaped like the published Virtex
-//! speed characteristics: each PIP adds switch delay, short wires are
-//! fast, long buffered lines have a higher but span-independent cost.
+//! needs a delay model. The model itself lives in `virtex::delay` so the
+//! core maze router can charge delay-aware negotiated costs without
+//! depending on this crate; everything here delegates to it and the
+//! public API is unchanged.
 
-use virtex::{Wire, WireKind};
-
-/// Delay contributed by one PIP (buffer + switch), in picoseconds.
-pub const PIP_DELAY_PS: u64 = 120;
-
-/// Delay of travelling the given wire, in picoseconds (excludes the PIP
-/// that drives it).
-pub fn wire_delay_ps(wire: Wire) -> u64 {
-    match wire.kind() {
-        // Local resources: fast dedicated paths (paper §2: "high-speed
-        // connections bypassing the routing matrix").
-        WireKind::DirectE(_) | WireKind::DirectWEnd(_) => 60,
-        WireKind::Feedback(_) => 50,
-        // OMUX: a mux stage.
-        WireKind::Out(_) => 80,
-        // General-purpose interconnect.
-        WireKind::Single { .. } | WireKind::SingleEnd { .. } => 150,
-        WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => 350,
-        // Longs are buffered: costly to enter, then span-independent
-        // ("distribute the signals across the chip quickly", §2).
-        WireKind::LongH(_) | WireKind::LongV(_) => 600,
-        // Pin connections.
-        WireKind::SliceIn { .. } | WireKind::SliceOut { .. } => 0,
-        // Dedicated low-skew global network.
-        WireKind::Gclk(_) => 100,
-    }
-}
-
-/// Delay per CLB of distance, for normalised comparisons: hexes cover six
-/// CLBs per hop, so their *per-CLB* delay is lower than singles' — the
-/// reason routers prefer them for distance.
-pub fn delay_per_clb_ps(wire: Wire) -> u64 {
-    match wire.kind() {
-        WireKind::Single { .. } | WireKind::SingleEnd { .. } => 150,
-        WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => 350 / 6,
-        _ => wire_delay_ps(wire),
-    }
-}
+pub use virtex::delay::{delay_units, ps_to_units, wire_delay_ps, PIP_DELAY_PS, PS_PER_COST};
 
 #[cfg(test)]
 mod tests {
@@ -54,9 +17,12 @@ mod tests {
 
     #[test]
     fn hexes_beat_singles_per_clb() {
+        // Normalised per-CLB delay: hexes cover six CLBs per hop, so
+        // their per-CLB delay undercuts singles' — the reason routers
+        // prefer them for distance.
         assert!(
-            delay_per_clb_ps(wire::hex(Dir::North, 0))
-                < delay_per_clb_ps(wire::single(Dir::North, 0)),
+            wire_delay_ps(wire::hex(Dir::North, 0)) / u64::from(wire::HEX_SPAN)
+                < wire_delay_ps(wire::single(Dir::North, 0)),
             "hex per-CLB delay must undercut singles"
         );
     }

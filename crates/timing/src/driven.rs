@@ -14,13 +14,10 @@
 //! protection and net bookkeeping apply unchanged.
 
 use crate::analysis::segment_arrivals;
-use crate::delay::{delay_per_clb_ps, PIP_DELAY_PS};
-use jroute::maze::{self, MazeConfig, MazeScratch};
+use crate::delay::ps_to_units;
+use jroute::maze::{self, MazeConfig, MazeScratch, CRIT_ONE};
 use jroute::{EndPoint, Result, RouteError, Router};
 use virtex::Segment;
-
-/// Scale from picoseconds to maze cost units.
-const PS_PER_COST: u64 = 50;
 
 /// Route `source` to every sink minimizing per-sink *arrival time*.
 ///
@@ -48,8 +45,18 @@ pub fn route_fanout_timing_driven(
             wire: src.wire,
         })?;
     let mut scratch = MazeScratch::new(&dev);
+    // `crit = CRIT_ONE` puts the shared maze cost blend at the pure-delay
+    // endpoint: every expansion is charged `delay_units(wire)` and the
+    // lookahead switches to its delay tables — the same cost the
+    // criticality-driven PathFinder converges to for its most critical
+    // sinks, so this router and `pathfinder` price wires identically.
     let cfg = MazeConfig {
         use_long_lines: router.options().use_long_lines,
+        crit: CRIT_ONE,
+        // Exact A*: critical nets are worth the extra expansions, and at
+        // weight 1 each leg is provably minimum-arrival (the delay
+        // lookahead is admissible).
+        heuristic_weight: 1,
         ..Default::default()
     };
     let mut pips_configured = 0usize;
@@ -80,7 +87,7 @@ pub fn route_fanout_timing_driven(
         let arrivals = segment_arrivals(router.bits(), src_seg);
         let starts: Vec<(Segment, u32)> = arrivals
             .iter()
-            .map(|(&seg, &ps)| (seg, (ps / PS_PER_COST) as u32))
+            .map(|(&seg, &ps)| (seg, ps_to_units(ps)))
             .collect();
         let result = {
             let nets = router.nets();
@@ -96,9 +103,9 @@ pub fn route_fanout_timing_driven(
                     // start set, never by re-entering.
                     nets.is_used(seg) || bits.is_segment_driven(seg)
                 },
-                // Delay-weighted cost: a PIP plus the wire's per-CLB
-                // delay, in the same scaled units as the start costs.
-                |seg: Segment| ((PIP_DELAY_PS + delay_per_clb_ps(seg.wire)) / PS_PER_COST) as u32,
+                // At `crit = CRIT_ONE` the maze already charges
+                // `delay_units(wire)` per expansion; no congestion term.
+                |_: Segment| 0,
                 &mut scratch,
             )
         }

@@ -1,0 +1,114 @@
+//! The per-wire-class delay model.
+//!
+//! The source paper concedes its fan-out router "is not timing driven
+//! ... suitable only for non-critical nets" (§3.1). Fixing that requires
+//! the *maze router* to price delay, which is why this model lives here
+//! rather than in `jroute-timing`: `jroute` (core) depends on `virtex`
+//! but not on the timing crate, and both the negotiated-cost blending in
+//! `core::maze`/`core::pathfinder` and the arrival analysis in
+//! `jroute-timing` must charge identical numbers. `timing::delay`
+//! re-exports everything here, so its public API is unchanged.
+//!
+//! The model is a simple Elmore-flavoured one with per-class constants
+//! in picoseconds, shaped like the published Virtex speed
+//! characteristics: each PIP adds switch delay, short wires are fast,
+//! long buffered lines have a higher but span-independent cost.
+
+use crate::wire::{Wire, WireKind};
+
+/// Delay contributed by one PIP (buffer + switch), in picoseconds.
+pub const PIP_DELAY_PS: u64 = 120;
+
+/// Picoseconds per maze-cost unit: the fixed scale that converts the
+/// delay model into the same integer cost space the congestion model
+/// ([`crate::CostModel`]) uses, so the two can be blended linearly.
+pub const PS_PER_COST: u64 = 50;
+
+/// Delay of travelling the given wire, in picoseconds (excludes the PIP
+/// that drives it).
+pub fn wire_delay_ps(wire: Wire) -> u64 {
+    match wire.kind() {
+        // Local resources: fast dedicated paths (paper §2: "high-speed
+        // connections bypassing the routing matrix").
+        WireKind::DirectE(_) | WireKind::DirectWEnd(_) => 60,
+        WireKind::Feedback(_) => 50,
+        // OMUX: a mux stage.
+        WireKind::Out(_) => 80,
+        // General-purpose interconnect.
+        WireKind::Single { .. } | WireKind::SingleEnd { .. } => 150,
+        WireKind::Hex { .. } | WireKind::HexMid { .. } | WireKind::HexEnd { .. } => 350,
+        // Longs are buffered: costly to enter, then span-independent
+        // ("distribute the signals across the chip quickly", §2).
+        WireKind::LongH(_) | WireKind::LongV(_) => 600,
+        // Pin connections.
+        WireKind::SliceIn { .. } | WireKind::SliceOut { .. } => 0,
+        // Dedicated low-skew global network.
+        WireKind::Gclk(_) => 100,
+    }
+}
+
+/// Delay of *entering* `wire` through one PIP, in maze-cost units
+/// (`(PIP_DELAY_PS + wire_delay_ps) / PS_PER_COST`). This is the delay
+/// analogue of [`crate::CostModel::wire_cost`]: the quantity the maze
+/// router charges per expansion when routing timing-driven.
+#[inline]
+pub fn delay_units(wire: Wire) -> u32 {
+    ((PIP_DELAY_PS + wire_delay_ps(wire)) / PS_PER_COST) as u32
+}
+
+/// Convert an arrival time in picoseconds to maze-cost units (floor).
+#[inline]
+pub fn ps_to_units(ps: u64) -> u32 {
+    (ps / PS_PER_COST).min(u32::MAX as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wire, Dir};
+
+    #[test]
+    fn local_resources_are_fastest() {
+        let local = wire_delay_ps(wire::feedback(0));
+        for w in [
+            wire::single(Dir::East, 0),
+            wire::hex(Dir::East, 0),
+            wire::long_h(0),
+        ] {
+            assert!(local < wire_delay_ps(w));
+        }
+    }
+
+    #[test]
+    fn aliases_share_the_segment_delay() {
+        assert_eq!(
+            wire_delay_ps(wire::single(Dir::East, 3)),
+            wire_delay_ps(wire::single_end(Dir::East, 3))
+        );
+        assert_eq!(
+            wire_delay_ps(wire::hex(Dir::South, 1)),
+            wire_delay_ps(wire::hex_mid(Dir::South, 1))
+        );
+    }
+
+    #[test]
+    fn hexes_beat_singles_per_clb_in_units_too() {
+        // A hex closes six CLBs for one entry; per CLB it must undercut
+        // singles or the timing-driven cost would never prefer it.
+        let hex = delay_units(wire::hex(Dir::North, 0));
+        let single = delay_units(wire::single(Dir::North, 0));
+        assert!(hex < single * crate::wire::HEX_SPAN as u32);
+        assert!(hex > single, "but one hex entry still beats one single");
+    }
+
+    #[test]
+    fn unit_conversion_floors_consistently() {
+        assert_eq!(ps_to_units(0), 0);
+        assert_eq!(ps_to_units(PS_PER_COST - 1), 0);
+        assert_eq!(ps_to_units(PS_PER_COST), 1);
+        assert_eq!(
+            delay_units(wire::single(Dir::East, 0)),
+            ps_to_units(PIP_DELAY_PS + wire_delay_ps(wire::single(Dir::East, 0)))
+        );
+    }
+}

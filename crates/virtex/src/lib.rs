@@ -23,6 +23,7 @@
 
 pub mod arch;
 pub mod codec;
+pub mod delay;
 pub mod device;
 pub mod family;
 pub mod geometry;

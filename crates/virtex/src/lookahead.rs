@@ -25,9 +25,10 @@
 //! cheap pure function of `Dims`), because [`crate::Device`] is `Copy`
 //! and cannot own heap state.
 
+use crate::delay::delay_units;
 use crate::geometry::{Dims, RowCol};
 use crate::segment::Segment;
-use crate::wire::{Wire, WireKind, HEX_SPAN, LONG_ACCESS};
+use crate::wire::{self, Wire, WireKind, HEX_SPAN, LONG_ACCESS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -97,6 +98,16 @@ pub struct Lookahead {
     /// distance on its axis for one entry cost).
     row_long: Vec<u32>,
     col_long: Vec<u32>,
+    /// Delay-space twins of the four tables above: `row_d[d]` = min
+    /// *delay* (in [`crate::delay`] cost units) any wire combination
+    /// pays to close a row distance of `d`. Built by the same
+    /// Bellman-Ford with [`delay_units`] move costs, so timing-driven
+    /// weighted A* gets a (distance, delay) estimate pair that is
+    /// admissible in both spaces.
+    row_d: Vec<u32>,
+    col_d: Vec<u32>,
+    row_d_long: Vec<u32>,
+    col_d_long: Vec<u32>,
 }
 
 static TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
@@ -147,6 +158,20 @@ fn axis_table(n: usize, moves: &[(u16, u32)]) -> Vec<u32> {
     lb
 }
 
+/// One-shot direct-east discount over a repeatable-move column table: a
+/// direct wire terminates at a CLB input, so any path uses at most one.
+fn with_direct(plain: &[u32], direct: u32) -> Vec<u32> {
+    (0..plain.len())
+        .map(|d| {
+            let toward = direct.saturating_add(plain[d.abs_diff(1)]);
+            let away = plain
+                .get(d + 1)
+                .map_or(u32::MAX, |&c| direct.saturating_add(c));
+            plain[d].min(toward).min(away)
+        })
+        .collect()
+}
+
 impl Lookahead {
     fn build(dims: Dims) -> Lookahead {
         let model = CostModel::for_dims(dims);
@@ -159,23 +184,24 @@ impl Lookahead {
         ];
         let row = axis_table(dims.rows as usize, &moves);
         // The column axis additionally has direct-east hops (reach 1,
-        // cheap) — but a direct wire terminates at a CLB input, so any
-        // path uses at most one. Apply it as a one-shot discount over
-        // the repeatable-move table instead of a repeatable move.
-        let plain_col = axis_table(dims.cols as usize, &moves);
-        let col: Vec<u32> = (0..plain_col.len())
-            .map(|d| {
-                let toward = model.out + plain_col[d.abs_diff(1)];
-                let away = plain_col
-                    .get(d + 1)
-                    .map_or(u32::MAX, |&c| model.out.saturating_add(c));
-                plain_col[d].min(toward).min(away)
-            })
-            .collect();
+        // cheap) — apply the one-shot discount over the repeatable-move
+        // table instead of a repeatable move.
+        let col = with_direct(&axis_table(dims.cols as usize, &moves), model.out);
         // With long lines enabled a single entry can close any distance
         // on its axis, so the bound caps at the long's entry cost.
         let row_long = row.iter().map(|&c| c.min(model.long_v)).collect();
         let col_long = col.iter().map(|&c| c.min(model.long_h)).collect();
+        // Delay space: same move set, per-class delay units as costs.
+        let single_d = delay_units(wire::single(crate::Dir::North, 0));
+        let hex_d = delay_units(wire::hex(crate::Dir::North, 0));
+        let direct_d = delay_units(wire::direct_e(0));
+        let long_h_d = delay_units(wire::long_h(0));
+        let long_v_d = delay_units(wire::long_v(0));
+        let moves_d = [(1u16, single_d), (hex_mid, hex_d), (HEX_SPAN, hex_d)];
+        let row_d = axis_table(dims.rows as usize, &moves_d);
+        let col_d = with_direct(&axis_table(dims.cols as usize, &moves_d), direct_d);
+        let row_d_long = row_d.iter().map(|&c| c.min(long_v_d)).collect();
+        let col_d_long = col_d.iter().map(|&c| c.min(long_h_d)).collect();
         Lookahead {
             dims,
             model,
@@ -183,6 +209,10 @@ impl Lookahead {
             col,
             row_long,
             col_long,
+            row_d,
+            col_d,
+            row_d_long,
+            col_d_long,
         }
     }
 
@@ -209,23 +239,42 @@ impl Lookahead {
         self.model
     }
 
+    /// The two axis tables (row, col) for the given space and long-line
+    /// setting.
+    #[inline]
+    fn tables(&self, delay: bool, longs: bool) -> (&[u32], &[u32]) {
+        match (delay, longs) {
+            (false, false) => (&self.row, &self.col),
+            (false, true) => (&self.row_long, &self.col_long),
+            (true, false) => (&self.row_d, &self.col_d),
+            (true, true) => (&self.row_d_long, &self.col_d_long),
+        }
+    }
+
     /// Lower bound on the cost of closing `dr` rows and `dc` columns.
     /// Axis bounds add because every routing wire moves along one axis.
     #[inline]
     pub fn bound(&self, dr: u16, dc: u16, longs: bool) -> u32 {
-        if longs {
-            self.row_long[dr as usize] + self.col_long[dc as usize]
-        } else {
-            self.row[dr as usize] + self.col[dc as usize]
-        }
+        let (row, col) = self.tables(false, longs);
+        row[dr as usize] + col[dc as usize]
     }
 
-    /// Admissible remaining-cost estimate from `seg` to the goal tile:
-    /// the table bound from the segment's nearest tap (long lines use
-    /// their every-[`LONG_ACCESS`] access-point pattern).
-    pub fn estimate(&self, seg: Segment, goal: RowCol, longs: bool) -> u32 {
-        let at =
-            |rc: RowCol| self.bound(rc.row.abs_diff(goal.row), rc.col.abs_diff(goal.col), longs);
+    /// Delay-space twin of [`Lookahead::bound`]: lower bound on the
+    /// *delay* (in [`crate::delay`] cost units) of closing `dr` rows and
+    /// `dc` columns.
+    #[inline]
+    pub fn bound_delay(&self, dr: u16, dc: u16, longs: bool) -> u32 {
+        let (row, col) = self.tables(true, longs);
+        row[dr as usize] + col[dc as usize]
+    }
+
+    /// Estimate from `seg` over explicit axis tables: the bound from the
+    /// segment's nearest tap (long lines use their every-
+    /// [`LONG_ACCESS`] access-point pattern).
+    fn est_in(&self, row: &[u32], col: &[u32], seg: Segment, goal: RowCol) -> u32 {
+        let at = |rc: RowCol| {
+            row[rc.row.abs_diff(goal.row) as usize] + col[rc.col.abs_diff(goal.col) as usize]
+        };
         match seg.wire.kind() {
             WireKind::Single { dir, .. } => {
                 let far = seg.rc.step(dir, 1, self.dims).unwrap_or(seg.rc);
@@ -240,15 +289,38 @@ impl Lookahead {
                 // Reachable every LONG_ACCESS columns along its row.
                 let dr = seg.rc.row.abs_diff(goal.row);
                 let dc = (goal.col % LONG_ACCESS).min(LONG_ACCESS - goal.col % LONG_ACCESS);
-                self.bound(dr, dc, longs)
+                row[dr as usize] + col[dc as usize]
             }
             WireKind::LongV(_) => {
                 let dc = seg.rc.col.abs_diff(goal.col);
                 let dr = (goal.row % LONG_ACCESS).min(LONG_ACCESS - goal.row % LONG_ACCESS);
-                self.bound(dr, dc, longs)
+                row[dr as usize] + col[dc as usize]
             }
             _ => at(seg.rc),
         }
+    }
+
+    /// Admissible remaining-cost estimate from `seg` to the goal tile.
+    pub fn estimate(&self, seg: Segment, goal: RowCol, longs: bool) -> u32 {
+        let (row, col) = self.tables(false, longs);
+        self.est_in(row, col, seg, goal)
+    }
+
+    /// Admissible remaining-*delay* estimate from `seg` to the goal tile,
+    /// in [`crate::delay`] cost units.
+    pub fn estimate_delay(&self, seg: Segment, goal: RowCol, longs: bool) -> u32 {
+        let (row, col) = self.tables(true, longs);
+        self.est_in(row, col, seg, goal)
+    }
+
+    /// The (distance-cost, delay) estimate pair in one call — what a
+    /// criticality-blended weighted A* needs per expansion.
+    #[inline]
+    pub fn estimate_pair(&self, seg: Segment, goal: RowCol, longs: bool) -> (u32, u32) {
+        (
+            self.estimate(seg, goal, longs),
+            self.estimate_delay(seg, goal, longs),
+        )
     }
 }
 
@@ -305,6 +377,57 @@ mod tests {
             // One direct-east hop plus singles is always a real path shape.
             assert!(la.bound(0, d, false) <= m.out + (d as u32 - 1) * m.single);
         }
+    }
+
+    #[test]
+    fn delay_tables_match_hand_derived_bounds() {
+        use crate::delay::delay_units;
+        use crate::{wire, Dir};
+        let dims = Device::new(Family::Xcv50).dims();
+        let la = Lookahead::get(dims);
+        let s = delay_units(wire::single(Dir::North, 0)); // (120+150)/50 = 5
+        let h = delay_units(wire::hex(Dir::North, 0)); // (120+350)/50 = 9
+        assert_eq!(la.bound_delay(0, 0, false), 0);
+        assert_eq!(la.bound_delay(1, 0, false), s);
+        assert_eq!(la.bound_delay(2, 0, false), 2 * s);
+        // Distance 3: a hex mid-tap (9) beats three singles (15).
+        assert_eq!(la.bound_delay(3, 0, false), h);
+        assert_eq!(la.bound_delay(6, 0, false), h);
+        // Columns get the one-shot direct-east discount ((120+60)/50 = 3).
+        assert_eq!(la.bound_delay(0, 1, false), delay_units(wire::direct_e(0)));
+        // Long tables cap at the long's entry delay.
+        let big = Device::new(Family::Xcv1000).dims();
+        let bl = Lookahead::get(big);
+        assert_eq!(
+            bl.bound_delay(big.rows - 1, 0, true),
+            delay_units(wire::long_v(0))
+        );
+        assert!(bl.bound_delay(big.rows - 1, 0, false) > delay_units(wire::long_v(0)));
+    }
+
+    #[test]
+    fn delay_estimates_are_admissible_against_singles() {
+        use crate::delay::delay_units;
+        use crate::{wire, Dir};
+        let dims = Device::new(Family::Xcv300).dims();
+        let la = Lookahead::get(dims);
+        let s = delay_units(wire::single(Dir::North, 0));
+        for d in 0..dims.rows {
+            assert!(la.bound_delay(d, 0, false) <= d as u32 * s);
+        }
+        // The pair accessor agrees with the scalar calls.
+        let seg = Segment {
+            rc: RowCol::new(3, 4),
+            wire: wire::hex(Dir::East, 0),
+        };
+        let goal = RowCol::new(10, 12);
+        assert_eq!(
+            la.estimate_pair(seg, goal, false),
+            (
+                la.estimate(seg, goal, false),
+                la.estimate_delay(seg, goal, false)
+            )
+        );
     }
 
     #[test]

@@ -60,6 +60,15 @@ grep -q '"id": "e19/serve_1ten_' target/bench-json/BENCH_e19_server.json
 grep -q '"id": "e19/serve_4ten_' target/bench-json/BENCH_e19_server.json
 echo "    wrote target/bench-json/BENCH_e19_server.json"
 
+echo "==> bench smoke: e20_timing_driven (criticality-driven negotiation + Steiner fan-out)"
+BENCH_SAMPLE_SIZE=3 BENCH_MEASURE_MS=200 BENCH_WARMUP_MS=50 JROUTE_THREADS=1,2 \
+    cargo bench --offline --bench e20_timing_driven
+test -s target/bench-json/BENCH_e20_timing_driven.json
+grep -q '"id": "e20/pure_congestion' target/bench-json/BENCH_e20_timing_driven.json
+grep -q '"id": "e20/criticality_driven' target/bench-json/BENCH_e20_timing_driven.json
+grep -q '"id": "e20/steiner_fanout_' target/bench-json/BENCH_e20_timing_driven.json
+echo "    wrote target/bench-json/BENCH_e20_timing_driven.json"
+
 echo "==> example smoke: churn_soak (100-step audited churn + .jrt replay)"
 rm -rf target/obs-json/churn_soak target/traces/churn_soak.jrt
 cargo run --release --offline --example churn_soak 100 | tee /tmp/churn_soak.out
@@ -105,17 +114,17 @@ OBS_SHAPE_CHECK="$PWD/target/obs-json/OBS_quickstart.json" \
     exported_quickstart_json_is_valid_when_pointed_at
 
 # Opt-in bench regression gate: regenerate every experiment the
-# checked-in baseline covers (e1–e19), then diff medians against
+# checked-in baseline covers (e1–e20), then diff medians against
 # bench-baseline/, failing on regressions past --max-regress
 # (BENCH_MAX_REGRESS, default 10%).
 if [[ "${BENCH_BASELINE:-0}" == "1" ]]; then
-    echo "==> bench regression gate: e1..e19 vs bench-baseline/"
+    echo "==> bench regression gate: e1..e20 vs bench-baseline/"
     for bench in e1_census e2_api_levels e3_fanout e4_template_vs_maze \
         e5_rtr_replace e6_reverse_unroute e7_contention \
         e8_greedy_vs_pathfinder e9_longline_ablation e10_scaling \
         e11_core_compose e12_parallel e13_timing e14_service \
         e15_convergence e16_scenarios e17_obs_overhead e18_partition \
-        e19_server; do
+        e19_server e20_timing_driven; do
         BENCH_SAMPLE_SIZE=10 BENCH_MEASURE_MS=1500 BENCH_WARMUP_MS=300 \
             cargo bench --offline --bench "$bench"
     done

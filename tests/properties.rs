@@ -823,6 +823,190 @@ fn partition_parallel_matches_sequential_incremental() {
 }
 
 // ----------------------------------------------------------------------
+// Criticality-driven negotiation and Steiner fan-out (DESIGN.md §3.9)
+// ----------------------------------------------------------------------
+
+/// Criticality-weighted PathFinder is a cost reshaping, not a semantic
+/// change: on any workload it must agree with the pure-congestion
+/// baseline on routability, and its converged census must satisfy the
+/// same integrity contract — every sink reached, no segment shared
+/// between nets.
+#[test]
+fn criticality_weighted_pathfinder_keeps_routability() {
+    use jroute::pathfinder::{self, PathFinderConfig, PathFinderResult};
+    use jroute_workloads::window_netlist;
+    use std::collections::HashMap;
+    use virtex::Segment;
+
+    fn check_census(dev: &Device, r: &PathFinderResult, tag: &str) {
+        let mut owner: HashMap<Segment, usize> = HashMap::new();
+        for (i, net) in r.nets.iter().enumerate() {
+            for &seg in &net.segments {
+                let prev = owner.insert(seg, i);
+                assert!(
+                    prev.is_none_or(|p| p == i),
+                    "{tag}: segment {seg} shared by nets {prev:?} and {i}"
+                );
+            }
+            for sink in &net.spec.sinks {
+                let goal = dev.canonicalize(sink.rc, sink.wire).unwrap();
+                assert!(
+                    net.segments.contains(&goal),
+                    "{tag}: net {i} census is missing its sink {goal}"
+                );
+            }
+        }
+    }
+
+    harness::check_with(
+        "criticality_weighted_pathfinder_keeps_routability",
+        6,
+        |rng| {
+            let dev = dev();
+            let mut net_rng = DetRng::seed_from_u64(rng.next_u64());
+            // A contended window plus one high-fanout net that crosses the
+            // Steiner threshold, so both new code paths run.
+            let hot = rng.gen_range(4usize..8);
+            let mut specs = window_netlist(&dev, hot, 3, RowCol::new(8, 12), &mut net_rng);
+            specs.push(fanout_spec(&dev, RowCol::new(3, 4), 7, 4, &mut net_rng));
+
+            let baseline =
+                pathfinder::route_all(&dev, &specs, &PathFinderConfig::default()).unwrap();
+            let timed =
+                pathfinder::route_all(&dev, &specs, &PathFinderConfig::timing_driven()).unwrap();
+
+            assert_eq!(
+                baseline.legal, timed.legal,
+                "criticality weighting changed routability"
+            );
+            if timed.legal {
+                assert_eq!(timed.overused, 0);
+                assert_eq!(timed.nets.len(), specs.len());
+                check_census(&dev, &timed, "criticality-driven");
+                check_census(&dev, &baseline, "pure-congestion");
+                // Timing mode must actually produce the per-sink delays the
+                // criticality pass feeds on.
+                for net in &timed.nets {
+                    assert_eq!(net.sink_delays.len(), net.spec.sinks.len());
+                    assert!(net.sink_delays.iter().all(|&d| d > 0));
+                }
+            }
+        },
+    );
+}
+
+/// The best-of-two Steiner builder upholds the tree contract on any
+/// seed: every sink reached, single-driver (acyclic) wiring, and never
+/// more wirelength than the greedy nearest-first loop it replaces —
+/// the greedy tree is one of its arms, so ≤ holds structurally and this
+/// test pins it observably.
+#[test]
+fn steiner_fanout_trees_are_sound_and_never_beaten_by_greedy() {
+    harness::check_with(
+        "steiner_fanout_trees_are_sound_and_never_beaten_by_greedy",
+        8,
+        |rng| {
+            let dev = Device::new(Family::Xcv300);
+            let fanout = rng.gen_range(4usize..10);
+            let span = rng.gen_range(5u16..10);
+            let seed = rng.next_u64();
+            let route = |steiner: Option<usize>| {
+                let mut spec_rng = DetRng::seed_from_u64(seed);
+                let spec = fanout_spec(&dev, RowCol::new(16, 24), fanout, span, &mut spec_rng);
+                let mut r = Router::with_options(
+                    &dev,
+                    RouterOptions {
+                        steiner_fanout: steiner,
+                        ..Default::default()
+                    },
+                );
+                let sinks: Vec<EndPoint> = spec.sinks.iter().map(|&p| p.into()).collect();
+                r.route_fanout(&spec.source.into(), &sinks).unwrap();
+                let net = r.trace(&spec.source.into()).unwrap();
+                // Every sink reached, exactly once.
+                let mut got = net.sinks.clone();
+                let mut want = spec.sinks.clone();
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "tree must reach every sink");
+                // Single-driver == acyclic: each configured target is
+                // driven by exactly one PIP.
+                for rc in dev.dims().iter_tiles() {
+                    for pip in r.bits().pips_at(rc) {
+                        if let Some(seg) = dev.canonicalize(rc, pip.to) {
+                            assert!(
+                                r.bits().segment_drivers(seg).len() <= 1,
+                                "contention on {seg}"
+                            );
+                        }
+                    }
+                }
+                r.nets().used_segments()
+            };
+            let steiner_wl = route(Some(3));
+            let greedy_wl = route(None);
+            assert!(
+                steiner_wl <= greedy_wl,
+                "steiner used {steiner_wl} segments, greedy {greedy_wl}"
+            );
+        },
+    );
+}
+
+/// Criticality-driven negotiation stays deterministic by construction:
+/// the per-iteration criticality table is frozen before waves dispatch,
+/// so 1, 4 and 8 workers must produce the identical census, delays and
+/// iteration count.
+#[test]
+fn criticality_driven_routing_is_bit_identical_across_workers() {
+    use jroute::pathfinder::{self, PathFinderConfig, PathFinderResult};
+    use jroute_workloads::window_netlist;
+
+    fn key(r: &PathFinderResult) -> Vec<(Vec<virtex::Segment>, Vec<u64>)> {
+        r.nets
+            .iter()
+            .map(|n| (n.segments.clone(), n.sink_delays.clone()))
+            .collect()
+    }
+
+    harness::check_with(
+        "criticality_driven_routing_is_bit_identical_across_workers",
+        6,
+        |rng| {
+            let dev = dev();
+            let mut net_rng = DetRng::seed_from_u64(rng.next_u64());
+            let hot = rng.gen_range(4usize..8);
+            let mut specs = window_netlist(&dev, hot, 3, RowCol::new(8, 12), &mut net_rng);
+            specs.push(fanout_spec(&dev, RowCol::new(3, 4), 7, 4, &mut net_rng));
+
+            let seq =
+                pathfinder::route_all(&dev, &specs, &PathFinderConfig::timing_driven()).unwrap();
+            for workers in [4usize, 8] {
+                let par = pathfinder::route_all(
+                    &dev,
+                    &specs,
+                    &PathFinderConfig {
+                        threads: workers,
+                        ..PathFinderConfig::timing_driven()
+                    },
+                )
+                .unwrap();
+                assert_eq!(seq.legal, par.legal, "{workers} workers: legality differs");
+                assert_eq!(
+                    seq.iterations, par.iterations,
+                    "{workers} workers: iteration count differs"
+                );
+                assert_eq!(
+                    key(&seq),
+                    key(&par),
+                    "{workers} workers: census or delays differ"
+                );
+            }
+        },
+    );
+}
+
+// ----------------------------------------------------------------------
 // Multi-tenant server front-end (DESIGN.md §3.8)
 // ----------------------------------------------------------------------
 
